@@ -1,0 +1,38 @@
+//! Times the ablation studies at smoke scale so the regeneration paths
+//! stay exercised under `cargo bench`. The substantive accuracy numbers
+//! come from `repro ablate`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tdp_bench::{ablations, ExperimentConfig};
+
+fn smoke_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        seed: 77,
+        trace_seconds: 8,
+        ramp_seconds: 1,
+        out_dir: std::env::temp_dir().join("tdp-bench-criterion-ablate"),
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let cfg = smoke_cfg();
+    group.bench_function("memory_input_eq2_vs_eq3", |b| {
+        b.iter(|| black_box(ablations::memory_input(&cfg)))
+    });
+    group.bench_function("cpu_halt_term", |b| {
+        b.iter(|| black_box(ablations::cpu_halt_term(&cfg)))
+    });
+    group.bench_function("io_input_event", |b| {
+        b.iter(|| black_box(ablations::io_input(&cfg)))
+    });
+    group.bench_function("model_form", |b| {
+        b.iter(|| black_box(ablations::model_form(&cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

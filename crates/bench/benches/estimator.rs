@@ -1,0 +1,64 @@
+//! Microbenchmarks of the estimation path — the paper's requirement is
+//! "low computational cost" (§3.3.1): reading a handful of counters and
+//! a few multiply-adds per window. These benches quantify that.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tdp_modeling::{fit_least_squares, FeatureMap};
+use tdp_simsys::{Machine, MachineConfig};
+use trickledown::{SystemPowerEstimator, SystemPowerModel, SystemSample};
+
+fn sample_from_busy_machine() -> tdp_counters::SampleSet {
+    let mut machine = Machine::new(MachineConfig::default());
+    machine
+        .os_mut()
+        .spawn(Box::new(tdp_simsys::behavior::spin_loop_behavior(1.5)), 0);
+    for _ in 0..1000 {
+        machine.tick();
+    }
+    machine.read_counters()
+}
+
+fn bench_estimation_path(c: &mut Criterion) {
+    let set = sample_from_busy_machine();
+    let sample = SystemSample::from_sample_set(&set);
+    let model = SystemPowerModel::paper();
+
+    c.bench_function("input/extract_rates_from_sample_set", |b| {
+        b.iter(|| SystemSample::from_sample_set(black_box(&set)))
+    });
+
+    c.bench_function("model/predict_all_subsystems", |b| {
+        b.iter(|| black_box(&model).predict(black_box(&sample)))
+    });
+
+    let mut estimator = SystemPowerEstimator::new(model.clone());
+    c.bench_function("estimator/push_one_window", |b| {
+        b.iter(|| estimator.push(black_box(&sample)))
+    });
+
+    c.bench_function("model/json_roundtrip", |b| {
+        b.iter(|| {
+            let json = black_box(&model).to_json().unwrap();
+            SystemPowerModel::from_json(&json).unwrap()
+        })
+    });
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    // A realistic calibration-sized problem: 400 windows, 5 coefficients.
+    let map = FeatureMap::quadratic_all(2);
+    let xs: Vec<Vec<f64>> = (0..400)
+        .map(|i| vec![(i % 37) as f64 * 0.01, (i % 11) as f64 * 0.1])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 21.6 + 3.0 * x[0] - 0.2 * x[0] * x[0] + 1.5 * x[1])
+        .collect();
+    c.bench_function("modeling/ols_fit_400x5", |b| {
+        b.iter(|| fit_least_squares(black_box(&map), black_box(&xs), black_box(&ys)))
+    });
+}
+
+criterion_group!(benches, bench_estimation_path, bench_fitting);
+criterion_main!(benches);

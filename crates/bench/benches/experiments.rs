@@ -1,0 +1,71 @@
+//! One bench per paper artifact: times the regeneration of each table
+//! and figure at smoke scale (the full-scale numbers come from the
+//! `repro` binary; these benches keep the regeneration paths exercised
+//! and measured).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tdp_bench::experiments::{tables_1_and_2, tables_3_and_4};
+use tdp_bench::figures::{fig2, fig3, fig4_fig5, fig6_fig7};
+use tdp_bench::{calibrate, capture_workload, ExperimentConfig};
+use tdp_workloads::Workload;
+
+fn smoke_cfg(tag: &str) -> ExperimentConfig {
+    ExperimentConfig {
+        seed: 1234,
+        trace_seconds: 8,
+        ramp_seconds: 1,
+        out_dir: std::env::temp_dir().join(format!("tdp-bench-criterion-{tag}")),
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    let cfg = smoke_cfg("tables");
+    group.bench_function("table1_table2_regeneration", |b| {
+        b.iter(|| {
+            let traces = vec![
+                capture_workload(&cfg, Workload::Idle),
+                capture_workload(&cfg, Workload::Mesa),
+                capture_workload(&cfg, Workload::DiskLoad),
+            ];
+            black_box(tables_1_and_2(&cfg, &traces))
+        })
+    });
+
+    let model = calibrate(&cfg);
+    let traces = vec![
+        capture_workload(&cfg, Workload::Idle),
+        capture_workload(&cfg, Workload::Vortex),
+    ];
+    group.bench_function("table3_table4_validation", |b| {
+        b.iter(|| black_box(tables_3_and_4(&cfg, &model, &traces)))
+    });
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    let cfg = smoke_cfg("figures");
+    let model = calibrate(&cfg);
+    group.bench_function("fig2_cpu_trace", |b| {
+        b.iter(|| black_box(fig2(&cfg, &model)))
+    });
+    group.bench_function("fig3_memory_l3", |b| {
+        b.iter(|| black_box(fig3(&cfg)))
+    });
+    group.bench_function("fig4_fig5_mcf_ramp", |b| {
+        b.iter(|| black_box(fig4_fig5(&cfg)))
+    });
+    group.bench_function("fig6_fig7_diskload", |b| {
+        b.iter(|| black_box(fig6_fig7(&cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Benchmarks of the simulation substrate: how fast the machine, cache
+//! model, disks and measurement chain run. These set the cost of every
+//! experiment in the repro harness.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tdp_powermeter::{PowerMeter, PowerSpec};
+use tdp_simsys::behavior::ReuseProfile;
+use tdp_simsys::cache::CacheHierarchy;
+use tdp_simsys::disk::{CommandId, DiskCommand, ScsiDisk};
+use tdp_simsys::{Machine, MachineConfig, SimRng};
+use tdp_workloads::{Workload, WorkloadSet};
+
+fn bench_machine_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.throughput(Throughput::Elements(1000));
+
+    group.bench_function("tick_x1000_idle", |b| {
+        let mut machine = Machine::new(MachineConfig::default());
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(machine.tick());
+            }
+        })
+    });
+
+    group.bench_function("tick_x1000_8x_specjbb", |b| {
+        let mut machine = Machine::new(MachineConfig::default());
+        WorkloadSet::new(Workload::SpecJbb, 8, 0).deploy(&mut machine);
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(machine.tick());
+            }
+        })
+    });
+
+    group.bench_function("tick_x1000_diskload", |b| {
+        let mut machine = Machine::new(MachineConfig::default());
+        WorkloadSet::new(Workload::DiskLoad, 4, 0).deploy(&mut machine);
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(machine.tick());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    c.bench_function("cache/simulate_100k_accesses", |b| {
+        let hierarchy = CacheHierarchy::new(MachineConfig::default().cache);
+        let profile = ReuseProfile::new(&[
+            (100.0, 0.7),
+            (3_000.0, 0.2),
+            (14_000.0, 0.08),
+            (f64::INFINITY, 0.02),
+        ]);
+        let mut rng = SimRng::seed(1);
+        b.iter(|| {
+            hierarchy.simulate(
+                black_box(80_000),
+                black_box(20_000),
+                &profile,
+                0.5,
+                &mut rng,
+            )
+        })
+    });
+
+    c.bench_function("disk/tick_with_queue", |b| {
+        let mut disk =
+            ScsiDisk::new(MachineConfig::default().disk, SimRng::seed(2));
+        let mut next = 0u64;
+        b.iter(|| {
+            if disk.outstanding() < 8 {
+                next += 1;
+                disk.submit(DiskCommand {
+                    id: CommandId(next),
+                    position: (next as f64 * 0.17) % 1.0,
+                    bytes: 256 * 1024,
+                    write: next.is_multiple_of(2),
+                });
+            }
+            black_box(disk.tick())
+        })
+    });
+
+    c.bench_function("powermeter/observe_one_tick", |b| {
+        let mut machine = Machine::new(MachineConfig::default());
+        let mut meter = PowerMeter::new(PowerSpec::default(), 3);
+        let activity = machine.tick();
+        b.iter(|| meter.observe(black_box(&activity)))
+    });
+}
+
+criterion_group!(benches, bench_machine_ticks, bench_components);
+criterion_main!(benches);

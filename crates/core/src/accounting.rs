@@ -1,0 +1,261 @@
+//! Per-process power and energy accounting.
+//!
+//! The paper argues this is where per-CPU attribution is headed: "In the
+//! near future it is expected that billing of compute time in these
+//! environments will take account of power consumed by each process …
+//! process-level power accounting is essential" (§4.2.1), especially
+//! under virtualisation where tenants share physical processors.
+//!
+//! The accountant combines two window-aligned inputs:
+//!
+//! * the counter-derived per-CPU power estimate (Equation 1), and
+//! * the OS scheduler's accounting of which process retired how many
+//!   uops on which CPU ([`tdp_simsys::os::SchedDelta`] — the
+//!   `/proc/<pid>/stat` equivalent);
+//!
+//! and applies a documented attribution policy per CPU:
+//!
+//! * the **idle floor** (`halt_w`) is infrastructure cost — it accrues
+//!   to the [`ProcessEnergyLedger::system_energy_j`] bucket;
+//! * the **dynamic remainder** of the CPU's estimated energy splits
+//!   among that CPU's processes proportionally to retired uops.
+//!
+//! Energy is conserved: system + Σ per-process = Σ per-CPU estimates.
+
+use crate::input::SystemSample;
+use crate::models::CpuPowerModel;
+use std::collections::HashMap;
+use tdp_simsys::os::{ProcessId, SchedDelta};
+
+/// Running per-process CPU-energy ledger.
+///
+/// # Example
+///
+/// ```
+/// use tdp_simsys::os::{ProcessId, SchedDelta};
+/// use trickledown::{CpuPowerModel, CpuRates, ProcessEnergyLedger, SystemSample};
+///
+/// let mut ledger = ProcessEnergyLedger::new(CpuPowerModel::paper());
+/// let sample = SystemSample {
+///     time_ms: 1000,
+///     window_ms: 1000,
+///     per_cpu: vec![CpuRates {
+///         active_frac: 1.0,
+///         fetched_upc: 2.0,
+///         ..CpuRates::default()
+///     }],
+/// };
+/// // Two tenants share the CPU, one doing 3x the work.
+/// let delta = SchedDelta {
+///     entries: vec![
+///         (ProcessId(1), 0, 1_500_000),
+///         (ProcessId(2), 0, 500_000),
+///     ],
+/// };
+/// ledger.account(&sample, &delta);
+/// let a = ledger.energy_j(ProcessId(1));
+/// let b = ledger.energy_j(ProcessId(2));
+/// assert!((a / b - 3.0).abs() < 1e-9, "billed 3:1");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessEnergyLedger {
+    model: CpuPowerModel,
+    per_process_j: HashMap<ProcessId, f64>,
+    system_j: f64,
+    windows: u64,
+}
+
+impl ProcessEnergyLedger {
+    /// Creates an empty ledger billing with `model`.
+    pub fn new(model: CpuPowerModel) -> Self {
+        Self {
+            model,
+            per_process_j: HashMap::new(),
+            system_j: 0.0,
+            windows: 0,
+        }
+    }
+
+    /// Accounts one window: pairs the counter sample with the
+    /// scheduler's delta for the same window.
+    pub fn account(&mut self, sample: &SystemSample, sched: &SchedDelta) {
+        let window_s = sample.window_ms as f64 / 1000.0;
+        self.windows += 1;
+        for (cpu, rates) in sample.per_cpu.iter().enumerate() {
+            let watts = self.model.predict_single(rates);
+            let energy = watts * window_s;
+            let floor = self.model.halt_w * window_s;
+            let dynamic = (energy - floor).max(0.0);
+            let total_uops = sched.retired_on_cpu(cpu);
+            if total_uops == 0 {
+                // Nobody ran here: the whole window is infrastructure.
+                self.system_j += energy;
+                continue;
+            }
+            self.system_j += energy - dynamic;
+            for &(pid, c, uops) in &sched.entries {
+                if c == cpu && uops > 0 {
+                    let share = uops as f64 / total_uops as f64;
+                    *self.per_process_j.entry(pid).or_insert(0.0) +=
+                        dynamic * share;
+                }
+            }
+        }
+    }
+
+    /// Energy billed to `pid` so far, joules.
+    pub fn energy_j(&self, pid: ProcessId) -> f64 {
+        self.per_process_j.get(&pid).copied().unwrap_or(0.0)
+    }
+
+    /// Unattributed infrastructure energy (idle floors, empty CPUs).
+    pub fn system_energy_j(&self) -> f64 {
+        self.system_j
+    }
+
+    /// Total energy accounted (system + all processes).
+    pub fn total_energy_j(&self) -> f64 {
+        self.system_j + self.per_process_j.values().sum::<f64>()
+    }
+
+    /// Windows accounted.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// All per-process balances, sorted by descending energy.
+    pub fn balances(&self) -> Vec<(ProcessId, f64)> {
+        let mut v: Vec<(ProcessId, f64)> = self
+            .per_process_j
+            .iter()
+            .map(|(&p, &e)| (p, e))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite energies"));
+        v
+    }
+
+    /// Renders a billing table; `name_of` supplies display names
+    /// (e.g. from [`tdp_simsys::os::Os::name_of_pid`]).
+    pub fn render(&self, mut name_of: impl FnMut(ProcessId) -> String) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<8} {:<12} {:>12} {:>9}",
+            "pid", "process", "energy (J)", "share"
+        );
+        let total = self.total_energy_j().max(1e-12);
+        for (pid, e) in self.balances() {
+            let _ = writeln!(
+                out,
+                "{:<8} {:<12} {:>12.1} {:>8.1}%",
+                pid.0,
+                name_of(pid),
+                e,
+                e / total * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<8} {:<12} {:>12.1} {:>8.1}%",
+            "-",
+            "(system)",
+            self.system_j,
+            self.system_j / total * 100.0
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::CpuRates;
+
+    fn sample(per_cpu: Vec<CpuRates>) -> SystemSample {
+        SystemSample {
+            time_ms: 1000,
+            window_ms: 1000,
+            per_cpu,
+        }
+    }
+
+    fn busy(upc: f64) -> CpuRates {
+        CpuRates {
+            active_frac: 1.0,
+            fetched_upc: upc,
+            ..CpuRates::default()
+        }
+    }
+
+    #[test]
+    fn energy_is_conserved() {
+        let model = CpuPowerModel::paper();
+        let mut ledger = ProcessEnergyLedger::new(model);
+        let s = sample(vec![busy(2.0), busy(1.0), CpuRates::default()]);
+        let sched = SchedDelta {
+            entries: vec![
+                (ProcessId(1), 0, 800),
+                (ProcessId(2), 0, 200),
+                (ProcessId(3), 1, 500),
+            ],
+        };
+        ledger.account(&s, &sched);
+        let expected: f64 = s
+            .per_cpu
+            .iter()
+            .map(|c| model.predict_single(c))
+            .sum::<f64>();
+        assert!((ledger.total_energy_j() - expected).abs() < 1e-9);
+        assert_eq!(ledger.windows(), 1);
+    }
+
+    #[test]
+    fn idle_cpu_bills_nobody() {
+        let mut ledger = ProcessEnergyLedger::new(CpuPowerModel::paper());
+        let s = sample(vec![CpuRates::default()]);
+        ledger.account(&s, &SchedDelta::default());
+        assert!(ledger.balances().is_empty());
+        assert!((ledger.system_energy_j() - 9.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shares_follow_uops_within_a_cpu() {
+        let mut ledger = ProcessEnergyLedger::new(CpuPowerModel::paper());
+        let s = sample(vec![busy(3.0)]);
+        let sched = SchedDelta {
+            entries: vec![(ProcessId(7), 0, 900), (ProcessId(8), 0, 100)],
+        };
+        ledger.account(&s, &sched);
+        let a = ledger.energy_j(ProcessId(7));
+        let b = ledger.energy_j(ProcessId(8));
+        assert!((a / b - 9.0).abs() < 1e-9);
+        // Dynamic pool = predicted - halt floor.
+        let dynamic = CpuPowerModel::paper().predict_single(&busy(3.0)) - 9.25;
+        assert!((a + b - dynamic).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balances_sort_descending_and_render() {
+        let mut ledger = ProcessEnergyLedger::new(CpuPowerModel::paper());
+        let s = sample(vec![busy(2.0), busy(2.0)]);
+        // Same CPU, unequal work — distinct energies so the descending
+        // sort has a unique answer.
+        let sched = SchedDelta {
+            entries: vec![(ProcessId(1), 0, 100), (ProcessId(2), 0, 900)],
+        };
+        ledger.account(&s, &sched);
+        let balances = ledger.balances();
+        assert_eq!(balances[0].0, ProcessId(2));
+        let table = ledger.render(|p| format!("tenant-{}", p.0));
+        assert!(table.contains("tenant-2"));
+        assert!(table.contains("(system)"));
+    }
+
+    #[test]
+    fn unknown_pid_has_zero_balance() {
+        let ledger = ProcessEnergyLedger::new(CpuPowerModel::paper());
+        assert_eq!(ledger.energy_j(ProcessId(42)), 0.0);
+        assert_eq!(ledger.total_energy_j(), 0.0);
+    }
+}

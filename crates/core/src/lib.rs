@@ -1,0 +1,93 @@
+//! **trickledown** — complete-system power estimation from CPU
+//! performance events.
+//!
+//! A from-scratch reproduction of W. L. Bircher and L. K. John,
+//! *Complete System Power Estimation: A Trickle-Down Approach Based on
+//! Performance Events* (ISPASS 2007). Performance events raised in the
+//! processor propagate outward through the machine — the paper's
+//! Figure 1:
+//!
+//! ```text
+//!              ┌────────┐  L3 miss / TLB miss / bus txn
+//!              │  CPU   │ ───────────────────────────────► Memory
+//!              │        │  DMA access / uncacheable access
+//!              │        │ ───────────────► Chipset ──────► I/O
+//!              │        │  interrupt                        │
+//!              │        │ ◄────────────────────────────────┤
+//!              └────────┘                          Disk ◄──┘ Network
+//! ```
+//!
+//! Because each off-chip subsystem consumes power in proportion to the
+//! event traffic that reaches it, *counters inside the CPU suffice to
+//! estimate power everywhere*. This crate implements that idea
+//! end-to-end:
+//!
+//! * [`SystemSample`] — per-cycle event rates extracted from counter
+//!   reads ([`tdp_counters::SampleSet`]);
+//! * [`models`] — the five subsystem models (Equations 1–5): CPU
+//!   (active-fraction + fetched uops), memory (L3-miss and
+//!   bus-transaction quadratics), disk (interrupt + DMA quadratic), I/O
+//!   (interrupt quadratic), chipset (constant);
+//! * [`Calibrator`] — least-squares calibration from high-variation
+//!   training traces, following the paper's train-on-one /
+//!   validate-on-all discipline;
+//! * [`SystemPowerEstimator`] — the online estimator for runtime use;
+//! * [`PhaseDetector`] — power-phase segmentation over estimate streams
+//!   (the §2.4 extension);
+//! * [`ProcessEnergyLedger`] — per-process energy billing from
+//!   counter-based estimates plus OS scheduler accounting (§4.2.1);
+//! * [`testbed`] — the simulated measurement bench (machine + sense
+//!   resistors + sampling/sync), standing in for the paper's 4-way
+//!   Pentium 4 Xeon server;
+//! * [`ValidationReport`] / [`PowerCharacterization`] — the paper's
+//!   Tables 1–4 as data structures with text rendering.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tdp_workloads::{Workload, WorkloadSet};
+//! use trickledown::{Calibrator, CalibrationSuite, SystemPowerEstimator};
+//! use trickledown::testbed::capture;
+//!
+//! // 1. Calibrate on training traces (tiny ramp for the doctest).
+//! let suite = CalibrationSuite::capture(42, 2);
+//! let model = Calibrator::new().calibrate(&suite)?;
+//!
+//! // 2. Estimate power for a workload the model never saw.
+//! let trace = capture(WorkloadSet::new(Workload::Vortex, 2, 1000), 6, 43);
+//! let mut estimator = SystemPowerEstimator::new(model);
+//! for record in &trace.records {
+//!     let est = estimator.push(&record.input);
+//!     let measured = record.measured.watts.total();
+//!     assert!((est.total() - measured).abs() / measured < 0.25);
+//! }
+//! # Ok::<(), trickledown::CalibrationError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accounting;
+mod calibrate;
+mod estimator;
+mod input;
+pub mod models;
+mod phases;
+mod pstate;
+pub mod testbed;
+mod validate;
+
+pub use accounting::ProcessEnergyLedger;
+pub use calibrate::{CalibrationError, CalibrationSuite, Calibrator};
+pub use estimator::{PowerEstimate, SystemPowerEstimator};
+pub use phases::{PhaseConfig, PhaseDetector, PowerPhase};
+pub use pstate::{PStateError, PStateModelSet};
+pub use input::{CpuRates, SystemSample};
+pub use models::{
+    ChipsetPowerModel, CpuPowerModel, DiskPowerModel, IoPowerModel, MemoryInput,
+    MemoryPowerModel, SubsystemPowerModel, SystemPowerModel,
+};
+pub use testbed::{Testbed, TestbedConfig, Trace, TraceRecord};
+pub use validate::{
+    PowerCharacterization, ValidationReport, WorkloadErrors, WorkloadPowerRow,
+};

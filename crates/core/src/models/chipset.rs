@@ -1,0 +1,84 @@
+//! The chipset model: a constant.
+//!
+//! "The chipset power model we propose is the simplest of all subsystems
+//! as we suggest that a constant is all that is required" (§4.2.5): the
+//! subsystem shows little variation, and the measurement environment
+//! cannot isolate its multiple power domains well enough to fit
+//! anything richer. The paper accepts the resulting error ("Chipset
+//! error was very high considering the small amount of variation") as
+//! the price of the constant.
+
+use crate::input::SystemSample;
+use crate::models::SubsystemPowerModel;
+use serde::{Deserialize, Serialize};
+use tdp_counters::Subsystem;
+use tdp_modeling::FitError;
+
+/// The constant chipset model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipsetPowerModel {
+    /// The constant, watts.
+    pub constant_w: f64,
+}
+
+impl ChipsetPowerModel {
+    /// The paper's constant: 19.9 W.
+    pub fn paper() -> Self {
+        Self { constant_w: 19.9 }
+    }
+
+    /// "Fits" the constant as the mean of the measured trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError::NotEnoughSamples`] on an empty trace.
+    pub fn fit(watts: &[f64]) -> Result<Self, FitError> {
+        if watts.is_empty() {
+            return Err(FitError::NotEnoughSamples {
+                samples: 0,
+                coefficients: 1,
+            });
+        }
+        Ok(Self {
+            constant_w: watts.iter().sum::<f64>() / watts.len() as f64,
+        })
+    }
+}
+
+impl SubsystemPowerModel for ChipsetPowerModel {
+    fn subsystem(&self) -> Subsystem {
+        Subsystem::Chipset
+    }
+
+    fn predict(&self, _sample: &SystemSample) -> f64 {
+        self.constant_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_inputs() {
+        let m = ChipsetPowerModel::paper();
+        let s = SystemSample {
+            time_ms: 0,
+            window_ms: 1000,
+            per_cpu: vec![],
+        };
+        assert_eq!(m.predict(&s), 19.9);
+        assert_eq!(m.subsystem(), Subsystem::Chipset);
+    }
+
+    #[test]
+    fn fit_is_the_mean() {
+        let m = ChipsetPowerModel::fit(&[19.0, 21.0, 20.0]).unwrap();
+        assert!((m.constant_w - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fit_rejected() {
+        assert!(ChipsetPowerModel::fit(&[]).is_err());
+    }
+}

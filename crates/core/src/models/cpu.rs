@@ -1,0 +1,175 @@
+//! Equation 1: the SMP CPU power model.
+//!
+//! ```text
+//! NumCPUs
+//!   Σ   9.25 + (35.7 − 9.25) · PercentActiveᵢ + 4.31 · FetchedUopsᵢ/Cycle
+//!  i=1
+//! ```
+//!
+//! The halted-cycle term is what makes this the "first application of a
+//! performance-based power model in an SMP environment" (§4.2.1): with
+//! per-CPU `PercentActive` the model attributes power to individual
+//! physical processors, which the paper motivates with per-process power
+//! billing in shared/virtualised machines.
+
+use crate::input::SystemSample;
+use crate::models::{fit_linear_features, SubsystemPowerModel};
+use serde::{Deserialize, Serialize};
+use tdp_counters::Subsystem;
+use tdp_modeling::FitError;
+
+/// The Equation-1 CPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuPowerModel {
+    /// Watts of one fully halted CPU.
+    pub halt_w: f64,
+    /// Watts of one fully active CPU at zero fetch throughput.
+    pub active_w: f64,
+    /// Watts per fetched uop/cycle.
+    pub upc_w: f64,
+}
+
+impl CpuPowerModel {
+    /// The paper's published coefficients.
+    pub fn paper() -> Self {
+        Self {
+            halt_w: 9.25,
+            active_w: 35.7,
+            upc_w: 4.31,
+        }
+    }
+
+    /// Fits the three coefficients against measured CPU-subsystem watts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FitError`] from the least-squares solver (too few
+    /// samples, collinear inputs — e.g. a training trace with no idle
+    /// phase cannot separate `halt_w` from `active_w`).
+    pub fn fit(samples: &[SystemSample], watts: &[f64]) -> Result<Self, FitError> {
+        let num_cpus = samples.first().map_or(1, SystemSample::num_cpus) as f64;
+        let coeffs = fit_linear_features(
+            samples,
+            watts,
+            |s| {
+                vec![
+                    s.sum(|c| c.active_frac),
+                    s.sum(|c| c.fetched_upc),
+                ]
+            },
+            2,
+        )?;
+        // total = N·halt + (active−halt)·Σactive + upc_w·Σupc
+        let halt_w = coeffs[0] / num_cpus;
+        Ok(Self {
+            halt_w,
+            active_w: halt_w + coeffs[1],
+            upc_w: coeffs[2],
+        })
+    }
+
+    /// Power attributed to a single CPU — the per-processor accounting
+    /// the paper highlights for billing (§4.2.1).
+    pub fn predict_single(&self, rates: &crate::input::CpuRates) -> f64 {
+        self.halt_w
+            + (self.active_w - self.halt_w) * rates.active_frac
+            + self.upc_w * rates.fetched_upc
+    }
+}
+
+impl SubsystemPowerModel for CpuPowerModel {
+    fn subsystem(&self) -> Subsystem {
+        Subsystem::Cpu
+    }
+
+    fn predict(&self, sample: &SystemSample) -> f64 {
+        sample.per_cpu.iter().map(|c| self.predict_single(c)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::CpuRates;
+
+    fn sample(cpus: Vec<CpuRates>) -> SystemSample {
+        SystemSample {
+            time_ms: 0,
+            window_ms: 1000,
+            per_cpu: cpus,
+        }
+    }
+
+    #[test]
+    fn paper_range_matches_section_4_2_1() {
+        // "the model predicts range of power consumption from 9.25 Watts
+        // to 48.6 Watts" per CPU.
+        let m = CpuPowerModel::paper();
+        let idle = m.predict_single(&CpuRates::default());
+        assert!((idle - 9.25).abs() < 1e-12);
+        let flat_out = m.predict_single(&CpuRates {
+            active_frac: 1.0,
+            fetched_upc: 3.0,
+            ..CpuRates::default()
+        });
+        assert!((flat_out - 48.63).abs() < 0.05);
+    }
+
+    #[test]
+    fn fit_recovers_known_coefficients() {
+        let truth = CpuPowerModel {
+            halt_w: 9.0,
+            active_w: 36.0,
+            upc_w: 4.5,
+        };
+        let mut samples = Vec::new();
+        let mut watts = Vec::new();
+        for i in 0..60 {
+            let a = (i % 11) as f64 / 10.0;
+            let b = ((i * 3) % 7) as f64 / 7.0;
+            let u = (i % 5) as f64 / 2.0;
+            let s = sample(vec![
+                CpuRates {
+                    active_frac: a,
+                    fetched_upc: u * a.max(0.05),
+                    ..CpuRates::default()
+                },
+                CpuRates {
+                    active_frac: b,
+                    fetched_upc: (2.0 - u).max(0.0) * b,
+                    ..CpuRates::default()
+                },
+            ]);
+            watts.push(truth.predict(&s));
+            samples.push(s);
+        }
+        let fitted = CpuPowerModel::fit(&samples, &watts).unwrap();
+        assert!((fitted.halt_w - truth.halt_w).abs() < 1e-6);
+        assert!((fitted.active_w - truth.active_w).abs() < 1e-6);
+        assert!((fitted.upc_w - truth.upc_w).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_cpu_attribution_sums_to_total() {
+        let m = CpuPowerModel::paper();
+        let s = sample(vec![
+            CpuRates {
+                active_frac: 1.0,
+                fetched_upc: 1.0,
+                ..CpuRates::default()
+            },
+            CpuRates::default(),
+        ]);
+        let total = m.predict(&s);
+        let per: f64 = s.per_cpu.iter().map(|c| m.predict_single(c)).sum();
+        assert_eq!(total, per);
+    }
+
+    #[test]
+    fn fit_without_variation_fails() {
+        let s = sample(vec![CpuRates::default()]);
+        let samples = vec![s.clone(), s.clone(), s.clone(), s];
+        let watts = vec![9.25; 4];
+        assert!(CpuPowerModel::fit(&samples, &watts).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Equation 5: the I/O power model (interrupts).
+//!
+//! Of the three candidate events — DMA accesses, uncacheable accesses
+//! and interrupts — interrupts won: write-combining and per-command
+//! overhead in the I/O chips sever the proportionality between payload
+//! bytes and DMA bus transactions, while every completed device command
+//! produces exactly one interrupt (§4.2.4). The model rides on a very
+//! large DC term (two bridge chips and six PCI-X bus clocks never stop).
+
+use crate::input::SystemSample;
+use crate::models::{fit_linear_features, SubsystemPowerModel};
+use serde::{Deserialize, Serialize};
+use tdp_counters::Subsystem;
+use tdp_modeling::FitError;
+
+/// The Equation-5 I/O model:
+/// `dc + Σᵢ (lin·intᵢ + quad·intᵢ²)` with `int` in interrupts/cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoPowerModel {
+    /// DC offset, watts.
+    pub dc_w: f64,
+    /// Linear coefficient.
+    pub int_lin: f64,
+    /// Quadratic coefficient.
+    pub int_quad: f64,
+}
+
+impl IoPowerModel {
+    /// The paper's published coefficients (Equation 5), defined over
+    /// *device* interrupt rates (the constant timer tick belongs to the
+    /// DC term — `/proc/interrupts` attribution separates sources).
+    pub fn paper() -> Self {
+        Self {
+            dc_w: 32.7,
+            int_lin: 108e6,
+            int_quad: -1.12e9,
+        }
+    }
+
+    /// Fits against measured I/O watts, using the device (non-timer)
+    /// interrupt rate so the DC term corresponds to the real idle
+    /// operating point instead of an extrapolation past the constant
+    /// timer rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FitError`].
+    pub fn fit(samples: &[SystemSample], watts: &[f64]) -> Result<Self, FitError> {
+        let coeffs = fit_linear_features(
+            samples,
+            watts,
+            |s| {
+                let i = |c: &crate::input::CpuRates| c.device_interrupts_per_cycle;
+                vec![s.sum(i), s.sum(|c| i(c) * i(c))]
+            },
+            2,
+        )?;
+        Ok(Self {
+            dc_w: coeffs[0],
+            int_lin: coeffs[1],
+            int_quad: coeffs[2],
+        })
+    }
+
+    /// The DC offset (for offset-adjusted error reporting; the paper
+    /// notes error grows to 32% when the DC term is subtracted,
+    /// §4.2.4).
+    pub fn dc_offset(&self) -> f64 {
+        self.dc_w
+    }
+}
+
+impl SubsystemPowerModel for IoPowerModel {
+    fn subsystem(&self) -> Subsystem {
+        Subsystem::Io
+    }
+
+    fn predict(&self, sample: &SystemSample) -> f64 {
+        let dynamic: f64 = sample
+            .per_cpu
+            .iter()
+            .map(|c| {
+                let i = c.device_interrupts_per_cycle;
+                self.int_lin * i + self.int_quad * i * i
+            })
+            .sum();
+        self.dc_w + dynamic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::CpuRates;
+
+    fn sample(ints: f64) -> SystemSample {
+        SystemSample {
+            time_ms: 0,
+            window_ms: 1000,
+            per_cpu: vec![
+                CpuRates {
+                    interrupts_per_cycle: ints,
+                    device_interrupts_per_cycle: ints,
+                    ..CpuRates::default()
+                };
+                4
+            ],
+        }
+    }
+
+    #[test]
+    fn idle_is_dc() {
+        let m = IoPowerModel::paper();
+        assert!((m.predict(&sample(0.0)) - 32.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_grows_then_saturates() {
+        // The negative quadratic term peaks the parabola at
+        // lin / (2·|quad|) = 108e6 / 2.24e9 ≈ 0.048 interrupts/cycle.
+        let m = IoPowerModel::paper();
+        let rising = m.predict(&sample(0.02));
+        let peak = m.predict(&sample(0.048));
+        let falling = m.predict(&sample(0.09));
+        assert!(peak > rising, "still rising below the vertex");
+        assert!(falling < peak, "bends over past the vertex");
+    }
+
+    #[test]
+    fn fit_recovers_coefficients() {
+        let truth = IoPowerModel {
+            dc_w: 33.0,
+            int_lin: 9e7,
+            int_quad: -8e8,
+        };
+        let mut samples = Vec::new();
+        let mut watts = Vec::new();
+        for i in 0..40 {
+            let s = sample(i as f64 * 3e-9);
+            watts.push(truth.predict(&s));
+            samples.push(s);
+        }
+        let fitted = IoPowerModel::fit(&samples, &watts).unwrap();
+        assert!((fitted.dc_w - truth.dc_w).abs() < 1e-6);
+        assert!((fitted.int_lin - truth.int_lin).abs() / truth.int_lin < 1e-3);
+    }
+}

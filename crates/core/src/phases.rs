@@ -1,0 +1,278 @@
+//! Power-phase detection over estimate streams.
+//!
+//! The paper's §2.4 argues that detecting *power* phases — not just
+//! control-flow phases — needs "power information for additional
+//! subsystems", which is exactly what the estimator provides. This
+//! module segments an estimate stream into phases of approximately
+//! constant subsystem power, the building block for phase-directed
+//! adaptation policies (DVFS per phase, scheduling around memory-bound
+//! phases, and so on).
+//!
+//! Detection is deliberately simple and online: a phase accumulates
+//! windows while every subsystem stays within a threshold of the
+//! phase's running mean; the first window that deviates closes the
+//! phase and opens a new one. Isci & Martonosi's observation that
+//! counter-based phase detection beats control-flow metrics
+//! (paper ref. [20]) is the motivation for doing this on estimates
+//! rather than on basic-block vectors.
+
+use crate::estimator::PowerEstimate;
+use serde::{Deserialize, Serialize};
+use tdp_counters::Subsystem;
+use tdp_powermeter::SubsystemPower;
+
+/// Phase-detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseConfig {
+    /// A window opens a new phase when any subsystem deviates from the
+    /// current phase's mean by more than this many watts.
+    pub threshold_w: f64,
+    /// Phases shorter than this many windows are still reported (they
+    /// are real — e.g. a sync() burst) but flagged unstable.
+    pub min_stable_windows: usize,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        Self {
+            threshold_w: 6.0,
+            min_stable_windows: 3,
+        }
+    }
+}
+
+/// One detected phase: a run of windows with stable subsystem power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerPhase {
+    /// Time of the first window in the phase, ms.
+    pub start_ms: u64,
+    /// Time of the last window, ms.
+    pub end_ms: u64,
+    /// Number of windows.
+    pub windows: usize,
+    /// Mean subsystem power over the phase.
+    pub mean_watts: SubsystemPower,
+    /// Whether the phase lasted at least `min_stable_windows`.
+    pub stable: bool,
+}
+
+impl PowerPhase {
+    /// The subsystem consuming the largest share of the phase's
+    /// *dynamic* power (above the given idle baseline) — the natural
+    /// adaptation target.
+    pub fn dominant_subsystem(&self, idle: &SubsystemPower) -> Subsystem {
+        Subsystem::ALL
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let da = self.mean_watts.get(a) - idle.get(a);
+                let db = self.mean_watts.get(b) - idle.get(b);
+                da.partial_cmp(&db).expect("power values are finite")
+            })
+            .expect("five subsystems exist")
+    }
+
+    /// Mean total power.
+    pub fn total_w(&self) -> f64 {
+        self.mean_watts.total()
+    }
+}
+
+/// Online power-phase detector.
+///
+/// # Example
+///
+/// ```
+/// use trickledown::{PhaseConfig, PhaseDetector, PowerEstimate};
+/// use tdp_powermeter::SubsystemPower;
+///
+/// let mut det = PhaseDetector::new(PhaseConfig::default());
+/// let mk = |t: u64, w: f64| PowerEstimate {
+///     time_ms: t * 1000,
+///     watts: SubsystemPower::from_array([w, 20.0, 30.0, 33.0, 21.6]),
+/// };
+/// // Ten quiet windows, then a jump.
+/// for t in 0..10 {
+///     assert!(det.push(&mk(t, 40.0)).is_none());
+/// }
+/// let closed = det.push(&mk(10, 160.0)).expect("phase boundary");
+/// assert_eq!(closed.windows, 10);
+/// assert!(closed.stable);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseDetector {
+    config: PhaseConfig,
+    current: Option<PhaseAccumulator>,
+}
+
+#[derive(Debug, Clone)]
+struct PhaseAccumulator {
+    start_ms: u64,
+    end_ms: u64,
+    windows: usize,
+    sums: SubsystemPower,
+}
+
+impl PhaseAccumulator {
+    fn mean(&self) -> SubsystemPower {
+        self.sums.scaled(1.0 / self.windows as f64)
+    }
+
+    fn into_phase(self, config: &PhaseConfig) -> PowerPhase {
+        let mean_watts = self.mean();
+        PowerPhase {
+            start_ms: self.start_ms,
+            end_ms: self.end_ms,
+            windows: self.windows,
+            mean_watts,
+            stable: self.windows >= config.min_stable_windows,
+        }
+    }
+}
+
+impl PhaseDetector {
+    /// Creates a detector.
+    pub fn new(config: PhaseConfig) -> Self {
+        Self {
+            config,
+            current: None,
+        }
+    }
+
+    /// Feeds one estimate; returns the *previous* phase when this window
+    /// opens a new one.
+    pub fn push(&mut self, estimate: &PowerEstimate) -> Option<PowerPhase> {
+        let Some(current) = &mut self.current else {
+            self.current = Some(PhaseAccumulator {
+                start_ms: estimate.time_ms,
+                end_ms: estimate.time_ms,
+                windows: 1,
+                sums: estimate.watts,
+            });
+            return None;
+        };
+
+        let mean = current.mean();
+        let deviates = Subsystem::ALL.iter().any(|&s| {
+            (estimate.watts.get(s) - mean.get(s)).abs() > self.config.threshold_w
+        });
+        if deviates {
+            let closed = self
+                .current
+                .take()
+                .expect("checked above")
+                .into_phase(&self.config);
+            self.current = Some(PhaseAccumulator {
+                start_ms: estimate.time_ms,
+                end_ms: estimate.time_ms,
+                windows: 1,
+                sums: estimate.watts,
+            });
+            Some(closed)
+        } else {
+            current.windows += 1;
+            current.end_ms = estimate.time_ms;
+            current.sums += estimate.watts;
+            None
+        }
+    }
+
+    /// Closes and returns the in-progress phase, if any.
+    pub fn finish(&mut self) -> Option<PowerPhase> {
+        self.current
+            .take()
+            .map(|acc| acc.into_phase(&self.config))
+    }
+
+    /// Convenience: segments a whole estimate series.
+    pub fn segment(
+        config: PhaseConfig,
+        estimates: &[PowerEstimate],
+    ) -> Vec<PowerPhase> {
+        let mut det = Self::new(config);
+        let mut phases: Vec<PowerPhase> =
+            estimates.iter().filter_map(|e| det.push(e)).collect();
+        phases.extend(det.finish());
+        phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(t: u64, cpu: f64, mem: f64) -> PowerEstimate {
+        PowerEstimate {
+            time_ms: t * 1000,
+            watts: SubsystemPower::from_array([cpu, 19.9, mem, 32.9, 21.6]),
+        }
+    }
+
+    #[test]
+    fn square_wave_yields_alternating_phases() {
+        let mut series = Vec::new();
+        for t in 0..30 {
+            let cpu = if (t / 10) % 2 == 0 { 40.0 } else { 160.0 };
+            series.push(est(t, cpu, 28.0));
+        }
+        let phases =
+            PhaseDetector::segment(PhaseConfig::default(), &series);
+        assert_eq!(phases.len(), 3);
+        assert!(phases.iter().all(|p| p.windows == 10 && p.stable));
+        assert!(phases[0].total_w() < phases[1].total_w());
+    }
+
+    #[test]
+    fn noise_below_threshold_does_not_split() {
+        let series: Vec<PowerEstimate> = (0..50)
+            .map(|t| est(t, 100.0 + (t % 5) as f64, 30.0))
+            .collect();
+        let phases =
+            PhaseDetector::segment(PhaseConfig::default(), &series);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].windows, 50);
+    }
+
+    #[test]
+    fn memory_only_shift_is_detected() {
+        let mut series: Vec<PowerEstimate> =
+            (0..10).map(|t| est(t, 100.0, 29.0)).collect();
+        series.extend((10..20).map(|t| est(t, 100.0, 44.0)));
+        let phases =
+            PhaseDetector::segment(PhaseConfig::default(), &series);
+        assert_eq!(phases.len(), 2);
+        let idle =
+            SubsystemPower::from_array([38.4, 19.9, 28.0, 32.9, 21.6]);
+        assert_eq!(
+            phases[0].dominant_subsystem(&idle),
+            tdp_counters::Subsystem::Cpu
+        );
+        assert_eq!(
+            phases[1].dominant_subsystem(&idle),
+            tdp_counters::Subsystem::Cpu,
+            "CPU still dominates dynamically, memory merely shifted"
+        );
+    }
+
+    #[test]
+    fn short_phase_is_flagged_unstable() {
+        let mut series: Vec<PowerEstimate> =
+            (0..10).map(|t| est(t, 40.0, 28.0)).collect();
+        series.push(est(10, 160.0, 40.0)); // one-window burst
+        series.extend((11..20).map(|t| est(t, 40.0, 28.0)));
+        let phases =
+            PhaseDetector::segment(PhaseConfig::default(), &series);
+        assert_eq!(phases.len(), 3);
+        assert!(phases[0].stable);
+        assert!(!phases[1].stable, "single-window burst");
+        assert_eq!(phases[1].windows, 1);
+    }
+
+    #[test]
+    fn empty_series_yields_no_phases() {
+        let phases = PhaseDetector::segment(PhaseConfig::default(), &[]);
+        assert!(phases.is_empty());
+        let mut det = PhaseDetector::new(PhaseConfig::default());
+        assert_eq!(det.finish(), None);
+    }
+}

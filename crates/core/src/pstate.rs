@@ -1,0 +1,249 @@
+//! Per-P-state model sets for DVFS-capable machines.
+//!
+//! Equation 1's coefficients embed the voltage of the operating point
+//! they were fitted at (power goes with `f·V²`, and the counters only
+//! see `f` through the cycles metric), so a machine that scales
+//! frequency needs **one CPU model per P-state** — the natural
+//! extension of the paper's single-point calibration to the DVFS
+//! setting its §2.3 motivates. This module stores fitted models keyed by
+//! frequency scale and answers lookups for the active operating point,
+//! including the governor's killer query: *what would the power be at a
+//! different P-state?*
+
+use crate::input::SystemSample;
+use crate::models::CpuPowerModel;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`PStateModelSet`] constructors and lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PStateError {
+    /// No models were supplied.
+    Empty,
+    /// A frequency scale was outside `(0, 1]` or non-finite.
+    InvalidScale(f64),
+    /// Two entries share (within tolerance) the same scale.
+    DuplicateScale(f64),
+}
+
+impl fmt::Display for PStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PStateError::Empty => write!(f, "a P-state set needs at least one model"),
+            PStateError::InvalidScale(s) => {
+                write!(f, "frequency scale {s} is outside (0, 1]")
+            }
+            PStateError::DuplicateScale(s) => {
+                write!(f, "duplicate P-state at scale {s}")
+            }
+        }
+    }
+}
+
+impl Error for PStateError {}
+
+/// A set of Equation-1 models, one per DVFS operating point.
+///
+/// # Example
+///
+/// ```
+/// use trickledown::{CpuPowerModel, PStateModelSet};
+///
+/// let nominal = CpuPowerModel::paper();
+/// // A scaled-down point burns less per event (fitted on real traces
+/// // in practice; synthesised here).
+/// let low = CpuPowerModel { halt_w: 4.6, active_w: 17.9, upc_w: 2.2 };
+/// let set = PStateModelSet::new(vec![(1.0, nominal), (0.5, low)])?;
+///
+/// assert_eq!(set.model_at(1.0).halt_w, 9.25);
+/// assert_eq!(set.model_at(0.5).halt_w, 4.6);
+/// // Nearest lookup for unlisted points:
+/// assert_eq!(set.model_at(0.55).halt_w, 4.6);
+/// assert_eq!(set.scales(), &[0.5, 1.0]);
+/// # Ok::<(), trickledown::PStateError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PStateModelSet {
+    /// `(scale, model)` sorted ascending by scale.
+    entries: Vec<(f64, CpuPowerModel)>,
+}
+
+impl PStateModelSet {
+    /// Builds a set from `(frequency scale, fitted model)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// See [`PStateError`].
+    pub fn new(
+        mut entries: Vec<(f64, CpuPowerModel)>,
+    ) -> Result<Self, PStateError> {
+        if entries.is_empty() {
+            return Err(PStateError::Empty);
+        }
+        for &(s, _) in &entries {
+            if !(s.is_finite() && s > 0.0 && s <= 1.0) {
+                return Err(PStateError::InvalidScale(s));
+            }
+        }
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scales"));
+        for w in entries.windows(2) {
+            if (w[1].0 - w[0].0).abs() < 1e-6 {
+                return Err(PStateError::DuplicateScale(w[0].0));
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// The available scales, ascending.
+    pub fn scales(&self) -> Vec<f64> {
+        self.entries.iter().map(|&(s, _)| s).collect()
+    }
+
+    /// The model for the P-state nearest `scale`.
+    pub fn model_at(&self, scale: f64) -> &CpuPowerModel {
+        let (_, model) = self
+            .entries
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.0 - scale).abs();
+                let db = (b.0 - scale).abs();
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("set is non-empty");
+        model
+    }
+
+    /// Predicted CPU-subsystem watts for `sample` at the P-state nearest
+    /// `scale`.
+    pub fn predict_at(&self, scale: f64, sample: &SystemSample) -> f64 {
+        use crate::models::SubsystemPowerModel as _;
+        self.model_at(scale).predict(sample)
+    }
+
+    /// The governor query: predicted watts at every P-state for the
+    /// current window's per-cycle rates (which are approximately
+    /// operating-point-invariant). Returns `(scale, watts)` ascending by
+    /// scale.
+    pub fn forecast(&self, sample: &SystemSample) -> Vec<(f64, f64)> {
+        use crate::models::SubsystemPowerModel as _;
+        self.entries
+            .iter()
+            .map(|(s, m)| (*s, m.predict(sample)))
+            .collect()
+    }
+
+    /// The highest P-state whose forecast stays under `cap_w`, if any.
+    pub fn highest_under_cap(
+        &self,
+        sample: &SystemSample,
+        cap_w: f64,
+    ) -> Option<f64> {
+        self.forecast(sample)
+            .into_iter()
+            .rev() // descending scale
+            .find(|&(_, w)| w < cap_w)
+            .map(|(s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::CpuRates;
+
+    fn model(halt: f64, active: f64, upc: f64) -> CpuPowerModel {
+        CpuPowerModel {
+            halt_w: halt,
+            active_w: active,
+            upc_w: upc,
+        }
+    }
+
+    fn three_states() -> PStateModelSet {
+        PStateModelSet::new(vec![
+            (1.0, model(9.25, 35.7, 4.31)),
+            (0.75, model(6.9, 19.5, 2.4)),
+            (0.5, model(4.6, 10.2, 1.3)),
+        ])
+        .unwrap()
+    }
+
+    fn busy_sample() -> SystemSample {
+        SystemSample {
+            time_ms: 1000,
+            window_ms: 1000,
+            per_cpu: vec![
+                CpuRates {
+                    active_frac: 1.0,
+                    fetched_upc: 2.0,
+                    ..CpuRates::default()
+                };
+                4
+            ],
+        }
+    }
+
+    #[test]
+    fn nearest_lookup_rounds_to_closest_state() {
+        let set = three_states();
+        assert_eq!(set.model_at(0.9).halt_w, 9.25);
+        assert_eq!(set.model_at(0.8).halt_w, 6.9);
+        assert_eq!(set.model_at(0.1).halt_w, 4.6);
+    }
+
+    #[test]
+    fn forecast_is_monotone_in_scale() {
+        let set = three_states();
+        let f = set.forecast(&busy_sample());
+        assert_eq!(f.len(), 3);
+        for w in f.windows(2) {
+            assert!(w[1].1 > w[0].1, "higher scale, higher power: {f:?}");
+        }
+    }
+
+    #[test]
+    fn highest_under_cap_picks_the_fastest_safe_state() {
+        let set = three_states();
+        let s = busy_sample();
+        let full = set.predict_at(1.0, &s);
+        let mid = set.predict_at(0.75, &s);
+        // Cap between mid and full: the governor should pick 0.75.
+        let cap = (full + mid) / 2.0;
+        assert_eq!(set.highest_under_cap(&s, cap), Some(0.75));
+        // Cap above everything: run at nominal.
+        assert_eq!(set.highest_under_cap(&s, full + 100.0), Some(1.0));
+        // Cap below everything: no safe state.
+        assert_eq!(set.highest_under_cap(&s, 1.0), None);
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert_eq!(
+            PStateModelSet::new(vec![]).unwrap_err(),
+            PStateError::Empty
+        );
+        assert!(matches!(
+            PStateModelSet::new(vec![(1.5, model(1.0, 2.0, 3.0))]),
+            Err(PStateError::InvalidScale(_))
+        ));
+        assert!(matches!(
+            PStateModelSet::new(vec![
+                (0.5, model(1.0, 2.0, 3.0)),
+                (0.5, model(1.0, 2.0, 3.0)),
+            ]),
+            Err(PStateError::DuplicateScale(_))
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_nonempty() {
+        for e in [
+            PStateError::Empty,
+            PStateError::InvalidScale(2.0),
+            PStateError::DuplicateScale(0.5),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

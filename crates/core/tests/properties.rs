@@ -1,0 +1,148 @@
+//! Property-based tests for the model library's invariants.
+
+use proptest::prelude::*;
+use tdp_simsys::os::{ProcessId, SchedDelta};
+use trickledown::{
+    CpuPowerModel, CpuRates, PhaseConfig, PhaseDetector, PowerEstimate,
+    ProcessEnergyLedger, SubsystemPowerModel as _, SystemPowerModel,
+    SystemSample,
+};
+
+fn sample_from(rates: Vec<(f64, f64)>) -> SystemSample {
+    SystemSample {
+        time_ms: 1000,
+        window_ms: 1000,
+        per_cpu: rates
+            .into_iter()
+            .map(|(active, upc)| CpuRates {
+                active_frac: active,
+                fetched_upc: upc,
+                ..CpuRates::default()
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    /// Equation 1 is monotone: more active time or more uops never
+    /// lowers predicted CPU power (coefficients are positive).
+    #[test]
+    fn cpu_model_is_monotone(
+        active in 0.0f64..1.0,
+        upc in 0.0f64..3.0,
+        d_active in 0.0f64..0.2,
+        d_upc in 0.0f64..0.5,
+    ) {
+        let m = CpuPowerModel::paper();
+        let base = m.predict(&sample_from(vec![(active, upc)]));
+        let more = m.predict(&sample_from(vec![
+            ((active + d_active).min(1.0), upc + d_upc),
+        ]));
+        prop_assert!(more >= base - 1e-12);
+    }
+
+    /// Per-CPU attribution always sums to the subsystem prediction.
+    #[test]
+    fn attribution_is_a_partition(
+        rates in prop::collection::vec((0.0f64..1.0, 0.0f64..3.0), 1..8),
+    ) {
+        let m = CpuPowerModel::paper();
+        let s = sample_from(rates);
+        let total = m.predict(&s);
+        let parts: f64 = s.per_cpu.iter().map(|c| m.predict_single(c)).sum();
+        prop_assert!((total - parts).abs() < 1e-9);
+    }
+
+    /// The full-system prediction is positive and bounded for inputs
+    /// inside the published models' operating envelope. (Outside it the
+    /// paper's quadratics extrapolate wildly — e.g. the disk model's
+    /// −1.11e16·x² term goes metres underwater past ~1e-8
+    /// interrupts/cycle — which is exactly why the paper stresses
+    /// training over "a sufficiently large range of samples", §3.2.1.)
+    #[test]
+    fn system_prediction_is_bounded(
+        rates in prop::collection::vec((0.0f64..1.0, 0.0f64..3.0), 4),
+        bus in 0.0f64..2_500.0,
+        ints in 0.0f64..8e-9,
+    ) {
+        let model = SystemPowerModel::paper();
+        let mut s = sample_from(rates);
+        for c in &mut s.per_cpu {
+            c.bus_tx_per_mcycle = bus;
+            c.interrupts_per_cycle = ints;
+            c.device_interrupts_per_cycle = ints;
+            c.disk_interrupts_per_cycle = ints / 2.0;
+            c.dma_per_cycle = bus / 1e6;
+        }
+        let p = model.predict(&s);
+        prop_assert!(p.total() > 50.0, "above the idle floor: {}", p.total());
+        prop_assert!(p.total() < 2_000.0, "below any physical ceiling");
+        for &sub in tdp_counters::Subsystem::ALL {
+            prop_assert!(p.get(sub).is_finite());
+        }
+    }
+
+    /// The energy ledger conserves energy for arbitrary scheduler
+    /// deltas: system + per-process == Σ per-CPU predictions.
+    #[test]
+    fn ledger_conserves_energy(
+        rates in prop::collection::vec((0.0f64..1.0, 0.0f64..3.0), 1..5),
+        entries in prop::collection::vec(
+            (1u64..6, 0usize..5, 0u64..1_000_000),
+            0..12,
+        ),
+    ) {
+        let ncpus = rates.len();
+        let m = CpuPowerModel::paper();
+        let s = sample_from(rates);
+        let sched = SchedDelta {
+            entries: entries
+                .into_iter()
+                .filter(|&(_, cpu, _)| cpu < ncpus)
+                .map(|(pid, cpu, uops)| (ProcessId(pid), cpu, uops))
+                .collect(),
+        };
+        let mut ledger = ProcessEnergyLedger::new(m);
+        ledger.account(&s, &sched);
+        let expected: f64 =
+            s.per_cpu.iter().map(|c| m.predict_single(c)).sum();
+        prop_assert!(
+            (ledger.total_energy_j() - expected).abs() < 1e-6,
+            "{} vs {}",
+            ledger.total_energy_j(),
+            expected
+        );
+    }
+
+    /// Phase segmentation is a partition of the estimate stream: window
+    /// counts sum to the input length, and phase time ranges are
+    /// ordered and non-overlapping.
+    #[test]
+    fn phases_partition_the_stream(
+        watts in prop::collection::vec(50.0f64..300.0, 1..80),
+        threshold in 1.0f64..50.0,
+    ) {
+        let estimates: Vec<PowerEstimate> = watts
+            .iter()
+            .enumerate()
+            .map(|(t, &w)| PowerEstimate {
+                time_ms: t as u64 * 1000,
+                watts: tdp_powermeter::SubsystemPower::from_array(
+                    [w, 20.0, 30.0, 33.0, 21.6],
+                ),
+            })
+            .collect();
+        let phases = PhaseDetector::segment(
+            PhaseConfig {
+                threshold_w: threshold,
+                min_stable_windows: 3,
+            },
+            &estimates,
+        );
+        let total: usize = phases.iter().map(|p| p.windows).sum();
+        prop_assert_eq!(total, estimates.len());
+        for w in phases.windows(2) {
+            prop_assert!(w[0].end_ms < w[1].start_ms);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-CPU hardware counter banks.
+
+use crate::event::{EventSet, PerfEvent};
+use crate::sampler::{CounterSample, CpuId};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Number of simultaneously programmable hardware counters.
+///
+/// The Pentium 4 PMU exposes 18 counters (Sprunt, *Pentium 4 Performance
+/// Monitoring Features*, IEEE Micro 2002); OS-provenance events (interrupt
+/// sources) do not occupy a hardware slot.
+pub const MAX_HARDWARE_COUNTERS: usize = 18;
+
+/// Error returned when programming a [`CounterBank`] with an invalid event
+/// selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// More PMU events requested than hardware counters exist.
+    TooManyEvents {
+        /// Number of PMU-provenance events requested.
+        requested: usize,
+        /// Hardware limit ([`MAX_HARDWARE_COUNTERS`]).
+        available: usize,
+    },
+    /// The same event was requested twice.
+    DuplicateEvent(PerfEvent),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::TooManyEvents {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} PMU events but only {available} hardware counters exist"
+            ),
+            ProgramError::DuplicateEvent(e) => {
+                write!(f, "event {e} requested more than once")
+            }
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// A per-CPU bank of event counters with clear-on-read semantics.
+///
+/// The bank counts every defined [`PerfEvent`] internally, but only events
+/// that have been *programmed* are visible through [`read_and_clear`] —
+/// mirroring the fact that a real PMU only counts what its event-select
+/// registers are configured for. The simulated machine calls [`add`]
+/// unconditionally; what escapes into a [`CounterSample`] is gated here.
+///
+/// [`read_and_clear`]: CounterBank::read_and_clear
+/// [`add`]: CounterBank::add
+///
+/// # Example
+///
+/// ```
+/// use tdp_counters::{CounterBank, CpuId, PerfEvent};
+///
+/// let mut bank = CounterBank::new(CpuId::new(2));
+/// bank.program(&[PerfEvent::TlbMisses])?;
+/// bank.add(PerfEvent::TlbMisses, 10);
+/// bank.add(PerfEvent::Cycles, 999); // counted but not programmed
+///
+/// let s = bank.read_and_clear(0);
+/// assert_eq!(s.count(PerfEvent::TlbMisses), Some(10));
+/// assert_eq!(s.count(PerfEvent::Cycles), None, "not programmed");
+/// # Ok::<(), tdp_counters::ProgramError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CounterBank {
+    cpu: CpuId,
+    programmed: EventSet,
+    counts: Vec<u64>,
+}
+
+impl CounterBank {
+    /// Creates a bank for `cpu` with no events programmed.
+    pub fn new(cpu: CpuId) -> Self {
+        Self {
+            cpu,
+            programmed: EventSet::new(),
+            counts: vec![0; PerfEvent::count()],
+        }
+    }
+
+    /// Creates a bank pre-programmed with the paper's trickle-down event
+    /// set ([`PerfEvent::TRICKLE_DOWN_SET`]).
+    pub fn with_trickle_down_set(cpu: CpuId) -> Self {
+        let mut bank = Self::new(cpu);
+        bank.program(PerfEvent::TRICKLE_DOWN_SET)
+            .expect("trickle-down set fits the hardware");
+        bank
+    }
+
+    /// The CPU this bank belongs to.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// Programs the bank to expose exactly `events`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::TooManyEvents`] if more PMU events are
+    /// requested than [`MAX_HARDWARE_COUNTERS`], and
+    /// [`ProgramError::DuplicateEvent`] if an event appears twice.
+    pub fn program(&mut self, events: &[PerfEvent]) -> Result<(), ProgramError> {
+        let mut set = EventSet::new();
+        for &e in events {
+            if !set.insert(e) {
+                return Err(ProgramError::DuplicateEvent(e));
+            }
+        }
+        let pmu_slots = set
+            .iter()
+            .filter(|e| e.provenance() == crate::EventProvenance::Pmu)
+            .count();
+        if pmu_slots > MAX_HARDWARE_COUNTERS {
+            return Err(ProgramError::TooManyEvents {
+                requested: pmu_slots,
+                available: MAX_HARDWARE_COUNTERS,
+            });
+        }
+        self.programmed = set;
+        Ok(())
+    }
+
+    /// Programs the bank to expose every defined event.
+    ///
+    /// This over-subscribes a real PMU (it would need multiplexing) but is
+    /// convenient for model-selection experiments where all candidates are
+    /// observed; a note to that effect belongs in any methodology that uses
+    /// it.
+    pub fn program_all_for_exploration(&mut self) {
+        self.programmed = EventSet::from_events(PerfEvent::ALL);
+    }
+
+    /// The currently programmed event set.
+    pub fn programmed(&self) -> EventSet {
+        self.programmed
+    }
+
+    /// Adds `delta` occurrences of `event`.
+    #[inline]
+    pub fn add(&mut self, event: PerfEvent, delta: u64) {
+        self.counts[event.index()] = self.counts[event.index()].wrapping_add(delta);
+    }
+
+    /// Current raw count of `event` if it is programmed, without clearing.
+    pub fn peek(&self, event: PerfEvent) -> Option<u64> {
+        self.programmed
+            .contains(event)
+            .then(|| self.counts[event.index()])
+    }
+
+    /// Reads all programmed counters into a [`CounterSample`] tagged with
+    /// `seq`, then clears **all** counters (programmed or not), matching
+    /// the paper's record-total-then-clear sampling discipline (§3.1.3).
+    pub fn read_and_clear(&mut self, seq: u64) -> CounterSample {
+        let mut counts = Vec::with_capacity(self.programmed.len());
+        for e in self.programmed.iter() {
+            counts.push((e, self.counts[e.index()]));
+        }
+        for c in &mut self.counts {
+            *c = 0;
+        }
+        CounterSample::new(self.cpu, seq, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprogrammed_events_are_invisible() {
+        let mut bank = CounterBank::new(CpuId::new(0));
+        bank.program(&[PerfEvent::Cycles]).unwrap();
+        bank.add(PerfEvent::HaltedCycles, 5);
+        let s = bank.read_and_clear(0);
+        assert_eq!(s.count(PerfEvent::HaltedCycles), None);
+    }
+
+    #[test]
+    fn read_clears_all_counters_even_unprogrammed() {
+        let mut bank = CounterBank::new(CpuId::new(0));
+        bank.program(&[PerfEvent::Cycles]).unwrap();
+        bank.add(PerfEvent::HaltedCycles, 5);
+        bank.add(PerfEvent::Cycles, 7);
+        let _ = bank.read_and_clear(0);
+        bank.program(&[PerfEvent::HaltedCycles]).unwrap();
+        let s = bank.read_and_clear(1);
+        assert_eq!(
+            s.count(PerfEvent::HaltedCycles),
+            Some(0),
+            "clear-on-read wipes unprogrammed counters too"
+        );
+    }
+
+    #[test]
+    fn duplicate_program_rejected() {
+        let mut bank = CounterBank::new(CpuId::new(0));
+        let err = bank
+            .program(&[PerfEvent::Cycles, PerfEvent::Cycles])
+            .unwrap_err();
+        assert_eq!(err, ProgramError::DuplicateEvent(PerfEvent::Cycles));
+    }
+
+    #[test]
+    fn os_events_do_not_consume_hardware_slots() {
+        let mut bank = CounterBank::new(CpuId::new(0));
+        // 14 PMU events + 4 OS events = 18 entries, but only 14 PMU slots.
+        bank.program(PerfEvent::ALL).expect(
+            "full event list fits because interrupt events are OS-side",
+        );
+    }
+
+    #[test]
+    fn counts_saturate_by_wrapping_not_panicking() {
+        let mut bank = CounterBank::new(CpuId::new(0));
+        bank.program(&[PerfEvent::Cycles]).unwrap();
+        bank.add(PerfEvent::Cycles, u64::MAX);
+        bank.add(PerfEvent::Cycles, 2);
+        assert_eq!(bank.peek(PerfEvent::Cycles), Some(1));
+    }
+
+    #[test]
+    fn trickle_down_constructor_programs_expected_set() {
+        let bank = CounterBank::with_trickle_down_set(CpuId::new(1));
+        for &e in PerfEvent::TRICKLE_DOWN_SET {
+            assert!(bank.programmed().contains(e));
+        }
+        assert_eq!(bank.programmed().len(), PerfEvent::TRICKLE_DOWN_SET.len());
+    }
+
+    #[test]
+    fn display_of_program_error_is_nonempty() {
+        let e = ProgramError::TooManyEvents {
+            requested: 20,
+            available: 18,
+        };
+        assert!(!e.to_string().is_empty());
+    }
+}

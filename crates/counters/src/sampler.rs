@@ -1,0 +1,299 @@
+//! Sampling driver and sample records.
+
+use crate::event::PerfEvent;
+use crate::interrupts::InterruptSnapshot;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a physical CPU package (0-based).
+///
+/// # Example
+///
+/// ```
+/// use tdp_counters::CpuId;
+///
+/// let cpu = CpuId::new(3);
+/// assert_eq!(cpu.as_usize(), 3);
+/// assert_eq!(cpu.to_string(), "cpu3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CpuId(u8);
+
+impl CpuId {
+    /// Creates a CPU id.
+    pub fn new(id: u8) -> Self {
+        Self(id)
+    }
+
+    /// The id as an array index.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+impl From<u8> for CpuId {
+    fn from(id: u8) -> Self {
+        Self::new(id)
+    }
+}
+
+/// Event totals read from one CPU's counter bank over one sampling window.
+///
+/// Counts are stored sparsely as `(event, total)` pairs in event
+/// declaration order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSample {
+    cpu: CpuId,
+    seq: u64,
+    counts: Vec<(PerfEvent, u64)>,
+}
+
+impl CounterSample {
+    /// Creates a sample. `counts` should be in event declaration order, as
+    /// produced by [`CounterBank::read_and_clear`](crate::CounterBank::read_and_clear).
+    pub fn new(cpu: CpuId, seq: u64, counts: Vec<(PerfEvent, u64)>) -> Self {
+        Self { cpu, seq, counts }
+    }
+
+    /// The CPU the sample was read from.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// Monotonic sequence number shared with the [`SyncPulse`](crate::SyncPulse)
+    /// emitted at the same sampling.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total count of `event` over the window, or `None` if the event was
+    /// not programmed.
+    pub fn count(&self, event: PerfEvent) -> Option<u64> {
+        self.counts
+            .iter()
+            .find(|(e, _)| *e == event)
+            .map(|&(_, c)| c)
+    }
+
+    /// `event` count divided by the window's unhalted-cycle count — the
+    /// per-cycle rate the paper builds every model input from (§3.3
+    /// "Cycles"). Returns `None` if either event is missing, and 0.0 when
+    /// the cycle count is zero (a fully halted window).
+    pub fn rate_per_cycle(&self, event: PerfEvent) -> Option<f64> {
+        let cycles = self.count(PerfEvent::Cycles)?;
+        let n = self.count(event)?;
+        Some(if cycles == 0 {
+            0.0
+        } else {
+            n as f64 / cycles as f64
+        })
+    }
+
+    /// Iterates over `(event, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PerfEvent, u64)> + '_ {
+        self.counts.iter().copied()
+    }
+}
+
+/// One synchronized read of every CPU's counters plus the OS interrupt
+/// accounting, tagged with simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleSet {
+    /// Simulated time at the end of the window, in milliseconds.
+    pub time_ms: u64,
+    /// Length of the window in milliseconds (nominally 1000, with jitter).
+    pub window_ms: u64,
+    /// Monotonic sequence number (matches the sync pulse).
+    pub seq: u64,
+    /// One sample per CPU, indexed by CPU id.
+    pub per_cpu: Vec<CounterSample>,
+    /// OS interrupt-source deltas over the same window.
+    pub interrupts: InterruptSnapshot,
+}
+
+impl SampleSet {
+    /// Sum of `event` over all CPUs; `None` if any CPU lacks the event.
+    pub fn total(&self, event: PerfEvent) -> Option<u64> {
+        self.per_cpu.iter().map(|s| s.count(event)).sum()
+    }
+
+    /// Number of CPUs in the set.
+    pub fn num_cpus(&self) -> usize {
+        self.per_cpu.len()
+    }
+}
+
+/// Configuration for the [`SamplingDriver`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplerConfig {
+    /// Nominal sampling period in milliseconds (paper: 1000).
+    pub period_ms: u64,
+    /// Maximum absolute jitter applied to each period, in milliseconds.
+    /// The paper notes the actual sampling rate "varies slightly due to
+    /// cache effects and interrupt latency" (§3.3 "Cycles").
+    pub max_jitter_ms: u64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self {
+            period_ms: 1000,
+            max_jitter_ms: 3,
+        }
+    }
+}
+
+/// Decides *when* counters are read, reproducing the paper's 1 Hz
+/// self-sampling with jitter.
+///
+/// The driver is a pure schedule: the caller advances simulated time with
+/// [`poll`](SamplingDriver::poll) and performs the actual bank reads when
+/// it returns a sequence number. Jitter is supplied by the caller (the
+/// machine's RNG) through [`set_next_jitter`](SamplingDriver::set_next_jitter)
+/// so this crate stays free of RNG dependencies.
+///
+/// # Example
+///
+/// ```
+/// use tdp_counters::{SamplerConfig, SamplingDriver};
+///
+/// let mut driver = SamplingDriver::new(SamplerConfig { period_ms: 1000, max_jitter_ms: 0 });
+/// assert_eq!(driver.poll(999), None);
+/// assert_eq!(driver.poll(1000), Some(0));
+/// assert_eq!(driver.poll(1001), None, "already fired for this window");
+/// assert_eq!(driver.poll(2000), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SamplingDriver {
+    config: SamplerConfig,
+    next_due_ms: u64,
+    next_jitter_ms: i64,
+    seq: u64,
+    last_fire_ms: u64,
+}
+
+impl SamplingDriver {
+    /// Creates a driver that first fires one period after time zero.
+    pub fn new(config: SamplerConfig) -> Self {
+        Self {
+            config,
+            next_due_ms: config.period_ms,
+            next_jitter_ms: 0,
+            seq: 0,
+            last_fire_ms: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> SamplerConfig {
+        self.config
+    }
+
+    /// Sets the jitter (clamped to ±`max_jitter_ms`) added to the *next*
+    /// firing time.
+    pub fn set_next_jitter(&mut self, jitter_ms: i64) {
+        let max = self.config.max_jitter_ms as i64;
+        self.next_jitter_ms = jitter_ms.clamp(-max, max);
+    }
+
+    /// Advances to `now_ms`; returns the sample sequence number if a
+    /// sampling is due.
+    pub fn poll(&mut self, now_ms: u64) -> Option<u64> {
+        let due = self.next_due_ms.saturating_add_signed(self.next_jitter_ms);
+        if now_ms >= due {
+            let seq = self.seq;
+            self.seq += 1;
+            self.last_fire_ms = now_ms;
+            self.next_due_ms = now_ms + self.config.period_ms;
+            self.next_jitter_ms = 0;
+            Some(seq)
+        } else {
+            None
+        }
+    }
+
+    /// Time of the most recent firing (0 before the first).
+    pub fn last_fire_ms(&self) -> u64 {
+        self.last_fire_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_per_cycle_handles_zero_cycles() {
+        let s = CounterSample::new(
+            CpuId::new(0),
+            0,
+            vec![(PerfEvent::Cycles, 0), (PerfEvent::FetchedUops, 0)],
+        );
+        assert_eq!(s.rate_per_cycle(PerfEvent::FetchedUops), Some(0.0));
+    }
+
+    #[test]
+    fn rate_per_cycle_missing_event_is_none() {
+        let s = CounterSample::new(CpuId::new(0), 0, vec![(PerfEvent::Cycles, 10)]);
+        assert_eq!(s.rate_per_cycle(PerfEvent::TlbMisses), None);
+    }
+
+    #[test]
+    fn sample_set_total_sums_across_cpus() {
+        let mk = |cpu, n| {
+            CounterSample::new(CpuId::new(cpu), 0, vec![(PerfEvent::L2Misses, n)])
+        };
+        let set = SampleSet {
+            time_ms: 1000,
+            window_ms: 1000,
+            seq: 0,
+            per_cpu: vec![mk(0, 5), mk(1, 7)],
+            interrupts: InterruptSnapshot::default(),
+        };
+        assert_eq!(set.total(PerfEvent::L2Misses), Some(12));
+        assert_eq!(set.total(PerfEvent::Cycles), None);
+    }
+
+    #[test]
+    fn driver_applies_positive_and_negative_jitter() {
+        let mut d = SamplingDriver::new(SamplerConfig {
+            period_ms: 1000,
+            max_jitter_ms: 5,
+        });
+        d.set_next_jitter(3);
+        assert_eq!(d.poll(1002), None);
+        assert_eq!(d.poll(1003), Some(0));
+        d.set_next_jitter(-5);
+        assert_eq!(d.poll(1998), Some(1), "fires 5 ms early");
+    }
+
+    #[test]
+    fn driver_clamps_jitter_to_config() {
+        let mut d = SamplingDriver::new(SamplerConfig {
+            period_ms: 1000,
+            max_jitter_ms: 2,
+        });
+        d.set_next_jitter(1_000_000);
+        assert_eq!(d.poll(1002), Some(0), "jitter clamped to +2 ms");
+    }
+
+    #[test]
+    fn driver_periods_measured_from_actual_fire_time() {
+        let mut d = SamplingDriver::new(SamplerConfig {
+            period_ms: 100,
+            max_jitter_ms: 0,
+        });
+        // Fire late at 130; next window is anchored at 230, not 200.
+        assert_eq!(d.poll(130), Some(0));
+        assert_eq!(d.poll(229), None);
+        assert_eq!(d.poll(230), Some(1));
+    }
+}

@@ -1,0 +1,106 @@
+//! The five measurable power subsystems of the target server.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A power subsystem of the target server (§3.1.1 of the paper).
+///
+/// The division is the one the system designer's power-domain layout made
+/// measurable: four Pentium 4 Xeons behind one domain, the processor
+/// interface chips, the memory controller plus DRAM, the PCI buses and
+/// devices, and two SCSI disks.
+///
+/// # Example
+///
+/// ```
+/// use tdp_counters::Subsystem;
+///
+/// let total: String = Subsystem::ALL
+///     .iter()
+///     .map(|s| s.to_string())
+///     .collect::<Vec<_>>()
+///     .join(",");
+/// assert_eq!(total, "cpu,chipset,memory,io,disk");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Subsystem {
+    /// The four-processor CPU subsystem.
+    Cpu,
+    /// Processor-interface chips not included in other subsystems.
+    Chipset,
+    /// Memory controller and DRAM.
+    Memory,
+    /// PCI buses and all devices attached to them.
+    Io,
+    /// The two SCSI disks.
+    Disk,
+}
+
+impl Subsystem {
+    /// All five subsystems in the paper's reporting order
+    /// (CPU, chipset, memory, I/O, disk — the column order of Table 1).
+    pub const ALL: &'static [Subsystem] = &[
+        Subsystem::Cpu,
+        Subsystem::Chipset,
+        Subsystem::Memory,
+        Subsystem::Io,
+        Subsystem::Disk,
+    ];
+
+    /// Dense index usable as an array offset.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Subsystem::Cpu => 0,
+            Subsystem::Chipset => 1,
+            Subsystem::Memory => 2,
+            Subsystem::Io => 3,
+            Subsystem::Disk => 4,
+        }
+    }
+
+    /// Number of subsystems.
+    #[inline]
+    pub fn count() -> usize {
+        Self::ALL.len()
+    }
+
+    /// Lowercase stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsystem::Cpu => "cpu",
+            Subsystem::Chipset => "chipset",
+            Subsystem::Memory => "memory",
+            Subsystem::Io => "io",
+            Subsystem::Disk => "disk",
+        }
+    }
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, &s) in Subsystem::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &s in Subsystem::ALL {
+            assert!(seen.insert(s.name()));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Synchronisation pulses for aligning counter samples with externally
+//! acquired power data.
+//!
+//! The paper's target system sends a single byte to a USB serial port at
+//! every counter sampling; the data-acquisition workstation records the
+//! serial transmit line alongside the power channels, and the two streams
+//! are matched offline (§3.1.2). [`SyncRecorder`] plays the role of that
+//! serial line as seen by the acquisition side.
+
+use serde::{Deserialize, Serialize};
+
+/// A synchronisation pulse: "counter sample `seq` was taken at `time_ms`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncPulse {
+    /// Sample sequence number encoded in the pulse signature.
+    pub seq: u64,
+    /// Simulated time the pulse was observed, in milliseconds.
+    pub time_ms: u64,
+}
+
+/// Records the pulses observed on the acquisition side and answers
+/// alignment queries.
+///
+/// # Example
+///
+/// ```
+/// use tdp_counters::SyncRecorder;
+///
+/// let mut rec = SyncRecorder::new();
+/// rec.pulse(0, 1000);
+/// rec.pulse(1, 2003); // sampling jitter
+///
+/// // Which window does acquisition time 1500 ms belong to?
+/// assert_eq!(rec.window_of(1500), Some(0));
+/// assert_eq!(rec.window_of(2500), Some(1));
+/// assert_eq!(rec.window_of(500), None, "before the first pulse");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncRecorder {
+    pulses: Vec<SyncPulse>,
+}
+
+impl SyncRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a pulse. Pulses must arrive in increasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_ms` precedes the previous pulse (the serial line
+    /// cannot go backwards in time).
+    pub fn pulse(&mut self, seq: u64, time_ms: u64) {
+        if let Some(last) = self.pulses.last() {
+            assert!(
+                time_ms >= last.time_ms,
+                "sync pulses must be monotonically ordered"
+            );
+        }
+        self.pulses.push(SyncPulse { seq, time_ms });
+    }
+
+    /// All recorded pulses in order.
+    pub fn pulses(&self) -> &[SyncPulse] {
+        &self.pulses
+    }
+
+    /// The sequence number of the sampling window that contains
+    /// acquisition time `time_ms`: the window opened by the latest pulse
+    /// at or before `time_ms`.
+    pub fn window_of(&self, time_ms: u64) -> Option<u64> {
+        match self
+            .pulses
+            .binary_search_by_key(&time_ms, |p| p.time_ms)
+        {
+            Ok(i) => Some(self.pulses[i].seq),
+            Err(0) => None,
+            Err(i) => Some(self.pulses[i - 1].seq),
+        }
+    }
+
+    /// The `[start, end)` time span of window `seq`, where `end` is the
+    /// next pulse's time or `None` for the still-open last window.
+    pub fn span_of(&self, seq: u64) -> Option<(u64, Option<u64>)> {
+        let i = self.pulses.iter().position(|p| p.seq == seq)?;
+        let start = self.pulses[i].time_ms;
+        let end = self.pulses.get(i + 1).map(|p| p.time_ms);
+        Some((start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "monotonically")]
+    fn pulses_must_be_ordered() {
+        let mut rec = SyncRecorder::new();
+        rec.pulse(0, 100);
+        rec.pulse(1, 50);
+    }
+
+    #[test]
+    fn exact_pulse_time_belongs_to_its_own_window() {
+        let mut rec = SyncRecorder::new();
+        rec.pulse(7, 1000);
+        assert_eq!(rec.window_of(1000), Some(7));
+    }
+
+    #[test]
+    fn span_of_last_window_is_open() {
+        let mut rec = SyncRecorder::new();
+        rec.pulse(0, 1000);
+        rec.pulse(1, 2000);
+        assert_eq!(rec.span_of(0), Some((1000, Some(2000))));
+        assert_eq!(rec.span_of(1), Some((2000, None)));
+        assert_eq!(rec.span_of(9), None);
+    }
+}

@@ -1,0 +1,226 @@
+//! Polynomial feature maps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One term of a polynomial feature expansion over an input vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureTerm {
+    /// The constant 1 (intercept).
+    Intercept,
+    /// `x[i]`.
+    Linear(usize),
+    /// `x[i]²`.
+    Quadratic(usize),
+    /// `x[i] · x[j]`.
+    Cross(usize, usize),
+}
+
+impl FeatureTerm {
+    /// Evaluates the term against an input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds for `x`.
+    #[inline]
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        match *self {
+            FeatureTerm::Intercept => 1.0,
+            FeatureTerm::Linear(i) => x[i],
+            FeatureTerm::Quadratic(i) => x[i] * x[i],
+            FeatureTerm::Cross(i, j) => x[i] * x[j],
+        }
+    }
+
+    /// The largest input index referenced, or `None` for the intercept.
+    pub fn max_index(&self) -> Option<usize> {
+        match *self {
+            FeatureTerm::Intercept => None,
+            FeatureTerm::Linear(i) | FeatureTerm::Quadratic(i) => Some(i),
+            FeatureTerm::Cross(i, j) => Some(i.max(j)),
+        }
+    }
+}
+
+impl fmt::Display for FeatureTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FeatureTerm::Intercept => write!(f, "1"),
+            FeatureTerm::Linear(i) => write!(f, "x{i}"),
+            FeatureTerm::Quadratic(i) => write!(f, "x{i}^2"),
+            FeatureTerm::Cross(i, j) => write!(f, "x{i}*x{j}"),
+        }
+    }
+}
+
+/// A declarative polynomial feature expansion: maps an input vector of
+/// dimension [`input_dim`](FeatureMap::input_dim) to a feature vector with
+/// one entry per [`FeatureTerm`].
+///
+/// The paper's model forms (§3.3.1) are all expressible here: linear
+/// models and single- or multiple-input quadratics, always with an
+/// intercept (the idle/DC power term every subsystem exhibits).
+///
+/// # Example
+///
+/// ```
+/// use tdp_modeling::FeatureMap;
+///
+/// // Two inputs, each with linear + quadratic terms (the disk model's form).
+/// let map = FeatureMap::quadratic_all(2);
+/// let f = map.expand(&[2.0, 3.0]);
+/// assert_eq!(f, vec![1.0, 2.0, 4.0, 3.0, 9.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureMap {
+    input_dim: usize,
+    terms: Vec<FeatureTerm>,
+}
+
+impl FeatureMap {
+    /// Creates a map from explicit terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references an index `>= input_dim`, or if `terms`
+    /// is empty.
+    pub fn new(input_dim: usize, terms: Vec<FeatureTerm>) -> Self {
+        assert!(!terms.is_empty(), "a feature map needs at least one term");
+        for t in &terms {
+            if let Some(i) = t.max_index() {
+                assert!(
+                    i < input_dim,
+                    "term {t} references input {i} but input_dim is {input_dim}"
+                );
+            }
+        }
+        Self { input_dim, terms }
+    }
+
+    /// Intercept plus a linear term for every input.
+    pub fn linear(input_dim: usize) -> Self {
+        let mut terms = vec![FeatureTerm::Intercept];
+        terms.extend((0..input_dim).map(FeatureTerm::Linear));
+        Self::new(input_dim, terms)
+    }
+
+    /// Intercept plus linear and quadratic terms for input `i` only;
+    /// other inputs are ignored. This is the paper's single-input
+    /// quadratic (memory Equations 2 and 3, I/O Equation 5).
+    pub fn quadratic_single(input_dim: usize, i: usize) -> Self {
+        Self::new(
+            input_dim,
+            vec![
+                FeatureTerm::Intercept,
+                FeatureTerm::Linear(i),
+                FeatureTerm::Quadratic(i),
+            ],
+        )
+    }
+
+    /// Intercept plus linear and quadratic terms for every input (the
+    /// disk model's two-input quadratic, Equation 4).
+    pub fn quadratic_all(input_dim: usize) -> Self {
+        let mut terms = vec![FeatureTerm::Intercept];
+        for i in 0..input_dim {
+            terms.push(FeatureTerm::Linear(i));
+            terms.push(FeatureTerm::Quadratic(i));
+        }
+        Self::new(input_dim, terms)
+    }
+
+    /// Intercept only — the chipset's constant model.
+    pub fn constant(input_dim: usize) -> Self {
+        Self::new(input_dim, vec![FeatureTerm::Intercept])
+    }
+
+    /// Dimension of accepted input vectors.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// The terms in order.
+    pub fn terms(&self) -> &[FeatureTerm] {
+        &self.terms
+    }
+
+    /// Number of features produced (== number of model coefficients).
+    pub fn output_dim(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Expands an input vector into its feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim`.
+    pub fn expand(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            x.len(),
+            self.input_dim,
+            "input has {} entries, expected {}",
+            x.len(),
+            self.input_dim
+        );
+        self.terms.iter().map(|t| t.eval(x)).collect()
+    }
+}
+
+impl fmt::Display for FeatureMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let joined: Vec<String> = self.terms.iter().map(|t| t.to_string()).collect();
+        write!(f, "[{}]", joined.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_map_shape() {
+        let m = FeatureMap::linear(3);
+        assert_eq!(m.output_dim(), 4);
+        assert_eq!(m.expand(&[1.0, 2.0, 3.0]), vec![1.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn quadratic_single_ignores_other_inputs() {
+        let m = FeatureMap::quadratic_single(3, 1);
+        assert_eq!(m.expand(&[99.0, 2.0, -7.0]), vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn constant_map_is_intercept_only() {
+        let m = FeatureMap::constant(5);
+        assert_eq!(m.expand(&[1.0; 5]), vec![1.0]);
+    }
+
+    #[test]
+    fn cross_term_evaluates_product() {
+        let m = FeatureMap::new(
+            2,
+            vec![FeatureTerm::Intercept, FeatureTerm::Cross(0, 1)],
+        );
+        assert_eq!(m.expand(&[3.0, 4.0]), vec![1.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references input")]
+    fn out_of_range_term_rejected() {
+        let _ = FeatureMap::new(1, vec![FeatureTerm::Linear(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn expand_checks_input_dim() {
+        let m = FeatureMap::linear(2);
+        let _ = m.expand(&[1.0]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = FeatureMap::quadratic_single(1, 0);
+        assert_eq!(m.to_string(), "[1 + x0 + x0^2]");
+    }
+}

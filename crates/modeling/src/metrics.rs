@@ -1,0 +1,237 @@
+//! Goodness-of-fit metrics.
+//!
+//! The headline metric is the paper's **Equation 6 average error**:
+//!
+//! ```text
+//!                    Σ |modeledᵢ − measuredᵢ| / measuredᵢ
+//! AverageError  =   ─────────────────────────────────────  × 100 %
+//!                                NumSamples
+//! ```
+//!
+//! computed per sample (one second of execution) and averaged over a
+//! workload. The disk model's error is reported after subtracting the
+//! idle DC offset (§4.2.3: "This error is calculated by first subtracting
+//! the 21.6 W of idle (DC) disk power consumption"), which
+//! [`average_error_with_offset`] implements.
+
+use crate::stats::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+/// Summary of prediction error over a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    /// Equation 6 average |relative error|, in percent.
+    pub average_error_pct: f64,
+    /// Standard deviation of the per-sample |relative error|, in percent
+    /// (the ± figures of Tables 3 and 4).
+    pub error_std_dev_pct: f64,
+    /// Largest single-sample |relative error|, in percent.
+    pub max_error_pct: f64,
+    /// Mean absolute error in the target's units (watts).
+    pub mean_abs_error: f64,
+    /// Coefficient of determination R² (1.0 = perfect; can be negative
+    /// for models worse than predicting the mean).
+    pub r_squared: f64,
+    /// Number of samples summarised.
+    pub samples: usize,
+}
+
+/// Computes [`ErrorSummary`] for paired modeled/measured series.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are empty.
+///
+/// # Example
+///
+/// ```
+/// use tdp_modeling::metrics::error_summary;
+///
+/// let measured = [100.0, 200.0];
+/// let modeled = [90.0, 220.0]; // 10% and 10% error
+/// let s = error_summary(&modeled, &measured);
+/// assert!((s.average_error_pct - 10.0).abs() < 1e-12);
+/// ```
+pub fn error_summary(modeled: &[f64], measured: &[f64]) -> ErrorSummary {
+    error_summary_with_offset(modeled, measured, 0.0)
+}
+
+/// Equation 6 average error as a bare percentage.
+pub fn average_error(modeled: &[f64], measured: &[f64]) -> f64 {
+    error_summary(modeled, measured).average_error_pct
+}
+
+/// Equation 6 average error after subtracting a DC offset from both
+/// series (the paper's disk-model convention).
+pub fn average_error_with_offset(
+    modeled: &[f64],
+    measured: &[f64],
+    dc_offset: f64,
+) -> f64 {
+    error_summary_with_offset(modeled, measured, dc_offset).average_error_pct
+}
+
+/// Like [`error_summary_with_offset`] but also skips, for the
+/// relative-error statistics, samples whose offset-adjusted measured
+/// value lies inside `deadband` watts — relative error against a value
+/// indistinguishable from sensor noise is meaningless. Absolute-error
+/// statistics still include every sample.
+pub fn error_summary_with_offset_deadband(
+    modeled: &[f64],
+    measured: &[f64],
+    dc_offset: f64,
+    deadband: f64,
+) -> ErrorSummary {
+    summarise(modeled, measured, dc_offset, deadband.max(1e-9))
+}
+
+/// Equation 6 average error with DC offset and a noise deadband.
+pub fn average_error_with_offset_deadband(
+    modeled: &[f64],
+    measured: &[f64],
+    dc_offset: f64,
+    deadband: f64,
+) -> f64 {
+    error_summary_with_offset_deadband(modeled, measured, dc_offset, deadband)
+        .average_error_pct
+}
+
+/// Full summary with DC-offset subtraction.
+///
+/// Samples where the offset-adjusted measured value is ~zero are skipped
+/// for the relative-error statistics (relative error is undefined there)
+/// but still contribute to `mean_abs_error` and `r_squared`.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are empty.
+pub fn error_summary_with_offset(
+    modeled: &[f64],
+    measured: &[f64],
+    dc_offset: f64,
+) -> ErrorSummary {
+    summarise(modeled, measured, dc_offset, 1e-9)
+}
+
+fn summarise(
+    modeled: &[f64],
+    measured: &[f64],
+    dc_offset: f64,
+    deadband: f64,
+) -> ErrorSummary {
+    assert_eq!(
+        modeled.len(),
+        measured.len(),
+        "modeled and measured series must pair up"
+    );
+    assert!(!modeled.is_empty(), "cannot summarise an empty trace");
+
+    let mut rel = OnlineStats::new();
+    let mut abs = OnlineStats::new();
+    let mut measured_stats = OnlineStats::new();
+    let mut ss_res = 0.0;
+
+    for (&m, &t) in modeled.iter().zip(measured) {
+        let m = m - dc_offset;
+        let t = t - dc_offset;
+        let err = m - t;
+        abs.push(err.abs());
+        measured_stats.push(t);
+        ss_res += err * err;
+        if t.abs() > deadband {
+            rel.push((err / t).abs() * 100.0);
+        }
+    }
+
+    let n = measured.len() as f64;
+    let ss_tot = measured_stats.population_variance() * n;
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else if ss_res == 0.0 {
+        1.0
+    } else {
+        0.0
+    };
+
+    ErrorSummary {
+        average_error_pct: rel.mean(),
+        error_std_dev_pct: rel.population_std_dev(),
+        max_error_pct: if rel.count() == 0 { 0.0 } else { rel.max() },
+        mean_abs_error: abs.mean(),
+        r_squared,
+        samples: measured.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_model_is_zero_error_unit_r2() {
+        let y = [10.0, 20.0, 30.0];
+        let s = error_summary(&y, &y);
+        assert_eq!(s.average_error_pct, 0.0);
+        assert_eq!(s.r_squared, 1.0);
+        assert_eq!(s.mean_abs_error, 0.0);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn equation6_matches_hand_computation() {
+        // errors: |95-100|/100 = 5%, |210-200|/200 = 5%, |288-300|/300 = 4%
+        let measured = [100.0, 200.0, 300.0];
+        let modeled = [95.0, 210.0, 288.0];
+        let s = error_summary(&modeled, &measured);
+        assert!((s.average_error_pct - 14.0 / 3.0).abs() < 1e-12);
+        assert!((s.max_error_pct - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_offset_amplifies_relative_error() {
+        // Disk-style: big DC, tiny variation. 0.1 W error on 21.7 W looks
+        // tiny (≈0.46%) but on the 0.1 W dynamic part it's 100%.
+        let measured = [21.7];
+        let modeled = [21.8];
+        let without = average_error(&modeled, &measured);
+        let with = average_error_with_offset(&modeled, &measured, 21.6);
+        assert!(without < 1.0);
+        assert!((with - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_measured_samples_skipped_for_relative_error() {
+        let measured = [0.0, 10.0];
+        let modeled = [1.0, 11.0];
+        let s = error_summary(&modeled, &measured);
+        assert!((s.average_error_pct - 10.0).abs() < 1e-12);
+        assert_eq!(s.mean_abs_error, 1.0, "abs error still counts both");
+    }
+
+    #[test]
+    fn constant_target_r2_defined() {
+        let measured = [5.0, 5.0, 5.0];
+        assert_eq!(error_summary(&measured, &measured).r_squared, 1.0);
+        let s = error_summary(&[6.0, 6.0, 6.0], &measured);
+        assert_eq!(s.r_squared, 0.0);
+    }
+
+    #[test]
+    fn r2_negative_for_terrible_model() {
+        let measured = [1.0, 2.0, 3.0];
+        let modeled = [30.0, -10.0, 50.0];
+        assert!(error_summary(&modeled, &measured).r_squared < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_trace_panics() {
+        let _ = error_summary(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_lengths_panic() {
+        let _ = error_summary(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Ordinary least squares via the normal equations.
+
+use crate::features::FeatureMap;
+use crate::matrix::Matrix;
+use crate::model::RegressionModel;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the fitting functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer samples than coefficients to estimate.
+    NotEnoughSamples {
+        /// Samples provided.
+        samples: usize,
+        /// Coefficients required by the feature map.
+        coefficients: usize,
+    },
+    /// The normal-equation matrix is singular — inputs are collinear or
+    /// constant. Consider [`fit_least_squares_ridge`].
+    SingularSystem,
+    /// `xs` and `ys` have different lengths.
+    LengthMismatch {
+        /// Number of input rows.
+        xs: usize,
+        /// Number of targets.
+        ys: usize,
+    },
+    /// A sample contained a non-finite value.
+    NonFiniteInput,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::NotEnoughSamples {
+                samples,
+                coefficients,
+            } => write!(
+                f,
+                "need at least {coefficients} samples to fit {coefficients} coefficients, got {samples}"
+            ),
+            FitError::SingularSystem => {
+                write!(f, "normal equations are singular (collinear or constant inputs)")
+            }
+            FitError::LengthMismatch { xs, ys } => {
+                write!(f, "{xs} input rows but {ys} targets")
+            }
+            FitError::NonFiniteInput => write!(f, "inputs contain NaN or infinity"),
+        }
+    }
+}
+
+impl Error for FitError {}
+
+/// Fits `y ≈ map(x) · β` by ordinary least squares.
+///
+/// Solves the normal equations `(FᵀF) β = Fᵀy` where `F` is the expanded
+/// feature matrix. For the handful of features the paper's model forms use
+/// this is numerically comfortable; near-collinear candidate sets during
+/// model selection should use [`fit_least_squares_ridge`].
+///
+/// # Errors
+///
+/// See [`FitError`].
+///
+/// # Example
+///
+/// ```
+/// use tdp_modeling::{fit_least_squares, FeatureMap};
+///
+/// let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+/// let ys = vec![1.0, 3.0, 5.0, 7.0]; // y = 1 + 2x
+/// let m = fit_least_squares(&FeatureMap::linear(1), &xs, &ys)?;
+/// assert!((m.predict(&[10.0]) - 21.0).abs() < 1e-9);
+/// # Ok::<(), tdp_modeling::FitError>(())
+/// ```
+pub fn fit_least_squares(
+    map: &FeatureMap,
+    xs: &[Vec<f64>],
+    ys: &[f64],
+) -> Result<RegressionModel, FitError> {
+    fit_least_squares_ridge(map, xs, ys, 0.0)
+}
+
+/// Like [`fit_least_squares`] but applies *relative* ridge damping:
+/// each Gram-matrix diagonal element is scaled by `(1 + lambda)`. This
+/// keeps the damping proportionate to each feature's own magnitude, so
+/// wildly different feature scales (interrupts/cycle ≈ 1e-8 next to an
+/// intercept ≈ 1) are damped evenhandedly. Trades a little bias for
+/// robustness when candidate inputs are nearly collinear.
+///
+/// A feature with *zero* variance and zero magnitude still yields a
+/// singular system (relative damping cannot invent information), which
+/// is the desired behaviour: a trace with no activity in an input
+/// cannot calibrate that input's coefficient.
+///
+/// # Errors
+///
+/// See [`FitError`].
+pub fn fit_least_squares_ridge(
+    map: &FeatureMap,
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    lambda: f64,
+) -> Result<RegressionModel, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
+    }
+    let k = map.output_dim();
+    if xs.len() < k {
+        return Err(FitError::NotEnoughSamples {
+            samples: xs.len(),
+            coefficients: k,
+        });
+    }
+
+    let mut rows = Vec::with_capacity(xs.len());
+    for x in xs {
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(FitError::NonFiniteInput);
+        }
+        rows.push(map.expand(x));
+    }
+    if ys.iter().any(|v| !v.is_finite()) {
+        return Err(FitError::NonFiniteInput);
+    }
+
+    // Column equilibration: power-model features span many orders of
+    // magnitude (an intercept of 1 next to interrupts/cycle ≈ 1e-8
+    // squared ≈ 1e-16), which would make the normal equations
+    // hopelessly ill-conditioned in f64. Scale each column to unit
+    // max-abs, solve, then unscale the coefficients.
+    let mut scales = vec![0.0f64; k];
+    for row in &rows {
+        for (s, &v) in scales.iter_mut().zip(row) {
+            *s = s.max(v.abs());
+        }
+    }
+    if scales.contains(&0.0) {
+        // A feature that is identically zero carries no information.
+        return Err(FitError::SingularSystem);
+    }
+    for row in &mut rows {
+        for (v, &s) in row.iter_mut().zip(&scales) {
+            *v /= s;
+        }
+    }
+
+    let f = Matrix::from_rows(&rows);
+    let mut gram = f.gram();
+    if lambda > 0.0 {
+        gram.scale_diagonal(1.0 + lambda);
+    }
+    let rhs = f.transpose_vec_mul(ys);
+    let mut beta = gram.solve(&rhs).ok_or(FitError::SingularSystem)?;
+    for (b, &s) in beta.iter_mut().zip(&scales) {
+        *b /= s;
+    }
+    Ok(RegressionModel::new(map.clone(), beta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureTerm;
+
+    #[test]
+    fn exact_quadratic_recovery() {
+        let map = FeatureMap::quadratic_single(1, 0);
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 7.0 - 0.3 * x[0] + 0.02 * x[0] * x[0]).collect();
+        let m = fit_least_squares(&map, &xs, &ys).unwrap();
+        let c = m.coefficients();
+        assert!((c[0] - 7.0).abs() < 1e-8);
+        assert!((c[1] + 0.3).abs() < 1e-8);
+        assert!((c[2] - 0.02).abs() < 1e-8);
+    }
+
+    #[test]
+    fn least_squares_minimises_noise() {
+        // y = 2x with symmetric noise ±1 alternating: slope must stay 2.
+        let map = FeatureMap::new(1, vec![FeatureTerm::Linear(0)]);
+        let xs: Vec<Vec<f64>> = (1..=10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x[0] + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let m = fit_least_squares(&map, &xs, &ys).unwrap();
+        assert!((m.coefficients()[0] - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn collinear_inputs_are_singular_without_ridge() {
+        let map = FeatureMap::linear(2);
+        let xs: Vec<Vec<f64>> =
+            (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(
+            fit_least_squares(&map, &xs, &ys).unwrap_err(),
+            FitError::SingularSystem
+        );
+        // ridge rescues it
+        let m = fit_least_squares_ridge(&map, &xs, &ys, 1e-6).unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert!((m.predict(x) - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let map = FeatureMap::quadratic_single(1, 0);
+        let err = fit_least_squares(&map, &[vec![1.0]], &[1.0]).unwrap_err();
+        assert!(matches!(err, FitError::NotEnoughSamples { .. }));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let map = FeatureMap::linear(1);
+        let err =
+            fit_least_squares(&map, &[vec![1.0], vec![2.0]], &[1.0]).unwrap_err();
+        assert!(matches!(err, FitError::LengthMismatch { xs: 2, ys: 1 }));
+    }
+
+    #[test]
+    fn nan_input_rejected() {
+        let map = FeatureMap::linear(1);
+        let err = fit_least_squares(
+            &map,
+            &[vec![f64::NAN], vec![1.0]],
+            &[1.0, 2.0],
+        )
+        .unwrap_err();
+        assert_eq!(err, FitError::NonFiniteInput);
+        let err = fit_least_squares(
+            &map,
+            &[vec![0.0], vec![1.0]],
+            &[f64::INFINITY, 2.0],
+        )
+        .unwrap_err();
+        assert_eq!(err, FitError::NonFiniteInput);
+    }
+
+    #[test]
+    fn fit_error_messages_are_nonempty() {
+        for e in [
+            FitError::SingularSystem,
+            FitError::NonFiniteInput,
+            FitError::NotEnoughSamples {
+                samples: 1,
+                coefficients: 3,
+            },
+            FitError::LengthMismatch { xs: 1, ys: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Power sample records.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+use tdp_counters::Subsystem;
+
+/// Watts for each of the five subsystems.
+///
+/// # Example
+///
+/// ```
+/// use tdp_counters::Subsystem;
+/// use tdp_powermeter::SubsystemPower;
+///
+/// let mut p = SubsystemPower::default();
+/// p.set(Subsystem::Cpu, 38.4);
+/// p.set(Subsystem::Chipset, 19.9);
+/// assert_eq!(p.get(Subsystem::Cpu), 38.4);
+/// assert!((p.total() - 58.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SubsystemPower {
+    watts: [f64; 5],
+}
+
+impl SubsystemPower {
+    /// Creates from an array ordered as [`Subsystem::ALL`].
+    pub fn from_array(watts: [f64; 5]) -> Self {
+        Self { watts }
+    }
+
+    /// Watts for one subsystem.
+    pub fn get(&self, s: Subsystem) -> f64 {
+        self.watts[s.index()]
+    }
+
+    /// Sets watts for one subsystem.
+    pub fn set(&mut self, s: Subsystem, w: f64) {
+        self.watts[s.index()] = w;
+    }
+
+    /// Total watts over all five subsystems.
+    pub fn total(&self) -> f64 {
+        self.watts.iter().sum()
+    }
+
+    /// The raw array, ordered as [`Subsystem::ALL`].
+    pub fn as_array(&self) -> [f64; 5] {
+        self.watts
+    }
+
+    /// Element-wise scale.
+    pub fn scaled(&self, k: f64) -> Self {
+        let mut out = *self;
+        for w in &mut out.watts {
+            *w *= k;
+        }
+        out
+    }
+}
+
+impl Add for SubsystemPower {
+    type Output = SubsystemPower;
+
+    fn add(mut self, rhs: SubsystemPower) -> SubsystemPower {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for SubsystemPower {
+    fn add_assign(&mut self, rhs: SubsystemPower) {
+        for (a, b) in self.watts.iter_mut().zip(rhs.watts) {
+            *a += b;
+        }
+    }
+}
+
+/// One averaged measurement window, as the acquisition workstation
+/// reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Simulated time at the end of the window, ms.
+    pub time_ms: u64,
+    /// Window length, ms.
+    pub window_ms: u64,
+    /// Average measured power over the window.
+    pub watts: SubsystemPower,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_scale_are_elementwise() {
+        let a = SubsystemPower::from_array([1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = SubsystemPower::from_array([10.0, 20.0, 30.0, 40.0, 50.0]);
+        let sum = a + b;
+        assert_eq!(sum.as_array(), [11.0, 22.0, 33.0, 44.0, 55.0]);
+        assert_eq!(sum.scaled(0.5).total(), sum.total() / 2.0);
+    }
+
+    #[test]
+    fn get_set_roundtrip_all_subsystems() {
+        let mut p = SubsystemPower::default();
+        for (i, &s) in Subsystem::ALL.iter().enumerate() {
+            p.set(s, i as f64);
+        }
+        assert_eq!(p.as_array(), [0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+}

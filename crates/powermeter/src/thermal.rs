@@ -1,0 +1,310 @@
+//! Thermal dynamics: from subsystem power to component temperature.
+//!
+//! The paper's opening argument is thermal: "Due to the thermal inertia
+//! in microprocessor packaging, detection of temperature changes may
+//! occur significantly later than the power events which caused them"
+//! (§1), so counter-based power estimation gives power-management
+//! policies a *timelier* signal than temperature sensors. This module
+//! supplies the physics that claim is made against: a first-order
+//! RC thermal model per subsystem (junction-to-ambient resistance plus
+//! a thermal time constant), and a sensor model with the slow response
+//! and coarse quantization of 2006-era on-board thermal diodes.
+
+use crate::sample::SubsystemPower;
+use serde::{Deserialize, Serialize};
+use tdp_counters::Subsystem;
+
+/// First-order thermal parameters for one subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalParams {
+    /// Junction-to-ambient thermal resistance, °C per watt.
+    pub r_c_per_w: f64,
+    /// Thermal time constant, seconds (package + heatsink inertia).
+    pub tau_s: f64,
+}
+
+/// Thermal specification for the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalSpec {
+    /// Ambient (inlet air) temperature, °C.
+    pub ambient_c: f64,
+    /// Per-subsystem parameters, ordered as [`Subsystem::ALL`].
+    pub params: [ThermalParams; 5],
+}
+
+impl Default for ThermalSpec {
+    fn default() -> Self {
+        // Steady-state idle temperatures come out around: CPU ~47°C,
+        // chipset ~45°C, memory ~42°C, I/O ~46°C, disk ~41°C — the
+        // right neighbourhood for a 2006 server at 25°C inlet.
+        Self {
+            ambient_c: 25.0,
+            params: [
+                // CPU: big heatsink, short-ish constant per processor.
+                ThermalParams {
+                    r_c_per_w: 0.55,
+                    tau_s: 18.0,
+                },
+                // Chipset: small passive sink.
+                ThermalParams {
+                    r_c_per_w: 1.0,
+                    tau_s: 30.0,
+                },
+                // Memory: DIMMs in airflow.
+                ThermalParams {
+                    r_c_per_w: 0.5,
+                    tau_s: 25.0,
+                },
+                // I/O bridges.
+                ThermalParams {
+                    r_c_per_w: 0.65,
+                    tau_s: 35.0,
+                },
+                // Disks: big thermal mass.
+                ThermalParams {
+                    r_c_per_w: 0.75,
+                    tau_s: 90.0,
+                },
+            ],
+        }
+    }
+}
+
+/// Per-subsystem temperatures, °C.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubsystemTemps {
+    temps: [f64; 5],
+}
+
+impl SubsystemTemps {
+    /// All subsystems at `ambient_c`.
+    pub fn uniform(ambient_c: f64) -> Self {
+        Self {
+            temps: [ambient_c; 5],
+        }
+    }
+
+    /// Temperature of one subsystem.
+    pub fn get(&self, s: Subsystem) -> f64 {
+        self.temps[s.index()]
+    }
+
+    /// Sets one subsystem's temperature.
+    pub fn set(&mut self, s: Subsystem, t: f64) {
+        self.temps[s.index()] = t;
+    }
+
+    /// The hottest subsystem and its temperature.
+    pub fn hottest(&self) -> (Subsystem, f64) {
+        Subsystem::ALL
+            .iter()
+            .map(|&s| (s, self.get(s)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite temps"))
+            .expect("five subsystems")
+    }
+}
+
+/// Integrates subsystem power into temperatures:
+/// `dT/dt = (ambient + R·P − T) / τ`.
+///
+/// Drive it with either *measured* power (the physical truth) or
+/// *estimated* power (the paper's proposal); both converge to
+/// `ambient + R·P` at steady state.
+///
+/// # Example
+///
+/// ```
+/// use tdp_counters::Subsystem;
+/// use tdp_powermeter::{SubsystemPower, ThermalModel, ThermalSpec};
+///
+/// let mut model = ThermalModel::new(ThermalSpec::default());
+/// let mut p = SubsystemPower::default();
+/// p.set(Subsystem::Cpu, 160.0);
+/// for _ in 0..600 {
+///     model.advance(&p, 1.0); // 10 minutes at 160 W
+/// }
+/// let t = model.temps().get(Subsystem::Cpu);
+/// let expected = 25.0 + 0.55 * 160.0;
+/// assert!((t - expected).abs() < 0.5, "steady state {t} vs {expected}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    spec: ThermalSpec,
+    temps: SubsystemTemps,
+}
+
+impl ThermalModel {
+    /// Creates a model with every subsystem at ambient.
+    pub fn new(spec: ThermalSpec) -> Self {
+        Self {
+            temps: SubsystemTemps::uniform(spec.ambient_c),
+            spec,
+        }
+    }
+
+    /// The specification.
+    pub fn spec(&self) -> &ThermalSpec {
+        &self.spec
+    }
+
+    /// Current temperatures.
+    pub fn temps(&self) -> SubsystemTemps {
+        self.temps
+    }
+
+    /// Advances the thermal state by `dt_s` seconds under `power`.
+    pub fn advance(&mut self, power: &SubsystemPower, dt_s: f64) -> SubsystemTemps {
+        for &s in Subsystem::ALL {
+            let p = &self.spec.params[s.index()];
+            let target = self.spec.ambient_c + p.r_c_per_w * power.get(s);
+            let t = self.temps.get(s);
+            // Exact first-order step (stable for any dt).
+            let alpha = 1.0 - (-dt_s / p.tau_s).exp();
+            self.temps.set(s, t + (target - t) * alpha);
+        }
+        self.temps
+    }
+}
+
+/// A slow, quantized thermal-diode sensor attached to one subsystem —
+/// what a 2006 management controller actually reads.
+///
+/// The sensor's own lag (`sensor_tau_s`) plus its polling period and
+/// 1 °C quantization are why "temperature sensors are less able to
+/// allow preemptive reaction to impending thermal emergencies" (§2.3).
+#[derive(Debug, Clone)]
+pub struct ThermalSensor {
+    subsystem: Subsystem,
+    sensor_tau_s: f64,
+    poll_period_s: f64,
+    reading_c: f64,
+    filtered_c: f64,
+    since_poll_s: f64,
+}
+
+impl ThermalSensor {
+    /// Creates a sensor with the era's defaults: 10 s sensor lag, 2 s
+    /// polling, 1 °C steps.
+    pub fn new(subsystem: Subsystem, initial_c: f64) -> Self {
+        Self {
+            subsystem,
+            sensor_tau_s: 10.0,
+            poll_period_s: 2.0,
+            reading_c: initial_c.round(),
+            filtered_c: initial_c,
+            since_poll_s: 0.0,
+        }
+    }
+
+    /// The monitored subsystem.
+    pub fn subsystem(&self) -> Subsystem {
+        self.subsystem
+    }
+
+    /// Advances the sensor by `dt_s` seconds with the true junction
+    /// temperature `true_c`; returns the latest (held) reading.
+    pub fn advance(&mut self, true_c: f64, dt_s: f64) -> f64 {
+        let alpha = 1.0 - (-dt_s / self.sensor_tau_s).exp();
+        self.filtered_c += (true_c - self.filtered_c) * alpha;
+        self.since_poll_s += dt_s;
+        if self.since_poll_s >= self.poll_period_s {
+            self.since_poll_s = 0.0;
+            self.reading_c = self.filtered_c.round();
+        }
+        self.reading_c
+    }
+
+    /// The latest reading without advancing.
+    pub fn reading_c(&self) -> f64 {
+        self.reading_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power_with(s: Subsystem, w: f64) -> SubsystemPower {
+        let mut p = SubsystemPower::default();
+        p.set(s, w);
+        p
+    }
+
+    #[test]
+    fn steady_state_matches_r_times_p() {
+        let mut m = ThermalModel::new(ThermalSpec::default());
+        let p = power_with(Subsystem::Memory, 40.0);
+        for _ in 0..1000 {
+            m.advance(&p, 1.0);
+        }
+        let expected = 25.0 + 0.5 * 40.0;
+        assert!((m.temps().get(Subsystem::Memory) - expected).abs() < 0.01);
+    }
+
+    #[test]
+    fn time_constant_governs_the_approach() {
+        let mut m = ThermalModel::new(ThermalSpec::default());
+        let p = power_with(Subsystem::Cpu, 100.0);
+        // After one τ (18 s) the gap closes to ~63%.
+        for _ in 0..18 {
+            m.advance(&p, 1.0);
+        }
+        let target = 25.0 + 0.55 * 100.0;
+        let progress = (m.temps().get(Subsystem::Cpu) - 25.0) / (target - 25.0);
+        assert!((progress - 0.632).abs() < 0.02, "progress {progress}");
+    }
+
+    #[test]
+    fn step_size_does_not_change_the_trajectory() {
+        // The exact exponential step is invariant to dt subdivision.
+        let p = power_with(Subsystem::Disk, 22.0);
+        let mut coarse = ThermalModel::new(ThermalSpec::default());
+        let mut fine = ThermalModel::new(ThermalSpec::default());
+        for _ in 0..30 {
+            coarse.advance(&p, 1.0);
+        }
+        for _ in 0..30_000 {
+            fine.advance(&p, 0.001);
+        }
+        let a = coarse.temps().get(Subsystem::Disk);
+        let b = fine.temps().get(Subsystem::Disk);
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn hottest_finds_the_right_subsystem() {
+        let mut m = ThermalModel::new(ThermalSpec::default());
+        let p = power_with(Subsystem::Io, 50.0);
+        for _ in 0..300 {
+            m.advance(&p, 1.0);
+        }
+        let (s, t) = m.temps().hottest();
+        assert_eq!(s, Subsystem::Io);
+        assert!(t > 50.0);
+    }
+
+    #[test]
+    fn sensor_lags_and_quantizes() {
+        let mut sensor = ThermalSensor::new(Subsystem::Cpu, 40.0);
+        // Step the true temperature to 70°C.
+        let mut readings = Vec::new();
+        for _ in 0..30 {
+            readings.push(sensor.advance(70.0, 1.0));
+        }
+        // Early readings stay near 40 (lag + hold), late approach 70.
+        assert!(readings[1] < 50.0, "lag: {:?}", &readings[..4]);
+        assert!(*readings.last().unwrap() > 65.0);
+        // Quantization: every reading is a whole degree.
+        for r in readings {
+            assert_eq!(r, r.round());
+        }
+    }
+
+    #[test]
+    fn sensor_holds_between_polls() {
+        let mut sensor = ThermalSensor::new(Subsystem::Cpu, 40.0);
+        let r1 = sensor.advance(80.0, 0.5);
+        let r2 = sensor.advance(80.0, 0.5);
+        assert_eq!(r1, r2, "no new reading until the 2 s poll");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the measurement chain and thermal model.
+
+use proptest::prelude::*;
+use tdp_counters::Subsystem;
+use tdp_powermeter::{
+    AdcConfig, DaqChannel, SubsystemPower, ThermalModel, ThermalSpec,
+};
+use tdp_simsys::SimRng;
+
+proptest! {
+    /// Averaged channel readings are unbiased to within one LSB across
+    /// the representable power range.
+    #[test]
+    fn channel_mean_is_unbiased(true_w in 1.0f64..500.0, seed in 0u64..20) {
+        let ch = DaqChannel::new(AdcConfig {
+            full_scale_v: 0.5, // 1200 W full scale
+            ..AdcConfig::default()
+        });
+        let mut rng = SimRng::seed(seed);
+        let n = 3000;
+        let mean: f64 =
+            (0..n).map(|_| ch.measure(true_w, &mut rng)).sum::<f64>() / n as f64;
+        let lsb = ch.full_scale_watts() / 4096.0;
+        prop_assert!(
+            (mean - true_w).abs() < lsb,
+            "mean {mean} vs {true_w} (lsb {lsb})"
+        );
+    }
+
+    /// Measurements never go negative or exceed full scale, whatever the
+    /// input.
+    #[test]
+    fn channel_output_is_clamped(true_w in -50.0f64..5_000.0, seed in 0u64..20) {
+        let ch = DaqChannel::new(AdcConfig::default());
+        let mut rng = SimRng::seed(seed);
+        for _ in 0..50 {
+            let w = ch.measure(true_w, &mut rng);
+            prop_assert!(w >= 0.0);
+            prop_assert!(w <= ch.full_scale_watts() + 1e-9);
+        }
+    }
+
+    /// Thermal steady state is exactly `ambient + R·P` and independent of
+    /// the integration path taken to reach it.
+    #[test]
+    fn thermal_steady_state_is_path_independent(
+        watts in 0.0f64..300.0,
+        detour in 0.0f64..300.0,
+    ) {
+        let spec = ThermalSpec::default();
+        let r = spec.params[Subsystem::Cpu.index()].r_c_per_w;
+        let mut p = SubsystemPower::default();
+
+        // Path A: straight to the target power.
+        let mut direct = ThermalModel::new(spec);
+        p.set(Subsystem::Cpu, watts);
+        for _ in 0..2_000 {
+            direct.advance(&p, 1.0);
+        }
+
+        // Path B: detour through another power level first.
+        let mut wandering = ThermalModel::new(spec);
+        let mut q = SubsystemPower::default();
+        q.set(Subsystem::Cpu, detour);
+        for _ in 0..300 {
+            wandering.advance(&q, 1.0);
+        }
+        for _ in 0..2_000 {
+            wandering.advance(&p, 1.0);
+        }
+
+        let expected = 25.0 + r * watts;
+        prop_assert!((direct.temps().get(Subsystem::Cpu) - expected).abs() < 0.01);
+        prop_assert!(
+            (wandering.temps().get(Subsystem::Cpu) - expected).abs() < 0.01
+        );
+    }
+
+    /// Temperatures are monotone in power at steady state.
+    #[test]
+    fn hotter_power_means_hotter_steady_state(
+        low in 0.0f64..200.0,
+        extra in 1.0f64..100.0,
+    ) {
+        let settle = |w: f64| {
+            let mut m = ThermalModel::new(ThermalSpec::default());
+            let mut p = SubsystemPower::default();
+            p.set(Subsystem::Memory, w);
+            for _ in 0..1_000 {
+                m.advance(&p, 1.0);
+            }
+            m.temps().get(Subsystem::Memory)
+        };
+        prop_assert!(settle(low + extra) > settle(low));
+    }
+
+    /// SubsystemPower addition and scaling behave like a vector space.
+    #[test]
+    fn power_algebra(
+        a in prop::collection::vec(0.0f64..100.0, 5),
+        b in prop::collection::vec(0.0f64..100.0, 5),
+        k in 0.0f64..10.0,
+    ) {
+        let pa = SubsystemPower::from_array([a[0], a[1], a[2], a[3], a[4]]);
+        let pb = SubsystemPower::from_array([b[0], b[1], b[2], b[3], b[4]]);
+        let sum = pa + pb;
+        prop_assert!((sum.total() - (pa.total() + pb.total())).abs() < 1e-9);
+        let scaled = sum.scaled(k);
+        prop_assert!((scaled.total() - sum.total() * k).abs() < 1e-6);
+        for &s in Subsystem::ALL {
+            prop_assert!((sum.get(s) - (pa.get(s) + pb.get(s))).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The interface between workloads and the machine.
+//!
+//! A workload is a set of threads; each thread is a [`ThreadBehavior`]
+//! that, once per tick, states what it *would like* to do this
+//! millisecond — a [`TickDemand`] — in terms of the behavioural axes the
+//! paper's workloads span: micro-op throughput, cache reuse profile,
+//! streaming-ness, TLB pressure, memory-mapped I/O and file I/O. The
+//! machine then grinds that demand through SMT contention, cache
+//! capacity, prefetching, bus saturation and the OS, producing the
+//! events and device activity that actually happen.
+
+use crate::rng::SimRng;
+
+/// A distribution of reuse distances, in units of cache lines.
+///
+/// Each entry `(distance, weight)` says: `weight` of this thread's memory
+/// accesses re-touch data whose LRU stack distance is `distance` lines.
+/// A cache (or cache share) of capacity `C` lines hits the access iff
+/// `distance <= C`. This is the classic stack-distance characterisation —
+/// compact enough to specify workloads declaratively, faithful enough to
+/// drive a multi-level hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use tdp_simsys::ReuseProfile;
+///
+/// // 70% of accesses hit within 128 lines, 20% within 8K, 10% stream.
+/// let p = ReuseProfile::new(&[(128.0, 0.7), (8192.0, 0.2), (f64::INFINITY, 0.1)]);
+/// assert!((p.hit_fraction(256.0) - 0.7).abs() < 1e-12);
+/// assert!((p.hit_fraction(10_000.0) - 0.9).abs() < 1e-12);
+/// // Streaming accesses never hit, even in an unbounded cache:
+/// assert!((p.hit_fraction(f64::INFINITY) - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseProfile {
+    buckets: Vec<(f64, f64)>,
+}
+
+impl ReuseProfile {
+    /// Creates a profile from `(distance_lines, weight)` pairs; weights
+    /// are normalised to sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is empty, any weight is negative, or the
+    /// weight sum is zero.
+    pub fn new(buckets: &[(f64, f64)]) -> Self {
+        assert!(!buckets.is_empty(), "reuse profile needs buckets");
+        let total: f64 = buckets.iter().map(|&(_, w)| w).sum();
+        assert!(
+            total > 0.0 && buckets.iter().all(|&(_, w)| w >= 0.0),
+            "weights must be non-negative and not all zero"
+        );
+        let mut b: Vec<(f64, f64)> =
+            buckets.iter().map(|&(d, w)| (d, w / total)).collect();
+        b.sort_by(|a, c| a.0.partial_cmp(&c.0).unwrap());
+        Self { buckets: b }
+    }
+
+    /// A profile that always hits in the smallest cache (distance 1).
+    pub fn cache_resident() -> Self {
+        Self::new(&[(1.0, 1.0)])
+    }
+
+    /// A profile that never hits anywhere (pure streaming).
+    pub fn streaming() -> Self {
+        Self::new(&[(f64::INFINITY, 1.0)])
+    }
+
+    /// Fraction of accesses with reuse distance ≤ `capacity_lines`.
+    /// Infinite distances (streaming accesses) never hit, even in an
+    /// "infinite" cache.
+    pub fn hit_fraction(&self, capacity_lines: f64) -> f64 {
+        self.buckets
+            .iter()
+            .filter(|&&(d, _)| d.is_finite() && d <= capacity_lines)
+            .map(|&(_, w)| w)
+            .sum()
+    }
+
+    /// The `(distance, weight)` buckets, sorted by distance.
+    pub fn buckets(&self) -> &[(f64, f64)] {
+        &self.buckets
+    }
+}
+
+/// File-I/O demand for one tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoDemand {
+    /// Bytes the thread reads from files this tick.
+    pub read_bytes: u64,
+    /// Bytes the thread writes (dirties in the page cache) this tick.
+    pub write_bytes: u64,
+    /// Probability a read is satisfied by the page cache (workload file
+    /// locality; the OS clamps it by actual cache pressure).
+    pub read_hit_fraction: f64,
+    /// Issue `sync()` this tick: flush all dirty pages and block until
+    /// the flush completes (the DiskLoad workload's signature move).
+    pub sync: bool,
+    /// Whether read misses block the thread until the disk completes
+    /// (synchronous I/O, as in the database workload).
+    pub blocking_reads: bool,
+    /// Voluntarily sleep for this many milliseconds after this tick
+    /// (think time). The context is released and the core may `HLT`.
+    pub sleep_ms: u64,
+    /// Network bytes sent/received this tick (DMA through the I/O
+    /// chips; completions arrive as coalesced NIC interrupts).
+    pub net_bytes: u64,
+}
+
+/// Everything a thread asks of the machine for one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickDemand {
+    /// Micro-ops per cycle the thread would fetch with no contention
+    /// (0..=fetch width), *excluding* wrong-path work.
+    pub target_upc: f64,
+    /// Extra fetched (but never retired) uops as a fraction of useful
+    /// ones — wrong-path work from branch mispredictions.
+    pub wrongpath_fraction: f64,
+    /// Branch mispredictions per 1000 retired uops.
+    pub mispredicts_per_kuop: f64,
+    /// Memory loads per retired uop.
+    pub loads_per_uop: f64,
+    /// Memory stores per retired uop.
+    pub stores_per_uop: f64,
+    /// Reuse-distance profile of those accesses.
+    pub reuse: ReuseProfile,
+    /// Fraction of last-level misses that belong to sequential streams
+    /// (and are therefore prefetchable).
+    pub streaming_fraction: f64,
+    /// TLB misses per 1000 retired uops.
+    pub tlb_misses_per_kuop: f64,
+    /// Uncacheable (memory-mapped I/O) accesses per 1000 retired uops.
+    pub uncacheable_per_kuop: f64,
+    /// How strongly throughput collapses when the memory system
+    /// saturates: 0 = compute-bound (ignores bus), 1 = fully
+    /// memory-bound.
+    pub memory_sensitivity: f64,
+    /// Character of memory stalls: 1.0 = dependent pointer chasing that
+    /// keeps the out-of-order window *churning* (burning power the
+    /// fetch counters cannot see — the `mcf` effect); 0.0 = regular
+    /// streaming stalls during which execution units sit *quiet* and
+    /// fine-grained clock gating saves power (the `lucas` effect).
+    pub pointer_chasing: f64,
+    /// File I/O.
+    pub io: IoDemand,
+}
+
+impl Default for TickDemand {
+    fn default() -> Self {
+        Self {
+            target_upc: 1.0,
+            wrongpath_fraction: 0.08,
+            mispredicts_per_kuop: 4.0,
+            loads_per_uop: 0.30,
+            stores_per_uop: 0.12,
+            reuse: ReuseProfile::cache_resident(),
+            streaming_fraction: 0.1,
+            tlb_misses_per_kuop: 0.05,
+            uncacheable_per_kuop: 0.0,
+            memory_sensitivity: 0.5,
+            pointer_chasing: 0.3,
+            io: IoDemand::default(),
+        }
+    }
+}
+
+/// Context handed to behaviours each tick.
+#[derive(Debug)]
+pub struct TickContext<'a> {
+    /// Current simulated time, ms.
+    pub now_ms: u64,
+    /// This thread's share of its core when co-scheduled with another
+    /// SMT context (1.0 when alone).
+    pub smt_share: f64,
+    /// Memory-system feedback: 1.0 = bus uncongested, → 0 as the bus
+    /// saturates. Behaviours may ignore it (the machine applies it to
+    /// throughput regardless via `memory_sensitivity`).
+    pub mem_throttle: f64,
+    /// Per-thread deterministic randomness.
+    pub rng: &'a mut SimRng,
+}
+
+/// A thread's behaviour: the workload side of the machine interface.
+///
+/// Implementations live in `tdp-workloads`; the simulator only calls
+/// [`demand`](ThreadBehavior::demand) once per tick while the thread is
+/// scheduled, and [`finished`](ThreadBehavior::finished) to learn when
+/// the thread exits.
+pub trait ThreadBehavior: Send {
+    /// Workload name (for traces and reports).
+    fn name(&self) -> &str;
+
+    /// Produces this tick's demand. Called only while the thread is
+    /// runnable and scheduled on a context.
+    fn demand(&mut self, ctx: &mut TickContext<'_>) -> TickDemand;
+
+    /// Whether the thread has exited. Finished threads are descheduled
+    /// permanently. Defaults to `false` (run forever).
+    fn finished(&self) -> bool {
+        false
+    }
+}
+
+/// A trivial compute-only behaviour: fetches `upc` uops per cycle out of
+/// registers/L1 forever. Useful for tests and examples.
+pub fn spin_loop_behavior(upc: f64) -> impl ThreadBehavior {
+    SpinLoop { upc }
+}
+
+#[derive(Debug)]
+struct SpinLoop {
+    upc: f64,
+}
+
+impl ThreadBehavior for SpinLoop {
+    fn name(&self) -> &str {
+        "spin-loop"
+    }
+
+    fn demand(&mut self, _ctx: &mut TickContext<'_>) -> TickDemand {
+        TickDemand {
+            target_upc: self.upc,
+            loads_per_uop: 0.1,
+            stores_per_uop: 0.02,
+            memory_sensitivity: 0.0,
+            ..TickDemand::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_profile_normalises_weights() {
+        let p = ReuseProfile::new(&[(10.0, 2.0), (100.0, 6.0)]);
+        assert!((p.hit_fraction(10.0) - 0.25).abs() < 1e-12);
+        assert!((p.hit_fraction(100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_fraction_is_monotone_in_capacity() {
+        let p = ReuseProfile::new(&[(8.0, 0.5), (64.0, 0.3), (512.0, 0.2)]);
+        let mut prev = 0.0;
+        for cap in [1.0, 8.0, 63.0, 64.0, 1000.0] {
+            let h = p.hit_fraction(cap);
+            assert!(h >= prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn streaming_profile_never_hits() {
+        let p = ReuseProfile::streaming();
+        assert_eq!(p.hit_fraction(1e18), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = ReuseProfile::new(&[(1.0, -1.0), (2.0, 2.0)]);
+    }
+
+    #[test]
+    fn spin_loop_ignores_memory_pressure() {
+        let mut rng = SimRng::seed(0);
+        let mut b = spin_loop_behavior(2.0);
+        let mut ctx = TickContext {
+            now_ms: 0,
+            smt_share: 1.0,
+            mem_throttle: 0.1,
+            rng: &mut rng,
+        };
+        let d = b.demand(&mut ctx);
+        assert_eq!(d.target_upc, 2.0);
+        assert_eq!(d.memory_sensitivity, 0.0);
+        assert!(!b.finished());
+    }
+}

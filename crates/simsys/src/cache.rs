@@ -1,0 +1,202 @@
+//! Stack-distance cache hierarchy model.
+//!
+//! Each thread characterises its accesses with a [`ReuseProfile`]; this
+//! module turns per-tick access counts into per-level miss counts for a
+//! three-level write-back, write-allocate hierarchy. SMT co-scheduling
+//! shrinks the capacity each thread sees.
+
+use crate::behavior::ReuseProfile;
+use crate::config::CacheConfig;
+use crate::rng::SimRng;
+
+/// Per-tick cache outcome for one thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheTraffic {
+    /// Accesses that missed L1.
+    pub l1_misses: u64,
+    /// Accesses that missed L2.
+    pub l2_misses: u64,
+    /// *Loads* that missed L3 (the paper's Equation-2 event).
+    pub l3_load_misses: u64,
+    /// Stores (read-for-ownership fills) that missed L3.
+    pub l3_store_misses: u64,
+    /// Dirty evictions leaving L3 toward memory.
+    pub writeback_lines: u64,
+}
+
+impl CacheTraffic {
+    /// All L3 misses, loads plus RFOs.
+    pub fn l3_total_misses(&self) -> u64 {
+        self.l3_load_misses + self.l3_store_misses
+    }
+
+    /// Line-sized memory reads demanded by this traffic (fills for all
+    /// L3 misses — write-allocate brings store-missed lines in too).
+    pub fn demand_fill_lines(&self) -> u64 {
+        self.l3_total_misses()
+    }
+}
+
+/// The three-level hierarchy of one processor.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    cfg: CacheConfig,
+}
+
+impl CacheHierarchy {
+    /// Creates a hierarchy with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The geometry in use.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Simulates one tick of accesses for one thread.
+    ///
+    /// * `loads`/`stores` — access counts this tick;
+    /// * `reuse` — the thread's reuse-distance profile;
+    /// * `capacity_share` — fraction of each level the thread effectively
+    ///   owns (1.0 alone, ~0.5 when SMT co-scheduled);
+    /// * `rng` — supplies Poisson jitter around the expected counts.
+    pub fn simulate(
+        &self,
+        loads: u64,
+        stores: u64,
+        reuse: &ReuseProfile,
+        capacity_share: f64,
+        rng: &mut SimRng,
+    ) -> CacheTraffic {
+        let accesses = (loads + stores) as f64;
+        if accesses == 0.0 {
+            return CacheTraffic::default();
+        }
+        let share = capacity_share.clamp(0.05, 1.0);
+        let h1 = reuse.hit_fraction(self.cfg.l1_lines() * share);
+        let h2 = reuse.hit_fraction(self.cfg.l2_lines() * share);
+        let h3 = reuse.hit_fraction(self.cfg.l3_lines() * share);
+        // Hit fractions are cumulative; misses at each level:
+        let m1 = accesses * (1.0 - h1);
+        let m2 = accesses * (1.0 - h2.max(h1));
+        let m3 = accesses * (1.0 - h3.max(h2).max(h1));
+
+        let l1_misses = rng.poisson(m1);
+        let l2_misses = rng.poisson(m2).min(l1_misses);
+        let l3_misses = rng.poisson(m3).min(l2_misses);
+
+        let load_fraction = loads as f64 / accesses;
+        let l3_load_misses =
+            (l3_misses as f64 * load_fraction).round() as u64;
+        let l3_store_misses = l3_misses - l3_load_misses;
+        let writeback_lines = rng.poisson(
+            l3_misses as f64 * self.cfg.dirty_eviction_fraction,
+        );
+
+        CacheTraffic {
+            l1_misses,
+            l2_misses,
+            l3_load_misses,
+            l3_store_misses,
+            writeback_lines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(CacheConfig::default())
+    }
+
+    #[test]
+    fn resident_workload_never_misses_l3() {
+        let mut rng = SimRng::seed(1);
+        let t = hierarchy().simulate(
+            100_000,
+            10_000,
+            &ReuseProfile::cache_resident(),
+            1.0,
+            &mut rng,
+        );
+        assert_eq!(t.l3_total_misses(), 0);
+        assert_eq!(t.writeback_lines, 0);
+    }
+
+    #[test]
+    fn streaming_workload_misses_everywhere() {
+        let mut rng = SimRng::seed(2);
+        let t = hierarchy().simulate(
+            100_000,
+            0,
+            &ReuseProfile::streaming(),
+            1.0,
+            &mut rng,
+        );
+        // All levels miss ~100%, modulo Poisson noise.
+        assert!(t.l1_misses > 95_000);
+        assert!(t.l3_load_misses as f64 > 0.95 * t.l1_misses as f64 - 2_000.0);
+        assert_eq!(t.l3_store_misses, 0, "no stores issued");
+    }
+
+    #[test]
+    fn miss_counts_are_monotone_down_the_hierarchy() {
+        let mut rng = SimRng::seed(3);
+        let profile = ReuseProfile::new(&[
+            (64.0, 0.5),
+            (4_096.0, 0.3),
+            (100_000.0, 0.15),
+            (f64::INFINITY, 0.05),
+        ]);
+        for _ in 0..50 {
+            let t = hierarchy().simulate(50_000, 20_000, &profile, 1.0, &mut rng);
+            assert!(t.l1_misses >= t.l2_misses);
+            assert!(t.l2_misses >= t.l3_total_misses());
+        }
+    }
+
+    #[test]
+    fn smaller_share_raises_misses() {
+        let mut rng_a = SimRng::seed(4);
+        let mut rng_b = SimRng::seed(4);
+        // Working set sized to fit L3 alone but not at half share.
+        let profile = ReuseProfile::new(&[(20_000.0, 1.0)]);
+        let alone =
+            hierarchy().simulate(100_000, 0, &profile, 1.0, &mut rng_a);
+        let shared =
+            hierarchy().simulate(100_000, 0, &profile, 0.5, &mut rng_b);
+        assert_eq!(alone.l3_load_misses, 0);
+        assert!(shared.l3_load_misses > 90_000);
+    }
+
+    #[test]
+    fn zero_accesses_zero_traffic() {
+        let mut rng = SimRng::seed(5);
+        let t = hierarchy().simulate(
+            0,
+            0,
+            &ReuseProfile::streaming(),
+            1.0,
+            &mut rng,
+        );
+        assert_eq!(t, CacheTraffic::default());
+    }
+
+    #[test]
+    fn load_store_split_respects_ratio() {
+        let mut rng = SimRng::seed(6);
+        let t = hierarchy().simulate(
+            75_000,
+            25_000,
+            &ReuseProfile::streaming(),
+            1.0,
+            &mut rng,
+        );
+        let total = t.l3_total_misses() as f64;
+        let load_frac = t.l3_load_misses as f64 / total;
+        assert!((load_frac - 0.75).abs() < 0.02, "load_frac {load_frac}");
+    }
+}

@@ -1,0 +1,464 @@
+//! Machine configuration.
+//!
+//! Defaults model the paper's target server: a 4-way Pentium 4 Xeon SMP
+//! with two SMT contexts per processor, a shared front-side bus, DDR
+//! memory, two I/O bridge chips and two always-spinning SCSI disks
+//! (§3.1.1). All structs are plain data with public fields — they are
+//! passive configuration records, validated once by
+//! [`MachineConfig::validate`].
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Simulation tick length in milliseconds. One tick is the machine's
+/// smallest unit of time accounting; counter sampling happens every
+/// thousand ticks.
+pub const TICK_MS: u64 = 1;
+
+/// CPU complex configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Number of physical processors (paper: 4).
+    pub num_cpus: usize,
+    /// Hardware threads per processor (paper: 2, Hyper-Threading).
+    pub smt_per_cpu: usize,
+    /// Core clock in Hz. 2.0 GHz reproduces the paper's "~1.5 billion
+    /// instructions per processor per second" at realistic IPC.
+    pub freq_hz: f64,
+    /// Maximum micro-ops fetched per cycle per core (paper: 3).
+    pub fetch_width: f64,
+    /// Total-throughput multiplier when both SMT contexts are busy
+    /// (shared fetch/execute resources make 2 threads < 2× one thread).
+    pub smt_efficiency: f64,
+    /// Cycles of OS/interrupt overhead executed per timer interrupt even
+    /// on an otherwise idle CPU.
+    pub timer_overhead_cycles: u64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self {
+            num_cpus: 4,
+            smt_per_cpu: 2,
+            freq_hz: 2.0e9,
+            fetch_width: 3.0,
+            smt_efficiency: 1.25,
+            timer_overhead_cycles: 12_000,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// Core cycles elapsing in one tick.
+    pub fn cycles_per_tick(&self) -> u64 {
+        (self.freq_hz * TICK_MS as f64 / 1000.0).round() as u64
+    }
+
+    /// Total hardware thread contexts in the machine.
+    pub fn total_contexts(&self) -> usize {
+        self.num_cpus * self.smt_per_cpu
+    }
+}
+
+/// Cache hierarchy configuration (per processor, sizes in bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// L1 data capacity.
+    pub l1_bytes: u64,
+    /// L2 capacity.
+    pub l2_bytes: u64,
+    /// L3 (last-level) capacity.
+    pub l3_bytes: u64,
+    /// Fraction of evicted L3 lines that are dirty and generate a
+    /// write-back bus transaction (write-back, write-allocate policy).
+    pub dirty_eviction_fraction: f64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            line_bytes: 64,
+            l1_bytes: 16 * 1024,
+            l2_bytes: 512 * 1024,
+            l3_bytes: 2 * 1024 * 1024,
+            dirty_eviction_fraction: 0.35,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// L1 capacity in lines.
+    pub fn l1_lines(&self) -> f64 {
+        (self.l1_bytes / self.line_bytes) as f64
+    }
+    /// L2 capacity in lines.
+    pub fn l2_lines(&self) -> f64 {
+        (self.l2_bytes / self.line_bytes) as f64
+    }
+    /// L3 capacity in lines.
+    pub fn l3_lines(&self) -> f64 {
+        (self.l3_bytes / self.line_bytes) as f64
+    }
+}
+
+/// Hardware prefetcher configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchConfig {
+    /// Maximum fraction of streaming demand misses the prefetcher can
+    /// cover once fully ramped.
+    pub max_coverage: f64,
+    /// Extra useless lines fetched per covered line (inaccuracy).
+    pub waste_fraction: f64,
+    /// Exponential ramp constant: streams must persist ~this many misses
+    /// per tick before coverage saturates.
+    pub ramp_misses_per_tick: f64,
+    /// Long-term training: ticks of sustained streaming before the unit
+    /// reaches full aggressiveness. This is why the cache-miss memory
+    /// model holds early in an instance ramp and fails late (Figure 4):
+    /// as training matures, covered misses vanish from the miss
+    /// counters while their lines keep crossing the bus.
+    pub train_ticks: f64,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        Self {
+            max_coverage: 0.75,
+            waste_fraction: 0.18,
+            ramp_misses_per_tick: 2_000.0,
+            train_ticks: 40_000.0,
+        }
+    }
+}
+
+/// Front-side bus configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Sustainable line-sized transactions per millisecond, all agents
+    /// combined (40 000 lines/ms × 64 B ≈ 2.56 GB/s).
+    pub capacity_lines_per_ms: f64,
+    /// Smoothing factor (0–1) for the utilization feedback that throttles
+    /// core memory demand; higher reacts faster.
+    pub throttle_smoothing: f64,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        Self {
+            capacity_lines_per_ms: 40_000.0,
+            throttle_smoothing: 0.5,
+        }
+    }
+}
+
+/// DRAM subsystem configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Independent channels that can service lines in parallel.
+    pub channels: f64,
+    /// Channel-busy nanoseconds per line-sized access (activation +
+    /// burst, amortised).
+    pub service_ns_per_line: f64,
+    /// Precharge residency as a fraction of active residency.
+    pub precharge_ratio: f64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self {
+            channels: 2.0,
+            service_ns_per_line: 45.0,
+            precharge_ratio: 0.5,
+        }
+    }
+}
+
+/// I/O chip (PCI-X bridge) configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoConfig {
+    /// Number of I/O bridge chips (paper: two, driving six PCI-X buses).
+    pub num_chips: usize,
+    /// Uncacheable configuration accesses per disk command submission
+    /// (memory-mapped I/O doorbells and descriptors).
+    pub config_accesses_per_command: u64,
+    /// Extra DMA bus transactions of per-command overhead (descriptor
+    /// fetches, completion writes) beyond the payload lines.
+    pub overhead_lines_per_command: u64,
+    /// Effectiveness of write combining: payload bus lines are
+    /// `bytes/line_bytes × (1 + wc_inefficiency)` — small, unaligned
+    /// transfers push the inefficiency up, severing the one-to-one
+    /// mapping between I/O bytes and DMA transactions (§4.2.4).
+    pub wc_inefficiency: f64,
+}
+
+impl Default for IoConfig {
+    fn default() -> Self {
+        Self {
+            num_chips: 2,
+            config_accesses_per_command: 4,
+            overhead_lines_per_command: 3,
+            wc_inefficiency: 0.05,
+        }
+    }
+}
+
+/// Network interface configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicConfig {
+    /// Bytes per coalesced interrupt batch.
+    pub coalesce_bytes: u64,
+    /// Ticks a partial batch may wait before a flush interrupt.
+    pub coalesce_timeout_ticks: u64,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        Self {
+            coalesce_bytes: 64 * 1024,
+            coalesce_timeout_ticks: 2,
+        }
+    }
+}
+
+/// SCSI disk configuration (per disk).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskConfig {
+    /// Number of disks (paper: 2).
+    pub num_disks: usize,
+    /// Sustained media transfer rate in bytes per millisecond
+    /// (60 000 B/ms = ~57 MiB/s).
+    pub transfer_bytes_per_ms: f64,
+    /// Minimum seek time in milliseconds (track-to-track).
+    pub min_seek_ms: f64,
+    /// Additional seek milliseconds per unit of (abstract 0–1) distance.
+    pub seek_ms_per_distance: f64,
+    /// Platter revolution time in ms (10 000 rpm → 6 ms).
+    pub revolution_ms: f64,
+    /// Largest transfer carried by a single command; bigger requests are
+    /// split (and each command completes with one interrupt).
+    pub max_command_bytes: u64,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        Self {
+            num_disks: 2,
+            transfer_bytes_per_ms: 60_000.0,
+            min_seek_ms: 0.5,
+            seek_ms_per_distance: 7.0,
+            revolution_ms: 6.0,
+            max_command_bytes: 512 * 1024,
+        }
+    }
+}
+
+/// Operating-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OsConfig {
+    /// Timer interrupt rate per CPU in Hz (Linux HZ=1000 era).
+    pub timer_hz: u64,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Page-cache capacity in pages (262 144 × 4 KiB = 1 GiB).
+    pub page_cache_pages: u64,
+    /// Dirty-page fraction above which background write-back starts.
+    pub dirty_background_ratio: f64,
+    /// Maximum bytes of write-back submitted per tick by the background
+    /// flusher.
+    pub writeback_bytes_per_tick: u64,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        Self {
+            timer_hz: 1000,
+            page_bytes: 4096,
+            page_cache_pages: 262_144,
+            dirty_background_ratio: 0.40,
+            writeback_bytes_per_tick: 512 * 1024,
+        }
+    }
+}
+
+/// Complete machine configuration.
+///
+/// # Example
+///
+/// ```
+/// use tdp_simsys::MachineConfig;
+///
+/// let mut cfg = MachineConfig::default();
+/// cfg.cpu.num_cpus = 2;
+/// cfg.seed = 7;
+/// cfg.validate().expect("still consistent");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Master RNG seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// CPU complex.
+    pub cpu: CpuConfig,
+    /// Cache hierarchy.
+    pub cache: CacheConfig,
+    /// Hardware prefetcher.
+    pub prefetch: PrefetchConfig,
+    /// Front-side bus.
+    pub bus: BusConfig,
+    /// DRAM.
+    pub dram: DramConfig,
+    /// I/O chips.
+    pub io: IoConfig,
+    /// Network interface.
+    pub nic: NicConfig,
+    /// Disks.
+    pub disk: DiskConfig,
+    /// Operating system.
+    pub os: OsConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5eed_1007,
+            cpu: CpuConfig::default(),
+            cache: CacheConfig::default(),
+            prefetch: PrefetchConfig::default(),
+            bus: BusConfig::default(),
+            dram: DramConfig::default(),
+            io: IoConfig::default(),
+            nic: NicConfig::default(),
+            disk: DiskConfig::default(),
+            os: OsConfig::default(),
+        }
+    }
+}
+
+/// Error returned by [`MachineConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid machine configuration: {}", self.0)
+    }
+}
+
+impl Error for ConfigError {}
+
+impl MachineConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let fail = |msg: &str| Err(ConfigError(msg.to_owned()));
+        if self.cpu.num_cpus == 0 || self.cpu.num_cpus > 64 {
+            return fail("num_cpus must be 1..=64");
+        }
+        if self.cpu.smt_per_cpu == 0 || self.cpu.smt_per_cpu > 4 {
+            return fail("smt_per_cpu must be 1..=4");
+        }
+        if !(self.cpu.freq_hz.is_finite() && self.cpu.freq_hz > 1e6) {
+            return fail("freq_hz must exceed 1 MHz");
+        }
+        if self.cpu.fetch_width <= 0.0 {
+            return fail("fetch_width must be positive");
+        }
+        if self.cache.line_bytes == 0 || !self.cache.line_bytes.is_power_of_two() {
+            return fail("line_bytes must be a power of two");
+        }
+        if self.cache.l1_bytes >= self.cache.l2_bytes
+            || self.cache.l2_bytes >= self.cache.l3_bytes
+        {
+            return fail("cache levels must grow: l1 < l2 < l3");
+        }
+        if !(0.0..=1.0).contains(&self.cache.dirty_eviction_fraction) {
+            return fail("dirty_eviction_fraction must be in [0,1]");
+        }
+        if !(0.0..=1.0).contains(&self.prefetch.max_coverage) {
+            return fail("prefetch max_coverage must be in [0,1]");
+        }
+        if self.bus.capacity_lines_per_ms <= 0.0 {
+            return fail("bus capacity must be positive");
+        }
+        if self.dram.channels <= 0.0 || self.dram.service_ns_per_line <= 0.0 {
+            return fail("dram channels and service time must be positive");
+        }
+        if self.nic.coalesce_bytes == 0 {
+            return fail("nic coalesce_bytes must be positive");
+        }
+        if self.disk.num_disks == 0 || self.disk.num_disks > 4 {
+            return fail("num_disks must be 1..=4");
+        }
+        if self.disk.transfer_bytes_per_ms <= 0.0 {
+            return fail("disk transfer rate must be positive");
+        }
+        if self.disk.max_command_bytes == 0 {
+            return fail("max_command_bytes must be positive");
+        }
+        if self.os.timer_hz == 0 || self.os.timer_hz > 1000 {
+            return fail("timer_hz must be 1..=1000 (one per tick at most)");
+        }
+        if self.os.page_bytes == 0 || self.os.page_cache_pages == 0 {
+            return fail("page cache must be non-empty");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        MachineConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let c = MachineConfig::default();
+        assert_eq!(c.cpu.num_cpus, 4);
+        assert_eq!(c.cpu.smt_per_cpu, 2);
+        assert_eq!(c.cpu.total_contexts(), 8);
+        assert_eq!(c.disk.num_disks, 2);
+        assert_eq!(c.io.num_chips, 2);
+        assert_eq!(c.cpu.cycles_per_tick(), 2_000_000);
+    }
+
+    #[test]
+    fn validation_catches_inverted_caches() {
+        let mut c = MachineConfig::default();
+        c.cache.l2_bytes = c.cache.l3_bytes * 2;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_cpus_and_bad_timer() {
+        let mut c = MachineConfig::default();
+        c.cpu.num_cpus = 0;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::default();
+        c.os.timer_hz = 2000;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_error_display_names_problem() {
+        let mut c = MachineConfig::default();
+        c.cache.line_bytes = 48;
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn cache_line_counts() {
+        let c = CacheConfig::default();
+        assert_eq!(c.l1_lines(), 256.0);
+        assert_eq!(c.l3_lines(), 32_768.0);
+    }
+}

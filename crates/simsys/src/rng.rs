@@ -1,0 +1,193 @@
+//! Deterministic random-number generation for the simulator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The simulator's random source: a seeded [`SmallRng`] plus the
+/// distribution helpers the machine needs (`rand_distr` is outside the
+/// approved dependency list, so normal and Poisson sampling are
+/// implemented here).
+///
+/// Every stochastic component derives its own `SimRng` from the machine's
+/// master seed via [`derive`](SimRng::derive), so adding a component never
+/// perturbs the random streams of existing ones.
+///
+/// # Example
+///
+/// ```
+/// use tdp_simsys::SimRng;
+///
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.uniform(), b.uniform(), "same seed, same stream");
+///
+/// let mut c = a.derive("disk0");
+/// let mut d = b.derive("disk0");
+/// assert_eq!(c.uniform(), d.uniform(), "derived streams are stable too");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        Self {
+            inner: SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator keyed by `label`. The child
+    /// stream depends only on the parent's seed lineage and the label,
+    /// not on how much the parent has been used.
+    pub fn derive(&self, label: &str) -> SimRng {
+        // FNV-1a over the label, mixed with a fresh clone of our state's
+        // first output. Cloning (not advancing) keeps `derive` read-only.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut probe = self.inner.clone();
+        SimRng::seed(h ^ probe.gen::<u64>())
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Standard normal via Box–Muller (with caching of the spare value).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1 = loop {
+            let u = self.uniform();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Poisson-distributed count with the given mean.
+    ///
+    /// Uses Knuth's method for small means and a normal approximation
+    /// (clamped at zero) for large ones, which is ample for event-count
+    /// jitter.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean > 30.0 {
+            return self.normal(mean, mean.sqrt()).round().max(0.0) as u64;
+        }
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.uniform();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_label_sensitive() {
+        let root = SimRng::seed(7);
+        let mut a = root.derive("a");
+        let mut b = root.derive("b");
+        // Streams for different labels diverge (overwhelmingly likely).
+        let same = (0..8).all(|_| a.inner.gen::<u64>() == b.inner.gen::<u64>());
+        assert!(!same);
+    }
+
+    #[test]
+    fn derive_does_not_advance_parent() {
+        let mut a = SimRng::seed(9);
+        let mut b = SimRng::seed(9);
+        let _ = a.derive("child");
+        assert_eq!(a.uniform(), b.uniform());
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = SimRng::seed(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_moments_small_and_large() {
+        let mut rng = SimRng::seed(2);
+        for mean in [0.5, 4.0, 100.0] {
+            let n = 20_000;
+            let total: u64 = (0..n).map(|_| rng.poisson(mean)).sum();
+            let observed = total as f64 / n as f64;
+            assert!(
+                (observed - mean).abs() < mean.max(1.0) * 0.1,
+                "mean {mean} observed {observed}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+        assert_eq!(rng.poisson(-3.0), 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(5.0), "clamped to 1");
+    }
+}

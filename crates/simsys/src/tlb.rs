@@ -1,0 +1,95 @@
+//! Translation-lookaside-buffer model.
+//!
+//! TLB misses are "distinct from cache misses in that they typically
+//! cause trickle-down events farther away from the microprocessor"
+//! (§3.3): each miss triggers a hardware page walk whose table accesses
+//! may themselves miss the caches and reach the bus.
+
+use crate::rng::SimRng;
+
+/// Bus transactions generated per page walk (page-table levels that miss
+/// the caches, amortised).
+pub const WALK_LINES_PER_MISS: f64 = 1.5;
+
+/// Per-tick TLB outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbTraffic {
+    /// Instruction + data TLB misses.
+    pub misses: u64,
+    /// Page-walk bus transactions.
+    pub pagewalk_lines: u64,
+}
+
+/// Stateless TLB model: workloads declare their miss pressure directly
+/// (misses per kilo-uop), the model adds jitter and derives walk traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TlbModel;
+
+impl TlbModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Simulates one tick: `retired_uops` executed at
+    /// `misses_per_kuop` TLB pressure.
+    pub fn tick(
+        &self,
+        retired_uops: u64,
+        misses_per_kuop: f64,
+        rng: &mut SimRng,
+    ) -> TlbTraffic {
+        let expected = retired_uops as f64 * misses_per_kuop.max(0.0) / 1000.0;
+        let misses = rng.poisson(expected);
+        let pagewalk_lines = rng.poisson(misses as f64 * WALK_LINES_PER_MISS);
+        TlbTraffic {
+            misses,
+            pagewalk_lines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_pressure_zero_misses() {
+        let mut rng = SimRng::seed(1);
+        let t = TlbModel::new().tick(1_000_000, 0.0, &mut rng);
+        assert_eq!(t.misses, 0);
+        assert_eq!(t.pagewalk_lines, 0);
+    }
+
+    #[test]
+    fn miss_rate_tracks_pressure() {
+        let mut rng = SimRng::seed(2);
+        let mut total = 0u64;
+        for _ in 0..100 {
+            total += TlbModel::new().tick(1_000_000, 0.5, &mut rng).misses;
+        }
+        let per_tick = total as f64 / 100.0;
+        assert!((per_tick - 500.0).abs() < 50.0, "per_tick {per_tick}");
+    }
+
+    #[test]
+    fn negative_pressure_clamped() {
+        let mut rng = SimRng::seed(3);
+        let t = TlbModel::new().tick(1_000_000, -5.0, &mut rng);
+        assert_eq!(t.misses, 0);
+    }
+
+    #[test]
+    fn walk_traffic_scales_with_misses() {
+        let mut rng = SimRng::seed(4);
+        let mut misses = 0u64;
+        let mut walks = 0u64;
+        for _ in 0..200 {
+            let t = TlbModel::new().tick(2_000_000, 1.0, &mut rng);
+            misses += t.misses;
+            walks += t.pagewalk_lines;
+        }
+        let ratio = walks as f64 / misses as f64;
+        assert!((ratio - WALK_LINES_PER_MISS).abs() < 0.1, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Machine-level scenario tests across configuration variants.
+
+use tdp_counters::PerfEvent;
+use tdp_simsys::behavior::{spin_loop_behavior, IoDemand};
+use tdp_simsys::{
+    Machine, MachineConfig, ReuseProfile, ThreadBehavior, TickContext,
+    TickDemand,
+};
+
+struct FileWriter;
+impl ThreadBehavior for FileWriter {
+    fn name(&self) -> &str {
+        "file-writer"
+    }
+    fn demand(&mut self, ctx: &mut TickContext<'_>) -> TickDemand {
+        TickDemand {
+            target_upc: 0.8,
+            io: IoDemand {
+                write_bytes: 256 * 1024,
+                sync: ctx.now_ms % 400 == 0,
+                ..IoDemand::default()
+            },
+            ..TickDemand::default()
+        }
+    }
+}
+
+struct Streamer;
+impl ThreadBehavior for Streamer {
+    fn name(&self) -> &str {
+        "streamer"
+    }
+    fn demand(&mut self, _ctx: &mut TickContext<'_>) -> TickDemand {
+        TickDemand {
+            target_upc: 0.9,
+            loads_per_uop: 0.4,
+            reuse: ReuseProfile::streaming(),
+            streaming_fraction: 0.9,
+            memory_sensitivity: 0.9,
+            ..TickDemand::default()
+        }
+    }
+}
+
+fn run(machine: &mut Machine, ms: u64) {
+    for _ in 0..ms {
+        machine.tick();
+    }
+}
+
+#[test]
+fn uniprocessor_configuration_works() {
+    let mut cfg = MachineConfig::default();
+    cfg.cpu.num_cpus = 1;
+    cfg.cpu.smt_per_cpu = 1;
+    let mut m = Machine::new(cfg);
+    m.os_mut().spawn(Box::new(spin_loop_behavior(2.0)), 0);
+    m.os_mut().spawn(Box::new(spin_loop_behavior(2.0)), 0);
+    run(&mut m, 2000);
+    let s = m.read_counters();
+    assert_eq!(s.num_cpus(), 1);
+    // Two runnable threads on one context: round-robin shares the CPU.
+    let upc = s.total(PerfEvent::FetchedUops).unwrap() as f64
+        / s.total(PerfEvent::Cycles).unwrap() as f64;
+    assert!(upc > 1.8 && upc < 2.4, "single context saturated: {upc}");
+}
+
+#[test]
+fn single_disk_machine_still_completes_io() {
+    let mut cfg = MachineConfig::default();
+    cfg.disk.num_disks = 1;
+    let mut m = Machine::new(cfg);
+    m.os_mut().spawn(Box::new(FileWriter), 0);
+    run(&mut m, 3000);
+    let s = m.read_counters();
+    assert!(s.total(PerfEvent::DiskInterrupts).unwrap() > 0);
+    assert!(s.interrupts.total_disk() > 0);
+}
+
+#[test]
+fn slower_timer_reduces_timer_interrupts_proportionally() {
+    let count_timers = |hz: u64| {
+        let mut cfg = MachineConfig::default();
+        cfg.os.timer_hz = hz;
+        let mut m = Machine::new(cfg);
+        run(&mut m, 4000);
+        m.read_counters()
+            .total(PerfEvent::TimerInterrupts)
+            .unwrap()
+    };
+    let fast = count_timers(1000);
+    let slow = count_timers(250);
+    assert_eq!(fast, 4 * slow, "{fast} vs {slow}");
+}
+
+#[test]
+fn smaller_l3_raises_visible_misses() {
+    let misses_with_l3 = |l3_bytes: u64| {
+        let mut cfg = MachineConfig::default();
+        cfg.cache.l3_bytes = l3_bytes;
+        // Disable prefetching so cache geometry is the only variable.
+        cfg.prefetch.max_coverage = 0.0;
+        let mut m = Machine::new(cfg);
+        // Working set between the two L3 sizes.
+        struct MidSet;
+        impl ThreadBehavior for MidSet {
+            fn name(&self) -> &str {
+                "mid-set"
+            }
+            fn demand(&mut self, _: &mut TickContext<'_>) -> TickDemand {
+                TickDemand {
+                    target_upc: 1.0,
+                    loads_per_uop: 0.4,
+                    reuse: ReuseProfile::new(&[(20_000.0, 1.0)]),
+                    memory_sensitivity: 0.0,
+                    ..TickDemand::default()
+                }
+            }
+        }
+        m.os_mut().spawn(Box::new(MidSet), 0);
+        run(&mut m, 1500);
+        m.read_counters().total(PerfEvent::L3LoadMisses).unwrap()
+    };
+    let big = misses_with_l3(4 * 1024 * 1024); // 65536 lines: hits
+    let small = misses_with_l3(1024 * 1024); // 16384 lines: misses
+    assert!(
+        small > big.max(1) * 100,
+        "capacity misses appear: {big} vs {small}"
+    );
+}
+
+#[test]
+fn mixed_compute_and_disk_tenants_do_not_interfere_logically() {
+    let mut m = Machine::new(MachineConfig::default());
+    m.os_mut().spawn(Box::new(spin_loop_behavior(2.5)), 0);
+    m.os_mut().spawn(Box::new(FileWriter), 0);
+    m.os_mut().spawn(Box::new(Streamer), 0);
+    run(&mut m, 3000);
+    let s = m.read_counters();
+    // All three signatures visible simultaneously:
+    let upc = s.total(PerfEvent::FetchedUops).unwrap() as f64
+        / s.total(PerfEvent::Cycles).unwrap() as f64;
+    // Three tenants over four CPUs, with the streamer throttled by
+    // the bus: system-wide upc lands around 0.75.
+    assert!(upc > 0.6, "compute visible: {upc}");
+    assert!(s.total(PerfEvent::DiskInterrupts).unwrap() > 0, "disk visible");
+    assert!(
+        s.total(PerfEvent::PrefetchBusTransactions).unwrap() > 0
+            || s.total(PerfEvent::L3LoadMisses).unwrap() > 1_000_000,
+        "memory stream visible"
+    );
+}
+
+#[test]
+fn bus_transactions_account_every_source() {
+    // BusTransactionsSelf decomposes into the per-source counters the
+    // paper's §3.3 enumerates (fills, write-backs, prefetches, walks,
+    // uncacheable).
+    let mut m = Machine::new(MachineConfig::default());
+    m.os_mut().spawn(Box::new(Streamer), 0);
+    run(&mut m, 1000);
+    let s = m.read_counters();
+    let own = s.total(PerfEvent::BusTransactionsSelf).unwrap();
+    let prefetch = s.total(PerfEvent::PrefetchBusTransactions).unwrap();
+    let unc = s.total(PerfEvent::UncacheableAccesses).unwrap();
+    assert!(own > prefetch + unc, "self includes more than its parts");
+    let all = s.total(PerfEvent::BusTransactionsAll).unwrap();
+    let dma = s.total(PerfEvent::DmaOtherBusTransactions).unwrap();
+    assert_eq!(all, own + dma);
+}

@@ -1,0 +1,135 @@
+//! dbt-2: the TPC-C-approximating database workload.
+//!
+//! The paper runs dbt-2 against PostgreSQL with real disk access and
+//! notes that "the limitation of sufficient disk resources is evident in
+//! the low microprocessor utilization" (§4.1): CPU power barely rises
+//! above idle because transaction threads spend most of their time
+//! blocked on synchronous reads or thinking. Memory and I/O are only
+//! marginally above idle; the working set fits the buffer pool.
+
+use tdp_simsys::{IoDemand, ReuseProfile, ThreadBehavior, TickContext, TickDemand};
+
+/// One database worker thread: think → compute burst → synchronous I/O,
+/// repeat.
+#[derive(Debug, Clone)]
+pub struct Dbt2Behavior {
+    reuse: ReuseProfile,
+    burst_ticks_left: u32,
+    transactions: u64,
+}
+
+impl Dbt2Behavior {
+    /// Creates a worker; `_instance` is accepted for interface symmetry
+    /// (workers are statistically identical, their RNG streams differ
+    /// via the OS-assigned per-process RNG).
+    pub fn new(_instance: usize) -> Self {
+        Self {
+            // B-tree walks: good L1/L2 locality, a buffer-pool-sized tail.
+            reuse: ReuseProfile::new(&[
+                (100.0, 0.78),
+                (3_000.0, 0.16),
+                (14_000.0, 0.059),
+                (f64::INFINITY, 0.0011),
+            ]),
+            burst_ticks_left: 0,
+            transactions: 0,
+        }
+    }
+
+    /// Transactions completed so far.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+}
+
+impl ThreadBehavior for Dbt2Behavior {
+    fn name(&self) -> &str {
+        "dbt-2"
+    }
+
+    fn demand(&mut self, ctx: &mut TickContext<'_>) -> TickDemand {
+        if self.burst_ticks_left == 0 {
+            // Start a new transaction's compute burst.
+            self.burst_ticks_left = 1 + ctx.rng.below(3) as u32;
+        }
+        self.burst_ticks_left -= 1;
+        let last_tick = self.burst_ticks_left == 0;
+
+        let io = if last_tick {
+            self.transactions += 1;
+            IoDemand {
+                // Row fetches: mostly buffer-pool hits, misses block.
+                read_bytes: 64 * 1024 + ctx.rng.below(64 * 1024),
+                read_hit_fraction: 0.88,
+                blocking_reads: true,
+                // WAL append.
+                write_bytes: 8 * 1024 + ctx.rng.below(8 * 1024),
+                sync: false,
+                // Client think time if the read hit the cache.
+                sleep_ms: 40 + ctx.rng.below(60),
+                net_bytes: 0,
+            }
+        } else {
+            IoDemand::default()
+        };
+
+        TickDemand {
+            target_upc: 0.95 + ctx.rng.normal(0.0, 0.08),
+            wrongpath_fraction: 0.12,
+            mispredicts_per_kuop: 5.5,
+            loads_per_uop: 0.34,
+            stores_per_uop: 0.15,
+            reuse: self.reuse.clone(),
+            streaming_fraction: 0.25,
+            tlb_misses_per_kuop: 0.30,
+            uncacheable_per_kuop: 0.0,
+            memory_sensitivity: 0.35,
+            pointer_chasing: 0.60,
+            io,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_simsys::SimRng;
+
+    #[test]
+    fn bursts_end_with_blocking_io_and_think_time() {
+        let mut b = Dbt2Behavior::new(0);
+        let mut rng = SimRng::seed(1);
+        let mut saw_io = false;
+        for t in 0..100 {
+            let mut ctx = TickContext {
+                now_ms: t,
+                smt_share: 1.0,
+                mem_throttle: 1.0,
+                rng: &mut rng,
+            };
+            let d = b.demand(&mut ctx);
+            if d.io.read_bytes > 0 {
+                saw_io = true;
+                assert!(d.io.blocking_reads);
+                assert!(d.io.sleep_ms >= 40);
+                assert!(d.io.write_bytes > 0, "WAL write accompanies commit");
+            }
+        }
+        assert!(saw_io);
+        assert!(b.transactions() > 5);
+    }
+
+    #[test]
+    fn compute_phase_is_moderate_ipc() {
+        let mut b = Dbt2Behavior::new(0);
+        let mut rng = SimRng::seed(2);
+        let mut ctx = TickContext {
+            now_ms: 0,
+            smt_share: 1.0,
+            mem_throttle: 1.0,
+            rng: &mut rng,
+        };
+        let d = b.demand(&mut ctx);
+        assert!(d.target_upc > 0.6 && d.target_upc < 1.4);
+    }
+}

@@ -1,0 +1,174 @@
+//! DiskLoad: the paper's synthetic disk/I/O stressor.
+//!
+//! "Each instance of this workload creates a very large file (1 GB).
+//! Then the contents of the file are overwritten. After about 100K pages
+//! have been modified, the sync() operating system call is made to force
+//! the modified pages to disk." (§3.2.2)
+//!
+//! The workload produces the highest sustained memory, I/O and disk
+//! power of the evaluation set: the overwrite phase streams stores
+//! through the page cache (memory), and the flush phase streams DMA
+//! through the I/O chips to the disks.
+
+use tdp_simsys::{IoDemand, ReuseProfile, ThreadBehavior, TickContext, TickDemand};
+
+/// One DiskLoad instance: dirty ~100K unique pages, keep overwriting
+/// them (re-dirtying costs memory bandwidth but no new flush work),
+/// then `sync()` and repeat.
+///
+/// The overwrite phase is long relative to the flush so that, across
+/// four staggered instances, memory stays near saturation (Table 1's
+/// 42.5 W) while the disks run at moderate duty (the paper measures
+/// only +0.6 W of disk power and +2.3 W of I/O power over idle).
+#[derive(Debug, Clone)]
+pub struct DiskLoadBehavior {
+    reuse: ReuseProfile,
+    pages_dirtied: u64,
+    ticks_in_phase: u64,
+    pages_per_sync: u64,
+    overwrite_ticks: u64,
+    write_bytes_per_tick: u64,
+    syncs: u64,
+}
+
+impl DiskLoadBehavior {
+    /// Creates instance `instance` (instances differ only in RNG
+    /// stream). Defaults: 100 pages dirtied per tick (≈400 MB/s
+    /// memory-speed overwrite), 100 000 unique pages per cycle, ~26 s of
+    /// overwriting before each `sync()`.
+    pub fn new(_instance: usize) -> Self {
+        Self {
+            // Overwriting fresh pages: almost pure streaming stores.
+            reuse: ReuseProfile::new(&[
+                (100.0, 0.62),
+                (3_000.0, 0.25),
+                (14_000.0, 0.103),
+                (f64::INFINITY, 0.0095),
+            ]),
+            pages_dirtied: 0,
+            ticks_in_phase: 0,
+            pages_per_sync: 100_000,
+            overwrite_ticks: 26_000,
+            write_bytes_per_tick: 100 * 4096,
+            syncs: 0,
+        }
+    }
+
+    /// Completed sync() cycles.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+}
+
+impl ThreadBehavior for DiskLoadBehavior {
+    fn name(&self) -> &str {
+        "diskload"
+    }
+
+    fn demand(&mut self, ctx: &mut TickContext<'_>) -> TickDemand {
+        self.ticks_in_phase += 1;
+        // Only the first pass over the file creates new dirty pages;
+        // subsequent overwrites re-dirty the same pages.
+        let fresh_pages =
+            (self.pages_per_sync - self.pages_dirtied.min(self.pages_per_sync))
+                .min(self.write_bytes_per_tick / 4096);
+        self.pages_dirtied += fresh_pages;
+
+        let sync = self.ticks_in_phase >= self.overwrite_ticks;
+        if sync {
+            self.ticks_in_phase = 0;
+            self.pages_dirtied = 0;
+            self.syncs += 1;
+        }
+
+        TickDemand {
+            // memcpy-style overwrite loop: store-heavy, streaming.
+            target_upc: 0.95 + ctx.rng.normal(0.0, 0.05),
+            wrongpath_fraction: 0.03,
+            mispredicts_per_kuop: 0.8,
+            loads_per_uop: 0.18,
+            stores_per_uop: 0.34,
+            reuse: self.reuse.clone(),
+            streaming_fraction: 0.92,
+            tlb_misses_per_kuop: 0.60,
+            uncacheable_per_kuop: 0.0,
+            memory_sensitivity: 0.75,
+            pointer_chasing: 0.05,
+            io: IoDemand {
+                write_bytes: fresh_pages * 4096,
+                sync,
+                ..IoDemand::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_simsys::SimRng;
+
+    #[test]
+    fn sync_fires_after_the_overwrite_phase() {
+        let mut b = DiskLoadBehavior::new(0);
+        let mut rng = SimRng::seed(4);
+        let mut sync_ticks = Vec::new();
+        let mut dirty_bytes = 0u64;
+        for t in 0..60_000u64 {
+            let mut ctx = TickContext {
+                now_ms: t,
+                smt_share: 1.0,
+                mem_throttle: 1.0,
+                rng: &mut rng,
+            };
+            let d = b.demand(&mut ctx);
+            if sync_ticks.is_empty() {
+                dirty_bytes += d.io.write_bytes;
+            }
+            if d.io.sync {
+                sync_ticks.push(t);
+            }
+        }
+        assert_eq!(sync_ticks.len(), 2, "{sync_ticks:?}");
+        assert_eq!(sync_ticks[1] - sync_ticks[0], 26_000);
+        assert_eq!(b.syncs(), 2);
+        // Only the unique pages were dirtied, despite 26 s of writing.
+        assert_eq!(dirty_bytes, 100_000 * 4096);
+    }
+
+    #[test]
+    fn redirty_phase_keeps_stores_flowing_without_new_dirty_pages() {
+        let mut b = DiskLoadBehavior::new(0);
+        let mut rng = SimRng::seed(5);
+        // Burn through the unique-page budget (1000 ticks).
+        let mut d = None;
+        for t in 0..2_000u64 {
+            let mut ctx = TickContext {
+                now_ms: t,
+                smt_share: 1.0,
+                mem_throttle: 1.0,
+                rng: &mut rng,
+            };
+            d = Some(b.demand(&mut ctx));
+        }
+        let d = d.unwrap();
+        assert_eq!(d.io.write_bytes, 0, "no fresh dirty pages");
+        assert!(d.stores_per_uop > 0.3, "but the store stream continues");
+    }
+
+    #[test]
+    fn overwrite_phase_is_store_streaming() {
+        let mut b = DiskLoadBehavior::new(0);
+        let mut rng = SimRng::seed(5);
+        let mut ctx = TickContext {
+            now_ms: 0,
+            smt_share: 1.0,
+            mem_throttle: 1.0,
+            rng: &mut rng,
+        };
+        let d = b.demand(&mut ctx);
+        assert!(d.stores_per_uop > d.loads_per_uop);
+        assert!(d.streaming_fraction > 0.9);
+        assert_eq!(d.io.write_bytes, 409_600);
+    }
+}

@@ -1,0 +1,398 @@
+//! SPEC CPU 2000 lookalike behaviours.
+//!
+//! Each benchmark is characterised along the axes that matter to the
+//! trickle-down models: fetch throughput, phase structure, reuse-distance
+//! profile (→ cache misses), streaming fraction (→ prefetchability) and
+//! memory-boundedness (→ bus-saturation response and window-search
+//! power). The parameters are tuned so the simulated Table 1 matches the
+//! paper's power characterisation in shape: `mcf` is the pathological
+//! memory case, `lucas`/`mgrid`/`wupwise` are bandwidth-heavy FP,
+//! `vortex`/`gcc` are cache-friendly integer codes.
+
+use serde::{Deserialize, Serialize};
+use tdp_simsys::{ReuseProfile, ThreadBehavior, TickContext, TickDemand};
+
+/// Reuse-distance landmarks (in cache lines) for the four-bucket profile
+/// every SPEC lookalike uses: register/L1-resident, L2-resident,
+/// L3-resident and memory-resident (streaming) accesses.
+const DIST_L1: f64 = 100.0;
+const DIST_L2: f64 = 3_000.0;
+const DIST_L3: f64 = 14_000.0;
+
+/// Static description of one SPEC CPU 2000 lookalike.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpecParams {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Mean fetched uops/cycle when unconstrained.
+    pub base_upc: f64,
+    /// Relative amplitude of the phase oscillation.
+    pub upc_amplitude: f64,
+    /// Phase period, ms.
+    pub phase_period_ms: f64,
+    /// Wrong-path fetch fraction.
+    pub wrongpath_fraction: f64,
+    /// Branch mispredictions per kilo-uop.
+    pub mispredicts_per_kuop: f64,
+    /// Loads per uop.
+    pub loads_per_uop: f64,
+    /// Stores per uop.
+    pub stores_per_uop: f64,
+    /// Reuse weights: (L1-resident, L2-resident, L3-resident,
+    /// memory/streaming). Normalised by `ReuseProfile`.
+    pub reuse_weights: (f64, f64, f64, f64),
+    /// Fraction of L3 misses that are sequential streams.
+    pub streaming_fraction: f64,
+    /// TLB misses per kilo-uop.
+    pub tlb_misses_per_kuop: f64,
+    /// Throughput sensitivity to bus saturation (0 = compute-bound,
+    /// 1 = memory-bound).
+    pub memory_sensitivity: f64,
+    /// Stall character: 1.0 = dependent pointer chasing (window churn,
+    /// hidden power *cost*), 0.0 = streaming waits (unit gating, hidden
+    /// power *saving*).
+    pub pointer_chasing: f64,
+}
+
+impl SpecParams {
+    /// The eight benchmarks the paper evaluates (§3.2.2), in its order:
+    /// gcc, mcf, vortex (integer); art, lucas, mesa, mgrid, wupwise (FP).
+    pub const ALL: &'static [SpecParams] = &[
+        Self::GCC,
+        Self::MCF,
+        Self::VORTEX,
+        Self::ART,
+        Self::LUCAS,
+        Self::MESA,
+        Self::MGRID,
+        Self::WUPWISE,
+    ];
+
+    /// gcc: compile-unit phases make it the most variable integer code
+    /// (Table 2: 8.4 W CPU σ) with moderate memory traffic.
+    pub const GCC: SpecParams = SpecParams {
+        name: "gcc",
+        base_upc: 1.00,
+        upc_amplitude: 0.45,
+        phase_period_ms: 9_000.0,
+        wrongpath_fraction: 0.14,
+        mispredicts_per_kuop: 6.0,
+        loads_per_uop: 0.30,
+        stores_per_uop: 0.14,
+        reuse_weights: (0.80, 0.145, 0.053, 0.0018),
+        streaming_fraction: 0.30,
+        tlb_misses_per_kuop: 0.12,
+        memory_sensitivity: 0.35,
+        pointer_chasing: 0.35,
+    };
+
+    /// mcf: CPI > 10, pointer-chasing over a working set far beyond L3;
+    /// the cache-miss memory model's failure case (§4.2.2) and the CPU
+    /// model's worst case (§4.3).
+    pub const MCF: SpecParams = SpecParams {
+        name: "mcf",
+        base_upc: 0.30,
+        upc_amplitude: 0.12,
+        phase_period_ms: 16_000.0,
+        wrongpath_fraction: 0.10,
+        mispredicts_per_kuop: 9.0,
+        loads_per_uop: 0.45,
+        stores_per_uop: 0.10,
+        reuse_weights: (0.56, 0.26, 0.158, 0.022),
+        streaming_fraction: 0.85,
+        tlb_misses_per_kuop: 0.80,
+        memory_sensitivity: 1.00,
+        pointer_chasing: 1.00,
+    };
+
+    /// vortex: object-database integer code, high IPC, cache-resident.
+    pub const VORTEX: SpecParams = SpecParams {
+        name: "vortex",
+        base_upc: 1.80,
+        upc_amplitude: 0.06,
+        phase_period_ms: 12_000.0,
+        wrongpath_fraction: 0.09,
+        mispredicts_per_kuop: 4.0,
+        loads_per_uop: 0.32,
+        stores_per_uop: 0.16,
+        reuse_weights: (0.82, 0.13, 0.049, 0.0012),
+        streaming_fraction: 0.20,
+        tlb_misses_per_kuop: 0.08,
+        memory_sensitivity: 0.25,
+        pointer_chasing: 0.40,
+    };
+
+    /// art: neural-net FP code; saturating-ish streaming traffic.
+    pub const ART: SpecParams = SpecParams {
+        name: "art",
+        base_upc: 0.62,
+        upc_amplitude: 0.04,
+        phase_period_ms: 7_000.0,
+        wrongpath_fraction: 0.05,
+        mispredicts_per_kuop: 1.5,
+        loads_per_uop: 0.36,
+        stores_per_uop: 0.10,
+        reuse_weights: (0.72, 0.18, 0.096, 0.0040),
+        streaming_fraction: 0.75,
+        tlb_misses_per_kuop: 0.25,
+        memory_sensitivity: 0.80,
+        pointer_chasing: 0.10,
+    };
+
+    /// lucas: Lucas–Lehmer FFTs; the heaviest sustained memory load in
+    /// Table 1 (46.4 W).
+    pub const LUCAS: SpecParams = SpecParams {
+        name: "lucas",
+        base_upc: 0.55,
+        upc_amplitude: 0.10,
+        phase_period_ms: 11_000.0,
+        wrongpath_fraction: 0.04,
+        mispredicts_per_kuop: 1.0,
+        loads_per_uop: 0.38,
+        stores_per_uop: 0.16,
+        reuse_weights: (0.62, 0.22, 0.152, 0.0060),
+        streaming_fraction: 0.90,
+        tlb_misses_per_kuop: 0.30,
+        memory_sensitivity: 0.90,
+        pointer_chasing: 0.00,
+    };
+
+    /// mesa: 3-D rendering FP code; moderate, well-behaved memory
+    /// traffic — the paper's training workload for the cache-miss memory
+    /// model (Figure 3).
+    pub const MESA: SpecParams = SpecParams {
+        name: "mesa",
+        base_upc: 0.80,
+        upc_amplitude: 0.18,
+        phase_period_ms: 8_000.0,
+        wrongpath_fraction: 0.07,
+        mispredicts_per_kuop: 2.5,
+        loads_per_uop: 0.30,
+        stores_per_uop: 0.13,
+        reuse_weights: (0.81, 0.13, 0.058, 0.0014),
+        streaming_fraction: 0.45,
+        tlb_misses_per_kuop: 0.15,
+        memory_sensitivity: 0.40,
+        pointer_chasing: 0.20,
+    };
+
+    /// mgrid: multigrid solver; bandwidth-heavy FP (45.1 W memory).
+    pub const MGRID: SpecParams = SpecParams {
+        name: "mgrid",
+        base_upc: 0.70,
+        upc_amplitude: 0.08,
+        phase_period_ms: 10_000.0,
+        wrongpath_fraction: 0.03,
+        mispredicts_per_kuop: 0.8,
+        loads_per_uop: 0.40,
+        stores_per_uop: 0.14,
+        reuse_weights: (0.64, 0.21, 0.145, 0.0052),
+        streaming_fraction: 0.85,
+        tlb_misses_per_kuop: 0.22,
+        memory_sensitivity: 0.85,
+        pointer_chasing: 0.05,
+    };
+
+    /// wupwise: quantum chromodynamics FP; high CPU *and* high memory
+    /// power (167 W / 45.2 W).
+    pub const WUPWISE: SpecParams = SpecParams {
+        name: "wupwise",
+        base_upc: 1.15,
+        upc_amplitude: 0.14,
+        phase_period_ms: 9_500.0,
+        wrongpath_fraction: 0.05,
+        mispredicts_per_kuop: 1.8,
+        loads_per_uop: 0.34,
+        stores_per_uop: 0.14,
+        reuse_weights: (0.70, 0.18, 0.116, 0.0040),
+        streaming_fraction: 0.70,
+        tlb_misses_per_kuop: 0.20,
+        memory_sensitivity: 0.60,
+        pointer_chasing: 0.15,
+    };
+
+    /// Looks up a benchmark by name.
+    pub fn by_name(name: &str) -> Option<&'static SpecParams> {
+        Self::ALL.iter().find(|p| p.name == name)
+    }
+}
+
+/// A running instance of a SPEC lookalike.
+#[derive(Debug, Clone)]
+pub struct SpecCpuBehavior {
+    params: SpecParams,
+    reuse: ReuseProfile,
+    phase_offset_ms: f64,
+    /// Remaining scheduled ticks before the benchmark exits
+    /// (`None` = run forever, the trace-capture default).
+    remaining_ticks: Option<u64>,
+}
+
+impl SpecCpuBehavior {
+    /// Creates instance number `instance` of the benchmark; instances
+    /// are phase-shifted against each other as independent runs would
+    /// be.
+    pub fn new(params: SpecParams, instance: usize) -> Self {
+        let (w1, w2, w3, wm) = params.reuse_weights;
+        let reuse = ReuseProfile::new(&[
+            (DIST_L1, w1),
+            (DIST_L2, w2),
+            (DIST_L3, w3),
+            (f64::INFINITY, wm),
+        ]);
+        Self {
+            params,
+            reuse,
+            phase_offset_ms: instance as f64 * params.phase_period_ms / 3.1,
+            remaining_ticks: None,
+        }
+    }
+
+    /// Limits the run to `ms` scheduled milliseconds, after which the
+    /// benchmark exits (real SPEC runs finish; trace captures usually
+    /// want the default endless loop instead).
+    pub fn with_duration_ms(mut self, ms: u64) -> Self {
+        self.remaining_ticks = Some(ms);
+        self
+    }
+
+    /// The parameters of this instance.
+    pub fn params(&self) -> &SpecParams {
+        &self.params
+    }
+}
+
+impl ThreadBehavior for SpecCpuBehavior {
+    fn name(&self) -> &str {
+        self.params.name
+    }
+
+    fn finished(&self) -> bool {
+        self.remaining_ticks == Some(0)
+    }
+
+    fn demand(&mut self, ctx: &mut TickContext<'_>) -> TickDemand {
+        if let Some(t) = &mut self.remaining_ticks {
+            *t = t.saturating_sub(1);
+        }
+        let p = &self.params;
+        let t = ctx.now_ms as f64 + self.phase_offset_ms;
+        let phase =
+            (std::f64::consts::TAU * t / p.phase_period_ms).sin();
+        let wobble = 1.0 + p.upc_amplitude * phase;
+        let noise = ctx.rng.normal(0.0, 0.02);
+        let upc = (p.base_upc * wobble + noise).max(0.02);
+        TickDemand {
+            target_upc: upc,
+            wrongpath_fraction: p.wrongpath_fraction,
+            mispredicts_per_kuop: p.mispredicts_per_kuop,
+            loads_per_uop: p.loads_per_uop,
+            stores_per_uop: p.stores_per_uop,
+            reuse: self.reuse.clone(),
+            streaming_fraction: p.streaming_fraction,
+            tlb_misses_per_kuop: p.tlb_misses_per_kuop,
+            uncacheable_per_kuop: 0.0,
+            memory_sensitivity: p.memory_sensitivity,
+            pointer_chasing: p.pointer_chasing,
+            io: Default::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_simsys::SimRng;
+
+    fn demand_at(b: &mut SpecCpuBehavior, now_ms: u64, seed: u64) -> TickDemand {
+        let mut rng = SimRng::seed(seed);
+        let mut ctx = TickContext {
+            now_ms,
+            smt_share: 1.0,
+            mem_throttle: 1.0,
+            rng: &mut rng,
+        };
+        b.demand(&mut ctx)
+    }
+
+    #[test]
+    fn all_params_are_sane() {
+        for p in SpecParams::ALL {
+            assert!(p.base_upc > 0.0 && p.base_upc <= 3.0, "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.streaming_fraction));
+            assert!((0.0..=1.0).contains(&p.memory_sensitivity));
+            let (a, b, c, d) = p.reuse_weights;
+            assert!(a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(SpecParams::by_name("mcf").unwrap().name, "mcf");
+        assert!(SpecParams::by_name("doom3").is_none());
+    }
+
+    #[test]
+    fn mcf_is_the_memory_pathology() {
+        let mcf = SpecParams::MCF;
+        for p in SpecParams::ALL {
+            if p.name != "mcf" {
+                assert!(mcf.base_upc <= p.base_upc, "mcf has the lowest IPC");
+            }
+        }
+        assert_eq!(mcf.memory_sensitivity, 1.0);
+        for p in SpecParams::ALL {
+            if p.name != "mcf" {
+                assert!(
+                    mcf.reuse_weights.3 > 3.0 * p.reuse_weights.3,
+                    "mcf's memory-resident tail dwarfs {}'s",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phases_oscillate_throughput() {
+        let mut b = SpecCpuBehavior::new(SpecParams::GCC, 0);
+        let period = SpecParams::GCC.phase_period_ms as u64;
+        let quarter = demand_at(&mut b, period / 4, 1).target_upc;
+        let three_q = demand_at(&mut b, 3 * period / 4, 1).target_upc;
+        assert!(
+            quarter > three_q + 0.5,
+            "peak vs trough: {quarter} vs {three_q}"
+        );
+    }
+
+    #[test]
+    fn instances_are_phase_shifted() {
+        let mut a = SpecCpuBehavior::new(SpecParams::GCC, 0);
+        let mut b = SpecCpuBehavior::new(SpecParams::GCC, 1);
+        // Same time, same rng seed — difference comes from phase offset.
+        let da = demand_at(&mut a, 2_000, 7).target_upc;
+        let db = demand_at(&mut b, 2_000, 7).target_upc;
+        assert!((da - db).abs() > 0.05);
+    }
+
+    #[test]
+    fn duration_limited_instance_finishes() {
+        let mut b =
+            SpecCpuBehavior::new(SpecParams::VORTEX, 0).with_duration_ms(3);
+        assert!(!b.finished());
+        for t in 0..3 {
+            let _ = demand_at(&mut b, t, 1);
+        }
+        assert!(b.finished());
+    }
+
+    #[test]
+    fn spec_workloads_do_no_file_io() {
+        for p in SpecParams::ALL {
+            let mut b = SpecCpuBehavior::new(*p, 0);
+            let d = demand_at(&mut b, 500, 3);
+            assert_eq!(d.io.read_bytes, 0);
+            assert_eq!(d.io.write_bytes, 0);
+            assert!(!d.io.sync);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! SPECjbb: server-side Java warehouse workload.
+//!
+//! The paper uses SPECjbb because it "is able to more fully utilize the
+//! processor and memory subsystems without a large number of hard disks"
+//! (§3.2.2): sustained 61% of max CPU and 84% of max memory power, no
+//! disk traffic, and the largest CPU power variance of any workload
+//! (Table 2: 26.2 W σ) thanks to garbage-collection phases.
+
+use tdp_simsys::{IoDemand, ReuseProfile, ThreadBehavior, TickContext, TickDemand};
+
+/// One warehouse thread: transaction processing punctuated by stop-ish
+/// GC phases and short allocation stalls.
+#[derive(Debug, Clone)]
+pub struct SpecJbbBehavior {
+    txn_reuse: ReuseProfile,
+    gc_reuse: ReuseProfile,
+    gc_period_ms: u64,
+    gc_duration_ms: u64,
+    phase_offset_ms: u64,
+    run_ticks: u32,
+}
+
+impl SpecJbbBehavior {
+    /// Creates warehouse thread number `instance`.
+    pub fn new(instance: usize) -> Self {
+        Self {
+            txn_reuse: ReuseProfile::new(&[
+                (100.0, 0.80),
+                (3_000.0, 0.14),
+                (14_000.0, 0.058),
+                (f64::INFINITY, 0.0017),
+            ]),
+            // GC traverses the whole heap: streaming-heavy.
+            gc_reuse: ReuseProfile::new(&[
+                (100.0, 0.55),
+                (3_000.0, 0.15),
+                (14_000.0, 0.28),
+                (f64::INFINITY, 0.020),
+            ]),
+            gc_period_ms: 4_200,
+            gc_duration_ms: 350,
+            phase_offset_ms: instance as u64 * 1_370,
+            run_ticks: 0,
+        }
+    }
+
+    fn in_gc(&self, now_ms: u64) -> bool {
+        (now_ms + self.phase_offset_ms) % self.gc_period_ms < self.gc_duration_ms
+    }
+}
+
+impl ThreadBehavior for SpecJbbBehavior {
+    fn name(&self) -> &str {
+        "specjbb"
+    }
+
+    fn demand(&mut self, ctx: &mut TickContext<'_>) -> TickDemand {
+        if self.in_gc(ctx.now_ms) {
+            // Garbage collection: heap sweep, memory-bound.
+            return TickDemand {
+                target_upc: 0.75 + ctx.rng.normal(0.0, 0.05),
+                wrongpath_fraction: 0.06,
+                mispredicts_per_kuop: 3.0,
+                loads_per_uop: 0.42,
+                stores_per_uop: 0.16,
+                reuse: self.gc_reuse.clone(),
+                streaming_fraction: 0.80,
+                tlb_misses_per_kuop: 0.50,
+                uncacheable_per_kuop: 0.0,
+                memory_sensitivity: 0.80,
+                pointer_chasing: 0.30,
+                io: Default::default(),
+            };
+        }
+
+        // Transaction processing with occasional short waits (lock
+        // contention, allocation pauses) that let cores nap.
+        self.run_ticks += 1;
+        let io = if self.run_ticks.is_multiple_of(4) {
+            IoDemand {
+                sleep_ms: 8 + ctx.rng.below(9),
+                ..IoDemand::default()
+            }
+        } else {
+            IoDemand::default()
+        };
+        TickDemand {
+            target_upc: 1.35 + ctx.rng.normal(0.0, 0.10),
+            wrongpath_fraction: 0.10,
+            mispredicts_per_kuop: 4.5,
+            loads_per_uop: 0.33,
+            stores_per_uop: 0.16,
+            reuse: self.txn_reuse.clone(),
+            streaming_fraction: 0.35,
+            tlb_misses_per_kuop: 0.35,
+            uncacheable_per_kuop: 0.0,
+            memory_sensitivity: 0.40,
+            pointer_chasing: 0.50,
+            io,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_simsys::SimRng;
+
+    fn demand_at(b: &mut SpecJbbBehavior, now_ms: u64) -> TickDemand {
+        let mut rng = SimRng::seed(3);
+        let mut ctx = TickContext {
+            now_ms,
+            smt_share: 1.0,
+            mem_throttle: 1.0,
+            rng: &mut rng,
+        };
+        b.demand(&mut ctx)
+    }
+
+    #[test]
+    fn gc_phases_are_memory_heavy() {
+        let mut b = SpecJbbBehavior::new(0);
+        let gc = demand_at(&mut b, 100); // inside the first GC window
+        let txn = demand_at(&mut b, 2_000);
+        assert!(gc.streaming_fraction > txn.streaming_fraction);
+        assert!(gc.target_upc < txn.target_upc);
+        let gc_tail = gc.reuse.buckets().last().unwrap().1;
+        let txn_tail = txn.reuse.buckets().last().unwrap().1;
+        assert!(gc_tail > 5.0 * txn_tail);
+    }
+
+    #[test]
+    fn warehouses_gc_at_different_times() {
+        let a = SpecJbbBehavior::new(0);
+        let b = SpecJbbBehavior::new(1);
+        let overlap = (0..4_200)
+            .filter(|&t| a.in_gc(t) && b.in_gc(t))
+            .count();
+        assert_eq!(overlap, 0, "offsets decorrelate GC windows");
+    }
+
+    #[test]
+    fn no_disk_traffic_ever() {
+        let mut b = SpecJbbBehavior::new(2);
+        for t in 0..2_000 {
+            let d = demand_at(&mut b, t);
+            assert_eq!(d.io.read_bytes, 0);
+            assert_eq!(d.io.write_bytes, 0);
+            assert!(!d.io.sync);
+        }
+    }
+
+    #[test]
+    fn allocation_pauses_happen() {
+        let mut b = SpecJbbBehavior::new(0);
+        let mut pauses = 0;
+        for t in 1_000..2_000 {
+            if demand_at(&mut b, t).io.sleep_ms > 0 {
+                pauses += 1;
+            }
+        }
+        assert!(pauses > 100, "≈1 pause per 4 run ticks: {pauses}");
+    }
+}

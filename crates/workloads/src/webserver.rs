@@ -1,0 +1,161 @@
+//! A web-server workload — an *extension* beyond the paper's evaluation
+//! set.
+//!
+//! The paper's dynamic-adaptation motivation is largely web servers
+//! (Rajamani & Lefurgy's request-distribution energy policies, Bohrer's
+//! "Case for Power Management in Web Servers", §2.3/§2.5), yet its own
+//! evaluation could not exercise the network ("dbt-2 … does not require
+//! network clients"). With the NIC device in `tdp-simsys`, this
+//! behaviour completes the Figure-1 topology: requests arrive and
+//! responses leave as coalesced-interrupt DMA traffic, static content
+//! mostly hits the page cache, and the occasional miss reads the disk.
+
+use tdp_simsys::{IoDemand, ReuseProfile, ThreadBehavior, TickContext, TickDemand};
+
+/// One web-server worker: accept → serve burst → keep-alive lull.
+#[derive(Debug, Clone)]
+pub struct WebServerBehavior {
+    reuse: ReuseProfile,
+    /// Mean requests per second this worker sustains when busy.
+    requests_per_s: f64,
+    /// Mean response size, bytes.
+    response_bytes: u64,
+    serving_ticks_left: u32,
+}
+
+impl WebServerBehavior {
+    /// Creates worker `instance` with the default request mix
+    /// (~90 req/s per worker, ~48 KiB mean responses).
+    pub fn new(instance: usize) -> Self {
+        Self::with_load(instance, 90.0, 48 * 1024)
+    }
+
+    /// Creates a worker with an explicit request rate and mean response
+    /// size (for load sweeps).
+    pub fn with_load(
+        _instance: usize,
+        requests_per_s: f64,
+        response_bytes: u64,
+    ) -> Self {
+        Self {
+            // Protocol parsing and handler code: cache-friendly.
+            reuse: ReuseProfile::new(&[
+                (100.0, 0.80),
+                (3_000.0, 0.15),
+                (14_000.0, 0.045),
+                (f64::INFINITY, 0.0012),
+            ]),
+            requests_per_s: requests_per_s.max(1.0),
+            response_bytes: response_bytes.max(512),
+            serving_ticks_left: 0,
+        }
+    }
+}
+
+impl ThreadBehavior for WebServerBehavior {
+    fn name(&self) -> &str {
+        "webserver"
+    }
+
+    fn demand(&mut self, ctx: &mut TickContext<'_>) -> TickDemand {
+        if self.serving_ticks_left == 0 {
+            self.serving_ticks_left = 1 + ctx.rng.below(2) as u32;
+        }
+        self.serving_ticks_left -= 1;
+        let done_serving = self.serving_ticks_left == 0;
+
+        // Each serving burst handles a handful of requests.
+        let requests = ctx.rng.poisson(self.requests_per_s / 100.0).max(1);
+        let net = requests * self.response_bytes;
+
+        let io = if done_serving {
+            IoDemand {
+                net_bytes: net,
+                // Static content: rare page-cache misses hit the disk.
+                read_bytes: self.response_bytes,
+                read_hit_fraction: 0.985,
+                blocking_reads: true,
+                // Keep-alive lull until the next request batch.
+                sleep_ms: 4 + ctx.rng.below(10),
+                ..IoDemand::default()
+            }
+        } else {
+            IoDemand {
+                net_bytes: net,
+                ..IoDemand::default()
+            }
+        };
+
+        TickDemand {
+            target_upc: 1.05 + ctx.rng.normal(0.0, 0.08),
+            wrongpath_fraction: 0.11,
+            mispredicts_per_kuop: 5.0,
+            loads_per_uop: 0.32,
+            stores_per_uop: 0.14,
+            reuse: self.reuse.clone(),
+            streaming_fraction: 0.30,
+            tlb_misses_per_kuop: 0.25,
+            uncacheable_per_kuop: 0.0,
+            memory_sensitivity: 0.35,
+            pointer_chasing: 0.50,
+            io,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_simsys::SimRng;
+
+    fn demand_once(b: &mut WebServerBehavior, t: u64, seed: u64) -> TickDemand {
+        let mut rng = SimRng::seed(seed);
+        let mut ctx = TickContext {
+            now_ms: t,
+            smt_share: 1.0,
+            mem_throttle: 1.0,
+            rng: &mut rng,
+        };
+        b.demand(&mut ctx)
+    }
+
+    #[test]
+    fn every_tick_moves_network_bytes() {
+        let mut b = WebServerBehavior::new(0);
+        for t in 0..50 {
+            let d = demand_once(&mut b, t, 1);
+            assert!(d.io.net_bytes > 0, "responses flow every serving tick");
+        }
+    }
+
+    #[test]
+    fn bursts_end_with_keepalive_lull() {
+        let mut b = WebServerBehavior::new(0);
+        let mut lulls = 0;
+        let mut disk_reads = 0;
+        for t in 0..200 {
+            let d = demand_once(&mut b, t, 2);
+            if d.io.sleep_ms > 0 {
+                lulls += 1;
+                assert!(d.io.read_bytes > 0);
+                assert!(d.io.read_hit_fraction > 0.9, "mostly cached content");
+                disk_reads += 1;
+            }
+        }
+        assert!(lulls > 50, "lulls pace the serving: {lulls}");
+        assert_eq!(lulls, disk_reads);
+    }
+
+    #[test]
+    fn load_parameter_scales_traffic() {
+        let mut light = WebServerBehavior::with_load(0, 20.0, 16 * 1024);
+        let mut heavy = WebServerBehavior::with_load(0, 400.0, 128 * 1024);
+        let mut light_bytes = 0;
+        let mut heavy_bytes = 0;
+        for t in 0..100 {
+            light_bytes += demand_once(&mut light, t, 3).io.net_bytes;
+            heavy_bytes += demand_once(&mut heavy, t, 3).io.net_bytes;
+        }
+        assert!(heavy_bytes > 10 * light_bytes);
+    }
+}

@@ -1,0 +1,166 @@
+//! Behaviour-space characterization tests: each workload's demand must
+//! sit on the axes the paper uses it for, *before* any machine dynamics
+//! get involved. These are the workload-design contracts that Table 1's
+//! shape depends on.
+
+use tdp_simsys::{SimRng, ThreadBehavior, TickContext, TickDemand};
+use tdp_workloads::{
+    Dbt2Behavior, DiskLoadBehavior, SpecCpuBehavior, SpecJbbBehavior,
+    SpecParams, WebServerBehavior, Workload,
+};
+
+/// Runs a behaviour for `ticks` and collects its demands.
+fn demands(mut b: Box<dyn ThreadBehavior>, ticks: u64, seed: u64) -> Vec<TickDemand> {
+    let mut rng = SimRng::seed(seed);
+    (0..ticks)
+        .map(|t| {
+            let mut ctx = TickContext {
+                now_ms: t,
+                smt_share: 1.0,
+                mem_throttle: 1.0,
+                rng: &mut rng,
+            };
+            b.demand(&mut ctx)
+        })
+        .collect()
+}
+
+fn mean_upc(ds: &[TickDemand]) -> f64 {
+    ds.iter().map(|d| d.target_upc).sum::<f64>() / ds.len() as f64
+}
+
+fn mem_tail(d: &TickDemand) -> f64 {
+    d.reuse
+        .buckets()
+        .iter()
+        .filter(|(dist, _)| !dist.is_finite())
+        .map(|&(_, w)| w)
+        .sum()
+}
+
+#[test]
+fn spec_throughput_ordering_matches_the_paper() {
+    // Table 1 CPU ordering depends on fetch throughput:
+    // vortex > wupwise > gcc > … > mcf (lowest, CPI > 10).
+    // Long enough to average over the phase oscillations (gcc's period
+    // is 9 s with ±45% amplitude).
+    let upc_of = |p: SpecParams| {
+        mean_upc(&demands(Box::new(SpecCpuBehavior::new(p, 0)), 60_000, 1))
+    };
+    let vortex = upc_of(SpecParams::VORTEX);
+    let wupwise = upc_of(SpecParams::WUPWISE);
+    let gcc = upc_of(SpecParams::GCC);
+    let mcf = upc_of(SpecParams::MCF);
+    assert!(vortex > wupwise && wupwise > gcc && gcc > mcf);
+    assert!(mcf < 0.4, "mcf's CPI>10 character: upc {mcf}");
+}
+
+#[test]
+fn memory_tail_ordering_matches_the_paper() {
+    // Table 1 memory ordering depends on the memory-resident access
+    // fraction: mcf ≫ lucas/mgrid > wupwise > art > gcc > vortex.
+    let tail_of = |p: SpecParams| {
+        let d = &demands(Box::new(SpecCpuBehavior::new(p, 0)), 10, 2)[0];
+        mem_tail(d)
+    };
+    let mcf = tail_of(SpecParams::MCF);
+    let lucas = tail_of(SpecParams::LUCAS);
+    let gcc = tail_of(SpecParams::GCC);
+    let vortex = tail_of(SpecParams::VORTEX);
+    assert!(mcf > 2.0 * lucas);
+    assert!(lucas > gcc);
+    assert!(gcc > vortex);
+}
+
+#[test]
+fn stall_character_separates_mcf_from_the_fp_streamers() {
+    // mcf chases pointers (window churn); lucas/mgrid stream (quiet
+    // stalls) — the mechanism behind Table 3/4's CPU error signs.
+    let pc = |p: SpecParams| {
+        demands(Box::new(SpecCpuBehavior::new(p, 0)), 5, 3)[0].pointer_chasing
+    };
+    assert_eq!(pc(SpecParams::MCF), 1.0);
+    assert!(pc(SpecParams::LUCAS) < 0.1);
+    assert!(pc(SpecParams::MGRID) < 0.1);
+}
+
+#[test]
+fn server_workloads_sleep_and_spec_workloads_do_not() {
+    let sleeps = |b: Box<dyn ThreadBehavior>| {
+        demands(b, 2_000, 4)
+            .iter()
+            .filter(|d| d.io.sleep_ms > 0)
+            .count()
+    };
+    assert!(sleeps(Box::new(Dbt2Behavior::new(0))) > 100);
+    assert!(sleeps(Box::new(SpecJbbBehavior::new(0))) > 100);
+    assert!(sleeps(Box::new(WebServerBehavior::new(0))) > 100);
+    assert_eq!(
+        sleeps(Box::new(SpecCpuBehavior::new(SpecParams::LUCAS, 0))),
+        0
+    );
+}
+
+#[test]
+fn only_the_disk_workloads_touch_files() {
+    let io_bytes = |b: Box<dyn ThreadBehavior>| {
+        demands(b, 3_000, 5)
+            .iter()
+            .map(|d| d.io.read_bytes + d.io.write_bytes)
+            .sum::<u64>()
+    };
+    assert!(io_bytes(Box::new(DiskLoadBehavior::new(0))) > 100 << 20);
+    assert!(io_bytes(Box::new(Dbt2Behavior::new(0))) > 1 << 20);
+    assert_eq!(
+        io_bytes(Box::new(SpecCpuBehavior::new(SpecParams::ART, 0))),
+        0
+    );
+    assert_eq!(io_bytes(Box::new(SpecJbbBehavior::new(0))), 0);
+}
+
+#[test]
+fn only_the_webserver_touches_the_network() {
+    let net = |b: Box<dyn ThreadBehavior>| {
+        demands(b, 500, 6).iter().map(|d| d.io.net_bytes).sum::<u64>()
+    };
+    assert!(net(Box::new(WebServerBehavior::new(0))) > 1 << 20);
+    for &w in Workload::ALL {
+        if w == Workload::Idle {
+            continue;
+        }
+        assert_eq!(
+            net(w.make_behavior(0)),
+            0,
+            "{w} is a paper workload: no network"
+        );
+    }
+}
+
+#[test]
+fn diskload_is_the_only_syncer() {
+    let syncs = |b: Box<dyn ThreadBehavior>| {
+        demands(b, 30_000, 7).iter().filter(|d| d.io.sync).count()
+    };
+    assert!(syncs(Box::new(DiskLoadBehavior::new(0))) >= 1);
+    assert_eq!(syncs(Box::new(Dbt2Behavior::new(0))), 0);
+    assert_eq!(syncs(Box::new(WebServerBehavior::new(0))), 0);
+}
+
+#[test]
+fn all_demands_are_physically_sane() {
+    // Every workload, every tick: rates in range, no NaNs.
+    for &w in Workload::ALL {
+        if w == Workload::Idle {
+            continue;
+        }
+        for d in demands(w.make_behavior(0), 1_000, 8) {
+            assert!(d.target_upc.is_finite() && d.target_upc >= 0.0);
+            assert!(d.target_upc <= 3.5, "{w}: upc {}", d.target_upc);
+            assert!((0.0..=1.0).contains(&d.streaming_fraction), "{w}");
+            assert!((0.0..=1.0).contains(&d.memory_sensitivity), "{w}");
+            assert!((0.0..=1.0).contains(&d.pointer_chasing), "{w}");
+            assert!(d.loads_per_uop >= 0.0 && d.loads_per_uop < 1.0);
+            assert!(d.stores_per_uop >= 0.0 && d.stores_per_uop < 1.0);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Emit a measured-vs-modeled power trace as CSV on stdout — the raw
+//! material of the paper's Figures 2, 3, 5, 6 and 7.
+//!
+//! ```text
+//! cargo run --release --example live_trace -- [workload] [seconds]
+//! cargo run --release --example live_trace -- mcf 120 > mcf.csv
+//! ```
+//!
+//! Columns: time, then measured and modeled watts for each subsystem.
+
+use tdp_counters::Subsystem;
+use tdp_workloads::{Workload, WorkloadSet};
+use trickledown::testbed::capture;
+use trickledown::{CalibrationSuite, Calibrator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "gcc".to_owned());
+    let seconds: u64 = args
+        .next()
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(60);
+    let workload: Workload = name.parse()?;
+
+    eprintln!("calibrating...");
+    let suite = CalibrationSuite::capture(5, 4);
+    let model = Calibrator::new().calibrate(&suite)?;
+
+    eprintln!("capturing {seconds} s of {workload}...");
+    let set = WorkloadSet::new(workload, workload.default_instances().max(1), 2_000);
+    let trace = capture(set, seconds, 17);
+
+    let mut header = vec!["seconds".to_owned()];
+    for s in Subsystem::ALL {
+        header.push(format!("{s}_measured_w"));
+        header.push(format!("{s}_modeled_w"));
+    }
+    header.push("total_measured_w".to_owned());
+    header.push("total_modeled_w".to_owned());
+    println!("{}", header.join(","));
+
+    for record in &trace.records {
+        let modeled = model.predict(&record.input);
+        let mut row = vec![format!("{}", record.input.time_ms as f64 / 1000.0)];
+        for &s in Subsystem::ALL {
+            row.push(format!("{:.3}", record.measured.watts.get(s)));
+            row.push(format!("{:.3}", modeled.get(s)));
+        }
+        row.push(format!("{:.3}", record.measured.watts.total()));
+        row.push(format!("{:.3}", modeled.total()));
+        println!("{}", row.join(","));
+    }
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! DVFS extension, end-to-end: Equation 1's coefficients are
+//! operating-point-specific, and the per-P-state model set repairs the
+//! mismatch.
+
+use tdp_counters::Subsystem;
+use tdp_workloads::{Workload, WorkloadSet};
+use trickledown::{
+    CpuPowerModel, PStateModelSet, SubsystemPowerModel as _, Testbed,
+    TestbedConfig,
+};
+
+/// Captures a gcc trace at a given frequency scale and fits Equation 1
+/// on it.
+fn fit_at(scale: f64, seed: u64) -> (CpuPowerModel, trickledown::Trace) {
+    let mut bed = Testbed::new(TestbedConfig::with_seed(seed));
+    bed.machine_mut().set_frequency_scale(scale);
+    bed.deploy(WorkloadSet::new(Workload::Gcc, 8, 2_000).with_delay(2_000));
+    let trace = bed.run_seconds(Workload::Gcc, 30);
+    let model = CpuPowerModel::fit(
+        &trace.inputs(),
+        &trace.measured(Subsystem::Cpu),
+    )
+    .expect("gcc ramp fits");
+    (model, trace)
+}
+
+fn avg_err(model: &CpuPowerModel, trace: &trickledown::Trace) -> f64 {
+    let modeled: Vec<f64> =
+        trace.inputs().iter().map(|s| model.predict(s)).collect();
+    tdp_modeling::metrics::average_error(
+        &modeled,
+        &trace.measured(Subsystem::Cpu),
+    )
+}
+
+#[test]
+fn nominal_model_breaks_under_dvfs_and_pstate_set_repairs_it() {
+    let (nominal, _) = fit_at(1.0, 61);
+    let (scaled, scaled_trace) = fit_at(0.625, 62);
+
+    // The nominal model grossly overestimates at the low P-state
+    // (voltage scaling is invisible to the counters)…
+    let naive_err = avg_err(&nominal, &scaled_trace);
+    assert!(
+        naive_err > 25.0,
+        "nominal model must break at 0.625x: {naive_err:.1}%"
+    );
+    // …while the matching P-state model tracks.
+    let matched_err = avg_err(&scaled, &scaled_trace);
+    assert!(
+        matched_err < 5.0,
+        "per-state model holds: {matched_err:.1}%"
+    );
+
+    // The set dispatches by nearest scale.
+    let set = PStateModelSet::new(vec![(1.0, nominal), (0.625, scaled)])
+        .expect("valid set");
+    let via_set: Vec<f64> = scaled_trace
+        .inputs()
+        .iter()
+        .map(|s| set.predict_at(0.625, s))
+        .collect();
+    let set_err = tdp_modeling::metrics::average_error(
+        &via_set,
+        &scaled_trace.measured(Subsystem::Cpu),
+    );
+    assert!((set_err - matched_err).abs() < 1e-9);
+
+    // The fitted coefficients themselves shrink with the voltage.
+    assert!(scaled.active_w < 0.75 * set.model_at(1.0).active_w);
+    assert!(scaled.upc_w < set.model_at(1.0).upc_w);
+}
+
+#[test]
+fn scaled_machine_does_proportionally_less_work() {
+    let run = |scale: f64| {
+        let mut bed = Testbed::new(TestbedConfig::with_seed(63));
+        bed.machine_mut().set_frequency_scale(scale);
+        bed.deploy(WorkloadSet::new(Workload::Vortex, 4, 0));
+        let trace = bed.run_seconds(Workload::Vortex, 5).skip_warmup(1);
+        let uops: u64 = trace
+            .records
+            .iter()
+            .map(|r| {
+                r.raw
+                    .total(tdp_counters::PerfEvent::RetiredUops)
+                    .unwrap()
+            })
+            .sum();
+        let cpu_w: f64 = trace.measured(Subsystem::Cpu).iter().sum::<f64>()
+            / trace.len() as f64;
+        (uops, cpu_w)
+    };
+    let (full_uops, full_w) = run(1.0);
+    let (half_uops, half_w) = run(0.5);
+    let work_ratio = half_uops as f64 / full_uops as f64;
+    assert!(
+        (work_ratio - 0.5).abs() < 0.03,
+        "work follows the clock: {work_ratio}"
+    );
+    // Energy per uop improves: that's the whole point of DVFS.
+    let epi_full = full_w / full_uops as f64;
+    let epi_half = half_w / half_uops as f64;
+    assert!(
+        epi_half < 0.75 * epi_full,
+        "energy per op drops superlinearly: {epi_half:e} vs {epi_full:e}"
+    );
+}

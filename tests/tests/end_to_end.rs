@@ -1,0 +1,115 @@
+//! End-to-end integration: calibrate on training traces, validate on
+//! unseen workloads, persist and reload the model.
+
+use tdp_counters::Subsystem;
+use tdp_workloads::{Workload, WorkloadSet};
+use trickledown::testbed::capture;
+use trickledown::{
+    CalibrationSuite, Calibrator, SystemPowerEstimator, SystemPowerModel,
+    ValidationReport,
+};
+
+fn small_suite(seed: u64) -> CalibrationSuite {
+    CalibrationSuite::capture(seed, 3)
+}
+
+#[test]
+fn calibrated_model_generalises_to_unseen_workloads() {
+    let model = Calibrator::new()
+        .calibrate(&small_suite(1))
+        .expect("training traces fit");
+
+    // None of these workloads appear in the training recipe.
+    let unseen = [
+        (Workload::Vortex, 8usize),
+        (Workload::Mesa, 8),
+        (Workload::SpecJbb, 8),
+    ];
+    for (w, instances) in unseen {
+        let trace = capture(WorkloadSet::new(w, instances, 500), 20, 77);
+        let report = ValidationReport::validate(&model, &[trace]);
+        let row = &report.rows[0];
+        for &s in Subsystem::ALL {
+            assert!(
+                row.error_pct(s) < 15.0,
+                "{w}/{s}: {:.2}% error",
+                row.error_pct(s)
+            );
+        }
+        // Total power error is what an operator would see.
+        assert!(row.error_pct(Subsystem::Cpu) < 10.0, "{w} cpu error");
+    }
+}
+
+#[test]
+fn model_persists_through_json_file() {
+    let model = Calibrator::new()
+        .calibrate(&small_suite(2))
+        .expect("calibrates");
+    let path = std::env::temp_dir().join("tdp-system-tests-model.json");
+    std::fs::write(&path, model.to_json().unwrap()).unwrap();
+    let loaded =
+        SystemPowerModel::from_json(&std::fs::read_to_string(&path).unwrap())
+            .unwrap();
+    assert_eq!(model, loaded);
+
+    // The reloaded model predicts identically.
+    let trace = capture(WorkloadSet::new(Workload::Gcc, 2, 500), 6, 3);
+    for record in &trace.records {
+        let a = model.predict(&record.input);
+        let b = loaded.predict(&record.input);
+        assert_eq!(a.as_array(), b.as_array());
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let model = Calibrator::new()
+            .calibrate(&small_suite(9))
+            .expect("calibrates");
+        let trace = capture(WorkloadSet::new(Workload::Art, 4, 400), 10, 9);
+        let mut est = SystemPowerEstimator::new(model);
+        trace
+            .records
+            .iter()
+            .map(|r| est.push(&r.input).total())
+            .collect::<Vec<f64>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn estimator_tracks_measured_total_within_bounds() {
+    let model = Calibrator::new()
+        .calibrate(&small_suite(4))
+        .expect("calibrates");
+    let mut est = SystemPowerEstimator::new(model);
+    let trace = capture(WorkloadSet::new(Workload::Wupwise, 8, 300), 20, 5);
+    for record in &trace.records {
+        let e = est.push(&record.input);
+        let measured = record.measured.watts.total();
+        let err = (e.total() - measured).abs() / measured;
+        assert!(
+            err < 0.20,
+            "total-power error {:.1}% at t={}s",
+            err * 100.0,
+            record.input.time_ms / 1000
+        );
+    }
+}
+
+#[test]
+fn paper_coefficients_predict_idle_sanely() {
+    // The published model was fitted on different hardware, but its DC
+    // terms should still land near our simulated idle (both platforms
+    // idle around 141 W total).
+    let model = SystemPowerModel::paper();
+    let trace = capture(WorkloadSet::standard(Workload::Idle), 8, 6);
+    let report = ValidationReport::validate(&model, &[trace]);
+    let row = &report.rows[0];
+    assert!(row.error_pct(Subsystem::Disk) < 2.0);
+    assert!(row.error_pct(Subsystem::Io) < 2.0);
+    assert!(row.error_pct(Subsystem::Memory) < 8.0);
+    assert!(row.error_pct(Subsystem::Cpu) < 8.0);
+}

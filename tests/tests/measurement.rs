@@ -1,0 +1,118 @@
+//! Measurement-chain integration: sampling discipline, sync alignment
+//! and noise characteristics of the simulated bench.
+
+use tdp_counters::{PerfEvent, SamplerConfig, Subsystem};
+use tdp_modeling::OnlineStats;
+use tdp_workloads::{Workload, WorkloadSet};
+use trickledown::testbed::{Testbed, TestbedConfig};
+
+#[test]
+fn counter_windows_and_power_windows_stay_aligned_under_jitter() {
+    let mut cfg = TestbedConfig::with_seed(31);
+    cfg.sampler = SamplerConfig {
+        period_ms: 1000,
+        max_jitter_ms: 3,
+    };
+    let mut bed = Testbed::new(cfg);
+    bed.deploy(WorkloadSet::new(Workload::Gcc, 4, 500));
+    let trace = bed.run_seconds(Workload::Gcc, 20);
+
+    for r in &trace.records {
+        assert_eq!(r.raw.time_ms, r.measured.time_ms, "same sync pulse");
+        assert_eq!(r.raw.window_ms, r.measured.window_ms);
+        assert!((997..=1006).contains(&r.raw.window_ms), "1 Hz ± jitter");
+    }
+    // The sync recorder can answer alignment queries for every window.
+    let sync = bed.sync_recorder();
+    for r in &trace.records {
+        assert_eq!(sync.window_of(r.raw.time_ms), Some(r.raw.seq));
+    }
+}
+
+#[test]
+fn cycles_metric_corrects_sampling_rate_wobble() {
+    // Raw per-window counts wobble with the window length; per-cycle
+    // rates do not (§3.3 "Cycles").
+    let mut cfg = TestbedConfig::with_seed(32);
+    cfg.sampler.max_jitter_ms = 3;
+    let mut bed = Testbed::new(cfg);
+    for i in 0..4 {
+        bed.machine_mut()
+            .os_mut()
+            .spawn(Workload::Vortex.make_behavior(i), 0);
+    }
+    let trace = bed.run_seconds(Workload::Vortex, 25).skip_warmup(3);
+
+    let mut raw_counts = OnlineStats::new();
+    let mut rates = OnlineStats::new();
+    for r in &trace.records {
+        raw_counts.push(r.raw.total(PerfEvent::FetchedUops).unwrap() as f64);
+        rates.push(r.input.sum(|c| c.fetched_upc));
+    }
+    let raw_cv = raw_counts.population_std_dev() / raw_counts.mean();
+    let rate_cv = rates.population_std_dev() / rates.mean();
+    assert!(
+        rate_cv < raw_cv,
+        "per-cycle normalisation reduces variation: {rate_cv:.5} vs {raw_cv:.5}"
+    );
+}
+
+#[test]
+fn faster_sampling_still_aligns_and_sums() {
+    // A 250 ms sampling period: 4x the windows, same totals.
+    let capture_total = |period_ms: u64| {
+        let mut cfg = TestbedConfig::with_seed(33);
+        cfg.sampler = SamplerConfig {
+            period_ms,
+            max_jitter_ms: 0,
+        };
+        let mut bed = Testbed::new(cfg);
+        bed.deploy(WorkloadSet::new(Workload::Mesa, 4, 100));
+        let trace = bed.run_seconds(Workload::Mesa, 12 * 1000 / period_ms);
+        trace
+            .records
+            .iter()
+            .map(|r| r.raw.total(PerfEvent::Cycles).unwrap())
+            .sum::<u64>()
+    };
+    let slow = capture_total(1000);
+    let fast = capture_total(250);
+    assert_eq!(slow, fast, "cycle totals are conserved across periods");
+}
+
+#[test]
+fn measurement_noise_floor_matches_the_specified_sigma() {
+    // On an idle machine, per-window disk power variation is pure
+    // sensor noise; its sigma should track the configured 0.027 W RMS.
+    let mut bed = Testbed::new(TestbedConfig::with_seed(34));
+    let trace = bed.run_seconds(Workload::Idle, 60);
+    let stats: OnlineStats = trace
+        .measured(Subsystem::Disk)
+        .into_iter()
+        .collect();
+    let sigma = stats.population_std_dev();
+    assert!(
+        (0.01..0.06).contains(&sigma),
+        "disk idle noise sigma {sigma:.4} W"
+    );
+    // And it is unbiased: the mean sits at the 21.6 W ground truth.
+    assert!((stats.mean() - 21.6).abs() < 0.1, "{}", stats.mean());
+}
+
+#[test]
+fn different_seeds_decorrelate_noise_but_not_physics() {
+    let run = |seed: u64| {
+        let mut bed = Testbed::new(TestbedConfig::with_seed(seed));
+        bed.deploy(WorkloadSet::new(Workload::Lucas, 8, 100));
+        let t = bed.run_seconds(Workload::Lucas, 10).skip_warmup(2);
+        let v = t.measured(Subsystem::Memory);
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let a = run(101);
+    let b = run(202);
+    assert_ne!(a, b, "noise differs");
+    assert!(
+        (a - b).abs() < 1.5,
+        "but the physics agree: {a:.2} vs {b:.2} W"
+    );
+}

@@ -1,0 +1,218 @@
+//! The paper's headline phenomena, reproduced end-to-end at
+//! integration-test scale.
+
+use tdp_counters::Subsystem;
+use tdp_simsys::MachineConfig;
+use tdp_workloads::{Workload, WorkloadSet};
+use trickledown::testbed::{Testbed, TestbedConfig, Trace};
+use trickledown::{MemoryInput, MemoryPowerModel, SubsystemPowerModel as _};
+
+/// A testbed whose prefetcher trains quickly, so the Figure-4 dynamics
+/// fit in test time.
+fn fast_train_trace(
+    workload: Workload,
+    instances: usize,
+    stagger_ms: u64,
+    seconds: u64,
+    seed: u64,
+) -> Trace {
+    let mut machine = MachineConfig {
+        seed,
+        ..MachineConfig::default()
+    };
+    machine.prefetch.train_ticks = 8_000.0; // 8 s instead of 40 s
+    let mut bed = Testbed::new(TestbedConfig {
+        machine,
+        ..TestbedConfig::default()
+    });
+    bed.deploy(WorkloadSet::new(workload, instances, stagger_ms).with_delay(2_000));
+    bed.run_seconds(workload, seconds)
+}
+
+/// §4.2.2 / Figures 3–5: the cache-miss model holds on mesa, fails on
+/// mcf at high utilization; the bus-transaction model holds on both.
+#[test]
+fn cache_miss_model_fails_where_bus_model_holds() {
+    let mesa = fast_train_trace(Workload::Mesa, 8, 2_000, 45, 11);
+    let mcf = fast_train_trace(Workload::Mcf, 8, 2_000, 45, 12);
+
+    // Train Equation 2 on mesa (the paper's Figure 3 procedure).
+    let l3 = MemoryPowerModel::fit(
+        MemoryInput::L3LoadMisses,
+        &mesa.inputs(),
+        &mesa.measured(Subsystem::Memory),
+    )
+    .expect("mesa has L3-miss variation");
+    // Equation 2 fits its own training workload well.
+    let mesa_modeled: Vec<f64> =
+        mesa.inputs().iter().map(|s| l3.predict(s)).collect();
+    let mesa_err = tdp_modeling::metrics::average_error(
+        &mesa_modeled,
+        &mesa.measured(Subsystem::Memory),
+    );
+    assert!(mesa_err < 5.0, "Eq 2 on mesa: {mesa_err:.2}% (paper ~1%)");
+
+    // On mcf's mature phase (prefetcher trained, misses hidden) it
+    // underestimates badly…
+    let late: Vec<_> = mcf
+        .records
+        .iter()
+        .filter(|r| r.input.time_ms > 30_000)
+        .collect();
+    assert!(!late.is_empty());
+    let mut under = 0usize;
+    let mut err_sum = 0.0;
+    for r in &late {
+        let measured = r.measured.watts.get(Subsystem::Memory);
+        let modeled = l3.predict(&r.input);
+        if modeled < measured {
+            under += 1;
+        }
+        err_sum += (modeled - measured).abs() / measured * 100.0;
+    }
+    let l3_err = err_sum / late.len() as f64;
+    assert!(
+        l3_err > 8.0,
+        "Eq 2 must fail on mature mcf: {l3_err:.2}% error"
+    );
+    assert!(
+        under as f64 > 0.9 * late.len() as f64,
+        "and the failure is an *under*estimate ({} of {})",
+        under,
+        late.len()
+    );
+
+    // …while Equation 3, fitted on the same mcf trace, stays accurate.
+    let bus = MemoryPowerModel::fit(
+        MemoryInput::BusTransactions,
+        &mcf.inputs(),
+        &mcf.measured(Subsystem::Memory),
+    )
+    .expect("mcf has bus variation");
+    let mut bus_err_sum = 0.0;
+    for r in &late {
+        let measured = r.measured.watts.get(Subsystem::Memory);
+        bus_err_sum += (bus.predict(&r.input) - measured).abs() / measured * 100.0;
+    }
+    let bus_err = bus_err_sum / late.len() as f64;
+    assert!(
+        bus_err < 4.0,
+        "Eq 3 holds where Eq 2 failed: {bus_err:.2}% (paper: 2.2%)"
+    );
+    assert!(bus_err < l3_err / 2.0);
+}
+
+/// §4.2.2 / Figure 4: as the prefetcher matures on mcf, visible L3
+/// misses per cycle fall while bus traffic does not.
+#[test]
+fn prefetch_hides_misses_but_not_traffic() {
+    let mcf = fast_train_trace(Workload::Mcf, 4, 500, 40, 13);
+    let early: Vec<_> = mcf
+        .records
+        .iter()
+        .filter(|r| (4_000..8_000).contains(&r.input.time_ms))
+        .collect();
+    let late: Vec<_> = mcf
+        .records
+        .iter()
+        .filter(|r| r.input.time_ms > 30_000)
+        .collect();
+    let avg = |rs: &[&trickledown::TraceRecord], f: &dyn Fn(&trickledown::CpuRates) -> f64| {
+        rs.iter().map(|r| r.input.sum(f)).sum::<f64>() / rs.len() as f64
+    };
+    let miss_early = avg(&early, &|c| c.l3_load_misses);
+    let miss_late = avg(&late, &|c| c.l3_load_misses);
+    let bus_early = avg(&early, &|c| c.bus_tx_per_mcycle);
+    let bus_late = avg(&late, &|c| c.bus_tx_per_mcycle);
+    assert!(
+        miss_late < 0.6 * miss_early,
+        "visible misses collapse: {miss_early:.5} -> {miss_late:.5}"
+    );
+    assert!(
+        bus_late > 0.85 * bus_early,
+        "bus traffic does not: {bus_early:.0} -> {bus_late:.0}"
+    );
+}
+
+/// §4.1: the disk subsystem's dynamic range is tiny because the platters
+/// never stop spinning — "the largest we could expect to see is a 20%
+/// increase in power compared to the idle state".
+#[test]
+fn disk_dynamic_range_is_bounded_by_rotation() {
+    let idle = fast_train_trace(Workload::Idle, 0, 0, 10, 14);
+    let load = fast_train_trace(Workload::DiskLoad, 4, 1_000, 40, 14);
+    let idle_disk: f64 = idle.measured(Subsystem::Disk).iter().sum::<f64>()
+        / idle.len() as f64;
+    let peak_disk = load
+        .measured(Subsystem::Disk)
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    assert!(peak_disk > idle_disk, "some dynamic range exists");
+    assert!(
+        peak_disk < idle_disk * 1.20,
+        "but under +20%: idle {idle_disk:.1} W, peak {peak_disk:.1} W"
+    );
+}
+
+/// §4.2.1: per-CPU attribution — a busy CPU is billed more than an idle
+/// one within the same window.
+#[test]
+fn per_cpu_attribution_separates_busy_from_idle() {
+    let trace = fast_train_trace(Workload::Vortex, 2, 100, 10, 15);
+    let model = trickledown::SystemPowerModel::paper();
+    let last = trace.records.last().unwrap();
+    let per_cpu: Vec<f64> = last
+        .input
+        .per_cpu
+        .iter()
+        .map(|c| model.cpu.predict_single(c))
+        .collect();
+    let max = per_cpu.iter().cloned().fold(0.0f64, f64::max);
+    let min = per_cpu.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        max > 3.0 * min,
+        "two busy CPUs vs two idle ones: {per_cpu:?}"
+    );
+}
+
+/// §2.4 extension: the phase detector segments a staggered gcc ramp
+/// into one phase per utilization step.
+#[test]
+fn phase_detector_finds_the_instance_ramp() {
+    use trickledown::{PhaseConfig, PhaseDetector, SystemPowerEstimator};
+
+    let trace = fast_train_trace(Workload::Gcc, 4, 10_000, 50, 16);
+    let model = trickledown::SystemPowerModel::paper();
+    let mut est = SystemPowerEstimator::new(model);
+    let estimates: Vec<_> = trace
+        .records
+        .iter()
+        .map(|r| est.push(&r.input))
+        .collect();
+    let phases = PhaseDetector::segment(
+        PhaseConfig {
+            threshold_w: 10.0,
+            min_stable_windows: 3,
+        },
+        &estimates,
+    );
+    // Idle lead-in + four instance steps: at least 4 phases, and the
+    // stable ones must be ordered by increasing CPU power.
+    assert!(
+        phases.len() >= 4,
+        "ramp should segment into phases: {}",
+        phases.len()
+    );
+    let stable: Vec<f64> = phases
+        .iter()
+        .filter(|p| p.stable && p.windows >= 5)
+        .map(|p| p.total_w())
+        .collect();
+    assert!(stable.len() >= 3);
+    for w in stable.windows(2) {
+        assert!(
+            w[1] > w[0] - 12.0,
+            "phases trend upward along the ramp: {stable:?}"
+        );
+    }
+}

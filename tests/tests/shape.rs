@@ -1,0 +1,35 @@
+//! The paper's qualitative claims as a test: runs the bench crate's
+//! shape checks at smoke scale and requires the load-bearing ones to
+//! hold. (The full-scale run is `repro shape`; this keeps the claims
+//! enforced under `cargo test --workspace`.)
+
+use tdp_bench::experiments::{shape_checks, tables_3_and_4};
+use tdp_bench::{calibrate, capture_all, ExperimentConfig};
+use trickledown::PowerCharacterization;
+
+#[test]
+fn paper_shape_checks_hold_at_smoke_scale() {
+    let cfg = ExperimentConfig {
+        seed: 2007,
+        trace_seconds: 40,
+        ramp_seconds: 3,
+        out_dir: std::env::temp_dir().join("tdp-system-tests-shape"),
+    };
+    let model = calibrate(&cfg);
+    let traces = capture_all(&cfg);
+    let characterization = PowerCharacterization::from_traces(&traces);
+    let (report, _) = tables_3_and_4(&cfg, &model, &traces);
+    let checks = shape_checks(&characterization, &report);
+    assert!(checks.len() >= 14, "all check families produced verdicts");
+    let failed: Vec<&str> = checks
+        .iter()
+        .filter(|(_, ok)| !ok)
+        .map(|(label, _)| label.as_str())
+        .collect();
+    // At smoke scale allow at most one marginal miss (short traces make
+    // close orderings noisy); the full-scale run requires 15/15.
+    assert!(
+        failed.len() <= 1,
+        "shape checks failed at smoke scale: {failed:#?}"
+    );
+}

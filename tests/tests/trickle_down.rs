@@ -1,0 +1,198 @@
+//! Causality tests: events raised in or near the CPU must propagate
+//! outward exactly the way the paper's Figure 1 describes, and the
+//! ground-truth power of each subsystem must respond to — and only to —
+//! the traffic that reaches it.
+
+use tdp_counters::{PerfEvent, Subsystem};
+use tdp_workloads::{Workload, WorkloadSet};
+use trickledown::testbed::{capture, Trace};
+
+fn mean_measured(trace: &Trace, s: Subsystem) -> f64 {
+    let v = trace.measured(s);
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn total_event(trace: &Trace, e: PerfEvent) -> u64 {
+    trace
+        .records
+        .iter()
+        .filter_map(|r| r.raw.total(e))
+        .sum()
+}
+
+fn steady(workload: Workload, instances: usize, seconds: u64, seed: u64) -> Trace {
+    let trace = capture(
+        WorkloadSet::new(workload, instances, 100),
+        seconds,
+        seed,
+    );
+    trace.skip_warmup(3)
+}
+
+#[test]
+fn idle_machine_idles_everywhere() {
+    let idle = capture(WorkloadSet::standard(Workload::Idle), 10, 1);
+    assert_eq!(total_event(&idle, PerfEvent::DiskInterrupts), 0);
+    assert_eq!(total_event(&idle, PerfEvent::DmaOtherBusTransactions), 0);
+    // Timer interrupts still tick: 4 CPUs × 1 kHz × 10 s.
+    let timers = total_event(&idle, PerfEvent::TimerInterrupts);
+    assert!((39_000..=41_000).contains(&timers), "{timers}");
+    assert!(mean_measured(&idle, Subsystem::Disk) < 22.0);
+    assert!(mean_measured(&idle, Subsystem::Memory) < 29.0);
+}
+
+#[test]
+fn cache_misses_trickle_into_bus_dram_and_memory_power() {
+    let idle = steady(Workload::Idle, 0, 15, 2);
+    let hot = steady(Workload::Lucas, 8, 15, 2);
+
+    let idle_bus = total_event(&idle, PerfEvent::BusTransactionsAll);
+    let hot_bus = total_event(&hot, PerfEvent::BusTransactionsAll);
+    assert!(
+        hot_bus > idle_bus * 100,
+        "streaming FP floods the bus: {idle_bus} vs {hot_bus}"
+    );
+    let dmem = mean_measured(&hot, Subsystem::Memory)
+        - mean_measured(&idle, Subsystem::Memory);
+    assert!(dmem > 8.0, "memory power follows: +{dmem:.1} W");
+    // And the disk stays asleep: no file I/O in SPEC workloads.
+    assert_eq!(total_event(&hot, PerfEvent::DiskInterrupts), 0);
+}
+
+#[test]
+fn disk_io_trickles_through_uncacheable_dma_and_interrupts() {
+    // DiskLoad's overwrite phase runs 26 s before the first sync();
+    // capture long enough to include the flush burst.
+    let trace = steady(Workload::DiskLoad, 4, 40, 3);
+    // Every stage of the §3.3 chain is visible at the CPU:
+    let unc = total_event(&trace, PerfEvent::UncacheableAccesses);
+    let dma = total_event(&trace, PerfEvent::DmaOtherBusTransactions);
+    let ints = total_event(&trace, PerfEvent::DiskInterrupts);
+    assert!(unc > 0, "MMIO configuration accesses");
+    assert!(dma > 0, "DMA transfers on the processor bus");
+    assert!(ints > 0, "completion interrupts");
+    // Commands are large; DMA lines per interrupt should be in the
+    // thousands (512 KiB / 64 B = 8192 payload lines).
+    let lines_per_int = dma as f64 / ints as f64;
+    assert!(
+        (2_000.0..20_000.0).contains(&lines_per_int),
+        "lines per interrupt {lines_per_int}"
+    );
+    // And the I/O + disk subsystems responded.
+    let idle = steady(Workload::Idle, 0, 10, 3);
+    assert!(
+        mean_measured(&trace, Subsystem::Io)
+            > mean_measured(&idle, Subsystem::Io) + 1.0
+    );
+    assert!(
+        mean_measured(&trace, Subsystem::Disk)
+            > mean_measured(&idle, Subsystem::Disk) + 0.3
+    );
+}
+
+#[test]
+fn compute_only_work_stays_in_the_cpu_subsystem() {
+    let idle = steady(Workload::Idle, 0, 12, 4);
+    let hot = steady(Workload::Vortex, 8, 12, 4);
+    let dcpu = mean_measured(&hot, Subsystem::Cpu)
+        - mean_measured(&idle, Subsystem::Cpu);
+    let dmem = mean_measured(&hot, Subsystem::Memory)
+        - mean_measured(&idle, Subsystem::Memory);
+    let ddisk = (mean_measured(&hot, Subsystem::Disk)
+        - mean_measured(&idle, Subsystem::Disk))
+    .abs();
+    assert!(dcpu > 100.0, "vortex is compute-bound: +{dcpu:.0} W CPU");
+    assert!(dmem < 12.0, "modest memory footprint: +{dmem:.1} W");
+    assert!(ddisk < 0.3, "no disk involvement: {ddisk:.2} W");
+}
+
+#[test]
+fn dma_is_visible_in_all_transactions_but_not_self_transactions() {
+    let trace = steady(Workload::DiskLoad, 4, 20, 5);
+    let all = total_event(&trace, PerfEvent::BusTransactionsAll);
+    let own = total_event(&trace, PerfEvent::BusTransactionsSelf);
+    let dma = total_event(&trace, PerfEvent::DmaOtherBusTransactions);
+    assert_eq!(all, own + dma, "the bus metrics are consistent");
+    assert!(dma > 0);
+}
+
+#[test]
+fn smp_saturates_at_eight_threads() {
+    // "most workloads saturate (no increased subsystem utilization)
+    // with eight threads" (§3.2.1).
+    let eight = steady(Workload::Mgrid, 8, 12, 6);
+    let twelve = steady(Workload::Mgrid, 12, 12, 6);
+    let p8 = mean_measured(&eight, Subsystem::Cpu)
+        + mean_measured(&eight, Subsystem::Memory);
+    let p12 = mean_measured(&twelve, Subsystem::Cpu)
+        + mean_measured(&twelve, Subsystem::Memory);
+    assert!(
+        (p12 - p8).abs() / p8 < 0.05,
+        "beyond 8 threads nothing changes: {p8:.1} vs {p12:.1}"
+    );
+}
+
+#[test]
+fn network_traffic_trickles_through_nic_interrupts() {
+    // Web serving (the §2.3 motivation, an extension workload): network
+    // DMA shows up as coalesced NIC interrupts and I/O power.
+    let mut bed = trickledown::Testbed::new(
+        trickledown::TestbedConfig::with_seed(40),
+    );
+    for i in 0..8 {
+        bed.machine_mut().os_mut().spawn(
+            Box::new(tdp_workloads::WebServerBehavior::new(i)),
+            0,
+        );
+    }
+    let trace = bed.run_seconds(Workload::Idle, 15).skip_warmup(2);
+    let nic_ints = total_event(&trace, PerfEvent::NicInterrupts);
+    assert!(nic_ints > 0, "NIC interrupts observed at the CPU");
+    // Interrupt coalescing: far fewer interrupts than KiB served.
+    let window_s = trace.len() as u64;
+    assert!(
+        nic_ints < 3_000 * window_s,
+        "coalescing bounds the rate: {nic_ints}"
+    );
+    let idle = steady(Workload::Idle, 0, 10, 40);
+    let dio = mean_measured(&trace, Subsystem::Io)
+        - mean_measured(&idle, Subsystem::Io);
+    assert!(dio > 0.5, "network serving raises I/O power: +{dio:.2} W");
+    // And the interrupt-based Equation 5 sees it: device interrupts per
+    // cycle are nonzero on every sampled window.
+    assert!(trace
+        .records
+        .iter()
+        .all(|r| r.input.sum(|c| c.device_interrupts_per_cycle) > 0.0));
+}
+
+#[test]
+fn finite_workloads_finish_and_the_machine_returns_to_idle() {
+    use tdp_workloads::{SpecCpuBehavior, SpecParams};
+    let mut bed = trickledown::Testbed::new(
+        trickledown::TestbedConfig::with_seed(41),
+    );
+    for i in 0..4 {
+        bed.machine_mut().os_mut().spawn(
+            Box::new(
+                SpecCpuBehavior::new(SpecParams::VORTEX, i)
+                    .with_duration_ms(3_000),
+            ),
+            0,
+        );
+    }
+    let busy = bed.run_seconds(Workload::Vortex, 3);
+    assert!(
+        mean_measured(&busy, Subsystem::Cpu) > 100.0,
+        "running hot while scheduled"
+    );
+    // One more second and everyone has exited; power falls to idle.
+    let _drain = bed.run_seconds(Workload::Vortex, 2);
+    assert!(bed.machine_mut().os().all_finished());
+    let after = bed.run_seconds(Workload::Idle, 3);
+    assert!(
+        mean_measured(&after, Subsystem::Cpu) < 40.0,
+        "idle again: {:.1} W",
+        mean_measured(&after, Subsystem::Cpu)
+    );
+}
