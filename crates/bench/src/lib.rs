@@ -3,9 +3,8 @@
 //!
 //! The experiment index lives in `DESIGN.md`; each `Experiment` here
 //! regenerates one of the paper's tables or figures. Traces are captured
-//! in parallel (one OS thread per workload, via `crossbeam::scope`) and
-//! results are written both as human-readable tables on stdout and as
-//! CSV files under the output directory.
+//! in parallel and results are written both as human-readable tables on
+//! stdout and as CSV files under the output directory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,25 +77,16 @@ pub fn capture_workload(cfg: &ExperimentConfig, workload: Workload) -> Trace {
 
 /// Captures all twelve standard traces in parallel (one thread each).
 pub fn capture_all(cfg: &ExperimentConfig) -> Vec<Trace> {
-    let mut out: Vec<Option<Trace>> = Vec::new();
-    out.resize_with(Workload::ALL.len(), || None);
-    let slots: Vec<parking_lot::Mutex<Option<Trace>>> =
-        out.into_iter().map(parking_lot::Mutex::new).collect();
-    crossbeam::scope(|scope| {
-        for (i, &w) in Workload::ALL.iter().enumerate() {
-            let slot = &slots[i];
-            let cfg = cfg.clone();
-            scope.spawn(move |_| {
-                let trace = capture_workload(&cfg, w);
-                *slot.lock() = Some(trace);
-            });
-        }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = Workload::ALL
+            .iter()
+            .map(|&w| scope.spawn(move || capture_workload(cfg, w)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("capture threads do not panic"))
+            .collect()
     })
-    .expect("capture threads do not panic");
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("every slot filled"))
-        .collect()
 }
 
 /// Runs the paper's calibration recipe and returns the fitted model.

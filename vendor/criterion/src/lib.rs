@@ -1,0 +1,250 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! crates.io is unreachable in this build environment, so this crate
+//! implements the slice of the criterion API the workspace's benches
+//! use: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with [`Throughput::Elements`] and `sample_size`, [`Bencher::iter`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, a short warm-up sizes the batch so
+//! one sample takes roughly `target_sample_ms`; `sample_size` samples
+//! are then timed and the median per-iteration time (plus throughput,
+//! when declared) is printed. No plotting, no statistics files — good
+//! enough to compare hot paths before and after a change.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Declared per-sample work, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per benchmark iteration.
+    Elements(u64),
+    /// Bytes processed per benchmark iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the batch size chosen by the harness, recording the
+    /// total elapsed wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevents the optimizer from discarding `value` (upstream re-export).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            target_sample_ms: 40,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `id` with default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        f: F,
+    ) -> &mut Self {
+        run_bench(id, self.sample_size, self.target_sample_ms, None, f);
+        self
+    }
+
+    /// Opens a named group whose benchmarks share settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            target_sample_ms: self.target_sample_ms,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Group of benchmarks sharing `sample_size`/`throughput` settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    target_sample_ms: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work so results include a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(
+            &full,
+            self.sample_size,
+            self.target_sample_ms,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    target_sample_ms: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up: find a batch size where one sample lasts ~target_sample_ms.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed.as_millis() as u64 >= target_sample_ms || iters >= 1 << 24
+        {
+            break;
+        }
+        // Grow geometrically toward the target, at least doubling.
+        let scale = if b.elapsed.as_micros() == 0 {
+            16
+        } else {
+            ((target_sample_ms as u128 * 1000) / b.elapsed.as_micros()).max(2)
+        };
+        iters = iters.saturating_mul(scale.min(64) as u64);
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!(" ({:.3} Melem/s)", n as f64 / median * 1000.0)
+        }
+        Throughput::Bytes(n) => {
+            format!(" ({:.1} MiB/s)", n as f64 / median * 1e9 / (1 << 20) as f64)
+        }
+    });
+    println!(
+        "{id:<48} {:>14}/iter{}  [{} samples x {iters} iters]",
+        format_ns(median),
+        rate.unwrap_or_default(),
+        sample_size,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: a function per target, run in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; none apply here.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            target_sample_ms: 1,
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion {
+            sample_size: 3,
+            target_sample_ms: 1,
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,650 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! crates.io is unreachable in this build environment, so this crate
+//! provides a *direct-to-JSON* serialization framework with the same
+//! surface the workspace uses: `Serialize`/`Deserialize` traits, derive
+//! macros (from the sibling `serde_derive` stand-in) and impls for the
+//! primitives, strings, tuples, arrays, `Vec` and `Option`.
+//!
+//! Unlike real serde there is no intermediate data model: `Serialize`
+//! writes JSON text and `Deserialize` reads it. The JSON dialect matches
+//! `serde_json`'s defaults (externally tagged enums, newtype structs
+//! transparent, non-finite floats as `null`) so archived traces keep the
+//! same shape they would have upstream. Float formatting uses Rust's
+//! shortest-roundtrip `Display`, preserving the `float_roundtrip`
+//! guarantee calibrated coefficients rely on.
+
+#![forbid(unsafe_code)]
+
+// `use serde::{Serialize, Deserialize}` must bring in both the traits
+// (type namespace) and the derive macros (macro namespace); the same name
+// can live in both.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization to JSON text.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Deserialization from JSON text.
+pub trait Deserialize: Sized {
+    /// Reads one JSON value from the parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`de::Error`] describing the first syntax or shape
+    /// mismatch.
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error>;
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                use std::fmt::Write as _;
+                let _ = write!(out, "{self}");
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                let tok = p.number_token()?;
+                tok.parse::<$t>().map_err(|_| {
+                    de::Error::new(format!(
+                        "invalid {} literal `{tok}`", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                use std::fmt::Write as _;
+                if self.is_finite() {
+                    // Rust's Display for floats is shortest-roundtrip.
+                    let _ = write!(out, "{self}");
+                } else {
+                    // serde_json serializes non-finite floats as null.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                if p.peek_is_null() {
+                    p.expect_null()?;
+                    return Ok(<$t>::NAN);
+                }
+                let tok = p.number_token()?;
+                tok.parse::<$t>().map_err(|_| {
+                    de::Error::new(format!("invalid float literal `{tok}`"))
+                })
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_bool()
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        de::write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        de::write_json_string(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_string()
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string to obtain `'static` (upstream serde cannot
+    /// deserialize `&'static str` at all). Only static workload
+    /// descriptors carry such fields and they are deserialized rarely
+    /// (tests), so the leak is bounded.
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        Ok(Box::leak(p.parse_string()?.into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        de::write_json_string(self.encode_utf8(&mut buf), out);
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        let s = p.parse_string()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::new("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        if p.peek_is_null() {
+            p.expect_null()?;
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize_json(p)?))
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.expect_byte(b'[')?;
+        let mut out = Vec::new();
+        if p.peek_close_bracket() {
+            p.expect_byte(b']')?;
+            return Ok(out);
+        }
+        loop {
+            out.push(T::deserialize_json(p)?);
+            if p.try_byte(b',') {
+                continue;
+            }
+            p.expect_byte(b']')?;
+            return Ok(out);
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        let items = Vec::<T>::deserialize_json(p)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            de::Error::new(format!("expected array of {N} elements, got {len}"))
+        })
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        Ok(Box::new(T::deserialize_json(p)?))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                p.expect_byte(b'[')?;
+                let mut first = true;
+                let value = ($(
+                    {
+                        if !first { p.expect_byte(b',')?; }
+                        first = false;
+                        $t::deserialize_json(p)?
+                    },
+                )+);
+                let _ = first;
+                p.expect_byte(b']')?;
+                Ok(value)
+            }
+        }
+    )+};
+}
+
+tuple_impls!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+);
+
+/// JSON lexing/parsing support used by `Deserialize` impls and derives.
+pub mod de {
+    use std::fmt;
+
+    /// A deserialization error: position and message.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Creates an error with a message.
+        pub fn new(msg: impl Into<String>) -> Self {
+            Self { msg: msg.into() }
+        }
+
+        /// Error for a missing struct field.
+        pub fn missing_field(name: &str) -> Self {
+            Self::new(format!("missing field `{name}`"))
+        }
+
+        /// Error for an unrecognized enum variant tag.
+        pub fn unknown_variant(name: &str) -> Self {
+            Self::new(format!("unknown variant `{name}`"))
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Escapes `s` as a JSON string (with quotes) onto `out`.
+    pub fn write_json_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    use std::fmt::Write as _;
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// A cursor over JSON text.
+    #[derive(Debug)]
+    pub struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        /// Creates a parser over `input`.
+        pub fn new(input: &'a str) -> Self {
+            Self {
+                bytes: input.as_bytes(),
+                pos: 0,
+            }
+        }
+
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn err(&self, msg: impl Into<String>) -> Error {
+            Error::new(format!("{} at byte {}", msg.into(), self.pos))
+        }
+
+        /// Consumes `b` (after whitespace) or errors.
+        ///
+        /// # Errors
+        ///
+        /// If the next non-whitespace byte is not `b`.
+        pub fn expect_byte(&mut self, b: u8) -> Result<(), Error> {
+            match self.peek() {
+                Some(got) if got == b => {
+                    self.pos += 1;
+                    Ok(())
+                }
+                got => Err(self.err(format!(
+                    "expected `{}`, found {:?}",
+                    b as char,
+                    got.map(|g| g as char)
+                ))),
+            }
+        }
+
+        /// Consumes `b` if it is next; reports whether it did.
+        pub fn try_byte(&mut self, b: u8) -> bool {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        }
+
+        /// Whether the next value is the literal `null`.
+        pub fn peek_is_null(&mut self) -> bool {
+            self.skip_ws();
+            self.bytes[self.pos..].starts_with(b"null")
+        }
+
+        /// Whether the next token is a string.
+        pub fn peek_is_string(&mut self) -> bool {
+            self.peek() == Some(b'"')
+        }
+
+        /// Whether the next token closes an array.
+        pub fn peek_close_bracket(&mut self) -> bool {
+            self.peek() == Some(b']')
+        }
+
+        /// Consumes the literal `null`.
+        ///
+        /// # Errors
+        ///
+        /// If the input does not continue with `null`.
+        pub fn expect_null(&mut self) -> Result<(), Error> {
+            if self.peek_is_null() {
+                self.pos += 4;
+                Ok(())
+            } else {
+                Err(self.err("expected null"))
+            }
+        }
+
+        /// Parses `true` or `false`.
+        ///
+        /// # Errors
+        ///
+        /// If neither literal is next.
+        pub fn parse_bool(&mut self) -> Result<bool, Error> {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(b"true") {
+                self.pos += 4;
+                Ok(true)
+            } else if self.bytes[self.pos..].starts_with(b"false") {
+                self.pos += 5;
+                Ok(false)
+            } else {
+                Err(self.err("expected boolean"))
+            }
+        }
+
+        /// Lexes one number token and returns its text.
+        ///
+        /// # Errors
+        ///
+        /// If the next token is not a number.
+        pub fn number_token(&mut self) -> Result<&'a str, Error> {
+            self.skip_ws();
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b.is_ascii_digit()
+                    || b == b'-'
+                    || b == b'+'
+                    || b == b'.'
+                    || b == b'e'
+                    || b == b'E'
+                {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.pos == start {
+                return Err(self.err("expected number"));
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid utf-8 in number"))
+        }
+
+        /// Parses a JSON string (with escape handling).
+        ///
+        /// # Errors
+        ///
+        /// On a missing opening quote, an invalid escape, or an unclosed
+        /// string.
+        pub fn parse_string(&mut self) -> Result<String, Error> {
+            self.expect_byte(b'"')?;
+            let mut out = String::new();
+            loop {
+                let Some(&b) = self.bytes.get(self.pos) else {
+                    return Err(self.err("unterminated string"));
+                };
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let Some(&esc) = self.bytes.get(self.pos) else {
+                            return Err(self.err("unterminated escape"));
+                        };
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| {
+                                        self.err("truncated \\u escape")
+                                    })?;
+                                self.pos += 4;
+                                let code = std::str::from_utf8(hex)
+                                    .ok()
+                                    .and_then(|h| {
+                                        u32::from_str_radix(h, 16).ok()
+                                    })
+                                    .ok_or_else(|| {
+                                        self.err("invalid \\u escape")
+                                    })?;
+                                out.push(
+                                    char::from_u32(code).unwrap_or('\u{fffd}'),
+                                );
+                            }
+                            other => {
+                                return Err(self.err(format!(
+                                    "invalid escape `\\{}`",
+                                    other as char
+                                )))
+                            }
+                        }
+                    }
+                    _ => {
+                        // Copy the full UTF-8 sequence starting at b.
+                        let start = self.pos - 1;
+                        let len = utf8_len(b);
+                        let end = start + len;
+                        let chunk =
+                            self.bytes.get(start..end).ok_or_else(|| {
+                                self.err("truncated utf-8 sequence")
+                            })?;
+                        let s = std::str::from_utf8(chunk)
+                            .map_err(|_| self.err("invalid utf-8"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+
+        /// Iterates object entries: returns the next key, or `None` at the
+        /// closing brace. Call once per entry, consuming the value (or
+        /// [`skip_value`](Self::skip_value)) in between.
+        ///
+        /// # Errors
+        ///
+        /// On malformed object syntax.
+        pub fn next_key(&mut self) -> Result<Option<String>, Error> {
+            if self.try_byte(b'}') {
+                return Ok(None);
+            }
+            self.try_byte(b',');
+            if self.try_byte(b'}') {
+                return Ok(None);
+            }
+            let key = self.parse_string()?;
+            self.expect_byte(b':')?;
+            Ok(Some(key))
+        }
+
+        /// Skips one complete JSON value.
+        ///
+        /// # Errors
+        ///
+        /// On malformed input.
+        pub fn skip_value(&mut self) -> Result<(), Error> {
+            match self.peek() {
+                Some(b'"') => {
+                    self.parse_string()?;
+                    Ok(())
+                }
+                Some(b'{') => {
+                    self.pos += 1;
+                    while let Some(_key) = self.next_key()? {
+                        self.skip_value()?;
+                    }
+                    Ok(())
+                }
+                Some(b'[') => {
+                    self.pos += 1;
+                    if self.try_byte(b']') {
+                        return Ok(());
+                    }
+                    loop {
+                        self.skip_value()?;
+                        if self.try_byte(b',') {
+                            continue;
+                        }
+                        self.expect_byte(b']')?;
+                        return Ok(());
+                    }
+                }
+                Some(b't') | Some(b'f') => {
+                    self.parse_bool()?;
+                    Ok(())
+                }
+                Some(b'n') => self.expect_null(),
+                Some(_) => {
+                    self.number_token()?;
+                    Ok(())
+                }
+                None => Err(self.err("unexpected end of input")),
+            }
+        }
+
+        /// Verifies only whitespace remains.
+        ///
+        /// # Errors
+        ///
+        /// If trailing non-whitespace input exists.
+        pub fn expect_eof(&mut self) -> Result<(), Error> {
+            match self.peek() {
+                None => Ok(()),
+                Some(b) => {
+                    Err(self.err(format!("trailing input `{}`", b as char)))
+                }
+            }
+        }
+    }
+
+    /// Byte length of the UTF-8 sequence starting with lead byte `b`.
+    fn utf8_len(b: u8) -> usize {
+        if b < 0x80 {
+            1
+        } else if b < 0xe0 {
+            2
+        } else if b < 0xf0 {
+            3
+        } else {
+            4
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! crates.io is unreachable in this build environment, so this proc macro
+//! implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the sibling `serde` stand-in's direct-to-JSON traits, using only the
+//! compiler-provided `proc_macro` API (no `syn`/`quote`).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently, wider tuples
+//!   as arrays),
+//! * enums with unit and tuple variants (externally tagged, matching
+//!   serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and panic at
+//! expansion time so misuse is caught immediately.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    TupleStruct(usize),
+    /// Enum: `(variant name, tuple arity)`; arity 0 is a unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    gen_serialize(&p).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    gen_deserialize(&p).parse().expect("generated Deserialize impl parses")
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive stand-in does not support generic type `{name}`");
+        }
+    }
+
+    let shape = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g)))
+            if g.delimiter() == Delimiter::Brace =>
+        {
+            Shape::Struct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g)))
+            if g.delimiter() == Delimiter::Parenthesis =>
+        {
+            Shape::TupleStruct(count_top_level_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            Shape::TupleStruct(0)
+        }
+        ("enum", Some(TokenTree::Group(g)))
+            if g.delimiter() == Delimiter::Brace =>
+        {
+            Shape::Enum(parse_variants(g.stream()))
+        }
+        (k, t) => panic!("unsupported item shape: {k} {t:?}"),
+    };
+
+    Parsed { name, shape }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments included).
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Skip visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub")
+        {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("expected field name, found {other:?}"),
+        }
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct/tuple-variant body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    for (k, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                // Ignore a trailing comma.
+                if k + 1 < tokens.len() {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+/// `(name, arity)` for each enum variant.
+fn parse_variants(body: TokenStream) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_top_level_fields(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => panic!(
+                    "struct-like enum variant `{name}` is not supported"
+                ),
+                _ => {}
+            }
+        }
+        variants.push((name, arity));
+        // Skip an optional discriminant and the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("out.push('{');\n");
+            for (k, f) in fields.iter().enumerate() {
+                if k > 0 {
+                    s.push_str("out.push(',');\n");
+                }
+                s.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            s.push_str("out.push('}');");
+            s
+        }
+        Shape::TupleStruct(0) => {
+            "out.push_str(\"null\");".to_string()
+        }
+        Shape::TupleStruct(1) => {
+            "::serde::Serialize::serialize_json(&self.0, out);".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let mut s = String::from("out.push('[');\n");
+            for k in 0..*n {
+                if k > 0 {
+                    s.push_str("out.push(',');\n");
+                }
+                s.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{k}, out);\n"
+                ));
+            }
+            s.push_str("out.push(']');");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{v}(a0) => {{\n\
+                         out.push_str(\"{{\\\"{v}\\\":\");\n\
+                         ::serde::Serialize::serialize_json(a0, out);\n\
+                         out.push('}}');\n\
+                         }}\n"
+                    )),
+                    n => {
+                        let binds: Vec<String> =
+                            (0..*n).map(|k| format!("a{k}")).collect();
+                        let mut inner = format!(
+                            "{name}::{v}({}) => {{\n\
+                             out.push_str(\"{{\\\"{v}\\\":[\");\n",
+                            binds.join(", ")
+                        );
+                        for (k, b) in binds.iter().enumerate() {
+                            if k > 0 {
+                                inner.push_str("out.push(',');\n");
+                            }
+                            inner.push_str(&format!(
+                                "::serde::Serialize::serialize_json({b}, out);\n"
+                            ));
+                        }
+                        inner.push_str("out.push_str(\"]}\");\n}\n");
+                        arms.push_str(&inner);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::new();
+            s.push_str("p.expect_byte(b'{')?;\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "let mut f_{f} = ::std::option::Option::None;\n"
+                ));
+            }
+            s.push_str("while let Some(key) = p.next_key()? {\n");
+            s.push_str("match key.as_str() {\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "\"{f}\" => f_{f} = ::std::option::Option::Some(\
+                     ::serde::Deserialize::deserialize_json(p)?),\n"
+                ));
+            }
+            s.push_str("_ => p.skip_value()?,\n}\n}\n");
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: f_{f}.ok_or_else(|| \
+                     ::serde::de::Error::missing_field(\"{f}\"))?,\n"
+                ));
+            }
+            s.push_str("})\n");
+            s
+        }
+        Shape::TupleStruct(0) => format!(
+            "p.expect_null()?;\n::std::result::Result::Ok({name})"
+        ),
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::Deserialize::deserialize_json(p)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let mut s = String::from("p.expect_byte(b'[')?;\n");
+            for k in 0..*n {
+                if k > 0 {
+                    s.push_str("p.expect_byte(b',')?;\n");
+                }
+                s.push_str(&format!(
+                    "let a{k} = ::serde::Deserialize::deserialize_json(p)?;\n"
+                ));
+            }
+            s.push_str("p.expect_byte(b']')?;\n");
+            let binds: Vec<String> = (0..*n).map(|k| format!("a{k}")).collect();
+            s.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                binds.join(", ")
+            ));
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, arity) in variants {
+                if *arity == 0 {
+                    unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    ));
+                } else if *arity == 1 {
+                    data_arms.push_str(&format!(
+                        "\"{v}\" => {name}::{v}(\
+                         ::serde::Deserialize::deserialize_json(p)?),\n"
+                    ));
+                } else {
+                    let mut inner = String::from("{\np.expect_byte(b'[')?;\n");
+                    for k in 0..*arity {
+                        if k > 0 {
+                            inner.push_str("p.expect_byte(b',')?;\n");
+                        }
+                        inner.push_str(&format!(
+                            "let a{k} = \
+                             ::serde::Deserialize::deserialize_json(p)?;\n"
+                        ));
+                    }
+                    inner.push_str("p.expect_byte(b']')?;\n");
+                    let binds: Vec<String> =
+                        (0..*arity).map(|k| format!("a{k}")).collect();
+                    inner.push_str(&format!(
+                        "{name}::{v}({})\n}}",
+                        binds.join(", ")
+                    ));
+                    data_arms.push_str(&format!("\"{v}\" => {inner},\n"));
+                }
+            }
+            format!(
+                "if p.peek_is_string() {{\n\
+                 let tag = p.parse_string()?;\n\
+                 match tag.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(\
+                 ::serde::de::Error::unknown_variant(other)),\n\
+                 }}\n\
+                 }} else {{\n\
+                 p.expect_byte(b'{{')?;\n\
+                 let tag = p.parse_string()?;\n\
+                 p.expect_byte(b':')?;\n\
+                 let value = match tag.as_str() {{\n\
+                 {data_arms}\
+                 other => return ::std::result::Result::Err(\
+                 ::serde::de::Error::unknown_variant(other)),\n\
+                 }};\n\
+                 p.expect_byte(b'}}')?;\n\
+                 ::std::result::Result::Ok(value)\n\
+                 }}"
+            )
+        }
+    };
+    // allow(unreachable_code): a unit-only enum generates a data-variant
+    // match whose every arm diverges, making the trailing Ok unreachable.
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         #[allow(unreachable_code)]\n\
+         fn deserialize_json(p: &mut ::serde::de::Parser<'_>) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,165 @@
+//! Workspace-local stand-in for `serde_json`.
+//!
+//! Thin facade over the sibling `serde` stand-in's direct-to-JSON traits:
+//! [`to_string`], [`to_string_pretty`] and [`from_str`] with the same
+//! signatures the workspace uses. Float formatting is Rust's
+//! shortest-roundtrip `Display`, so the `float_roundtrip` feature of real
+//! serde_json (bit-exact coefficient reload) holds by construction.
+
+#![forbid(unsafe_code)]
+
+pub use serde::de::Error;
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace.
+pub fn to_string_pretty<T: Serialize + ?Sized>(
+    value: &T,
+) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Deserializes a `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns the first syntax or shape mismatch, including trailing
+/// garbage after the value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = serde::de::Parser::new(s);
+    let value = T::deserialize_json(&mut p)?;
+    p.expect_eof()?;
+    Ok(value)
+}
+
+/// Re-indents compact JSON with 2-space indentation (string-aware).
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if let Some(&close) = chars.peek() {
+                    if (c == '{' && close == '}')
+                        || (c == '[' && close == ']')
+                    {
+                        out.push(close);
+                        chars.next();
+                        continue;
+                    }
+                }
+                indent += 1;
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        let x = 0.1f64 + 0.2;
+        let json = to_string(&x).unwrap();
+        assert_eq!(from_str::<f64>(&json).unwrap(), x, "bit-exact floats");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![(1u64, -2i64), (3, 4)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1,-2],[3,4]]");
+        assert_eq!(from_str::<Vec<(u64, i64)>>(&json).unwrap(), v);
+        let empty: Vec<f64> = vec![];
+        assert_eq!(
+            from_str::<Vec<f64>>(&to_string(&empty).unwrap()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn strings_escape_and_roundtrip() {
+        let s = "a \"quoted\"\nline\\with\tescapes".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        assert_eq!(to_string(&Option::<u64>::None).unwrap(), "null");
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u64>>("7").unwrap(), Some(7));
+    }
+
+    #[test]
+    fn pretty_is_reparseable() {
+        let v = vec![vec![1.5f64, 2.0], vec![]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Vec<f64>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(from_str::<u64>("42 junk").is_err());
+    }
+}
