@@ -32,12 +32,13 @@ fn fit_and_score(
     train: &Trace,
     validate: &[&Trace],
 ) -> Option<(Vec<f64>, f64)> {
-    let train_xs: Vec<Vec<f64>> = train.inputs().iter().map(extract).collect();
+    let train_xs: Vec<Vec<f64>> =
+        train.inputs().into_iter().map(extract).collect();
     let train_ys = train.measured(subsystem);
     let model: RegressionModel =
         fit_least_squares_ridge(map, &train_xs, &train_ys, 1e-9).ok()?;
     let score = |t: &Trace| {
-        let xs: Vec<Vec<f64>> = t.inputs().iter().map(extract).collect();
+        let xs: Vec<Vec<f64>> = t.inputs().into_iter().map(extract).collect();
         let modeled: Vec<f64> = xs.iter().map(|x| model.predict(x)).collect();
         average_error(&modeled, &t.measured(subsystem))
     };
@@ -76,7 +77,7 @@ pub fn memory_input(cfg: &ExperimentConfig) -> String {
         };
         let score = |t: &Trace| {
             let modeled: Vec<f64> =
-                t.inputs().iter().map(|s| model.predict(s)).collect();
+                t.inputs().into_iter().map(|s| model.predict(s)).collect();
             average_error(&modeled, &t.measured(Subsystem::Memory))
         };
         let _ = writeln!(
@@ -240,7 +241,7 @@ pub fn sampling_period(cfg: &ExperimentConfig) -> String {
         };
         let modeled: Vec<f64> = trace
             .inputs()
-            .iter()
+            .into_iter()
             .map(|s| model.predict(s))
             .collect();
         let err = average_error(&modeled, &trace.measured(Subsystem::Cpu));

@@ -30,17 +30,19 @@ use tdp_bench::figures::{fig2, fig3, fig4_fig5, fig6_fig7};
 use tdp_bench::{calibrate, capture_all, ExperimentConfig};
 use trickledown::PowerCharacterization;
 
-const USAGE: &str = "usage: repro [--quick] [--markdown] [--seed N] [--out DIR] \
+const USAGE: &str = "usage: repro [--quick] [--markdown] [--bench-json] [--seed N] [--out DIR] \
     <table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|coefficients|shape|ablate|selection|all>...";
 
 fn main() -> ExitCode {
     let mut cfg = ExperimentConfig::default();
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut markdown = false;
+    let mut bench_json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--markdown" => markdown = true,
+            "--bench-json" => bench_json = true,
             "--quick" => {
                 let out = cfg.out_dir.clone();
                 cfg = ExperimentConfig::quick();
@@ -71,6 +73,16 @@ fn main() -> ExitCode {
                 eprintln!("unknown flag {other}\n{USAGE}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if bench_json {
+        eprintln!(
+            "repro: benchmarking pipeline throughput (seed {}, {} s traces)…",
+            cfg.seed, cfg.trace_seconds
+        );
+        println!("{}", tdp_bench::pipeline::run_and_write(&cfg));
+        if wanted.is_empty() {
+            return ExitCode::SUCCESS;
         }
     }
     if wanted.is_empty() {

@@ -169,7 +169,8 @@ pub fn fig4_fig5(cfg: &ExperimentConfig) -> (FigureResult, FigureResult) {
         "seconds,nonprefetch_bus_txns,prefetch_bus_txns,l3_model_error_pct",
         fig4_rows,
     );
-    let l3_modeled: Vec<f64> = inputs.iter().map(|s| l3.predict(s)).collect();
+    let l3_modeled: Vec<f64> =
+        inputs.iter().map(|&s| l3.predict(s)).collect();
     let l3_err_late =
         average_error(&l3_modeled[half..], &measured[half..]);
     let fig4 = FigureResult {

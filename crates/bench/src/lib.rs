@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod experiments;
 pub mod figures;
+pub mod pipeline;
 pub mod selection;
 
 use std::path::PathBuf;
@@ -75,17 +76,17 @@ pub fn capture_workload(cfg: &ExperimentConfig, workload: Workload) -> Trace {
     capture(set, cfg.seconds_for(&set), cfg.seed ^ workload_seed(workload))
 }
 
-/// Captures all twelve standard traces in parallel (one thread each).
+/// Captures all twelve standard traces on a pooled parallel map sized
+/// to the host (previously one thread per trace, which oversubscribed
+/// small hosts).
+///
+/// Each trace is seeded independently from the master seed, and
+/// [`tdp_parallel::par_map`] returns results in workload order, so the
+/// output is bit-identical to capturing the workloads serially —
+/// regardless of core count. `tests/golden_determinism.rs` pins this.
 pub fn capture_all(cfg: &ExperimentConfig) -> Vec<Trace> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = Workload::ALL
-            .iter()
-            .map(|&w| scope.spawn(move || capture_workload(cfg, w)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("capture threads do not panic"))
-            .collect()
+    tdp_parallel::par_map(Workload::ALL.iter().copied(), |w| {
+        capture_workload(cfg, w)
     })
 }
 

@@ -1,0 +1,156 @@
+//! Pipeline throughput benchmark (`repro --bench-json`).
+//!
+//! Times the three stages that dominate every reproduction run — the
+//! machine tick loop, the multi-workload capture and the calibration
+//! fit — and writes the results as `BENCH_pipeline.json` so perf
+//! changes can be compared commit to commit.
+
+use crate::{capture_all, ExperimentConfig};
+use serde::Serialize;
+use std::time::Instant;
+use tdp_simsys::{Machine, MachineConfig};
+use tdp_workloads::{Workload, WorkloadSet};
+
+/// One stage's wall-clock measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageRate {
+    /// Work units completed (ticks or traces).
+    pub units: u64,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Units per second.
+    pub per_sec: f64,
+}
+
+impl StageRate {
+    fn new(units: u64, wall_secs: f64) -> Self {
+        Self {
+            units,
+            wall_secs,
+            per_sec: units as f64 / wall_secs,
+        }
+    }
+}
+
+/// Full pipeline benchmark report.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineReport {
+    /// Master seed the measured run used.
+    pub seed: u64,
+    /// Post-ramp trace seconds per workload.
+    pub trace_seconds: u64,
+    /// Single-machine tick loop, 8x specjbb (hot path in isolation).
+    pub tick: StageRate,
+    /// Aggregate tick rate across the parallel 12-workload capture.
+    pub capture_ticks: StageRate,
+    /// Trace rate of the parallel 12-workload capture.
+    pub capture_traces: StageRate,
+    /// Calibration (training capture + fit), wall seconds.
+    pub calibration_wall_secs: f64,
+    /// Peak resident set (VmHWM), kilobytes; 0 when unavailable.
+    pub peak_rss_kb: u64,
+}
+
+/// Ticks timed by the isolated tick-loop stage.
+const TICK_LOOP_TICKS: u64 = 200_000;
+
+/// Runs the three stages and assembles the report.
+pub fn run(cfg: &ExperimentConfig) -> PipelineReport {
+    // Stage 1: the tick hot path in isolation, on the heaviest standard
+    // deployment (8 instances of specjbb exercise every subsystem).
+    let mut machine = Machine::new(MachineConfig::default());
+    WorkloadSet::new(Workload::SpecJbb, 8, 0).deploy(&mut machine);
+    // One activity buffer reused for the whole loop — the shape the
+    // estimator and testbed hot paths use.
+    let mut activity = tdp_simsys::TickActivity::empty();
+    for _ in 0..5_000 {
+        machine.tick_into(&mut activity); // warm-up: reach steady state
+    }
+    let start = Instant::now();
+    for _ in 0..TICK_LOOP_TICKS {
+        machine.tick_into(&mut activity);
+        std::hint::black_box(&activity);
+    }
+    let tick = StageRate::new(TICK_LOOP_TICKS, start.elapsed().as_secs_f64());
+
+    // Stage 2: the full multi-workload capture (the experiment
+    // bottleneck). One simulated second is 1000 ticks.
+    let expected_ticks: u64 = Workload::ALL
+        .iter()
+        .map(|&w| {
+            let set = cfg.standard_set(w);
+            cfg.seconds_for(&set) * 1000
+        })
+        .sum();
+    let start = Instant::now();
+    let traces = capture_all(cfg);
+    let wall = start.elapsed().as_secs_f64();
+    let capture_ticks = StageRate::new(expected_ticks, wall);
+    let capture_traces = StageRate::new(traces.len() as u64, wall);
+    drop(traces);
+
+    // Stage 3: calibration (training captures + per-subsystem fits).
+    let start = Instant::now();
+    std::hint::black_box(crate::calibrate(cfg));
+    let calibration_wall_secs = start.elapsed().as_secs_f64();
+
+    PipelineReport {
+        seed: cfg.seed,
+        trace_seconds: cfg.trace_seconds,
+        tick,
+        capture_ticks,
+        capture_traces,
+        calibration_wall_secs,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Runs the benchmark, writes `BENCH_pipeline.json` under the output
+/// directory and returns the rendered JSON.
+///
+/// # Panics
+///
+/// Panics if the output directory is unwritable (consistent with the
+/// rest of the repro harness).
+pub fn run_and_write(cfg: &ExperimentConfig) -> String {
+    let report = run(cfg);
+    let json = serde_json::to_string_pretty(&report)
+        .expect("report serializes");
+    std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
+    let path = cfg.out_dir.join("BENCH_pipeline.json");
+    std::fs::write(&path, &json).expect("write BENCH_pipeline.json");
+    eprintln!("bench: wrote {}", path.display());
+    json
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (Linux);
+/// 0 elsewhere.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_rate_divides() {
+        let r = StageRate::new(100, 2.0);
+        assert_eq!(r.per_sec, 50.0);
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        // On Linux this must parse; elsewhere 0 is acceptable.
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+}

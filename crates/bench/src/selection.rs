@@ -74,7 +74,7 @@ pub fn run(cfg: &ExperimentConfig) -> (Vec<SelectionRow>, String) {
     ];
 
     let rows_of = |t: &Trace| -> (Vec<Vec<f64>>, ()) {
-        (t.inputs().iter().map(extract).collect(), ())
+        (t.inputs().into_iter().map(extract).collect(), ())
     };
 
     let mut rows = Vec::new();

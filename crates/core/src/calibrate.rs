@@ -238,7 +238,7 @@ mod tests {
         let cpu_pred: Vec<f64> = suite
             .cpu
             .inputs()
-            .iter()
+            .into_iter()
             .map(|s| model.cpu.predict(s))
             .collect();
         let err = tdp_modeling::metrics::average_error(

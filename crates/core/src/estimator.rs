@@ -128,11 +128,22 @@ impl SystemPowerEstimator {
     /// Per-CPU power attribution for the latest sample pushed through
     /// [`push`](Self::push) — the per-processor accounting of §4.2.1.
     pub fn attribute_cpus(&self, sample: &SystemSample) -> Vec<f64> {
-        sample
-            .per_cpu
-            .iter()
-            .map(|c| self.model.cpu.predict_single(c))
-            .collect()
+        let mut out = Vec::with_capacity(sample.per_cpu.len());
+        self.attribute_cpus_into(sample, &mut out);
+        out
+    }
+
+    /// Like [`attribute_cpus`](Self::attribute_cpus) but refilling a
+    /// caller-owned buffer — for per-window attribution loops that run at
+    /// sampling rate.
+    pub fn attribute_cpus_into(&self, sample: &SystemSample, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            sample
+                .per_cpu
+                .iter()
+                .map(|c| self.model.cpu.predict_single(c)),
+        );
     }
 }
 

@@ -46,8 +46,12 @@ impl CpuPowerModel {
     /// Propagates [`FitError`] from the least-squares solver (too few
     /// samples, collinear inputs — e.g. a training trace with no idle
     /// phase cannot separate `halt_w` from `active_w`).
-    pub fn fit(samples: &[SystemSample], watts: &[f64]) -> Result<Self, FitError> {
-        let num_cpus = samples.first().map_or(1, SystemSample::num_cpus) as f64;
+    pub fn fit<S: std::borrow::Borrow<SystemSample>>(
+        samples: &[S],
+        watts: &[f64],
+    ) -> Result<Self, FitError> {
+        let num_cpus =
+            samples.first().map_or(1, |s| s.borrow().num_cpus()) as f64;
         let coeffs = fit_linear_features(
             samples,
             watts,

@@ -49,7 +49,10 @@ impl DiskPowerModel {
     ///
     /// Propagates [`FitError`]; a trace without disk activity cannot be
     /// fitted (all inputs zero → singular system).
-    pub fn fit(samples: &[SystemSample], watts: &[f64]) -> Result<Self, FitError> {
+    pub fn fit<S: std::borrow::Borrow<SystemSample>>(
+        samples: &[S],
+        watts: &[f64],
+    ) -> Result<Self, FitError> {
         let coeffs = fit_linear_features(
             samples,
             watts,

@@ -45,7 +45,10 @@ impl IoPowerModel {
     /// # Errors
     ///
     /// Propagates [`FitError`].
-    pub fn fit(samples: &[SystemSample], watts: &[f64]) -> Result<Self, FitError> {
+    pub fn fit<S: std::borrow::Borrow<SystemSample>>(
+        samples: &[S],
+        watts: &[f64],
+    ) -> Result<Self, FitError> {
         let coeffs = fit_linear_features(
             samples,
             watts,

@@ -91,9 +91,9 @@ impl MemoryPowerModel {
     ///
     /// Propagates [`FitError`] — notably [`FitError::SingularSystem`]
     /// when the training trace has no variation in the chosen input.
-    pub fn fit(
+    pub fn fit<S: std::borrow::Borrow<SystemSample>>(
         input: MemoryInput,
-        samples: &[SystemSample],
+        samples: &[S],
         watts: &[f64],
     ) -> Result<Self, FitError> {
         let coeffs = fit_linear_features(

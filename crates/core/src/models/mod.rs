@@ -142,13 +142,17 @@ impl SystemPowerModel {
 
 /// Shared fitting plumbing: least-squares on system-level aggregate
 /// features with a fixed feature extractor.
-pub(crate) fn fit_linear_features(
-    samples: &[SystemSample],
+///
+/// Generic over owned (`&[SystemSample]`) and borrowed
+/// (`&[&SystemSample]`) sample slices so callers can fit straight from
+/// a captured [`Trace`](crate::testbed::Trace) without cloning records.
+pub(crate) fn fit_linear_features<S: std::borrow::Borrow<SystemSample>>(
+    samples: &[S],
     watts: &[f64],
     extract: impl Fn(&SystemSample) -> Vec<f64>,
     n_features: usize,
 ) -> Result<Vec<f64>, FitError> {
-    let xs: Vec<Vec<f64>> = samples.iter().map(&extract).collect();
+    let xs: Vec<Vec<f64>> = samples.iter().map(|s| extract(s.borrow())).collect();
     debug_assert!(xs.iter().all(|r| r.len() == n_features));
     let map = tdp_modeling::FeatureMap::linear(n_features);
     let model = tdp_modeling::fit_least_squares_ridge(&map, &xs, watts, 1e-9)?;

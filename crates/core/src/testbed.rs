@@ -68,9 +68,13 @@ impl Trace {
         self.records.is_empty()
     }
 
-    /// Model inputs of every record.
-    pub fn inputs(&self) -> Vec<SystemSample> {
-        self.records.iter().map(|r| r.input.clone()).collect()
+    /// Model inputs of every record, borrowed.
+    ///
+    /// The returned vector holds references into the trace (the
+    /// per-sample `per_cpu` vectors are *not* cloned); the model `fit`
+    /// functions accept either owned or borrowed sample slices.
+    pub fn inputs(&self) -> Vec<&SystemSample> {
+        self.records.iter().map(|r| &r.input).collect()
     }
 
     /// Measured watts of one subsystem across the trace.
@@ -89,7 +93,16 @@ impl Trace {
             .collect()
     }
 
+    /// The records past the first `warmup`, borrowed (ramp-up
+    /// trimming without copying the trace).
+    pub fn records_after(&self, warmup: usize) -> &[TraceRecord] {
+        &self.records[warmup.min(self.records.len())..]
+    }
+
     /// A copy without the first `warmup` records (ramp-up trimming).
+    ///
+    /// Allocates a new trace; prefer [`records_after`](Trace::records_after)
+    /// when a borrowed view suffices.
     pub fn skip_warmup(&self, warmup: usize) -> Trace {
         Trace {
             workload: self.workload,
@@ -164,9 +177,12 @@ impl Testbed {
         // Hard stop well past the nominal end, in case of pathological
         // jitter configurations.
         let end_ms = self.machine.now_ms() + seconds * period + 10 * period;
+        // One activity buffer reused across every tick of the run; the
+        // sampling path below (1 Hz) is the only per-window allocation.
+        let mut activity = tdp_simsys::TickActivity::empty();
         while records.len() < seconds as usize && self.machine.now_ms() < end_ms
         {
-            let activity = self.machine.tick();
+            self.machine.tick_into(&mut activity);
             self.meter.observe(&activity);
             if let Some(seq) = self.driver.poll(self.machine.now_ms()) {
                 self.sync.pulse(seq, self.machine.now_ms());

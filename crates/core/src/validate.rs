@@ -45,13 +45,13 @@ impl ValidationReport {
             .iter()
             .filter(|t| !t.is_empty())
             .map(|trace| {
-                let inputs = trace.inputs();
                 let per_subsystem = Subsystem::ALL
                     .iter()
                     .map(|&s| {
-                        let modeled: Vec<f64> = inputs
+                        let modeled: Vec<f64> = trace
+                            .records
                             .iter()
-                            .map(|i| model.predict_subsystem(s, i))
+                            .map(|r| model.predict_subsystem(s, &r.input))
                             .collect();
                         let measured = trace.measured(s);
                         error_summary(&modeled, &measured)
@@ -262,7 +262,7 @@ impl PowerCharacterization {
             for s in order {
                 let _ = write!(out, "| {:.2} ", row.mean_w[s.index()]);
             }
-            let _ = write!(out, "| {:.1} |\n", row.total_w);
+            let _ = writeln!(out, "| {:.1} |", row.total_w);
         }
         out
     }

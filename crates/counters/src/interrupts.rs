@@ -197,16 +197,23 @@ impl InterruptAccounting {
     /// Returns the per-window deltas and resets the window, analogous to
     /// diffing two `/proc/interrupts` reads.
     pub fn snapshot_delta(&mut self) -> InterruptSnapshot {
-        let mut counts = Vec::new();
+        let mut snap = InterruptSnapshot::default();
+        self.snapshot_delta_into(&mut snap);
+        snap
+    }
+
+    /// Like [`snapshot_delta`](Self::snapshot_delta) but filling a
+    /// caller-owned snapshot, reusing its buffer.
+    pub fn snapshot_delta_into(&mut self, out: &mut InterruptSnapshot) {
+        out.counts.clear();
         for (cpu, row) in self.window.iter_mut().enumerate() {
             for (slot, c) in row.iter_mut().enumerate() {
                 if *c > 0 {
-                    counts.push((cpu as u8, source_of(slot), *c));
+                    out.counts.push((cpu as u8, source_of(slot), *c));
                     *c = 0;
                 }
             }
         }
-        InterruptSnapshot { counts }
     }
 
     /// Renders the cumulative table in `/proc/interrupts` style.

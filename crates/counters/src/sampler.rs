@@ -101,6 +101,20 @@ impl CounterSample {
     pub fn iter(&self) -> impl Iterator<Item = (PerfEvent, u64)> + '_ {
         self.counts.iter().copied()
     }
+
+    /// Re-tags the sample and clears its counts for refilling in place,
+    /// returning the count buffer — the buffer-reuse path behind
+    /// [`CounterBank::read_and_clear_into`](crate::CounterBank::read_and_clear_into).
+    pub(crate) fn reset_for(
+        &mut self,
+        cpu: CpuId,
+        seq: u64,
+    ) -> &mut Vec<(PerfEvent, u64)> {
+        self.cpu = cpu;
+        self.seq = seq;
+        self.counts.clear();
+        &mut self.counts
+    }
 }
 
 /// One synchronized read of every CPU's counters plus the OS interrupt
@@ -120,6 +134,18 @@ pub struct SampleSet {
 }
 
 impl SampleSet {
+    /// An empty set suitable as the reusable buffer for in-place refills
+    /// (e.g. `Machine::read_counters_into` in `tdp-simsys`).
+    pub fn empty() -> Self {
+        Self {
+            time_ms: 0,
+            window_ms: 0,
+            seq: 0,
+            per_cpu: Vec::new(),
+            interrupts: InterruptSnapshot::default(),
+        }
+    }
+
     /// Sum of `event` over all CPUs; `None` if any CPU lacks the event.
     pub fn total(&self, event: PerfEvent) -> Option<u64> {
         self.per_cpu.iter().map(|s| s.count(event)).sum()

@@ -133,6 +133,11 @@ impl ModelSelector {
     /// `valid_*` scores them. Rows of the input matrices are full
     /// candidate vectors; the selector projects out subsets itself.
     ///
+    /// Candidate subsets are fitted on a pooled parallel map (one work
+    /// item per subset); results are flattened in subset order and the
+    /// final ranking uses a *stable* sort on validation error, so the
+    /// outcome is deterministic and identical to a serial sweep.
+    ///
     /// Returns outcomes sorted by ascending validation error. Candidates
     /// whose fit fails (singular, too few samples) are silently dropped.
     pub fn search(
@@ -143,55 +148,71 @@ impl ModelSelector {
         valid_ys: &[f64],
     ) -> Vec<SelectionOutcome> {
         let n = self.input_names.len();
-        let mut outcomes = Vec::new();
 
-        for subset in subsets_up_to(n, self.max_subset_size) {
-            let project = |rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
-                rows.iter()
-                    .map(|r| subset.iter().map(|&i| r[i]).collect())
-                    .collect()
-            };
-            let tx = project(train_xs);
-            let vx = project(valid_xs);
-
-            for &form in CandidateForm::ALL {
-                if form == CandidateForm::Constant && !subset.is_empty() {
-                    continue; // constant model is input-independent
-                }
-                if form != CandidateForm::Constant && subset.is_empty() {
-                    continue;
-                }
-                let map = form.feature_map(subset.len());
-                let Ok(model) =
-                    fit_least_squares_ridge(&map, &tx, train_ys, self.ridge_lambda)
-                else {
-                    continue;
-                };
-                let score = |xs: &[Vec<f64>], ys: &[f64]| {
-                    let modeled: Vec<f64> =
-                        xs.iter().map(|x| model.predict(x)).collect();
-                    error_summary_with_offset(&modeled, ys, self.dc_offset)
-                        .average_error_pct
-                };
-                outcomes.push(SelectionOutcome {
-                    input_indices: subset.clone(),
-                    input_names: subset
-                        .iter()
-                        .map(|&i| self.input_names[i].clone())
-                        .collect(),
-                    form,
-                    validation_error_pct: score(&vx, valid_ys),
-                    training_error_pct: score(&tx, train_ys),
-                    model,
-                });
-            }
-        }
+        let per_subset = tdp_parallel::par_map(
+            subsets_up_to(n, self.max_subset_size),
+            |subset| self.fit_subset(&subset, train_xs, train_ys, valid_xs, valid_ys),
+        );
+        let mut outcomes: Vec<SelectionOutcome> =
+            per_subset.into_iter().flatten().collect();
 
         outcomes.sort_by(|a, b| {
             a.validation_error_pct
                 .partial_cmp(&b.validation_error_pct)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
+        outcomes
+    }
+
+    /// Fits every form of one candidate subset (one parallel work item).
+    fn fit_subset(
+        &self,
+        subset: &[usize],
+        train_xs: &[Vec<f64>],
+        train_ys: &[f64],
+        valid_xs: &[Vec<f64>],
+        valid_ys: &[f64],
+    ) -> Vec<SelectionOutcome> {
+        let project = |rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
+            rows.iter()
+                .map(|r| subset.iter().map(|&i| r[i]).collect())
+                .collect()
+        };
+        let tx = project(train_xs);
+        let vx = project(valid_xs);
+
+        let mut outcomes = Vec::new();
+        for &form in CandidateForm::ALL {
+            if form == CandidateForm::Constant && !subset.is_empty() {
+                continue; // constant model is input-independent
+            }
+            if form != CandidateForm::Constant && subset.is_empty() {
+                continue;
+            }
+            let map = form.feature_map(subset.len());
+            let Ok(model) =
+                fit_least_squares_ridge(&map, &tx, train_ys, self.ridge_lambda)
+            else {
+                continue;
+            };
+            let score = |xs: &[Vec<f64>], ys: &[f64]| {
+                let modeled: Vec<f64> =
+                    xs.iter().map(|x| model.predict(x)).collect();
+                error_summary_with_offset(&modeled, ys, self.dc_offset)
+                    .average_error_pct
+            };
+            outcomes.push(SelectionOutcome {
+                input_indices: subset.to_vec(),
+                input_names: subset
+                    .iter()
+                    .map(|&i| self.input_names[i].clone())
+                    .collect(),
+                form,
+                validation_error_pct: score(&vx, valid_ys),
+                training_error_pct: score(&tx, train_ys),
+                model,
+            });
+        }
         outcomes
     }
 }

@@ -1,0 +1,140 @@
+//! Deterministic pooled parallel map.
+//!
+//! The capture and calibration pipelines fan out over independent work
+//! items (one simulated workload trace each, or one candidate-input
+//! subset each). A thread *per item* — the previous design — oversubscribes
+//! the host as soon as the item count exceeds the core count, and an
+//! external thread-pool dependency is off the approved list. This crate
+//! is the minimal middle ground: a scoped worker pool, sized to the host
+//! (capped at the item count), draining a shared queue of indexed items.
+//!
+//! Determinism contract: [`par_map`] returns results **in input order**,
+//! and each item is processed exactly once by a pure-by-contract closure,
+//! so the output is bit-identical to `items.map(f).collect()` regardless
+//! of worker count, scheduling, or host core count. This is what lets
+//! `tdp-bench` guarantee that parallel trace capture equals a serial
+//! capture byte for byte (the golden-trace determinism test).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on a pooled set of scoped threads, returning
+/// the results in input order.
+///
+/// The pool size is `min(items.len(), available_parallelism)`, so a
+/// single-core host degenerates to a serial loop with no thread churn
+/// and zero behavioural difference. Panics in `f` propagate to the
+/// caller (the scope re-raises them on join).
+///
+/// # Example
+///
+/// ```
+/// let squares = tdp_parallel::par_map(0..8u64, |x| x * x);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn par_map<I, T, R, F>(items: I, f: F) -> Vec<R>
+where
+    I: IntoIterator<Item = T>,
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let queue: VecDeque<(usize, T)> = items.into_iter().enumerate().collect();
+    let n = queue.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = available_workers().min(n);
+    if workers <= 1 {
+        // Serial fast path: no queue locking, no spawn cost.
+        return queue.into_iter().map(|(_, item)| f(item)).collect();
+    }
+
+    let queue = Mutex::new(queue);
+    let results: Mutex<Vec<Option<R>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let Some((idx, item)) = queue.lock().expect("queue lock").pop_front()
+                else {
+                    break;
+                };
+                let out = f(item);
+                results.lock().expect("results lock")[idx] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|r| r.expect("every index filled"))
+        .collect()
+}
+
+/// The worker count [`par_map`] would use for an unbounded item list.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_input_order() {
+        // Stagger work so later items finish first on a multicore host.
+        let out = par_map(0..32u64, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(
+                (32 - i) * 50,
+            ));
+            i * 10
+        });
+        assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = par_map(Vec::<u8>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = par_map(0..100usize, |i| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn matches_serial_map_bit_for_bit() {
+        let f = |i: u64| (i as f64).sin().to_bits();
+        let serial: Vec<u64> = (0..257).map(f).collect();
+        assert_eq!(par_map(0..257u64, f), serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panic propagates")]
+    fn worker_panics_propagate() {
+        let _ = par_map(0..4u32, |i| {
+            if i == 2 {
+                panic!("worker panic propagates");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn at_least_one_worker_reported() {
+        assert!(available_workers() >= 1);
+    }
+}

@@ -11,6 +11,11 @@
 
 use crate::rng::SimRng;
 
+/// Maximum number of `(distance, weight)` buckets a [`ReuseProfile`]
+/// can hold. Profiles are stored inline (no heap) so that behaviours
+/// can build a fresh [`TickDemand`] every tick without allocating.
+pub const MAX_REUSE_BUCKETS: usize = 8;
+
 /// A distribution of reuse distances, in units of cache lines.
 ///
 /// Each entry `(distance, weight)` says: `weight` of this thread's memory
@@ -19,6 +24,10 @@ use crate::rng::SimRng;
 /// `distance <= C`. This is the classic stack-distance characterisation —
 /// compact enough to specify workloads declaratively, faithful enough to
 /// drive a multi-level hierarchy.
+///
+/// The buckets live inline ([`MAX_REUSE_BUCKETS`] at most), making the
+/// profile `Copy`: demand construction in the tick hot path never
+/// touches the heap.
 ///
 /// # Example
 ///
@@ -32,9 +41,10 @@ use crate::rng::SimRng;
 /// // Streaming accesses never hit, even in an unbounded cache:
 /// assert!((p.hit_fraction(f64::INFINITY) - 0.9).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReuseProfile {
-    buckets: Vec<(f64, f64)>,
+    buckets: [(f64, f64); MAX_REUSE_BUCKETS],
+    len: u8,
 }
 
 impl ReuseProfile {
@@ -43,19 +53,30 @@ impl ReuseProfile {
     ///
     /// # Panics
     ///
-    /// Panics if `buckets` is empty, any weight is negative, or the
-    /// weight sum is zero.
+    /// Panics if `buckets` is empty or holds more than
+    /// [`MAX_REUSE_BUCKETS`] entries, if any weight is negative, or if
+    /// the weight sum is zero.
     pub fn new(buckets: &[(f64, f64)]) -> Self {
         assert!(!buckets.is_empty(), "reuse profile needs buckets");
+        assert!(
+            buckets.len() <= MAX_REUSE_BUCKETS,
+            "reuse profile holds at most {MAX_REUSE_BUCKETS} buckets"
+        );
         let total: f64 = buckets.iter().map(|&(_, w)| w).sum();
         assert!(
             total > 0.0 && buckets.iter().all(|&(_, w)| w >= 0.0),
             "weights must be non-negative and not all zero"
         );
-        let mut b: Vec<(f64, f64)> =
-            buckets.iter().map(|&(d, w)| (d, w / total)).collect();
-        b.sort_by(|a, c| a.0.partial_cmp(&c.0).unwrap());
-        Self { buckets: b }
+        let mut inline = [(0.0, 0.0); MAX_REUSE_BUCKETS];
+        for (slot, &(d, w)) in inline.iter_mut().zip(buckets) {
+            *slot = (d, w / total);
+        }
+        inline[..buckets.len()]
+            .sort_unstable_by(|a, c| a.0.partial_cmp(&c.0).unwrap());
+        Self {
+            buckets: inline,
+            len: buckets.len() as u8,
+        }
     }
 
     /// A profile that always hits in the smallest cache (distance 1).
@@ -72,7 +93,7 @@ impl ReuseProfile {
     /// Infinite distances (streaming accesses) never hit, even in an
     /// "infinite" cache.
     pub fn hit_fraction(&self, capacity_lines: f64) -> f64 {
-        self.buckets
+        self.buckets()
             .iter()
             .filter(|&&(d, _)| d.is_finite() && d <= capacity_lines)
             .map(|&(_, w)| w)
@@ -81,7 +102,7 @@ impl ReuseProfile {
 
     /// The `(distance, weight)` buckets, sorted by distance.
     pub fn buckets(&self) -> &[(f64, f64)] {
-        &self.buckets
+        &self.buckets[..self.len as usize]
     }
 }
 
@@ -110,7 +131,10 @@ pub struct IoDemand {
 }
 
 /// Everything a thread asks of the machine for one tick.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy`: the whole demand lives on the stack, so producing one per
+/// scheduled thread per tick costs no heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TickDemand {
     /// Micro-ops per cycle the thread would fetch with no contention
     /// (0..=fetch width), *excluding* wrong-path work.

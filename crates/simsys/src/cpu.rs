@@ -99,6 +99,18 @@ pub struct CpuTickResult {
     pub per_thread_retired: Vec<u64>,
 }
 
+impl CpuTickResult {
+    /// Clears every field for reuse, keeping the `per_thread_retired`
+    /// buffer's allocation — the buffer-reuse contract of
+    /// [`CpuCore::run_tick_into`].
+    pub fn reset(&mut self) {
+        self.activity = CoreActivity::default();
+        self.traffic = MemoryTraffic::default();
+        self.counters = CoreCounterDeltas::default();
+        self.per_thread_retired.clear();
+    }
+}
+
 /// One physical processor with two SMT contexts, private cache hierarchy
 /// and stream prefetcher.
 #[derive(Debug)]
@@ -108,6 +120,8 @@ pub struct CpuCore {
     prefetcher: StreamPrefetcher,
     tlb: TlbModel,
     rng: SimRng,
+    /// Per-thread UPC scratch reused across ticks.
+    upcs: Vec<f64>,
 }
 
 impl CpuCore {
@@ -125,6 +139,7 @@ impl CpuCore {
             prefetcher: StreamPrefetcher::new(prefetch_cfg),
             tlb: TlbModel::new(),
             rng,
+            upcs: Vec::new(),
         }
     }
 
@@ -162,9 +177,27 @@ impl CpuCore {
         timer_interrupts: u64,
         cycles: u64,
     ) -> CpuTickResult {
+        let mut out = CpuTickResult::default();
+        self.run_tick_into(demands, mem_throttle, timer_interrupts, cycles, &mut out);
+        out
+    }
+
+    /// Like [`run_tick_at`](Self::run_tick_at) but writing into a
+    /// caller-owned result — the allocation-free hot path. `out` is
+    /// [`reset`](CpuTickResult::reset) first; its buffers are reused.
+    pub fn run_tick_into(
+        &mut self,
+        demands: &[TickDemand],
+        mem_throttle: f64,
+        timer_interrupts: u64,
+        cycles: u64,
+        out: &mut CpuTickResult,
+    ) {
+        out.reset();
         let cycles = cycles.max(1);
         if demands.is_empty() {
-            return self.run_idle_tick(cycles, timer_interrupts);
+            self.run_idle_tick_into(cycles, timer_interrupts, out);
+            return;
         }
 
         let k = demands.len().min(self.cpu_cfg.smt_per_cpu);
@@ -177,7 +210,7 @@ impl CpuCore {
             width
         };
 
-        let mut result = CpuTickResult::default();
+        let result = out;
         let mut total_upc = 0.0;
         let mut stall_weight = 0.0;
         let mut quiet_weight = 0.0;
@@ -186,16 +219,14 @@ impl CpuCore {
         // First pass: per-thread demanded throughput under SMT and bus
         // constraints; the fetch engine then scales everyone down if the
         // combined demand exceeds its width.
-        let mut upcs: Vec<f64> = demands
-            .iter()
-            .take(k)
-            .map(|demand| {
-                let slowdown = 1.0
-                    - demand.memory_sensitivity.clamp(0.0, 1.0)
-                        * (1.0 - throttle);
-                (demand.target_upc * slowdown).clamp(0.0, per_thread_cap)
-            })
-            .collect();
+        let mut upcs = std::mem::take(&mut self.upcs);
+        upcs.clear();
+        upcs.extend(demands.iter().take(k).map(|demand| {
+            let slowdown = 1.0
+                - demand.memory_sensitivity.clamp(0.0, 1.0)
+                    * (1.0 - throttle);
+            (demand.target_upc * slowdown).clamp(0.0, per_thread_cap)
+        }));
         let demanded: f64 = upcs.iter().sum();
         if demanded > width {
             let scale = width / demanded;
@@ -286,10 +317,15 @@ impl CpuCore {
         result.activity.upc = total_upc;
         result.activity.stall_search_frac = (stall_weight / k as f64).min(1.0);
         result.activity.quiet_stall_frac = (quiet_weight / k as f64).min(1.0);
-        result
+        self.upcs = upcs;
     }
 
-    fn run_idle_tick(&mut self, cycles: u64, timer_interrupts: u64) -> CpuTickResult {
+    fn run_idle_tick_into(
+        &mut self,
+        cycles: u64,
+        timer_interrupts: u64,
+        out: &mut CpuTickResult,
+    ) {
         // The OS idle loop executes HLT; only interrupt handling wakes
         // the clock. Each timer tick costs some active cycles.
         let overhead = (self.cpu_cfg.timer_overhead_cycles * timer_interrupts.max(1))
@@ -300,23 +336,19 @@ impl CpuCore {
             .clamp(overhead / 2, cycles / 2);
         let halted = cycles - overhead;
         let fetched = self.rng.poisson(overhead as f64 * 0.8);
-        CpuTickResult {
-            activity: CoreActivity {
-                cycles,
-                halted_cycles: halted,
-                fetched_uops: fetched,
-                upc: fetched as f64 / overhead.max(1) as f64,
-                stall_search_frac: 0.0,
-                quiet_stall_frac: 0.0,
-            },
-            traffic: MemoryTraffic::default(),
-            counters: CoreCounterDeltas {
-                fetched_uops: fetched,
-                retired_uops: fetched,
-                ..CoreCounterDeltas::default()
-            },
-            per_thread_retired: Vec::new(),
-        }
+        out.activity = CoreActivity {
+            cycles,
+            halted_cycles: halted,
+            fetched_uops: fetched,
+            upc: fetched as f64 / overhead.max(1) as f64,
+            stall_search_frac: 0.0,
+            quiet_stall_frac: 0.0,
+        };
+        out.counters = CoreCounterDeltas {
+            fetched_uops: fetched,
+            retired_uops: fetched,
+            ..CoreCounterDeltas::default()
+        };
     }
 }
 
@@ -399,7 +431,7 @@ mod tests {
         mem_demand.loads_per_uop = 0.5;
 
         let mut c = core();
-        let free = c.run_tick(&[mem_demand.clone()], 1.0, 1);
+        let free = c.run_tick(&[mem_demand], 1.0, 1);
         let mut c = core();
         let jammed = c.run_tick(&[mem_demand], 0.25, 1);
         assert!(

@@ -68,6 +68,17 @@ pub struct DiskTickResult {
     pub completions: Vec<DiskCompletion>,
 }
 
+impl DiskTickResult {
+    /// Clears the result for reuse, keeping the completion buffer's
+    /// allocation.
+    pub fn reset(&mut self) {
+        self.modes = DiskModeFractions::default();
+        self.dma_read_bytes = 0;
+        self.dma_write_bytes = 0;
+        self.completions.clear();
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
     Seek { remaining_ms: f64 },
@@ -116,6 +127,15 @@ impl ScsiDisk {
     /// Advances the disk one millisecond.
     pub fn tick(&mut self) -> DiskTickResult {
         let mut result = DiskTickResult::default();
+        self.tick_into(&mut result);
+        result
+    }
+
+    /// Like [`tick`](Self::tick) but writing into a caller-owned result —
+    /// the allocation-free hot path. `result` is
+    /// [`reset`](DiskTickResult::reset) first; its buffers are reused.
+    pub fn tick_into(&mut self, result: &mut DiskTickResult) {
+        result.reset();
         let mut budget_ms = 1.0f64;
 
         while budget_ms > 1e-9 {
@@ -204,7 +224,6 @@ impl ScsiDisk {
         } else {
             m.idle = 1.0;
         }
-        result
     }
 
     /// Elevator-lite scheduling: service the queued command nearest the

@@ -67,10 +67,20 @@ impl InterruptController {
 
     /// Takes this tick's per-CPU deltas (and resets them).
     pub fn take_tick_deltas(&mut self) -> InterruptDeltas {
-        let fresh = InterruptDeltas {
-            per_cpu: vec![(0, 0, 0, 0); self.num_cpus],
-        };
-        std::mem::replace(&mut self.tick_deltas, fresh)
+        let mut out = InterruptDeltas::default();
+        self.take_tick_deltas_into(&mut out);
+        out
+    }
+
+    /// Like [`take_tick_deltas`](Self::take_tick_deltas) but copying into
+    /// a caller-owned buffer — the allocation-free hot path. `out` is
+    /// resized to the CPU count; the internal deltas are zeroed.
+    pub fn take_tick_deltas_into(&mut self, out: &mut InterruptDeltas) {
+        out.per_cpu.clear();
+        out.per_cpu.extend_from_slice(&self.tick_deltas.per_cpu);
+        for d in &mut self.tick_deltas.per_cpu {
+            *d = (0, 0, 0, 0);
+        }
     }
 
     /// The OS accounting (for `/proc/interrupts` snapshots).

@@ -3,12 +3,12 @@
 use crate::bus::{BusActivity, FrontSideBus};
 use crate::config::MachineConfig;
 use crate::cpu::{CoreActivity, CpuCore, CpuTickResult};
-use crate::disk::{DiskModeFractions, ScsiDisk};
+use crate::disk::{DiskModeFractions, DiskTickResult, ScsiDisk};
 use crate::dram::{DramActivity, DramModel};
-use crate::intc::InterruptController;
+use crate::intc::{InterruptController, InterruptDeltas};
 use crate::iochip::{IoActivity, IoChip};
 use crate::nic::NicDevice;
-use crate::os::Os;
+use crate::os::{IoSubmission, Os};
 use crate::rng::SimRng;
 use tdp_counters::{
     CounterBank, CpuId, InterruptSource, PerfEvent, SampleSet,
@@ -39,6 +39,37 @@ pub struct TickActivity {
     pub disks: Vec<DiskModeFractions>,
 }
 
+impl TickActivity {
+    /// An empty activity suitable as the reusable buffer for
+    /// [`Machine::tick_into`].
+    pub fn empty() -> Self {
+        Self {
+            time_ms: 0,
+            freq_scale: 1.0,
+            cores: Vec::new(),
+            bus: BusActivity::default(),
+            dram: DramActivity::default(),
+            io: IoActivity::default(),
+            disks: Vec::new(),
+        }
+    }
+}
+
+/// Reusable per-tick working buffers. Every vector grows once to its
+/// steady-state size and is cleared (not freed) between ticks, making
+/// [`Machine::tick_into`] allocation-free after warm-up.
+#[derive(Debug, Default)]
+struct TickScratch {
+    results: Vec<CpuTickResult>,
+    extra_uncacheable: Vec<u64>,
+    assignments: Vec<Vec<usize>>,
+    demands: Vec<crate::behavior::TickDemand>,
+    sub: IoSubmission,
+    disk_tick: DiskTickResult,
+    completed: Vec<crate::disk::CommandId>,
+    irq: InterruptDeltas,
+}
+
 /// The simulated server.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
@@ -60,6 +91,7 @@ pub struct Machine {
     last_sample_ms: u64,
     dma_rr: usize,
     freq_scale: f64,
+    scratch: TickScratch,
 }
 
 impl Machine {
@@ -126,6 +158,7 @@ impl Machine {
             last_sample_ms: 0,
             dma_rr: 0,
             freq_scale: 1.0,
+            scratch: TickScratch::default(),
             cfg,
         })
     }
@@ -187,7 +220,23 @@ impl Machine {
 
     /// Advances the machine by one millisecond and returns the tick's
     /// device activity.
+    ///
+    /// Allocates a fresh [`TickActivity`] per call; tight loops should
+    /// hold a buffer and use [`tick_into`](Machine::tick_into) instead.
     pub fn tick(&mut self) -> TickActivity {
+        let mut out = TickActivity::empty();
+        self.tick_into(&mut out);
+        out
+    }
+
+    /// Advances the machine by one millisecond, writing the tick's device
+    /// activity into a caller-owned buffer.
+    ///
+    /// This is the allocation-free hot path: `out`'s vectors and every
+    /// internal working buffer are reused across calls, so a steady-state
+    /// tick performs no heap allocation. The result is identical to
+    /// [`tick`](Machine::tick).
+    pub fn tick_into(&mut self, out: &mut TickActivity) {
         self.now_ms += 1;
         let num_cpus = self.cfg.cpu.num_cpus;
 
@@ -200,43 +249,50 @@ impl Machine {
         let timer_count = u64::from(timer_fired);
 
         // 2. Schedule and execute CPUs.
-        let assignments =
-            self.os
-                .assignments(self.now_ms, num_cpus, self.cfg.cpu.smt_per_cpu);
+        self.os.assignments_into(
+            self.now_ms,
+            num_cpus,
+            self.cfg.cpu.smt_per_cpu,
+            &mut self.scratch.assignments,
+        );
         let throttle = self.bus.throttle();
         let cycles_this_tick = (self.cfg.cpu.cycles_per_tick() as f64
             * self.freq_scale)
             .round()
             .max(1.0) as u64;
-        let mut results: Vec<CpuTickResult> = Vec::with_capacity(num_cpus);
-        let mut extra_uncacheable = vec![0u64; num_cpus];
+        self.scratch.results.resize_with(num_cpus, CpuTickResult::default);
+        self.scratch.extra_uncacheable.clear();
+        self.scratch.extra_uncacheable.resize(num_cpus, 0);
         let mut commands_started = 0u64;
         let mut config_accesses_total = 0u64;
         let mut net_bytes = 0u64;
 
         for cpu in 0..num_cpus {
-            let procs = assignments[cpu].clone();
+            let procs: &[usize] = &self.scratch.assignments[cpu];
             let share = 1.0 / procs.len().max(1) as f64;
-            let demands: Vec<_> = procs
-                .iter()
-                .map(|&p| self.os.demand_of(p, self.now_ms, share, throttle))
-                .collect();
-            let result = self.cores[cpu].run_tick_at(
-                &demands,
+            self.scratch.demands.clear();
+            for &p in procs {
+                let d = self.os.demand_of(p, self.now_ms, share, throttle);
+                self.scratch.demands.push(d);
+            }
+            self.cores[cpu].run_tick_into(
+                &self.scratch.demands,
                 throttle,
                 timer_count,
                 cycles_this_tick,
+                &mut self.scratch.results[cpu],
             );
 
             // Scheduler accounting for per-process power attribution.
-            for (&p, &retired) in
-                procs.iter().zip(&result.per_thread_retired)
+            for (&p, &retired) in procs
+                .iter()
+                .zip(&self.scratch.results[cpu].per_thread_retired)
             {
                 self.os.record_execution(p, cpu, retired);
             }
 
             // 3. File I/O: page cache, command submission, blocking.
-            for (&p, demand) in procs.iter().zip(&demands) {
+            for (&p, demand) in procs.iter().zip(&self.scratch.demands) {
                 let io = &demand.io;
                 net_bytes += io.net_bytes;
                 if io.read_bytes == 0
@@ -246,24 +302,25 @@ impl Machine {
                 {
                     continue;
                 }
-                let sub = self.os.submit_io(p, io, self.now_ms);
-                commands_started += sub.commands.len() as u64;
-                config_accesses_total += sub.config_accesses;
-                extra_uncacheable[cpu] += sub.config_accesses;
-                for (disk, cmd) in sub.commands {
+                self.os.submit_io_into(p, io, self.now_ms, &mut self.scratch.sub);
+                commands_started += self.scratch.sub.commands.len() as u64;
+                config_accesses_total += self.scratch.sub.config_accesses;
+                self.scratch.extra_uncacheable[cpu] +=
+                    self.scratch.sub.config_accesses;
+                for &(disk, cmd) in &self.scratch.sub.commands {
                     self.disks[disk].submit(cmd);
                 }
             }
-            results.push(result);
         }
 
         // 4. Background write-back (kernel flusher, charged to CPU 0).
-        let wb = self.os.background_writeback();
+        self.os.background_writeback_into(&mut self.scratch.sub);
+        let wb = &self.scratch.sub;
         if !wb.commands.is_empty() {
             commands_started += wb.commands.len() as u64;
             config_accesses_total += wb.config_accesses;
-            extra_uncacheable[0] += wb.config_accesses;
-            for (disk, cmd) in wb.commands {
+            self.scratch.extra_uncacheable[0] += wb.config_accesses;
+            for &(disk, cmd) in &wb.commands {
                 self.disks[disk].submit(cmd);
             }
         }
@@ -271,19 +328,20 @@ impl Machine {
         // 5. Disks: advance, stream DMA, complete commands.
         let mut dma_read_bytes = 0u64;
         let mut dma_write_bytes = 0u64;
-        let mut disk_modes = Vec::with_capacity(self.disks.len());
-        let mut completed = Vec::new();
+        out.disks.clear();
+        self.scratch.completed.clear();
         for (idx, disk) in self.disks.iter_mut().enumerate() {
-            let r = disk.tick();
+            let r = &mut self.scratch.disk_tick;
+            disk.tick_into(r);
             dma_read_bytes += r.dma_read_bytes;
             dma_write_bytes += r.dma_write_bytes;
-            disk_modes.push(r.modes);
+            out.disks.push(r.modes);
             for c in &r.completions {
                 self.intc.deliver(InterruptSource::Disk(idx as u8));
-                completed.push(c.id);
+                self.scratch.completed.push(c.id);
             }
         }
-        self.os.on_completions(&completed);
+        self.os.on_completions(&self.scratch.completed);
 
         // 5b. Network: packets DMA through the same I/O path; completions
         // are coalesced interrupts.
@@ -300,9 +358,11 @@ impl Machine {
         );
 
         // 7. Bus arbitration and DRAM.
+        let results = &self.scratch.results;
+        let extra_uncacheable = &self.scratch.extra_uncacheable;
         let cpu_lines: u64 = results
             .iter()
-            .zip(&extra_uncacheable)
+            .zip(extra_uncacheable)
             .map(|(r, &x)| r.traffic.total_lines() + x)
             .sum();
         let bus_activity = self.bus.arbitrate(cpu_lines, io_activity.dma_lines);
@@ -338,7 +398,8 @@ impl Machine {
         let dram_activity = self.dram.tick(dram_reads, dram_writes);
 
         // 8. Retire counter deltas into the banks.
-        let irq = self.intc.take_tick_deltas();
+        self.intc.take_tick_deltas_into(&mut self.scratch.irq);
+        let irq = &self.scratch.irq;
         for cpu in 0..num_cpus {
             let bank = &mut self.banks[cpu];
             let r = &results[cpu];
@@ -380,37 +441,45 @@ impl Machine {
         }
         self.dma_rr = (self.dma_rr + 1) % num_cpus;
 
-        TickActivity {
-            time_ms: self.now_ms,
-            freq_scale: self.freq_scale,
-            cores: results.iter().map(|r| r.activity).collect(),
-            bus: bus_activity,
-            dram: dram_activity,
-            io: io_activity,
-            disks: disk_modes,
-        }
+        out.time_ms = self.now_ms;
+        out.freq_scale = self.freq_scale;
+        out.cores.clear();
+        out.cores
+            .extend(self.scratch.results.iter().map(|r| r.activity));
+        out.bus = bus_activity;
+        out.dram = dram_activity;
+        out.io = io_activity;
     }
 
     /// Reads and clears every CPU's counters plus the OS interrupt
     /// accounting, producing one synchronized [`SampleSet`].
     pub fn read_counters(&mut self) -> SampleSet {
+        let mut out = SampleSet::empty();
+        self.read_counters_into(&mut out);
+        out
+    }
+
+    /// Like [`read_counters`](Machine::read_counters) but refilling a
+    /// caller-owned set in place — the allocation-free sampling path for
+    /// callers that do not archive the raw samples. Start from
+    /// [`SampleSet::empty`].
+    pub fn read_counters_into(&mut self, out: &mut SampleSet) {
         let seq = self.sample_seq;
         self.sample_seq += 1;
-        let per_cpu = self
-            .banks
-            .iter_mut()
-            .map(|b| b.read_and_clear(seq))
-            .collect();
-        let interrupts = self.intc.accounting_mut().snapshot_delta();
-        let window_ms = self.now_ms - self.last_sample_ms;
-        self.last_sample_ms = self.now_ms;
-        SampleSet {
-            time_ms: self.now_ms,
-            window_ms,
-            seq,
-            per_cpu,
-            interrupts,
+        out.per_cpu.resize_with(self.banks.len(), || {
+            tdp_counters::CounterSample::new(CpuId::new(0), 0, Vec::new())
+        });
+        out.per_cpu.truncate(self.banks.len());
+        for (b, s) in self.banks.iter_mut().zip(out.per_cpu.iter_mut()) {
+            b.read_and_clear_into(seq, s);
         }
+        self.intc
+            .accounting_mut()
+            .snapshot_delta_into(&mut out.interrupts);
+        out.time_ms = self.now_ms;
+        out.window_ms = self.now_ms - self.last_sample_ms;
+        out.seq = seq;
+        self.last_sample_ms = self.now_ms;
     }
 }
 

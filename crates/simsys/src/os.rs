@@ -102,6 +102,15 @@ pub struct IoSubmission {
     pub config_accesses: u64,
 }
 
+impl IoSubmission {
+    /// Clears the submission for reuse, keeping the command buffer's
+    /// allocation.
+    pub fn reset(&mut self) {
+        self.commands.clear();
+        self.config_accesses = 0;
+    }
+}
+
 /// The operating system.
 pub struct Os {
     cfg: OsConfig,
@@ -125,6 +134,8 @@ pub struct Os {
     sched_window: HashMap<(ProcessId, usize), u64>,
     /// Cumulative scheduled milliseconds per process.
     sched_runtime_ms: HashMap<ProcessId, u64>,
+    /// Runnable-index scratch reused across scheduling ticks.
+    runnable_scratch: Vec<usize>,
 }
 
 impl fmt::Debug for Os {
@@ -165,6 +176,7 @@ impl Os {
             file_cursor: HashMap::new(),
             sched_window: HashMap::new(),
             sched_runtime_ms: HashMap::new(),
+            runnable_scratch: Vec::new(),
         }
     }
 
@@ -218,6 +230,21 @@ impl Os {
         num_cpus: usize,
         smt_per_cpu: usize,
     ) -> Vec<Vec<usize>> {
+        let mut per_cpu = Vec::new();
+        self.assignments_into(now_ms, num_cpus, smt_per_cpu, &mut per_cpu);
+        per_cpu
+    }
+
+    /// Like [`assignments`](Self::assignments) but filling a caller-owned
+    /// buffer — the allocation-free hot path. The outer vector is resized
+    /// to `num_cpus` and every inner vector is cleared and reused.
+    pub fn assignments_into(
+        &mut self,
+        now_ms: u64,
+        num_cpus: usize,
+        smt_per_cpu: usize,
+        per_cpu: &mut Vec<Vec<usize>>,
+    ) {
         for p in &mut self.processes {
             match p.state {
                 ProcState::NotStarted if now_ms >= p.start_ms => {
@@ -233,17 +260,21 @@ impl Os {
             }
         }
 
-        let runnable: Vec<usize> = self
-            .processes
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.state == ProcState::Ready)
-            .map(|(i, _)| i)
-            .collect();
+        self.runnable_scratch.clear();
+        for (i, p) in self.processes.iter().enumerate() {
+            if p.state == ProcState::Ready {
+                self.runnable_scratch.push(i);
+            }
+        }
+        let runnable = &self.runnable_scratch;
 
-        let mut per_cpu: Vec<Vec<usize>> = vec![Vec::new(); num_cpus];
+        per_cpu.resize_with(num_cpus, Vec::new);
+        per_cpu.truncate(num_cpus);
+        for v in per_cpu.iter_mut() {
+            v.clear();
+        }
         if runnable.is_empty() {
-            return per_cpu;
+            return;
         }
         let capacity = num_cpus * smt_per_cpu;
         // Round-robin offset for fairness when oversubscribed.
@@ -258,7 +289,6 @@ impl Os {
             // Fill cpu0..cpuN first, then second SMT slots.
             per_cpu[slot % num_cpus].push(proc_idx);
         }
-        per_cpu
     }
 
     /// Calls the behaviour of process `proc_idx` for this tick.
@@ -331,9 +361,27 @@ impl Os {
         io: &IoDemand,
         now_ms: u64,
     ) -> IoSubmission {
-        let pid = self.processes[proc_idx].id;
         let mut sub = IoSubmission::default();
-        let mut block_on: Vec<CommandId> = Vec::new();
+        self.submit_io_into(proc_idx, io, now_ms, &mut sub);
+        sub
+    }
+
+    /// Like [`submit_io`](Self::submit_io) but filling a caller-owned
+    /// submission — the allocation-free hot path. `sub` is
+    /// [`reset`](IoSubmission::reset) first; its buffer is reused.
+    pub fn submit_io_into(
+        &mut self,
+        proc_idx: usize,
+        io: &IoDemand,
+        now_ms: u64,
+        sub: &mut IoSubmission,
+    ) {
+        sub.reset();
+        let pid = self.processes[proc_idx].id;
+        // Command ids are issued sequentially, so each transfer's ids form
+        // a contiguous `(first, count)` range — blocking state is built
+        // from ranges without an intermediate id list.
+        let mut block_ranges: [(u64, u64); 2] = [(0, 0); 2];
 
         // Reads: the whole request either hits the page cache (no disk
         // traffic) or misses and fetches in full — `read_hit_fraction`
@@ -343,10 +391,10 @@ impl Os {
         if io.read_bytes > 0 {
             let hit = io.read_hit_fraction.clamp(0.0, 1.0);
             if !self.rng.chance(hit) {
-                let ids =
-                    self.enqueue_transfer(pid, io.read_bytes, false, &mut sub);
+                let range =
+                    self.enqueue_transfer(pid, io.read_bytes, false, sub);
                 if io.blocking_reads {
-                    block_on.extend(ids);
+                    block_ranges[0] = range;
                 }
             }
         }
@@ -360,20 +408,23 @@ impl Os {
         if io.sync && self.dirty_pages > 0 {
             let bytes = self.dirty_pages * self.cfg.page_bytes;
             self.dirty_pages = 0;
-            let ids = self.enqueue_transfer(pid, bytes, true, &mut sub);
-            block_on.extend(ids);
+            block_ranges[1] = self.enqueue_transfer(pid, bytes, true, sub);
         }
 
-        if !block_on.is_empty() {
-            for id in &block_on {
-                self.waiters.insert(*id, pid);
+        let blocked: u64 = block_ranges.iter().map(|&(_, n)| n).sum();
+        if blocked > 0 {
+            let mut block_on = Vec::with_capacity(blocked as usize);
+            for &(first, count) in &block_ranges {
+                for id in (first..first + count).map(CommandId) {
+                    self.waiters.insert(id, pid);
+                    block_on.push(id);
+                }
             }
             self.processes[proc_idx].state = ProcState::Blocked(block_on);
         } else if io.sleep_ms > 0 {
             self.processes[proc_idx].state =
                 ProcState::Sleeping(now_ms + io.sleep_ms);
         }
-        sub
     }
 
     /// Background flusher: called once per tick; writes back dirty pages
@@ -381,12 +432,21 @@ impl Os {
     /// every few milliseconds so it issues disk-sized commands instead
     /// of a storm of slivers.
     pub fn background_writeback(&mut self) -> IoSubmission {
+        let mut sub = IoSubmission::default();
+        self.background_writeback_into(&mut sub);
+        sub
+    }
+
+    /// Like [`background_writeback`](Self::background_writeback) but
+    /// filling a caller-owned submission — the allocation-free hot path.
+    /// `sub` is [`reset`](IoSubmission::reset) first.
+    pub fn background_writeback_into(&mut self, sub: &mut IoSubmission) {
+        sub.reset();
         let threshold = (self.cfg.page_cache_pages as f64
             * self.cfg.dirty_background_ratio) as u64;
-        let mut sub = IoSubmission::default();
         self.wb_pace = self.wb_pace.wrapping_add(1);
         if self.dirty_pages <= threshold || !self.wb_pace.is_multiple_of(8) {
-            return sub;
+            return;
         }
         let excess_bytes = (self.dirty_pages - threshold) * self.cfg.page_bytes;
         let bytes = excess_bytes.min(self.cfg.writeback_bytes_per_tick);
@@ -394,8 +454,7 @@ impl Os {
         self.dirty_pages -= pages.min(self.dirty_pages);
         // Flusher writes are nobody's problem: no blocking.
         let pid = ProcessId(0);
-        let _ = self.enqueue_transfer(pid, bytes, true, &mut sub);
-        sub
+        let _ = self.enqueue_transfer(pid, bytes, true, sub);
     }
 
     /// Handles disk completions: wakes any thread whose last outstanding
@@ -416,15 +475,18 @@ impl Os {
         }
     }
 
+    /// Splits `bytes` into disk commands appended to `sub`; returns the
+    /// `(first id, count)` of the commands issued. Ids are contiguous
+    /// because `next_cmd` is the only id source.
     fn enqueue_transfer(
         &mut self,
         pid: ProcessId,
         bytes: u64,
         write: bool,
         sub: &mut IoSubmission,
-    ) -> Vec<CommandId> {
+    ) -> (u64, u64) {
         let mut remaining = bytes;
-        let mut ids = Vec::new();
+        let first = self.next_cmd;
         let chunk = self.max_command_bytes;
         while remaining > 0 {
             let this = remaining.min(chunk);
@@ -446,11 +508,10 @@ impl Os {
                     write,
                 },
             ));
-            ids.push(id);
         }
-        sub.config_accesses +=
-            ids.len() as u64 * self.config_accesses_per_command;
-        ids
+        let count = self.next_cmd - first;
+        sub.config_accesses += count * self.config_accesses_per_command;
+        (first, count)
     }
 }
 

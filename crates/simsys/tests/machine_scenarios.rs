@@ -17,7 +17,7 @@ impl ThreadBehavior for FileWriter {
             target_upc: 0.8,
             io: IoDemand {
                 write_bytes: 256 * 1024,
-                sync: ctx.now_ms % 400 == 0,
+                sync: ctx.now_ms.is_multiple_of(400),
                 ..IoDemand::default()
             },
             ..TickDemand::default()

@@ -79,7 +79,7 @@ impl ThreadBehavior for Dbt2Behavior {
             mispredicts_per_kuop: 5.5,
             loads_per_uop: 0.34,
             stores_per_uop: 0.15,
-            reuse: self.reuse.clone(),
+            reuse: self.reuse,
             streaming_fraction: 0.25,
             tlb_misses_per_kuop: 0.30,
             uncacheable_per_kuop: 0.0,

@@ -88,7 +88,7 @@ impl ThreadBehavior for DiskLoadBehavior {
             mispredicts_per_kuop: 0.8,
             loads_per_uop: 0.18,
             stores_per_uop: 0.34,
-            reuse: self.reuse.clone(),
+            reuse: self.reuse,
             streaming_fraction: 0.92,
             tlb_misses_per_kuop: 0.60,
             uncacheable_per_kuop: 0.0,

@@ -288,7 +288,7 @@ impl ThreadBehavior for SpecCpuBehavior {
             mispredicts_per_kuop: p.mispredicts_per_kuop,
             loads_per_uop: p.loads_per_uop,
             stores_per_uop: p.stores_per_uop,
-            reuse: self.reuse.clone(),
+            reuse: self.reuse,
             streaming_fraction: p.streaming_fraction,
             tlb_misses_per_kuop: p.tlb_misses_per_kuop,
             uncacheable_per_kuop: 0.0,

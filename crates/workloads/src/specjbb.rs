@@ -63,7 +63,7 @@ impl ThreadBehavior for SpecJbbBehavior {
                 mispredicts_per_kuop: 3.0,
                 loads_per_uop: 0.42,
                 stores_per_uop: 0.16,
-                reuse: self.gc_reuse.clone(),
+                reuse: self.gc_reuse,
                 streaming_fraction: 0.80,
                 tlb_misses_per_kuop: 0.50,
                 uncacheable_per_kuop: 0.0,
@@ -90,7 +90,7 @@ impl ThreadBehavior for SpecJbbBehavior {
             mispredicts_per_kuop: 4.5,
             loads_per_uop: 0.33,
             stores_per_uop: 0.16,
-            reuse: self.txn_reuse.clone(),
+            reuse: self.txn_reuse,
             streaming_fraction: 0.35,
             tlb_misses_per_kuop: 0.35,
             uncacheable_per_kuop: 0.0,

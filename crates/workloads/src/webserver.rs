@@ -92,7 +92,7 @@ impl ThreadBehavior for WebServerBehavior {
             mispredicts_per_kuop: 5.0,
             loads_per_uop: 0.32,
             stores_per_uop: 0.14,
-            reuse: self.reuse.clone(),
+            reuse: self.reuse,
             streaming_fraction: 0.30,
             tlb_misses_per_kuop: 0.25,
             uncacheable_per_kuop: 0.0,

@@ -40,9 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     header.push("total_modeled_w".to_owned());
     println!("{}", header.join(","));
 
+    // One row buffer reused across the trace — the same buffer-reuse
+    // pattern the tick hot path uses (`clear()` keeps the capacity).
+    let mut row: Vec<String> = Vec::with_capacity(header.len());
     for record in &trace.records {
         let modeled = model.predict(&record.input);
-        let mut row = vec![format!("{}", record.input.time_ms as f64 / 1000.0)];
+        row.clear();
+        row.push(format!("{}", record.input.time_ms as f64 / 1000.0));
         for &s in Subsystem::ALL {
             row.push(format!("{:.3}", record.measured.watts.get(s)));
             row.push(format!("{:.3}", modeled.get(s)));

@@ -39,7 +39,7 @@ const CANDIDATE_NAMES: &[&str] = &[
 ];
 
 fn rows(trace: &Trace, subsystem: Subsystem) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let xs = trace.inputs().iter().map(candidates).collect();
+    let xs = trace.inputs().into_iter().map(candidates).collect();
     (xs, trace.measured(subsystem))
 }
 

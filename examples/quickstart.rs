@@ -31,15 +31,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = capture(set, 30, 43);
 
     // 3. Estimate power online from counters alone and compare against
-    //    the sense-resistor measurements.
+    //    the sense-resistor measurements. The estimator's push path is
+    //    allocation-free, and per-CPU attribution reuses one caller-
+    //    owned buffer across the whole run (the buffer-reuse contract:
+    //    `*_into` methods reset and refill, the caller keeps capacity).
     let mut estimator = SystemPowerEstimator::new(model);
+    let mut per_cpu_w: Vec<f64> = Vec::new();
     println!(
         "{:>4} {:>10} {:>10} {:>7}   (specjbb, 8 warehouses)",
         "sec", "measured", "estimated", "error"
     );
     let mut worst: f64 = 0.0;
+    let mut busiest_cpu_w: f64 = 0.0;
     for record in &trace.records {
         let est = estimator.push(&record.input);
+        estimator.attribute_cpus_into(&record.input, &mut per_cpu_w);
+        busiest_cpu_w = busiest_cpu_w
+            .max(per_cpu_w.iter().cloned().fold(0.0, f64::max));
         let measured = record.measured.watts.total();
         let err = (est.total() - measured).abs() / measured * 100.0;
         worst = worst.max(err);
@@ -54,6 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\nworst per-second total-power error: {worst:.2}%");
+    println!("busiest single CPU (attributed): {busiest_cpu_w:.1} W");
 
     // 4. The estimator keeps history for policies to consume.
     let cpu_avg = estimator

@@ -26,7 +26,7 @@ fn fit_at(scale: f64, seed: u64) -> (CpuPowerModel, trickledown::Trace) {
 
 fn avg_err(model: &CpuPowerModel, trace: &trickledown::Trace) -> f64 {
     let modeled: Vec<f64> =
-        trace.inputs().iter().map(|s| model.predict(s)).collect();
+        trace.inputs().into_iter().map(|s| model.predict(s)).collect();
     tdp_modeling::metrics::average_error(
         &modeled,
         &trace.measured(Subsystem::Cpu),
@@ -57,7 +57,7 @@ fn nominal_model_breaks_under_dvfs_and_pstate_set_repairs_it() {
         .expect("valid set");
     let via_set: Vec<f64> = scaled_trace
         .inputs()
-        .iter()
+        .into_iter()
         .map(|s| set.predict_at(0.625, s))
         .collect();
     let set_err = tdp_modeling::metrics::average_error(

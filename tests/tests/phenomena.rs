@@ -45,7 +45,7 @@ fn cache_miss_model_fails_where_bus_model_holds() {
     .expect("mesa has L3-miss variation");
     // Equation 2 fits its own training workload well.
     let mesa_modeled: Vec<f64> =
-        mesa.inputs().iter().map(|s| l3.predict(s)).collect();
+        mesa.inputs().into_iter().map(|s| l3.predict(s)).collect();
     let mesa_err = tdp_modeling::metrics::average_error(
         &mesa_modeled,
         &mesa.measured(Subsystem::Memory),

@@ -168,11 +168,9 @@ fn count_top_level_fields(body: TokenStream) -> usize {
         match t {
             TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
             TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
-            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
-                // Ignore a trailing comma.
-                if k + 1 < tokens.len() {
-                    count += 1;
-                }
+            // Each top-level comma separates fields; a trailing comma does not.
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 && k + 1 < tokens.len() => {
+                count += 1;
             }
             _ => {}
         }
