@@ -55,9 +55,7 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig2_cpu_trace", |b| {
         b.iter(|| black_box(fig2(&cfg, &model)))
     });
-    group.bench_function("fig3_memory_l3", |b| {
-        b.iter(|| black_box(fig3(&cfg)))
-    });
+    group.bench_function("fig3_memory_l3", |b| b.iter(|| black_box(fig3(&cfg))));
     group.bench_function("fig4_fig5_mcf_ramp", |b| {
         b.iter(|| black_box(fig4_fig5(&cfg)))
     });

@@ -68,8 +68,7 @@ fn bench_components(c: &mut Criterion) {
     });
 
     c.bench_function("disk/tick_with_queue", |b| {
-        let mut disk =
-            ScsiDisk::new(MachineConfig::default().disk, SimRng::seed(2));
+        let mut disk = ScsiDisk::new(MachineConfig::default().disk, SimRng::seed(2));
         let mut next = 0u64;
         b.iter(|| {
             if disk.outstanding() < 8 {

@@ -23,9 +23,7 @@ fn busy_machine() -> Machine {
 
 fn bench_tick(c: &mut Criterion) {
     let mut machine = busy_machine();
-    c.bench_function("tick/allocating", |b| {
-        b.iter(|| black_box(machine.tick()))
-    });
+    c.bench_function("tick/allocating", |b| b.iter(|| black_box(machine.tick())));
 
     let mut machine = busy_machine();
     let mut activity = TickActivity::empty();

@@ -32,11 +32,9 @@ fn fit_and_score(
     train: &Trace,
     validate: &[&Trace],
 ) -> Option<(Vec<f64>, f64)> {
-    let train_xs: Vec<Vec<f64>> =
-        train.inputs().into_iter().map(extract).collect();
+    let train_xs: Vec<Vec<f64>> = train.inputs().into_iter().map(extract).collect();
     let train_ys = train.measured(subsystem);
-    let model: RegressionModel =
-        fit_least_squares_ridge(map, &train_xs, &train_ys, 1e-9).ok()?;
+    let model: RegressionModel = fit_least_squares_ridge(map, &train_xs, &train_ys, 1e-9).ok()?;
     let score = |t: &Trace| {
         let xs: Vec<Vec<f64>> = t.inputs().into_iter().map(extract).collect();
         let modeled: Vec<f64> = xs.iter().map(|x| model.predict(x)).collect();
@@ -55,9 +53,8 @@ pub fn memory_input(cfg: &ExperimentConfig) -> String {
         .map(|&w| capture_workload(cfg, w))
         .collect();
 
-    let mut out = String::from(
-        "ablation: memory model input (Eq 2 cache misses vs Eq 3 bus transactions)\n",
-    );
+    let mut out =
+        String::from("ablation: memory model input (Eq 2 cache misses vs Eq 3 bus transactions)\n");
     let _ = writeln!(
         out,
         "{:<22} {:>10} {:>10} {:>10} {:>10}",
@@ -67,17 +64,14 @@ pub fn memory_input(cfg: &ExperimentConfig) -> String {
         ("l3_misses (Eq 2)", MemoryInput::L3LoadMisses, &mesa),
         ("bus_txns  (Eq 3)", MemoryInput::BusTransactions, &mcf),
     ] {
-        let Ok(model) = MemoryPowerModel::fit(
-            input,
-            &train.inputs(),
-            &train.measured(Subsystem::Memory),
-        ) else {
+        let Ok(model) =
+            MemoryPowerModel::fit(input, &train.inputs(), &train.measured(Subsystem::Memory))
+        else {
             let _ = writeln!(out, "{label:<22} (fit failed)");
             continue;
         };
         let score = |t: &Trace| {
-            let modeled: Vec<f64> =
-                t.inputs().into_iter().map(|s| model.predict(s)).collect();
+            let modeled: Vec<f64> = t.inputs().into_iter().map(|s| model.predict(s)).collect();
             average_error(&modeled, &t.measured(Subsystem::Memory))
         };
         let _ = writeln!(
@@ -145,9 +139,7 @@ pub fn io_input(cfg: &ExperimentConfig) -> String {
             vec![s.sum(|c| c.device_interrupts_per_cycle)]
         }),
         ("dma accesses", &|s| vec![s.sum(|c| c.dma_per_cycle)]),
-        ("uncacheable", &|s| {
-            vec![s.sum(|c| c.uncacheable_per_cycle)]
-        }),
+        ("uncacheable", &|s| vec![s.sum(|c| c.uncacheable_per_cycle)]),
     ];
 
     let mut out = String::from("ablation: I/O model input event\n");
@@ -167,11 +159,7 @@ pub fn io_input(cfg: &ExperimentConfig) -> String {
             let _ = writeln!(out, "{label:<22} (fit failed)");
             continue;
         };
-        let _ = writeln!(
-            out,
-            "{label:<22} {:>13.2}% {:>9.2}%",
-            train_err, errors[0]
-        );
+        let _ = writeln!(out, "{label:<22} {:>13.2}% {:>9.2}%", train_err, errors[0]);
     }
     out
 }
@@ -185,8 +173,7 @@ pub fn model_form(cfg: &ExperimentConfig) -> String {
     let extract: &dyn Fn(&trickledown::SystemSample) -> Vec<f64> =
         &|s| vec![s.sum(|c| c.bus_tx_per_mcycle)];
 
-    let mut out =
-        String::from("ablation: model form for the memory subsystem\n");
+    let mut out = String::from("ablation: model form for the memory subsystem\n");
     let _ = writeln!(
         out,
         "{:<22} {:>10} {:>10} {:>10}",
@@ -215,9 +202,7 @@ pub fn model_form(cfg: &ExperimentConfig) -> String {
 /// faster sampling sees more variance (less averaging), slower sampling
 /// hides phases.
 pub fn sampling_period(cfg: &ExperimentConfig) -> String {
-    let mut out = String::from(
-        "ablation: counter sampling period (CPU model, gcc ramp)\n",
-    );
+    let mut out = String::from("ablation: counter sampling period (CPU model, gcc ramp)\n");
     let _ = writeln!(out, "{:<12} {:>12} {:>10}", "period", "windows", "error");
     for period_ms in [250u64, 500, 1000, 2000, 4000] {
         let mut tb_cfg = TestbedConfig::with_seed(cfg.seed ^ period_ms);
@@ -226,16 +211,14 @@ pub fn sampling_period(cfg: &ExperimentConfig) -> String {
             max_jitter_ms: 3,
         };
         let mut bed = Testbed::new(tb_cfg);
-        let set = WorkloadSet::new(Workload::Gcc, 8, cfg.ramp_seconds * 1000)
-            .with_delay(2_000);
+        let set = WorkloadSet::new(Workload::Gcc, 8, cfg.ramp_seconds * 1000).with_delay(2_000);
         bed.deploy(set);
         let seconds = cfg.seconds_for(&set);
         let windows = seconds * 1000 / period_ms;
         let trace = bed.run_seconds(Workload::Gcc, windows);
-        let Ok(model) = trickledown::CpuPowerModel::fit(
-            &trace.inputs(),
-            &trace.measured(Subsystem::Cpu),
-        ) else {
+        let Ok(model) =
+            trickledown::CpuPowerModel::fit(&trace.inputs(), &trace.measured(Subsystem::Cpu))
+        else {
             let _ = writeln!(out, "{period_ms:<12} (fit failed)");
             continue;
         };

@@ -30,7 +30,7 @@ use tdp_bench::figures::{fig2, fig3, fig4_fig5, fig6_fig7};
 use tdp_bench::{calibrate, capture_all, ExperimentConfig};
 use trickledown::PowerCharacterization;
 
-const USAGE: &str = "usage: repro [--quick] [--markdown] [--bench-json] [--seed N] [--out DIR] \
+const USAGE: &str = "usage: repro [--quick] [--markdown] [--bench-json] [--fleet N] [--seed N] [--out DIR] \
     <table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|coefficients|shape|ablate|selection|all>...";
 
 fn main() -> ExitCode {
@@ -38,11 +38,19 @@ fn main() -> ExitCode {
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut markdown = false;
     let mut bench_json = false;
+    let mut fleet: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--markdown" => markdown = true,
             "--bench-json" => bench_json = true,
+            "--fleet" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => fleet = Some(n),
+                _ => {
+                    eprintln!("--fleet needs a positive machine count\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--quick" => {
                 let out = cfg.out_dir.clone();
                 cfg = ExperimentConfig::quick();
@@ -81,6 +89,16 @@ fn main() -> ExitCode {
             cfg.seed, cfg.trace_seconds
         );
         println!("{}", tdp_bench::pipeline::run_and_write(&cfg));
+        if wanted.is_empty() && fleet.is_none() {
+            return ExitCode::SUCCESS;
+        }
+    }
+    if let Some(n_machines) = fleet {
+        eprintln!(
+            "repro: benchmarking fleet estimation ({n_machines} machines, seed {})…",
+            cfg.seed
+        );
+        println!("{}", tdp_bench::fleet::run_and_write(&cfg, n_machines));
         if wanted.is_empty() {
             return ExitCode::SUCCESS;
         }
@@ -91,16 +109,38 @@ fn main() -> ExitCode {
     }
     if wanted.contains("all") {
         wanted = [
-            "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4",
-            "fig5", "fig6", "fig7", "coefficients", "shape",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "coefficients",
+            "shape",
         ]
         .into_iter()
         .map(str::to_owned)
         .collect();
     }
     let known: BTreeSet<&str> = [
-        "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4",
-        "fig5", "fig6", "fig7", "coefficients", "shape", "ablate", "selection",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "coefficients",
+        "shape",
+        "ablate",
+        "selection",
     ]
     .into();
     for w in &wanted {
@@ -141,8 +181,7 @@ fn main() -> ExitCode {
     let mut report = None;
     let mut characterization = None;
     if let Some(traces) = &traces {
-        if wanted.contains("table1") || wanted.contains("table2") || wanted.contains("shape")
-        {
+        if wanted.contains("table1") || wanted.contains("table2") || wanted.contains("shape") {
             let (t1, t2) = tables_1_and_2(&cfg, traces);
             let c = PowerCharacterization::from_traces(traces);
             if wanted.contains("table1") {
@@ -159,10 +198,7 @@ fn main() -> ExitCode {
                 println!("{t2}");
             }
         }
-        if wanted.contains("table3")
-            || wanted.contains("table4")
-            || wanted.contains("shape")
-        {
+        if wanted.contains("table3") || wanted.contains("table4") || wanted.contains("shape") {
             let model = model.as_ref().expect("model built for tables 3/4");
             let (rep, rendered) = tables_3_and_4(&cfg, model, traces);
             if wanted.contains("table3") || wanted.contains("table4") {

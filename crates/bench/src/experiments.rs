@@ -2,19 +2,14 @@
 //! comparison.
 
 use crate::{write_csv, ExperimentConfig};
-use trickledown::testbed::Trace;
-use trickledown::{
-    PowerCharacterization, SystemPowerModel, ValidationReport,
-};
 use tdp_counters::Subsystem;
 use tdp_workloads::WorkloadClass;
+use trickledown::testbed::Trace;
+use trickledown::{PowerCharacterization, SystemPowerModel, ValidationReport};
 
 /// Runs Table 1 (mean subsystem power) and Table 2 (standard
 /// deviations), returning the rendered tables and writing CSVs.
-pub fn tables_1_and_2(
-    cfg: &ExperimentConfig,
-    traces: &[Trace],
-) -> (String, String) {
+pub fn tables_1_and_2(cfg: &ExperimentConfig, traces: &[Trace]) -> (String, String) {
     let c = PowerCharacterization::from_traces(traces);
     let rows = c.rows.iter().map(|r| {
         let mut row = Vec::with_capacity(11);
@@ -133,7 +128,10 @@ pub fn shape_checks(
     ) {
         let frac = idle.total_w / peak.total_w;
         checks.push((
-            format!("idle is ~46% of peak total power (got {:.0}%)", frac * 100.0),
+            format!(
+                "idle is ~46% of peak total power (got {:.0}%)",
+                frac * 100.0
+            ),
             (0.35..0.60).contains(&frac),
         ));
     }
@@ -184,12 +182,10 @@ pub fn shape_checks(
 
     // Disk dynamic range is tiny over a large DC offset.
     if let (Some(dl), Some(idle)) = (find("diskload"), find("idle")) {
-        let delta = dl.mean_w[Subsystem::Disk.index()]
-            - idle.mean_w[Subsystem::Disk.index()];
+        let delta = dl.mean_w[Subsystem::Disk.index()] - idle.mean_w[Subsystem::Disk.index()];
         checks.push((
             format!("diskload disk power only +{delta:.2} W over idle (<20%)"),
-            delta > 0.0
-                && delta < 0.2 * idle.mean_w[Subsystem::Disk.index()],
+            delta > 0.0 && delta < 0.2 * idle.mean_w[Subsystem::Disk.index()],
         ));
     }
 

@@ -5,15 +5,13 @@
 
 use crate::{write_csv, ExperimentConfig};
 use std::path::PathBuf;
-use trickledown::testbed::{capture, Trace};
-use trickledown::{
-    MemoryInput, MemoryPowerModel, SubsystemPowerModel, SystemPowerModel,
-};
 use tdp_counters::{PerfEvent, Subsystem};
 use tdp_modeling::metrics::{
     average_error, average_error_with_offset, average_error_with_offset_deadband,
 };
 use tdp_workloads::{Workload, WorkloadSet};
+use trickledown::testbed::{capture, Trace};
+use trickledown::{MemoryInput, MemoryPowerModel, SubsystemPowerModel, SystemPowerModel};
 
 /// Outcome of one figure regeneration.
 #[derive(Debug, Clone)]
@@ -44,11 +42,13 @@ fn measured_vs_modeled(
     predict: impl Fn(&trickledown::SystemSample) -> f64,
 ) -> (PathBuf, Vec<f64>, Vec<f64>) {
     let measured = trace.measured(subsystem);
-    let modeled: Vec<f64> =
-        trace.records.iter().map(|r| predict(&r.input)).collect();
-    let rows = trace.records.iter().zip(&measured).zip(&modeled).map(
-        |((r, &m), &p)| vec![r.measured.time_ms as f64 / 1000.0, m, p],
-    );
+    let modeled: Vec<f64> = trace.records.iter().map(|r| predict(&r.input)).collect();
+    let rows = trace
+        .records
+        .iter()
+        .zip(&measured)
+        .zip(&modeled)
+        .map(|((r, &m), &p)| vec![r.measured.time_ms as f64 / 1000.0, m, p]);
     let path = write_csv(
         cfg,
         &format!("{name}.csv"),
@@ -62,20 +62,15 @@ fn measured_vs_modeled(
 /// staggered starts (the CPU model's training shape; paper: 3.1% error).
 pub fn fig2(cfg: &ExperimentConfig, model: &SystemPowerModel) -> FigureResult {
     let trace = capture_ramp(cfg, Workload::Gcc, 0x0f2);
-    let (csv_path, measured, modeled) = measured_vs_modeled(
-        cfg,
-        "fig2_cpu_gcc",
-        &trace,
-        Subsystem::Cpu,
-        |s| model.cpu.predict(s),
-    );
+    let (csv_path, measured, modeled) =
+        measured_vs_modeled(cfg, "fig2_cpu_gcc", &trace, Subsystem::Cpu, |s| {
+            model.cpu.predict(s)
+        });
     let err = average_error(&modeled, &measured);
     FigureResult {
         name: "fig2",
         csv_path,
-        summary: format!(
-            "4-CPU power, 8x gcc staggered: avg error {err:.2}% (paper: 3.1%)"
-        ),
+        summary: format!("4-CPU power, 8x gcc staggered: avg error {err:.2}% (paper: 3.1%)"),
     }
 }
 
@@ -89,13 +84,10 @@ pub fn fig3(cfg: &ExperimentConfig) -> FigureResult {
         &trace.measured(Subsystem::Memory),
     )
     .expect("mesa ramp provides L3-miss variation");
-    let (csv_path, measured, modeled) = measured_vs_modeled(
-        cfg,
-        "fig3_memory_l3_mesa",
-        &trace,
-        Subsystem::Memory,
-        |s| model.predict(s),
-    );
+    let (csv_path, measured, modeled) =
+        measured_vs_modeled(cfg, "fig3_memory_l3_mesa", &trace, Subsystem::Memory, |s| {
+            model.predict(s)
+        });
     let err = average_error(&modeled, &measured);
     FigureResult {
         name: "fig3",
@@ -129,12 +121,8 @@ pub fn fig4_fig5(cfg: &ExperimentConfig) -> (FigureResult, FigureResult) {
         &mesa.measured(Subsystem::Memory),
     )
     .expect("mesa ramp has L3-miss variation");
-    let bus = MemoryPowerModel::fit(
-        MemoryInput::BusTransactions,
-        &inputs,
-        &measured,
-    )
-    .expect("mcf ramp has bus-transaction variation");
+    let bus = MemoryPowerModel::fit(MemoryInput::BusTransactions, &inputs, &measured)
+        .expect("mcf ramp has bus-transaction variation");
 
     // Figure 4 series: prefetch and non-prefetch bus transactions per
     // second, plus the L3 model's running error.
@@ -144,12 +132,8 @@ pub fn fig4_fig5(cfg: &ExperimentConfig) -> (FigureResult, FigureResult) {
         .iter()
         .enumerate()
         .map(|(i, r)| {
-            let prefetch: u64 = r
-                .raw
-                .total(PerfEvent::PrefetchBusTransactions)
-                .unwrap_or(0);
-            let all: u64 =
-                r.raw.total(PerfEvent::BusTransactionsAll).unwrap_or(0);
+            let prefetch: u64 = r.raw.total(PerfEvent::PrefetchBusTransactions).unwrap_or(0);
+            let all: u64 = r.raw.total(PerfEvent::BusTransactionsAll).unwrap_or(0);
             let modeled = l3.predict(&r.input);
             let err = (modeled - measured[i]).abs() / measured[i] * 100.0;
             if err > 10.0 && fail_at_s.is_none() && i > 5 {
@@ -169,10 +153,8 @@ pub fn fig4_fig5(cfg: &ExperimentConfig) -> (FigureResult, FigureResult) {
         "seconds,nonprefetch_bus_txns,prefetch_bus_txns,l3_model_error_pct",
         fig4_rows,
     );
-    let l3_modeled: Vec<f64> =
-        inputs.iter().map(|&s| l3.predict(s)).collect();
-    let l3_err_late =
-        average_error(&l3_modeled[half..], &measured[half..]);
+    let l3_modeled: Vec<f64> = inputs.iter().map(|&s| l3.predict(s)).collect();
+    let l3_err_late = average_error(&l3_modeled[half..], &measured[half..]);
     let fig4 = FigureResult {
         name: "fig4",
         csv_path: fig4_path,
@@ -188,13 +170,10 @@ pub fn fig4_fig5(cfg: &ExperimentConfig) -> (FigureResult, FigureResult) {
         },
     };
 
-    let (fig5_path, m5, p5) = measured_vs_modeled(
-        cfg,
-        "fig5_memory_bus_mcf",
-        &trace,
-        Subsystem::Memory,
-        |s| bus.predict(s),
-    );
+    let (fig5_path, m5, p5) =
+        measured_vs_modeled(cfg, "fig5_memory_bus_mcf", &trace, Subsystem::Memory, |s| {
+            bus.predict(s)
+        });
     let err5 = average_error(&p5, &m5);
     let fig5 = FigureResult {
         name: "fig5",
@@ -217,32 +196,18 @@ pub fn fig6_fig7(cfg: &ExperimentConfig) -> (FigureResult, FigureResult) {
     let trace = capture(set, cfg.seconds_for(&set).max(60), cfg.seed ^ 0x0f6);
     let inputs = trace.inputs();
 
-    let disk = trickledown::DiskPowerModel::fit(
-        &inputs,
-        &trace.measured(Subsystem::Disk),
-    )
-    .expect("DiskLoad exercises the disks");
-    let io = trickledown::IoPowerModel::fit(
-        &inputs,
-        &trace.measured(Subsystem::Io),
-    )
-    .expect("DiskLoad exercises the I/O chips");
+    let disk = trickledown::DiskPowerModel::fit(&inputs, &trace.measured(Subsystem::Disk))
+        .expect("DiskLoad exercises the disks");
+    let io = trickledown::IoPowerModel::fit(&inputs, &trace.measured(Subsystem::Io))
+        .expect("DiskLoad exercises the I/O chips");
 
-    let (p6, m6, mod6) = measured_vs_modeled(
-        cfg,
-        "fig6_disk_diskload",
-        &trace,
-        Subsystem::Disk,
-        |s| disk.predict(s),
-    );
+    let (p6, m6, mod6) =
+        measured_vs_modeled(cfg, "fig6_disk_diskload", &trace, Subsystem::Disk, |s| {
+            disk.predict(s)
+        });
     // Relative error after removing the 21.6 W DC term, over samples
     // whose dynamic power clears the sensor noise floor (~0.1 W).
-    let err6 = average_error_with_offset_deadband(
-        &mod6,
-        &m6,
-        disk.dc_offset(),
-        0.15,
-    );
+    let err6 = average_error_with_offset_deadband(&mod6, &m6, disk.dc_offset(), 0.15);
     let fig6 = FigureResult {
         name: "fig6",
         csv_path: p6,
@@ -252,13 +217,9 @@ pub fn fig6_fig7(cfg: &ExperimentConfig) -> (FigureResult, FigureResult) {
         ),
     };
 
-    let (p7, m7, mod7) = measured_vs_modeled(
-        cfg,
-        "fig7_io_diskload",
-        &trace,
-        Subsystem::Io,
-        |s| io.predict(s),
-    );
+    let (p7, m7, mod7) = measured_vs_modeled(cfg, "fig7_io_diskload", &trace, Subsystem::Io, |s| {
+        io.predict(s)
+    });
     let err7 = average_error(&mod7, &m7);
     let err7_adj = average_error_with_offset(&mod7, &m7, io.dc_offset());
     let fig7 = FigureResult {

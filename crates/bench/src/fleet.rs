@@ -1,0 +1,260 @@
+//! Fleet-scale estimation benchmark (`repro --fleet N`).
+//!
+//! Measures three ways of estimating power for N machines per window on
+//! *identical* synthetic counter data:
+//!
+//! * **naive** — one scalar [`trickledown::SystemPowerEstimator`] per
+//!   machine, a `push_sample_set` loop (the obvious pre-`tdp-fleet`
+//!   approach);
+//! * **batched** — [`tdp_fleet::FleetEstimator`]'s serial SoA path;
+//! * **pooled** — the same, sharded across the persistent
+//!   [`tdp_parallel::WorkerPool`] (bit-identical to batched by
+//!   contract, asserted here on the first window).
+//!
+//! Results land in `BENCH_fleet.json`: machines×windows per second for
+//! each path, ns per machine-estimate, the speedups over naive, and
+//! peak RSS.
+
+use crate::pipeline::{peak_rss_kb, StageRate};
+use crate::ExperimentConfig;
+use serde::Serialize;
+use std::time::Instant;
+use tdp_counters::{CounterSample, CpuId, InterruptSnapshot, PerfEvent, SampleSet};
+use tdp_fleet::FleetEstimator;
+use tdp_parallel::WorkerPool;
+use trickledown::{SystemPowerEstimator, SystemPowerModel};
+
+/// CPUs per simulated machine (the paper's 4-way Xeon server).
+const CPUS_PER_MACHINE: usize = 4;
+
+/// Scalar-estimator history bound for the naive path: enough for a
+/// moving average, far below the 3600 default so the comparison is not
+/// dominated by ring memory.
+const NAIVE_HISTORY: usize = 64;
+
+/// Full fleet benchmark report.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    /// Machines per window.
+    pub n_machines: usize,
+    /// Windows processed per path.
+    pub windows: u64,
+    /// Worker-pool concurrency used by the pooled path.
+    pub workers: usize,
+    /// Naive path: units are machine-windows.
+    pub naive: StageRate,
+    /// Batched serial path.
+    pub batched: StageRate,
+    /// Batched path sharded over the persistent pool.
+    pub pooled: StageRate,
+    /// Nanoseconds per machine-estimate, naive path.
+    pub naive_ns_per_estimate: f64,
+    /// Nanoseconds per machine-estimate, batched serial path.
+    pub batched_ns_per_estimate: f64,
+    /// Nanoseconds per machine-estimate, pooled path.
+    pub pooled_ns_per_estimate: f64,
+    /// Batched-serial speedup over naive (machines×windows/sec ratio).
+    pub speedup_batched: f64,
+    /// Pooled speedup over naive — the headline number.
+    pub speedup_pooled: f64,
+    /// Peak resident set (VmHWM), kilobytes; 0 when unavailable.
+    pub peak_rss_kb: u64,
+}
+
+/// Deterministic synthetic counter read for one machine-window:
+/// realistic magnitudes (≈3 GHz × 1 s windows), every event-rate input
+/// exercised, varying by machine and window so neither path can
+/// special-case repeated values.
+fn synthetic_set(machine: usize, window: u64) -> SampleSet {
+    let mut state = (machine as u64 + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(window.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let per_cpu = (0..CPUS_PER_MACHINE)
+        .map(|cpu| {
+            let cycles: u64 = 3_000_000_000;
+            let halted = next() % cycles;
+            let active = cycles - halted;
+            CounterSample::new(
+                CpuId::new(cpu as u8),
+                window,
+                vec![
+                    (PerfEvent::Cycles, cycles),
+                    (PerfEvent::HaltedCycles, halted),
+                    (PerfEvent::FetchedUops, next() % (2 * active + 1)),
+                    (PerfEvent::L3LoadMisses, next() % 8_000_000),
+                    (PerfEvent::BusTransactionsAll, next() % 1_000_000),
+                    (PerfEvent::DmaOtherBusTransactions, next() % 100_000_000),
+                    // Interrupt rates stay inside the paper's operating
+                    // range (tens per second): Equations 4–5 are
+                    // downward parabolas and blow up far outside it.
+                    (PerfEvent::InterruptsTotal, 1_000 + next() % 60),
+                    (PerfEvent::TimerInterrupts, 1_000),
+                    (PerfEvent::DiskInterrupts, next() % 30),
+                ],
+            )
+        })
+        .collect();
+    SampleSet {
+        time_ms: window.wrapping_add(1).wrapping_mul(1000),
+        window_ms: 1000,
+        seq: window,
+        per_cpu,
+        interrupts: InterruptSnapshot::default(),
+    }
+}
+
+/// Runs all three paths over the same windows and assembles the report.
+pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> FleetReport {
+    let n_machines = n_machines.max(1);
+    // Enough windows that per-window timing noise (scheduler
+    // preemption on small shared hosts) averages out, capped so huge
+    // fleets still finish promptly.
+    let windows: u64 = (1_048_576 / n_machines as u64).clamp(16, 1024);
+    let model = SystemPowerModel::paper();
+    let pool = WorkerPool::global();
+
+    let mut naive: Vec<SystemPowerEstimator> = (0..n_machines)
+        .map(|_| SystemPowerEstimator::with_capacity(model.clone(), NAIVE_HISTORY))
+        .collect();
+    let mut serial = FleetEstimator::with_capacity(model.clone(), n_machines);
+    let mut pooled = FleetEstimator::with_capacity(model.clone(), n_machines);
+
+    let mut sets: Vec<SampleSet> = Vec::with_capacity(n_machines);
+    let (mut naive_secs, mut batched_secs, mut pooled_secs) = (0.0f64, 0.0, 0.0);
+
+    // Warm-up window: fault in buffers and reach the allocation-free
+    // steady state before timing starts (seeded off the seed so the
+    // measured windows never repeat it).
+    for warmup in [true, false] {
+        let measured_windows = if warmup { 1 } else { windows };
+        for w in 0..measured_windows {
+            let window = if warmup { u64::MAX } else { w ^ cfg.seed };
+            sets.clear();
+            sets.extend((0..n_machines).map(|m| synthetic_set(m, window)));
+
+            // Rotate the order the three paths run in so cache-warmth
+            // position bias (whoever runs right after `sets` is
+            // regenerated sees it hottest) averages out over windows.
+            let mut naive_total = 0.0;
+            let (mut naive_elapsed, mut batched_elapsed, mut pooled_elapsed) = (0.0f64, 0.0, 0.0);
+            for step in 0..3 {
+                match (step + w as usize) % 3 {
+                    0 => {
+                        let start = Instant::now();
+                        naive_total = 0.0;
+                        for (est, set) in naive.iter_mut().zip(&sets) {
+                            naive_total += est.push_sample_set(set).total();
+                        }
+                        naive_elapsed = start.elapsed().as_secs_f64();
+                        std::hint::black_box(naive_total);
+                    }
+                    1 => {
+                        let start = Instant::now();
+                        let serial_est = serial.process_window(&sets);
+                        batched_elapsed = start.elapsed().as_secs_f64();
+                        std::hint::black_box(serial_est.fleet_total());
+                    }
+                    _ => {
+                        let start = Instant::now();
+                        let pooled_est = pooled.process_window_pooled(pool, &sets);
+                        pooled_elapsed = start.elapsed().as_secs_f64();
+                        std::hint::black_box(pooled_est.fleet_total());
+                    }
+                }
+            }
+
+            if warmup {
+                // Determinism spot-check on untimed data: pooled must be
+                // bit-identical to serial, and both within float noise of
+                // the scalar estimators.
+                let serial_est = serial.estimates();
+                let pooled_est = pooled.estimates();
+                assert_eq!(serial_est.total(), pooled_est.total());
+                assert_eq!(serial_est.cpu(), pooled_est.cpu());
+                assert_eq!(serial_est.disk(), pooled_est.disk());
+                let batched_fleet_total = serial_est.fleet_total();
+                assert!(
+                    (naive_total - batched_fleet_total).abs()
+                        < 1e-6 * batched_fleet_total.abs().max(1.0),
+                    "batched disagrees with scalar: {naive_total} vs {batched_fleet_total}"
+                );
+            } else {
+                naive_secs += naive_elapsed;
+                batched_secs += batched_elapsed;
+                pooled_secs += pooled_elapsed;
+            }
+        }
+    }
+
+    let units = windows * n_machines as u64;
+    let naive_rate = StageRate::new(units, naive_secs);
+    let batched_rate = StageRate::new(units, batched_secs);
+    let pooled_rate = StageRate::new(units, pooled_secs);
+    FleetReport {
+        n_machines,
+        windows,
+        workers: pool.workers(),
+        naive_ns_per_estimate: naive_secs * 1e9 / units as f64,
+        batched_ns_per_estimate: batched_secs * 1e9 / units as f64,
+        pooled_ns_per_estimate: pooled_secs * 1e9 / units as f64,
+        speedup_batched: batched_rate.per_sec / naive_rate.per_sec,
+        speedup_pooled: pooled_rate.per_sec / naive_rate.per_sec,
+        naive: naive_rate,
+        batched: batched_rate,
+        pooled: pooled_rate,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Runs the benchmark, writes `BENCH_fleet.json` under the output
+/// directory and returns the rendered JSON.
+///
+/// # Panics
+///
+/// Panics if the output directory is unwritable (consistent with the
+/// rest of the repro harness).
+pub fn run_and_write(cfg: &ExperimentConfig, n_machines: usize) -> String {
+    let report = run(cfg, n_machines);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
+    let path = cfg.out_dir.join("BENCH_fleet.json");
+    std::fs::write(&path, &json).expect("write BENCH_fleet.json");
+    eprintln!("bench: wrote {}", path.display());
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_sets_are_deterministic_and_varied() {
+        let a = synthetic_set(3, 7);
+        let b = synthetic_set(3, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, synthetic_set(4, 7), "varies by machine");
+        assert_ne!(a, synthetic_set(3, 8), "varies by window");
+        assert_eq!(a.per_cpu.len(), CPUS_PER_MACHINE);
+    }
+
+    #[test]
+    fn small_fleet_report_is_consistent() {
+        let cfg = ExperimentConfig {
+            out_dir: std::env::temp_dir().join("tdp-fleet-bench-test"),
+            ..ExperimentConfig::quick()
+        };
+        let r = run(&cfg, 8);
+        assert_eq!(r.n_machines, 8);
+        assert_eq!(r.naive.units, r.windows * 8);
+        assert!(r.naive.per_sec > 0.0);
+        assert!(r.speedup_batched > 0.0);
+        assert!((r.speedup_pooled - r.pooled.per_sec / r.naive.per_sec).abs() < 1e-12);
+    }
+}

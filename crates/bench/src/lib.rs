@@ -12,13 +12,14 @@
 pub mod ablations;
 pub mod experiments;
 pub mod figures;
+pub mod fleet;
 pub mod pipeline;
 pub mod selection;
 
 use std::path::PathBuf;
+use tdp_workloads::{Workload, WorkloadSet};
 use trickledown::testbed::{capture, Trace};
 use trickledown::{CalibrationSuite, Calibrator, SystemPowerModel};
-use tdp_workloads::{Workload, WorkloadSet};
 
 /// Global configuration for a reproduction run.
 #[derive(Debug, Clone)]
@@ -73,7 +74,11 @@ impl ExperimentConfig {
 /// Captures the standard trace of one workload.
 pub fn capture_workload(cfg: &ExperimentConfig, workload: Workload) -> Trace {
     let set = cfg.standard_set(workload);
-    capture(set, cfg.seconds_for(&set), cfg.seed ^ workload_seed(workload))
+    capture(
+        set,
+        cfg.seconds_for(&set),
+        cfg.seed ^ workload_seed(workload),
+    )
 }
 
 /// Captures all twelve standard traces on a pooled parallel map sized
@@ -85,9 +90,7 @@ pub fn capture_workload(cfg: &ExperimentConfig, workload: Workload) -> Trace {
 /// output is bit-identical to capturing the workloads serially —
 /// regardless of core count. `tests/golden_determinism.rs` pins this.
 pub fn capture_all(cfg: &ExperimentConfig) -> Vec<Trace> {
-    tdp_parallel::par_map(Workload::ALL.iter().copied(), |w| {
-        capture_workload(cfg, w)
-    })
+    tdp_parallel::par_map(Workload::ALL.iter().copied(), |w| capture_workload(cfg, w))
 }
 
 /// Runs the paper's calibration recipe and returns the fitted model.
@@ -117,9 +120,7 @@ pub fn write_csv(
     use std::io::Write as _;
     std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
     let path = cfg.out_dir.join(name);
-    let mut f = std::io::BufWriter::new(
-        std::fs::File::create(&path).expect("create CSV file"),
-    );
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create CSV file"));
     writeln!(f, "{header}").expect("write header");
     for row in rows {
         let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
@@ -154,12 +155,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("tdp-bench-test"),
             ..ExperimentConfig::quick()
         };
-        let path = write_csv(
-            &cfg,
-            "t.csv",
-            "a,b",
-            vec![vec![1.0, 2.0], vec![3.0, 4.5]],
-        );
+        let path = write_csv(&cfg, "t.csv", "a,b", vec![vec![1.0, 2.0], vec![3.0, 4.5]]);
         let text = std::fs::read_to_string(path).unwrap();
         assert_eq!(text, "a,b\n1,2\n3,4.5\n");
     }

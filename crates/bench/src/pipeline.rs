@@ -23,7 +23,7 @@ pub struct StageRate {
 }
 
 impl StageRate {
-    fn new(units: u64, wall_secs: f64) -> Self {
+    pub(crate) fn new(units: u64, wall_secs: f64) -> Self {
         Self {
             units,
             wall_secs,
@@ -114,8 +114,7 @@ pub fn run(cfg: &ExperimentConfig) -> PipelineReport {
 /// rest of the repro harness).
 pub fn run_and_write(cfg: &ExperimentConfig) -> String {
     let report = run(cfg);
-    let json = serde_json::to_string_pretty(&report)
-        .expect("report serializes");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
     let path = cfg.out_dir.join("BENCH_pipeline.json");
     std::fs::write(&path, &json).expect("write BENCH_pipeline.json");
@@ -125,7 +124,7 @@ pub fn run_and_write(cfg: &ExperimentConfig) -> String {
 
 /// Peak resident set size in kB from `/proc/self/status` (Linux);
 /// 0 elsewhere.
-fn peak_rss_kb() -> u64 {
+pub(crate) fn peak_rss_kb() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
     };

@@ -67,15 +67,34 @@ pub fn run(cfg: &ExperimentConfig) -> (Vec<SelectionRow>, String) {
     // high-variation workload the paper used; validate on a different
     // one so the ranking rewards generalisation).
     let specs: [(Subsystem, Workload, Workload, &str); 4] = [
-        (Subsystem::Cpu, Workload::Gcc, Workload::Wupwise, "active_frac + fetched_upc (Eq 1)"),
-        (Subsystem::Memory, Workload::Mcf, Workload::Lucas, "bus_transactions (Eq 3)"),
-        (Subsystem::Disk, Workload::DiskLoad, Workload::Dbt2, "disk_interrupts + dma (Eq 4)"),
-        (Subsystem::Io, Workload::DiskLoad, Workload::Dbt2, "device_interrupts (Eq 5)"),
+        (
+            Subsystem::Cpu,
+            Workload::Gcc,
+            Workload::Wupwise,
+            "active_frac + fetched_upc (Eq 1)",
+        ),
+        (
+            Subsystem::Memory,
+            Workload::Mcf,
+            Workload::Lucas,
+            "bus_transactions (Eq 3)",
+        ),
+        (
+            Subsystem::Disk,
+            Workload::DiskLoad,
+            Workload::Dbt2,
+            "disk_interrupts + dma (Eq 4)",
+        ),
+        (
+            Subsystem::Io,
+            Workload::DiskLoad,
+            Workload::Dbt2,
+            "device_interrupts (Eq 5)",
+        ),
     ];
 
-    let rows_of = |t: &Trace| -> (Vec<Vec<f64>>, ()) {
-        (t.inputs().into_iter().map(extract).collect(), ())
-    };
+    let rows_of =
+        |t: &Trace| -> (Vec<Vec<f64>>, ()) { (t.inputs().into_iter().map(extract).collect(), ()) };
 
     let mut rows = Vec::new();
     let mut out = String::new();
@@ -89,10 +108,8 @@ pub fn run(cfg: &ExperimentConfig) -> (Vec<SelectionRow>, String) {
         let valid = capture_workload(cfg, valid_w);
         let (train_xs, ()) = rows_of(&train);
         let (valid_xs, ()) = rows_of(&valid);
-        let selector = ModelSelector::new(
-            CANDIDATES.iter().map(|s| s.to_string()).collect(),
-        )
-        .max_subset_size(2);
+        let selector = ModelSelector::new(CANDIDATES.iter().map(|s| s.to_string()).collect())
+            .max_subset_size(2);
         let ranked = selector.search(
             &train_xs,
             &train.measured(subsystem),
@@ -150,9 +167,9 @@ mod tests {
         // The I/O winner must involve an interrupt or I/O-side event.
         let io = rows.iter().find(|r| r.subsystem == Subsystem::Io).unwrap();
         assert!(
-            io.winner.iter().any(|n| n.contains("interrupt")
-                || n.contains("dma")
-                || n.contains("uncacheable")),
+            io.winner
+                .iter()
+                .any(|n| n.contains("interrupt") || n.contains("dma") || n.contains("uncacheable")),
             "io winner {:?}",
             io.winner
         );

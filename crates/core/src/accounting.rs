@@ -96,8 +96,7 @@ impl ProcessEnergyLedger {
             for &(pid, c, uops) in &sched.entries {
                 if c == cpu && uops > 0 {
                     let share = uops as f64 / total_uops as f64;
-                    *self.per_process_j.entry(pid).or_insert(0.0) +=
-                        dynamic * share;
+                    *self.per_process_j.entry(pid).or_insert(0.0) += dynamic * share;
                 }
             }
         }
@@ -125,11 +124,8 @@ impl ProcessEnergyLedger {
 
     /// All per-process balances, sorted by descending energy.
     pub fn balances(&self) -> Vec<(ProcessId, f64)> {
-        let mut v: Vec<(ProcessId, f64)> = self
-            .per_process_j
-            .iter()
-            .map(|(&p, &e)| (p, e))
-            .collect();
+        let mut v: Vec<(ProcessId, f64)> =
+            self.per_process_j.iter().map(|(&p, &e)| (p, e)).collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite energies"));
         v
     }

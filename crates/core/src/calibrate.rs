@@ -13,8 +13,8 @@
 //! * **chipset** — the mean over the training traces (a constant).
 
 use crate::models::{
-    ChipsetPowerModel, CpuPowerModel, DiskPowerModel, IoPowerModel, MemoryInput,
-    MemoryPowerModel, SystemPowerModel,
+    ChipsetPowerModel, CpuPowerModel, DiskPowerModel, IoPowerModel, MemoryInput, MemoryPowerModel,
+    SystemPowerModel,
 };
 use crate::testbed::{capture, Trace};
 use serde::{Deserialize, Serialize};
@@ -49,12 +49,9 @@ impl CalibrationSuite {
         // relationships may appear to be linear" (§3.2.1).
         let delay_ms = (stagger_ms / 2).max(3_000);
         let tail = 4 * ramp_seconds + 20;
-        let cpu_set =
-            WorkloadSet::new(Workload::Gcc, 8, stagger_ms).with_delay(delay_ms);
-        let mem_set =
-            WorkloadSet::new(Workload::Mcf, 8, stagger_ms).with_delay(delay_ms);
-        let disk_set = WorkloadSet::new(Workload::DiskLoad, 4, stagger_ms / 2)
-            .with_delay(delay_ms);
+        let cpu_set = WorkloadSet::new(Workload::Gcc, 8, stagger_ms).with_delay(delay_ms);
+        let mem_set = WorkloadSet::new(Workload::Mcf, 8, stagger_ms).with_delay(delay_ms);
+        let disk_set = WorkloadSet::new(Workload::DiskLoad, 4, stagger_ms / 2).with_delay(delay_ms);
         Self {
             cpu: capture(
                 cpu_set,
@@ -87,7 +84,11 @@ pub struct CalibrationError {
 
 impl fmt::Display for CalibrationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "calibrating the {} model failed: {}", self.subsystem, self.source)
+        write!(
+            f,
+            "calibrating the {} model failed: {}",
+            self.subsystem, self.source
+        )
     }
 }
 
@@ -135,15 +136,11 @@ impl Calibrator {
         &self,
         suite: &CalibrationSuite,
     ) -> Result<SystemPowerModel, CalibrationError> {
-        let err = |subsystem: Subsystem| {
-            move |source: FitError| CalibrationError { subsystem, source }
-        };
+        let err =
+            |subsystem: Subsystem| move |source: FitError| CalibrationError { subsystem, source };
 
-        let cpu = CpuPowerModel::fit(
-            &suite.cpu.inputs(),
-            &suite.cpu.measured(Subsystem::Cpu),
-        )
-        .map_err(err(Subsystem::Cpu))?;
+        let cpu = CpuPowerModel::fit(&suite.cpu.inputs(), &suite.cpu.measured(Subsystem::Cpu))
+            .map_err(err(Subsystem::Cpu))?;
 
         let memory = MemoryPowerModel::fit(
             self.memory_input,
@@ -171,8 +168,7 @@ impl Calibrator {
             .chain(suite.memory.measured(Subsystem::Chipset))
             .chain(suite.disk_io.measured(Subsystem::Chipset))
             .collect();
-        let chipset = ChipsetPowerModel::fit(&chipset_watts)
-            .map_err(err(Subsystem::Chipset))?;
+        let chipset = ChipsetPowerModel::fit(&chipset_watts).map_err(err(Subsystem::Chipset))?;
 
         Ok(SystemPowerModel {
             cpu,
@@ -241,10 +237,8 @@ mod tests {
             .into_iter()
             .map(|s| model.cpu.predict(s))
             .collect();
-        let err = tdp_modeling::metrics::average_error(
-            &cpu_pred,
-            &suite.cpu.measured(Subsystem::Cpu),
-        );
+        let err =
+            tdp_modeling::metrics::average_error(&cpu_pred, &suite.cpu.measured(Subsystem::Cpu));
         assert!(err < 10.0, "cpu training error {err}%");
     }
 
@@ -260,11 +254,7 @@ mod tests {
 
     #[test]
     fn idle_only_suite_fails_with_named_subsystem() {
-        let idle = capture(
-            tdp_workloads::WorkloadSet::standard(Workload::Idle),
-            8,
-            4,
-        );
+        let idle = capture(tdp_workloads::WorkloadSet::standard(Workload::Idle), 8, 4);
         let suite = CalibrationSuite {
             cpu: idle.clone(),
             memory: idle.clone(),

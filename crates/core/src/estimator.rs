@@ -65,7 +65,10 @@ impl SystemPowerEstimator {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero.
+    /// Panics if `capacity` is zero — a zero-capacity ring would make
+    /// [`latest`](Self::latest) `None` forever while
+    /// [`push`](Self::push) still returned estimates, a silent
+    /// contradiction callers are better protected from.
     pub fn with_capacity(model: SystemPowerModel, capacity: usize) -> Self {
         assert!(capacity > 0, "history capacity must be positive");
         Self {
@@ -81,11 +84,19 @@ impl SystemPowerEstimator {
     }
 
     /// Processes one raw counter read.
+    ///
+    /// Eviction rule: the history is a bounded FIFO ring. When it
+    /// already holds `capacity` estimates, the **oldest** is evicted
+    /// *before* the new one is appended, so the ring holds exactly the
+    /// most recent `capacity` estimates and never exceeds its bound —
+    /// the returned estimate is always the newest retained entry.
     pub fn push_sample_set(&mut self, set: &SampleSet) -> PowerEstimate {
         self.push(&SystemSample::from_sample_set(set))
     }
 
-    /// Processes one pre-extracted sample.
+    /// Processes one pre-extracted sample. Same eviction rule as
+    /// [`push_sample_set`](Self::push_sample_set): evict-oldest-first
+    /// at `capacity`, then append.
     pub fn push(&mut self, sample: &SystemSample) -> PowerEstimate {
         let est = PowerEstimate {
             time_ms: sample.time_ms,
@@ -169,8 +180,7 @@ mod tests {
 
     #[test]
     fn history_is_bounded_fifo() {
-        let mut e =
-            SystemPowerEstimator::with_capacity(SystemPowerModel::paper(), 3);
+        let mut e = SystemPowerEstimator::with_capacity(SystemPowerModel::paper(), 3);
         for t in 0..5 {
             e.push(&sample(t, 1.0));
         }
@@ -229,9 +239,35 @@ mod tests {
         let mut a = SystemPowerEstimator::new(SystemPowerModel::paper());
         let mut b = SystemPowerEstimator::new(SystemPowerModel::paper());
         let via_set = a.push_sample_set(&set);
-        let via_sample =
-            b.push(&crate::input::SystemSample::from_sample_set(&set));
+        let via_sample = b.push(&crate::input::SystemSample::from_sample_set(&set));
         assert_eq!(via_set, via_sample);
+    }
+
+    #[test]
+    fn capacity_one_retains_exactly_the_latest() {
+        let mut e = SystemPowerEstimator::with_capacity(SystemPowerModel::paper(), 1);
+        for t in 0..10 {
+            let est = e.push(&sample(t, 1.0));
+            assert_eq!(est.time_ms, t, "push returns the new estimate");
+            assert_eq!(e.history().count(), 1, "never exceeds capacity");
+            assert_eq!(e.latest().unwrap().time_ms, t);
+        }
+    }
+
+    #[test]
+    fn history_never_exceeds_capacity_at_the_boundary() {
+        let cap = 4;
+        let mut e = SystemPowerEstimator::with_capacity(SystemPowerModel::paper(), cap);
+        for t in 0..20 {
+            e.push(&sample(t, 0.5));
+            assert!(e.history().count() <= cap);
+            // Filling the ring exactly to capacity evicts nothing.
+            if (t as usize) < cap {
+                assert_eq!(e.history().count(), t as usize + 1);
+            }
+        }
+        let times: Vec<u64> = e.history().map(|x| x.time_ms).collect();
+        assert_eq!(times, vec![16, 17, 18, 19], "oldest evicted first");
     }
 
     #[test]

@@ -79,9 +79,7 @@ impl SystemSample {
             .iter()
             .map(|s| {
                 let cycles = s.count(PerfEvent::Cycles).unwrap_or(0).max(1) as f64;
-                let rate = |e: PerfEvent| {
-                    s.count(e).map(|n| n as f64 / cycles).unwrap_or(0.0)
-                };
+                let rate = |e: PerfEvent| s.count(e).map(|n| n as f64 / cycles).unwrap_or(0.0);
                 let halted = rate(PerfEvent::HaltedCycles);
                 CpuRates {
                     active_frac: (1.0 - halted).clamp(0.0, 1.0),
@@ -158,10 +156,7 @@ mod tests {
 
     #[test]
     fn zero_cycles_does_not_divide_by_zero() {
-        let set = set_with(vec![
-            (PerfEvent::Cycles, 0),
-            (PerfEvent::FetchedUops, 5),
-        ]);
+        let set = set_with(vec![(PerfEvent::Cycles, 0), (PerfEvent::FetchedUops, 5)]);
         let s = SystemSample::from_sample_set(&set);
         assert!(s.per_cpu[0].fetched_upc.is_finite());
     }
@@ -172,10 +167,7 @@ mod tests {
             CounterSample::new(
                 CpuId::new(n),
                 0,
-                vec![
-                    (PerfEvent::Cycles, 1_000),
-                    (PerfEvent::FetchedUops, 1_500),
-                ],
+                vec![(PerfEvent::Cycles, 1_000), (PerfEvent::FetchedUops, 1_500)],
             )
         };
         let set = SampleSet {

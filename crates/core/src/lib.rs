@@ -80,14 +80,12 @@ mod validate;
 pub use accounting::ProcessEnergyLedger;
 pub use calibrate::{CalibrationError, CalibrationSuite, Calibrator};
 pub use estimator::{PowerEstimate, SystemPowerEstimator};
-pub use phases::{PhaseConfig, PhaseDetector, PowerPhase};
-pub use pstate::{PStateError, PStateModelSet};
 pub use input::{CpuRates, SystemSample};
 pub use models::{
-    ChipsetPowerModel, CpuPowerModel, DiskPowerModel, IoPowerModel, MemoryInput,
-    MemoryPowerModel, SubsystemPowerModel, SystemPowerModel,
+    ChipsetPowerModel, CpuPowerModel, DiskPowerModel, IoPowerModel, MemoryInput, MemoryPowerModel,
+    SubsystemPowerModel, SystemPowerModel,
 };
+pub use phases::{PhaseConfig, PhaseDetector, PowerPhase};
+pub use pstate::{PStateError, PStateModelSet};
 pub use testbed::{Testbed, TestbedConfig, Trace, TraceRecord};
-pub use validate::{
-    PowerCharacterization, ValidationReport, WorkloadErrors, WorkloadPowerRow,
-};
+pub use validate::{PowerCharacterization, ValidationReport, WorkloadErrors, WorkloadPowerRow};

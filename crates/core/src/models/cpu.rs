@@ -50,17 +50,11 @@ impl CpuPowerModel {
         samples: &[S],
         watts: &[f64],
     ) -> Result<Self, FitError> {
-        let num_cpus =
-            samples.first().map_or(1, |s| s.borrow().num_cpus()) as f64;
+        let num_cpus = samples.first().map_or(1, |s| s.borrow().num_cpus()) as f64;
         let coeffs = fit_linear_features(
             samples,
             watts,
-            |s| {
-                vec![
-                    s.sum(|c| c.active_frac),
-                    s.sum(|c| c.fetched_upc),
-                ]
-            },
+            |s| vec![s.sum(|c| c.active_frac), s.sum(|c| c.fetched_upc)],
             2,
         )?;
         // total = N·halt + (active−halt)·Σactive + upc_w·Σupc

@@ -95,10 +95,7 @@ impl SubsystemPowerModel for DiskPowerModel {
             .map(|c| {
                 let i = c.disk_interrupts_per_cycle;
                 let d = c.dma_per_cycle;
-                self.int_lin * i
-                    + self.int_quad * i * i
-                    + self.dma_lin * d
-                    + self.dma_quad * d * d
+                self.int_lin * i + self.int_quad * i * i + self.dma_lin * d + self.dma_quad * d * d
             })
             .sum();
         self.dc_w + dynamic
@@ -173,8 +170,7 @@ mod tests {
 
     #[test]
     fn idle_trace_cannot_be_fitted() {
-        let samples: Vec<SystemSample> =
-            (0..10).map(|_| sample(0.0, 0.0)).collect();
+        let samples: Vec<SystemSample> = (0..10).map(|_| sample(0.0, 0.0)).collect();
         let watts = vec![21.6; 10];
         assert!(DiskPowerModel::fit(&samples, &watts).is_err());
     }

@@ -177,9 +177,7 @@ mod tests {
             watts.push(truth.predict(&s));
             samples.push(s);
         }
-        let fitted =
-            MemoryPowerModel::fit(MemoryInput::BusTransactions, &samples, &watts)
-                .unwrap();
+        let fitted = MemoryPowerModel::fit(MemoryInput::BusTransactions, &samples, &watts).unwrap();
         assert!((fitted.background_w - truth.background_w).abs() < 1e-6);
         assert!((fitted.lin - truth.lin).abs() < 1e-9);
         assert!((fitted.quad - truth.quad).abs() < 1e-12);
@@ -211,12 +209,7 @@ mod tests {
         let bus = MemoryPowerModel::fit(
             MemoryInput::BusTransactions,
             &(0..20)
-                .map(|i| {
-                    sample_with(
-                        MemoryInput::BusTransactions,
-                        &[i as f64 * 500.0; 4],
-                    )
-                })
+                .map(|i| sample_with(MemoryInput::BusTransactions, &[i as f64 * 500.0; 4]))
                 .collect::<Vec<_>>(),
             &(0..20).map(|i| 28.0 + i as f64).collect::<Vec<_>>(),
         )
@@ -237,7 +230,7 @@ mod tests {
         let high = SystemSample {
             per_cpu: vec![
                 CpuRates {
-                    l3_load_misses: 0.002, // unchanged demand misses
+                    l3_load_misses: 0.002,      // unchanged demand misses
                     bus_tx_per_mcycle: 9_000.0, // prefetch + DMA grew
                     ..CpuRates::default()
                 };

@@ -153,9 +153,9 @@ impl PhaseDetector {
         };
 
         let mean = current.mean();
-        let deviates = Subsystem::ALL.iter().any(|&s| {
-            (estimate.watts.get(s) - mean.get(s)).abs() > self.config.threshold_w
-        });
+        let deviates = Subsystem::ALL
+            .iter()
+            .any(|&s| (estimate.watts.get(s) - mean.get(s)).abs() > self.config.threshold_w);
         if deviates {
             let closed = self
                 .current
@@ -179,19 +179,13 @@ impl PhaseDetector {
 
     /// Closes and returns the in-progress phase, if any.
     pub fn finish(&mut self) -> Option<PowerPhase> {
-        self.current
-            .take()
-            .map(|acc| acc.into_phase(&self.config))
+        self.current.take().map(|acc| acc.into_phase(&self.config))
     }
 
     /// Convenience: segments a whole estimate series.
-    pub fn segment(
-        config: PhaseConfig,
-        estimates: &[PowerEstimate],
-    ) -> Vec<PowerPhase> {
+    pub fn segment(config: PhaseConfig, estimates: &[PowerEstimate]) -> Vec<PowerPhase> {
         let mut det = Self::new(config);
-        let mut phases: Vec<PowerPhase> =
-            estimates.iter().filter_map(|e| det.push(e)).collect();
+        let mut phases: Vec<PowerPhase> = estimates.iter().filter_map(|e| det.push(e)).collect();
         phases.extend(det.finish());
         phases
     }
@@ -215,8 +209,7 @@ mod tests {
             let cpu = if (t / 10) % 2 == 0 { 40.0 } else { 160.0 };
             series.push(est(t, cpu, 28.0));
         }
-        let phases =
-            PhaseDetector::segment(PhaseConfig::default(), &series);
+        let phases = PhaseDetector::segment(PhaseConfig::default(), &series);
         assert_eq!(phases.len(), 3);
         assert!(phases.iter().all(|p| p.windows == 10 && p.stable));
         assert!(phases[0].total_w() < phases[1].total_w());
@@ -227,22 +220,18 @@ mod tests {
         let series: Vec<PowerEstimate> = (0..50)
             .map(|t| est(t, 100.0 + (t % 5) as f64, 30.0))
             .collect();
-        let phases =
-            PhaseDetector::segment(PhaseConfig::default(), &series);
+        let phases = PhaseDetector::segment(PhaseConfig::default(), &series);
         assert_eq!(phases.len(), 1);
         assert_eq!(phases[0].windows, 50);
     }
 
     #[test]
     fn memory_only_shift_is_detected() {
-        let mut series: Vec<PowerEstimate> =
-            (0..10).map(|t| est(t, 100.0, 29.0)).collect();
+        let mut series: Vec<PowerEstimate> = (0..10).map(|t| est(t, 100.0, 29.0)).collect();
         series.extend((10..20).map(|t| est(t, 100.0, 44.0)));
-        let phases =
-            PhaseDetector::segment(PhaseConfig::default(), &series);
+        let phases = PhaseDetector::segment(PhaseConfig::default(), &series);
         assert_eq!(phases.len(), 2);
-        let idle =
-            SubsystemPower::from_array([38.4, 19.9, 28.0, 32.9, 21.6]);
+        let idle = SubsystemPower::from_array([38.4, 19.9, 28.0, 32.9, 21.6]);
         assert_eq!(
             phases[0].dominant_subsystem(&idle),
             tdp_counters::Subsystem::Cpu
@@ -256,12 +245,10 @@ mod tests {
 
     #[test]
     fn short_phase_is_flagged_unstable() {
-        let mut series: Vec<PowerEstimate> =
-            (0..10).map(|t| est(t, 40.0, 28.0)).collect();
+        let mut series: Vec<PowerEstimate> = (0..10).map(|t| est(t, 40.0, 28.0)).collect();
         series.push(est(10, 160.0, 40.0)); // one-window burst
         series.extend((11..20).map(|t| est(t, 40.0, 28.0)));
-        let phases =
-            PhaseDetector::segment(PhaseConfig::default(), &series);
+        let phases = PhaseDetector::segment(PhaseConfig::default(), &series);
         assert_eq!(phases.len(), 3);
         assert!(phases[0].stable);
         assert!(!phases[1].stable, "single-window burst");

@@ -75,9 +75,7 @@ impl PStateModelSet {
     /// # Errors
     ///
     /// See [`PStateError`].
-    pub fn new(
-        mut entries: Vec<(f64, CpuPowerModel)>,
-    ) -> Result<Self, PStateError> {
+    pub fn new(mut entries: Vec<(f64, CpuPowerModel)>) -> Result<Self, PStateError> {
         if entries.is_empty() {
             return Err(PStateError::Empty);
         }
@@ -134,11 +132,7 @@ impl PStateModelSet {
     }
 
     /// The highest P-state whose forecast stays under `cap_w`, if any.
-    pub fn highest_under_cap(
-        &self,
-        sample: &SystemSample,
-        cap_w: f64,
-    ) -> Option<f64> {
+    pub fn highest_under_cap(&self, sample: &SystemSample, cap_w: f64) -> Option<f64> {
         self.forecast(sample)
             .into_iter()
             .rev() // descending scale
@@ -219,10 +213,7 @@ mod tests {
 
     #[test]
     fn constructor_validates() {
-        assert_eq!(
-            PStateModelSet::new(vec![]).unwrap_err(),
-            PStateError::Empty
-        );
+        assert_eq!(PStateModelSet::new(vec![]).unwrap_err(), PStateError::Empty);
         assert!(matches!(
             PStateModelSet::new(vec![(1.5, model(1.0, 2.0, 3.0))]),
             Err(PStateError::InvalidScale(_))

@@ -15,8 +15,7 @@ use tdp_simsys::{Machine, MachineConfig};
 use tdp_workloads::{Workload, WorkloadSet};
 
 /// Testbed configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct TestbedConfig {
     /// The simulated server.
     pub machine: MachineConfig,
@@ -25,7 +24,6 @@ pub struct TestbedConfig {
     /// Counter-sampling discipline (default: 1 Hz with ±3 ms jitter).
     pub sampler: SamplerConfig,
 }
-
 
 impl TestbedConfig {
     /// Default configuration with a specific master seed.
@@ -180,8 +178,7 @@ impl Testbed {
         // One activity buffer reused across every tick of the run; the
         // sampling path below (1 Hz) is the only per-window allocation.
         let mut activity = tdp_simsys::TickActivity::empty();
-        while records.len() < seconds as usize && self.machine.now_ms() < end_ms
-        {
+        while records.len() < seconds as usize && self.machine.now_ms() < end_ms {
             self.machine.tick_into(&mut activity);
             self.meter.observe(&activity);
             if let Some(seq) = self.driver.poll(self.machine.now_ms()) {

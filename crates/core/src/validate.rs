@@ -217,13 +217,11 @@ impl PowerCharacterization {
                 let mut mean_w = [0.0; 5];
                 let mut std_w = [0.0; 5];
                 for (i, &s) in Subsystem::ALL.iter().enumerate() {
-                    let stats: OnlineStats =
-                        trace.measured(s).into_iter().collect();
+                    let stats: OnlineStats = trace.measured(s).into_iter().collect();
                     mean_w[i] = stats.mean();
                     std_w[i] = stats.population_std_dev();
                 }
-                let total: OnlineStats =
-                    trace.measured_total().into_iter().collect();
+                let total: OnlineStats = trace.measured_total().into_iter().collect();
                 WorkloadPowerRow {
                     workload: trace.workload,
                     mean_w,

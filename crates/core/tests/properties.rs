@@ -3,9 +3,8 @@
 use proptest::prelude::*;
 use tdp_simsys::os::{ProcessId, SchedDelta};
 use trickledown::{
-    CpuPowerModel, CpuRates, PhaseConfig, PhaseDetector, PowerEstimate,
-    ProcessEnergyLedger, SubsystemPowerModel as _, SystemPowerModel,
-    SystemSample,
+    CpuPowerModel, CpuRates, PhaseConfig, PhaseDetector, PowerEstimate, ProcessEnergyLedger,
+    SubsystemPowerModel as _, SystemPowerModel, SystemSample,
 };
 
 fn sample_from(rates: Vec<(f64, f64)>) -> SystemSample {

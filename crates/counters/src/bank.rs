@@ -164,11 +164,8 @@ impl CounterBank {
     /// `seq`, then clears **all** counters (programmed or not), matching
     /// the paper's record-total-then-clear sampling discipline (§3.1.3).
     pub fn read_and_clear(&mut self, seq: u64) -> CounterSample {
-        let mut sample = CounterSample::new(
-            self.cpu,
-            seq,
-            Vec::with_capacity(self.programmed.len()),
-        );
+        let mut sample =
+            CounterSample::new(self.cpu, seq, Vec::with_capacity(self.programmed.len()));
         self.read_and_clear_into(seq, &mut sample);
         sample
     }
@@ -228,9 +225,8 @@ mod tests {
     fn os_events_do_not_consume_hardware_slots() {
         let mut bank = CounterBank::new(CpuId::new(0));
         // 14 PMU events + 4 OS events = 18 entries, but only 14 PMU slots.
-        bank.program(PerfEvent::ALL).expect(
-            "full event list fits because interrupt events are OS-side",
-        );
+        bank.program(PerfEvent::ALL)
+            .expect("full event list fits because interrupt events are OS-side");
     }
 
     #[test]

@@ -22,9 +22,7 @@ use std::fmt;
 /// assert_eq!(PerfEvent::DiskInterrupts.provenance(), EventProvenance::Os);
 /// assert!(PerfEvent::ALL.contains(&PerfEvent::FetchedUops));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum PerfEvent {
     /// Unhalted clock cycles: core frequency × time. Combined with most
@@ -204,9 +202,7 @@ impl fmt::Display for PerfEvent {
 /// assert!(!set.contains(PerfEvent::TlbMisses));
 /// assert_eq!(set.len(), 2);
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct EventSet(u32);
 
 impl EventSet {
@@ -356,10 +352,9 @@ mod tests {
 
     #[test]
     fn event_set_collects_from_iterator() {
-        let s: EventSet =
-            [PerfEvent::Cycles, PerfEvent::Cycles, PerfEvent::L2Misses]
-                .into_iter()
-                .collect();
+        let s: EventSet = [PerfEvent::Cycles, PerfEvent::Cycles, PerfEvent::L2Misses]
+            .into_iter()
+            .collect();
         assert_eq!(s.len(), 2);
     }
 }

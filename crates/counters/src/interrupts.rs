@@ -12,9 +12,7 @@ use std::fmt;
 
 /// An interrupt vector number (the unique ID the interrupt controller
 /// sends to the processor).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InterruptVector(pub u8);
 
 impl fmt::Display for InterruptVector {

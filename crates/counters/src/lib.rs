@@ -54,9 +54,7 @@ mod sync;
 
 pub use bank::{CounterBank, ProgramError, MAX_HARDWARE_COUNTERS};
 pub use event::{EventProvenance, EventSet, PerfEvent};
-pub use interrupts::{
-    InterruptAccounting, InterruptSnapshot, InterruptSource, InterruptVector,
-};
+pub use interrupts::{InterruptAccounting, InterruptSnapshot, InterruptSource, InterruptVector};
 pub use multiplex::{MultiplexSchedule, MultiplexedSample, MultiplexedSampler};
 pub use sampler::{CounterSample, CpuId, SampleSet, SamplerConfig, SamplingDriver};
 pub use subsystem::Subsystem;

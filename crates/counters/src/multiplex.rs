@@ -80,11 +80,7 @@ impl MultiplexSchedule {
 
     /// Fraction of windows during which `event` is observed.
     pub fn duty_cycle(&self, event: PerfEvent) -> f64 {
-        let observed = self
-            .groups
-            .iter()
-            .filter(|g| g.contains(&event))
-            .count();
+        let observed = self.groups.iter().filter(|g| g.contains(&event)).count();
         observed as f64 / self.groups.len() as f64
     }
 }

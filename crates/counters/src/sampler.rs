@@ -16,9 +16,7 @@ use std::fmt;
 /// assert_eq!(cpu.as_usize(), 3);
 /// assert_eq!(cpu.to_string(), "cpu3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CpuId(u8);
 
 impl CpuId {
@@ -102,14 +100,19 @@ impl CounterSample {
         self.counts.iter().copied()
     }
 
+    /// The raw `(event, count)` pairs, in the order they were read.
+    ///
+    /// Inlined so batch ingestion (`tdp-fleet`) can walk the pairs
+    /// without an opaque-iterator call per sample.
+    #[inline]
+    pub fn counts(&self) -> &[(PerfEvent, u64)] {
+        &self.counts
+    }
+
     /// Re-tags the sample and clears its counts for refilling in place,
     /// returning the count buffer — the buffer-reuse path behind
     /// [`CounterBank::read_and_clear_into`](crate::CounterBank::read_and_clear_into).
-    pub(crate) fn reset_for(
-        &mut self,
-        cpu: CpuId,
-        seq: u64,
-    ) -> &mut Vec<(PerfEvent, u64)> {
+    pub(crate) fn reset_for(&mut self, cpu: CpuId, seq: u64) -> &mut Vec<(PerfEvent, u64)> {
         self.cpu = cpu;
         self.seq = seq;
         self.counts.clear();
@@ -274,9 +277,7 @@ mod tests {
 
     #[test]
     fn sample_set_total_sums_across_cpus() {
-        let mk = |cpu, n| {
-            CounterSample::new(CpuId::new(cpu), 0, vec![(PerfEvent::L2Misses, n)])
-        };
+        let mk = |cpu, n| CounterSample::new(CpuId::new(cpu), 0, vec![(PerfEvent::L2Misses, n)]);
         let set = SampleSet {
             time_ms: 1000,
             window_ms: 1000,

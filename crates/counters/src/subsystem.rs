@@ -22,9 +22,7 @@ use std::fmt;
 ///     .join(",");
 /// assert_eq!(total, "cpu,chipset,memory,io,disk");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Subsystem {
     /// The four-processor CPU subsystem.
     Cpu,

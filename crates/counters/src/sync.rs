@@ -71,10 +71,7 @@ impl SyncRecorder {
     /// acquisition time `time_ms`: the window opened by the latest pulse
     /// at or before `time_ms`.
     pub fn window_of(&self, time_ms: u64) -> Option<u64> {
-        match self
-            .pulses
-            .binary_search_by_key(&time_ms, |p| p.time_ms)
-        {
+        match self.pulses.binary_search_by_key(&time_ms, |p| p.time_ms) {
             Ok(i) => Some(self.pulses[i].seq),
             Err(0) => None,
             Err(i) => Some(self.pulses[i - 1].seq),

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use tdp_counters::{
-    CounterBank, CpuId, InterruptAccounting, InterruptSource, PerfEvent,
-    SamplerConfig, SamplingDriver,
+    CounterBank, CpuId, InterruptAccounting, InterruptSource, PerfEvent, SamplerConfig,
+    SamplingDriver,
 };
 
 fn arb_event() -> impl Strategy<Value = PerfEvent> {

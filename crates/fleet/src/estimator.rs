@@ -1,0 +1,454 @@
+//! Batched fleet estimation: evaluate one [`SystemPowerModel`] over
+//! every machine in a window with column kernels.
+
+use crate::batch::{col, extract_set_cached, LayoutCache, SampleBatch, COLUMNS};
+use crate::kernels::{add_assign, axpy, fill};
+use tdp_counters::{SampleSet, Subsystem};
+use tdp_parallel::WorkerPool;
+use tdp_powermeter::SubsystemPower;
+use trickledown::{MemoryInput, SystemPowerModel, SystemSample};
+
+/// Output columns: five subsystems plus the precomputed total.
+const OUT_COLUMNS: usize = 6;
+
+const OUT_CPU: usize = 0;
+const OUT_MEMORY: usize = 1;
+const OUT_DISK: usize = 2;
+const OUT_IO: usize = 3;
+const OUT_CHIPSET: usize = 4;
+const OUT_TOTAL: usize = 5;
+
+/// Per-machine power estimates for one fleet window, stored as one
+/// column per subsystem (plus the total) so downstream aggregation —
+/// fleet sums, percentile scans, per-subsystem histograms — also runs
+/// over contiguous memory.
+#[derive(Debug, Clone, Default)]
+pub struct FleetEstimates {
+    cols: [Vec<f64>; OUT_COLUMNS],
+}
+
+impl FleetEstimates {
+    /// Machines estimated this window.
+    pub fn len(&self) -> usize {
+        self.cols[0].len()
+    }
+
+    /// Whether the window was empty.
+    pub fn is_empty(&self) -> bool {
+        self.cols[0].is_empty()
+    }
+
+    /// Estimated CPU watts, one entry per machine.
+    pub fn cpu(&self) -> &[f64] {
+        &self.cols[OUT_CPU]
+    }
+
+    /// Estimated memory watts per machine.
+    pub fn memory(&self) -> &[f64] {
+        &self.cols[OUT_MEMORY]
+    }
+
+    /// Estimated disk watts per machine.
+    pub fn disk(&self) -> &[f64] {
+        &self.cols[OUT_DISK]
+    }
+
+    /// Estimated I/O watts per machine.
+    pub fn io(&self) -> &[f64] {
+        &self.cols[OUT_IO]
+    }
+
+    /// Estimated chipset watts per machine.
+    pub fn chipset(&self) -> &[f64] {
+        &self.cols[OUT_CHIPSET]
+    }
+
+    /// Estimated total system watts per machine.
+    pub fn total(&self) -> &[f64] {
+        &self.cols[OUT_TOTAL]
+    }
+
+    /// One machine's estimate in the scalar representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is out of range.
+    pub fn machine(&self, machine: usize) -> SubsystemPower {
+        let mut p = SubsystemPower::default();
+        p.set(Subsystem::Cpu, self.cols[OUT_CPU][machine]);
+        p.set(Subsystem::Memory, self.cols[OUT_MEMORY][machine]);
+        p.set(Subsystem::Disk, self.cols[OUT_DISK][machine]);
+        p.set(Subsystem::Io, self.cols[OUT_IO][machine]);
+        p.set(Subsystem::Chipset, self.cols[OUT_CHIPSET][machine]);
+        p
+    }
+
+    /// Total estimated watts across the whole fleet.
+    pub fn fleet_total(&self) -> f64 {
+        self.cols[OUT_TOTAL].iter().sum()
+    }
+
+    fn resize_rows(&mut self, machines: usize) {
+        for c in &mut self.cols {
+            c.resize(machines, 0.0);
+        }
+    }
+
+    fn col_slices_mut(&mut self) -> [&mut [f64]; OUT_COLUMNS] {
+        let mut it = self.cols.iter_mut();
+        std::array::from_fn(|_| it.next().expect("6 columns").as_mut_slice())
+    }
+}
+
+/// Evaluates the model over whole columns. Elementwise — the basis of
+/// the serial == sharded determinism guarantee.
+fn evaluate(
+    model: &SystemPowerModel,
+    cols: &[&[f64]; COLUMNS],
+    out: &mut [&mut [f64]; OUT_COLUMNS],
+) {
+    // Equation 1: N·halt + (active − halt)·Σactive + upc·Σupc.
+    let cpu = &model.cpu;
+    fill(out[OUT_CPU], 0.0);
+    axpy(out[OUT_CPU], cpu.halt_w, cols[col::NUM_CPUS]);
+    axpy(out[OUT_CPU], cpu.active_w - cpu.halt_w, cols[col::ACTIVE]);
+    axpy(out[OUT_CPU], cpu.upc_w, cols[col::UPC]);
+
+    // Equations 2/3: background + lin·Σx + quad·Σx².
+    let mem = &model.memory;
+    let (x, x_sq) = match mem.input {
+        MemoryInput::L3LoadMisses => (cols[col::L3], cols[col::L3_SQ]),
+        MemoryInput::BusTransactions => (cols[col::BUS], cols[col::BUS_SQ]),
+    };
+    fill(out[OUT_MEMORY], mem.background_w);
+    axpy(out[OUT_MEMORY], mem.lin, x);
+    axpy(out[OUT_MEMORY], mem.quad, x_sq);
+
+    // Equation 4.
+    let disk = &model.disk;
+    fill(out[OUT_DISK], disk.dc_w);
+    axpy(out[OUT_DISK], disk.int_lin, cols[col::DISK_INT]);
+    axpy(out[OUT_DISK], disk.int_quad, cols[col::DISK_INT_SQ]);
+    axpy(out[OUT_DISK], disk.dma_lin, cols[col::DMA]);
+    axpy(out[OUT_DISK], disk.dma_quad, cols[col::DMA_SQ]);
+
+    // Equation 5.
+    let io = &model.io;
+    fill(out[OUT_IO], io.dc_w);
+    axpy(out[OUT_IO], io.int_lin, cols[col::DEV_INT]);
+    axpy(out[OUT_IO], io.int_quad, cols[col::DEV_INT_SQ]);
+
+    fill(out[OUT_CHIPSET], model.chipset.constant_w);
+
+    // Total, accumulated in `Subsystem::ALL` order so it matches
+    // `SubsystemPower::total()` on the reassembled scalar estimate.
+    fill(out[OUT_TOTAL], 0.0);
+    let [cpu_col, mem_col, disk_col, io_col, chipset_col, total] = out;
+    add_assign(total, cpu_col);
+    add_assign(total, chipset_col);
+    add_assign(total, mem_col);
+    add_assign(total, io_col);
+    add_assign(total, disk_col);
+}
+
+/// The fleet-scale counterpart of
+/// [`trickledown::SystemPowerEstimator`]: one model, N machines per
+/// window, allocation-free after the first window.
+///
+/// Per window the cycle is: [`begin_window`](Self::begin_window), one
+/// [`push_sample_set`](Self::push_sample_set) per machine, then
+/// [`estimate`](Self::estimate) — or hand the whole window's sets to
+/// [`process_window`](Self::process_window) /
+/// [`process_window_pooled`](Self::process_window_pooled). The pooled
+/// path shards machines across a persistent
+/// [`WorkerPool`] and is bit-identical to the serial path for any
+/// worker count (every kernel is elementwise; see
+/// [`kernels`](crate::kernels)).
+///
+/// # Example
+///
+/// ```
+/// use tdp_fleet::FleetEstimator;
+/// use tdp_simsys::{Machine, MachineConfig};
+/// use trickledown::SystemPowerModel;
+///
+/// let mut machine = Machine::new(MachineConfig::default());
+/// for _ in 0..1000 {
+///     machine.tick();
+/// }
+/// let set = machine.read_counters();
+///
+/// let mut fleet = FleetEstimator::with_capacity(SystemPowerModel::paper(), 8);
+/// fleet.begin_window();
+/// for _ in 0..8 {
+///     fleet.push_sample_set(&set);
+/// }
+/// let est = fleet.estimate();
+/// assert_eq!(est.len(), 8);
+/// assert!(est.fleet_total() > 8.0 * 100.0, "eight idle servers");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetEstimator {
+    model: SystemPowerModel,
+    batch: SampleBatch,
+    estimates: FleetEstimates,
+    windows: u64,
+}
+
+impl FleetEstimator {
+    /// Creates an estimator for `model`.
+    pub fn new(model: SystemPowerModel) -> Self {
+        Self::with_capacity(model, 0)
+    }
+
+    /// Creates an estimator with columns pre-sized for `machines`, so
+    /// even the first window allocates nothing on the push path.
+    pub fn with_capacity(model: SystemPowerModel, machines: usize) -> Self {
+        Self {
+            model,
+            batch: SampleBatch::with_capacity(machines),
+            estimates: FleetEstimates::default(),
+            windows: 0,
+        }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &SystemPowerModel {
+        &self.model
+    }
+
+    /// Replaces the model (e.g. with a freshly calibrated one from
+    /// [`StreamingCalibrator`](crate::StreamingCalibrator)) without
+    /// disturbing the column buffers.
+    pub fn set_model(&mut self, model: SystemPowerModel) {
+        self.model = model;
+    }
+
+    /// Windows estimated so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// The current window's ingested batch.
+    pub fn batch(&self) -> &SampleBatch {
+        &self.batch
+    }
+
+    /// Estimates from the most recent window.
+    pub fn estimates(&self) -> &FleetEstimates {
+        &self.estimates
+    }
+
+    /// Starts a new window, discarding the previous window's samples
+    /// (column buffers are retained).
+    pub fn begin_window(&mut self) {
+        self.batch.clear();
+    }
+
+    /// Ingests one machine's raw counter read into the current window.
+    pub fn push_sample_set(&mut self, set: &SampleSet) {
+        self.batch.push_sample_set(set);
+    }
+
+    /// Ingests one machine's pre-extracted sample.
+    pub fn push_sample(&mut self, sample: &SystemSample) {
+        self.batch.push_sample(sample);
+    }
+
+    /// Evaluates the model over every ingested machine, serially.
+    pub fn estimate(&mut self) -> &FleetEstimates {
+        self.estimates.resize_rows(self.batch.len());
+        evaluate(
+            &self.model,
+            &self.batch.col_slices(),
+            &mut self.estimates.col_slices_mut(),
+        );
+        self.windows += 1;
+        &self.estimates
+    }
+
+    /// One whole window, serially: clear, ingest every set, evaluate.
+    ///
+    /// Runs the same fused ingest-and-evaluate routine the pooled path
+    /// gives each shard (indexed column writes instead of per-column
+    /// pushes), over the whole fleet as one range.
+    pub fn process_window(&mut self, sets: &[SampleSet]) -> &FleetEstimates {
+        let n = sets.len();
+        self.batch.resize_rows(n);
+        self.estimates.resize_rows(n);
+        ingest_evaluate(
+            &self.model,
+            &mut self.batch.col_slices_mut(),
+            &mut self.estimates.col_slices_mut(),
+            sets,
+        );
+        self.windows += 1;
+        &self.estimates
+    }
+
+    /// One whole window sharded across `pool`: each shard ingests and
+    /// evaluates a contiguous machine range, fused, so column data is
+    /// still cache-hot when the kernels consume it. Results are
+    /// bit-identical to [`process_window`](Self::process_window)
+    /// regardless of worker count.
+    pub fn process_window_pooled(
+        &mut self,
+        pool: &WorkerPool,
+        sets: &[SampleSet],
+    ) -> &FleetEstimates {
+        let n = sets.len();
+        self.batch.resize_rows(n);
+        self.estimates.resize_rows(n);
+
+        // Shard size: a few shards per worker for load balance, but
+        // wide enough that the column kernels still vectorise well.
+        // A single worker has nothing to balance, so it gets the whole
+        // fleet as one shard.
+        let workers = pool.workers().max(1);
+        let shard = if workers == 1 {
+            n.max(1)
+        } else {
+            n.div_ceil(workers * 4).max(16)
+        };
+
+        let mut col_rem = self.batch.col_slices_mut();
+        let mut out_rem = self.estimates.col_slices_mut();
+        let mut shards = Vec::with_capacity(n.div_ceil(shard));
+        let mut start = 0;
+        while start < n {
+            let take = shard.min(n - start);
+            let cols: [&mut [f64]; COLUMNS] = std::array::from_fn(|k| {
+                let rest = std::mem::take(&mut col_rem[k]);
+                let (head, tail) = rest.split_at_mut(take);
+                col_rem[k] = tail;
+                head
+            });
+            let outs: [&mut [f64]; OUT_COLUMNS] = std::array::from_fn(|k| {
+                let rest = std::mem::take(&mut out_rem[k]);
+                let (head, tail) = rest.split_at_mut(take);
+                out_rem[k] = tail;
+                head
+            });
+            shards.push((cols, outs, &sets[start..start + take]));
+            start += take;
+        }
+
+        let model = &self.model;
+        pool.par_map(shards, |(mut cols, mut outs, sets)| {
+            ingest_evaluate(model, &mut cols, &mut outs, sets);
+        });
+
+        self.windows += 1;
+        &self.estimates
+    }
+}
+
+/// Ingests `sets` into the column slices (indexed writes) and evaluates
+/// the model over them — the per-shard body of the pooled path, and the
+/// whole-fleet body of the serial one. Both call exactly this, which is
+/// what makes them bit-identical by construction.
+fn ingest_evaluate(
+    model: &SystemPowerModel,
+    cols: &mut [&mut [f64]; COLUMNS],
+    outs: &mut [&mut [f64]; OUT_COLUMNS],
+    sets: &[SampleSet],
+) {
+    // Layout cache per call: all-inline, so no allocation.
+    let mut layout = LayoutCache::default();
+    for (i, set) in sets.iter().enumerate() {
+        let row = extract_set_cached(set, &mut layout);
+        for (dst, v) in cols.iter_mut().zip(row) {
+            dst[i] = v;
+        }
+    }
+    let shared: [&[f64]; COLUMNS] = cols.each_ref().map(|s| &**s);
+    evaluate(model, &shared, outs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trickledown::CpuRates;
+
+    fn sample(machine: usize) -> SystemSample {
+        let m = machine as f64;
+        SystemSample {
+            time_ms: 1000,
+            window_ms: 1000,
+            per_cpu: (0..4)
+                .map(|c| CpuRates {
+                    active_frac: ((m * 0.13 + c as f64 * 0.21) % 1.0),
+                    fetched_upc: (m * 0.07 + c as f64 * 0.4) % 2.0,
+                    l3_load_misses: (m * 1e-5) % 3e-3,
+                    bus_tx_per_mcycle: (m * 37.0) % 9000.0,
+                    dma_per_cycle: (m * 1e-4) % 0.02,
+                    interrupts_per_cycle: (m * 3e-9) % 2e-8,
+                    device_interrupts_per_cycle: (m * 2e-9) % 1.5e-8,
+                    disk_interrupts_per_cycle: (m * 1e-9) % 0.8e-8,
+                    tlb_per_cycle: 0.0,
+                    uncacheable_per_cycle: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn batched_estimates_match_scalar_model_predictions() {
+        let model = SystemPowerModel::paper();
+        let mut fleet = FleetEstimator::new(model.clone());
+        fleet.begin_window();
+        let samples: Vec<SystemSample> = (0..97).map(sample).collect();
+        for s in &samples {
+            fleet.push_sample(s);
+        }
+        let est = fleet.estimate();
+        assert_eq!(est.len(), 97);
+        for (i, s) in samples.iter().enumerate() {
+            let scalar = model.predict(s);
+            let batched = est.machine(i);
+            for &sub in Subsystem::ALL {
+                let a = scalar.get(sub);
+                let b = batched.get(sub);
+                assert!(
+                    (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                    "machine {i} {sub:?}: scalar {a} vs batched {b}"
+                );
+            }
+            assert!((scalar.total() - est.total()[i]).abs() < 1e-9 * scalar.total());
+        }
+    }
+
+    #[test]
+    fn fleet_total_is_the_column_sum() {
+        let mut fleet = FleetEstimator::new(SystemPowerModel::paper());
+        fleet.begin_window();
+        for i in 0..10 {
+            fleet.push_sample(&sample(i));
+        }
+        let est = fleet.estimate();
+        let by_machines: f64 = (0..10).map(|i| est.machine(i).total()).sum();
+        assert!((est.fleet_total() - by_machines).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_fine() {
+        let mut fleet = FleetEstimator::new(SystemPowerModel::paper());
+        fleet.begin_window();
+        let est = fleet.estimate();
+        assert!(est.is_empty());
+        assert_eq!(est.fleet_total(), 0.0);
+    }
+
+    #[test]
+    fn l3_memory_model_reads_the_l3_columns() {
+        let mut model = SystemPowerModel::paper();
+        model.memory = trickledown::MemoryPowerModel::paper_l3();
+        let s = sample(5);
+        let mut fleet = FleetEstimator::new(model.clone());
+        fleet.begin_window();
+        fleet.push_sample(&s);
+        let est = fleet.estimate();
+        let expect = model.predict(&s).get(Subsystem::Memory);
+        assert!((est.memory()[0] - expect).abs() < 1e-9 * expect.abs().max(1.0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Column kernels: the handful of dense f64 operations batched model
+//! evaluation is made of.
+//!
+//! Equations 1–5 are linear/quadratic forms, so evaluating a model over
+//! a whole fleet column reduces to `fill` (the DC term) plus a few
+//! `axpy` passes (one per coefficient — the squared inputs are
+//! materialised as their own columns at ingest). Each kernel walks its
+//! slices in fixed-width chunks with the remainder handled separately,
+//! the shape LLVM reliably turns into unrolled FMA vector code without
+//! any explicit SIMD.
+//!
+//! Every kernel is elementwise — `out[i]` depends only on position `i`
+//! of the inputs — which is what makes sharded (parallel) evaluation
+//! bit-identical to serial: the per-element operation sequence never
+//! changes, only which thread performs it.
+
+/// Elements processed per unrolled step.
+const LANES: usize = 8;
+
+/// `out[i] = v`.
+pub fn fill(out: &mut [f64], v: f64) {
+    for o in out.iter_mut() {
+        *o = v;
+    }
+}
+
+/// `out[i] += a · x[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn axpy(out: &mut [f64], a: f64, x: &[f64]) {
+    assert_eq!(out.len(), x.len(), "axpy length mismatch");
+    let mut out_it = out.chunks_exact_mut(LANES);
+    let mut x_it = x.chunks_exact(LANES);
+    for (oc, xc) in out_it.by_ref().zip(x_it.by_ref()) {
+        for (o, &xv) in oc.iter_mut().zip(xc) {
+            *o += a * xv;
+        }
+    }
+    for (o, &xv) in out_it.into_remainder().iter_mut().zip(x_it.remainder()) {
+        *o += a * xv;
+    }
+}
+
+/// `out[i] += x[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn add_assign(out: &mut [f64], x: &[f64]) {
+    assert_eq!(out.len(), x.len(), "add_assign length mismatch");
+    let mut out_it = out.chunks_exact_mut(LANES);
+    let mut x_it = x.chunks_exact(LANES);
+    for (oc, xc) in out_it.by_ref().zip(x_it.by_ref()) {
+        for (o, &xv) in oc.iter_mut().zip(xc) {
+            *o += xv;
+        }
+    }
+    for (o, &xv) in out_it.into_remainder().iter_mut().zip(x_it.remainder()) {
+        *o += xv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_match_scalar_loops_across_lengths() {
+        // Cover the remainder path on either side of the lane width.
+        for n in [0, 1, 7, 8, 9, 16, 33] {
+            let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 3.0).collect();
+            let mut out = vec![0.0; n];
+            fill(&mut out, 2.5);
+            assert!(out.iter().all(|&v| v == 2.5));
+            axpy(&mut out, -1.5, &x);
+            add_assign(&mut out, &x);
+            for (i, &o) in out.iter().enumerate() {
+                let expect = 2.5 + -1.5 * x[i] + x[i];
+                assert_eq!(o, expect, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        axpy(&mut [0.0; 3], 1.0, &[0.0; 4]);
+    }
+}

@@ -198,10 +198,7 @@ mod tests {
 
     #[test]
     fn cross_term_evaluates_product() {
-        let m = FeatureMap::new(
-            2,
-            vec![FeatureTerm::Intercept, FeatureTerm::Cross(0, 1)],
-        );
+        let m = FeatureMap::new(2, vec![FeatureTerm::Intercept, FeatureTerm::Cross(0, 1)]);
         assert_eq!(m.expand(&[3.0, 4.0]), vec![1.0, 12.0]);
     }
 

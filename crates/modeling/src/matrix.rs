@@ -241,6 +241,30 @@ impl Matrix {
         Some(x)
     }
 
+    /// The inverse, via one [`solve`](Matrix::solve) per identity
+    /// column. Returns `None` if the matrix is singular. Matrices here
+    /// are tiny (one row/column per model coefficient), so the `O(n⁴)`
+    /// cost is irrelevant next to clarity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
+        let n = self.rows;
+        let mut inv = Matrix::zeros(n, n);
+        let mut unit = vec![0.0f64; n];
+        for col in 0..n {
+            unit[col] = 1.0;
+            let x = self.solve(&unit)?;
+            for (row, &v) in x.iter().enumerate() {
+                inv[(row, col)] = v;
+            }
+            unit[col] = 0.0;
+        }
+        Some(inv)
+    }
+
     /// Adds `lambda` to every diagonal element (absolute ridge damping),
     /// in place.
     ///
@@ -362,6 +386,29 @@ mod tests {
         let v = a.transpose_vec_mul(&y);
         let m = a.transpose().matmul(&Matrix::column(&y));
         assert_close(&v, &[m[(0, 0)], m[(1, 0)]], 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 7.0, 2.0],
+            vec![3.0, 6.0, 1.0],
+            vec![2.0, 5.0, 3.0],
+        ]);
+        let inv = a.inverse().unwrap();
+        let id = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (id[(i, j)] - want).abs() < 1e-9,
+                    "({i},{j}) = {}",
+                    id[(i, j)]
+                );
+            }
+        }
+        let singular = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(singular.inverse().is_none());
     }
 
     #[test]

@@ -63,11 +63,7 @@ pub fn average_error(modeled: &[f64], measured: &[f64]) -> f64 {
 
 /// Equation 6 average error after subtracting a DC offset from both
 /// series (the paper's disk-model convention).
-pub fn average_error_with_offset(
-    modeled: &[f64],
-    measured: &[f64],
-    dc_offset: f64,
-) -> f64 {
+pub fn average_error_with_offset(modeled: &[f64], measured: &[f64], dc_offset: f64) -> f64 {
     error_summary_with_offset(modeled, measured, dc_offset).average_error_pct
 }
 
@@ -92,8 +88,7 @@ pub fn average_error_with_offset_deadband(
     dc_offset: f64,
     deadband: f64,
 ) -> f64 {
-    error_summary_with_offset_deadband(modeled, measured, dc_offset, deadband)
-        .average_error_pct
+    error_summary_with_offset_deadband(modeled, measured, dc_offset, deadband).average_error_pct
 }
 
 /// Full summary with DC-offset subtraction.
@@ -113,12 +108,7 @@ pub fn error_summary_with_offset(
     summarise(modeled, measured, dc_offset, 1e-9)
 }
 
-fn summarise(
-    modeled: &[f64],
-    measured: &[f64],
-    dc_offset: f64,
-    deadband: f64,
-) -> ErrorSummary {
+fn summarise(modeled: &[f64], measured: &[f64], dc_offset: f64, deadband: f64) -> ErrorSummary {
     assert_eq!(
         modeled.len(),
         measured.len(),

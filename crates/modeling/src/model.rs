@@ -103,9 +103,7 @@ mod tests {
     fn predict_all_matches_predict() {
         let m = RegressionModel::new(FeatureMap::linear(1), vec![1.0, 2.0]);
         let rows: Vec<Vec<f64>> = vec![vec![0.0], vec![1.0], vec![2.0]];
-        let out: Vec<f64> = m
-            .predict_all(rows.iter().map(|r| r.as_slice()))
-            .collect();
+        let out: Vec<f64> = m.predict_all(rows.iter().map(|r| r.as_slice())).collect();
         assert_eq!(out, vec![1.0, 3.0, 5.0]);
     }
 

@@ -172,7 +172,10 @@ mod tests {
     fn exact_quadratic_recovery() {
         let map = FeatureMap::quadratic_single(1, 0);
         let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 7.0 - 0.3 * x[0] + 0.02 * x[0] * x[0]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 7.0 - 0.3 * x[0] + 0.02 * x[0] * x[0])
+            .collect();
         let m = fit_least_squares(&map, &xs, &ys).unwrap();
         let c = m.coefficients();
         assert!((c[0] - 7.0).abs() < 1e-8);
@@ -197,8 +200,7 @@ mod tests {
     #[test]
     fn collinear_inputs_are_singular_without_ridge() {
         let map = FeatureMap::linear(2);
-        let xs: Vec<Vec<f64>> =
-            (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
         let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
         assert_eq!(
             fit_least_squares(&map, &xs, &ys).unwrap_err(),
@@ -221,27 +223,17 @@ mod tests {
     #[test]
     fn length_mismatch_rejected() {
         let map = FeatureMap::linear(1);
-        let err =
-            fit_least_squares(&map, &[vec![1.0], vec![2.0]], &[1.0]).unwrap_err();
+        let err = fit_least_squares(&map, &[vec![1.0], vec![2.0]], &[1.0]).unwrap_err();
         assert!(matches!(err, FitError::LengthMismatch { xs: 2, ys: 1 }));
     }
 
     #[test]
     fn nan_input_rejected() {
         let map = FeatureMap::linear(1);
-        let err = fit_least_squares(
-            &map,
-            &[vec![f64::NAN], vec![1.0]],
-            &[1.0, 2.0],
-        )
-        .unwrap_err();
+        let err = fit_least_squares(&map, &[vec![f64::NAN], vec![1.0]], &[1.0, 2.0]).unwrap_err();
         assert_eq!(err, FitError::NonFiniteInput);
-        let err = fit_least_squares(
-            &map,
-            &[vec![0.0], vec![1.0]],
-            &[f64::INFINITY, 2.0],
-        )
-        .unwrap_err();
+        let err =
+            fit_least_squares(&map, &[vec![0.0], vec![1.0]], &[f64::INFINITY, 2.0]).unwrap_err();
         assert_eq!(err, FitError::NonFiniteInput);
     }
 

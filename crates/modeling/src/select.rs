@@ -149,12 +149,10 @@ impl ModelSelector {
     ) -> Vec<SelectionOutcome> {
         let n = self.input_names.len();
 
-        let per_subset = tdp_parallel::par_map(
-            subsets_up_to(n, self.max_subset_size),
-            |subset| self.fit_subset(&subset, train_xs, train_ys, valid_xs, valid_ys),
-        );
-        let mut outcomes: Vec<SelectionOutcome> =
-            per_subset.into_iter().flatten().collect();
+        let per_subset = tdp_parallel::par_map(subsets_up_to(n, self.max_subset_size), |subset| {
+            self.fit_subset(&subset, train_xs, train_ys, valid_xs, valid_ys)
+        });
+        let mut outcomes: Vec<SelectionOutcome> = per_subset.into_iter().flatten().collect();
 
         outcomes.sort_by(|a, b| {
             a.validation_error_pct
@@ -190,16 +188,12 @@ impl ModelSelector {
                 continue;
             }
             let map = form.feature_map(subset.len());
-            let Ok(model) =
-                fit_least_squares_ridge(&map, &tx, train_ys, self.ridge_lambda)
-            else {
+            let Ok(model) = fit_least_squares_ridge(&map, &tx, train_ys, self.ridge_lambda) else {
                 continue;
             };
             let score = |xs: &[Vec<f64>], ys: &[f64]| {
-                let modeled: Vec<f64> =
-                    xs.iter().map(|x| model.predict(x)).collect();
-                error_summary_with_offset(&modeled, ys, self.dc_offset)
-                    .average_error_pct
+                let modeled: Vec<f64> = xs.iter().map(|x| model.predict(x)).collect();
+                error_summary_with_offset(&modeled, ys, self.dc_offset).average_error_pct
             };
             outcomes.push(SelectionOutcome {
                 input_indices: subset.to_vec(),
@@ -290,15 +284,13 @@ mod tests {
     fn validation_on_held_out_data_penalises_overfit() {
         // Train region x∈[0,1], validate x∈[2,3]: quadratic fitted to a
         // linear target extrapolates worse than the linear form.
-        let train_xs: Vec<Vec<f64>> =
-            (0..30).map(|i| vec![i as f64 / 30.0]).collect();
+        let train_xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 30.0]).collect();
         let train_ys: Vec<f64> = train_xs
             .iter()
             .enumerate()
             .map(|(i, x)| 1.0 + x[0] + if i % 2 == 0 { 0.01 } else { -0.01 })
             .collect();
-        let valid_xs: Vec<Vec<f64>> =
-            (0..30).map(|i| vec![2.0 + i as f64 / 30.0]).collect();
+        let valid_xs: Vec<Vec<f64>> = (0..30).map(|i| vec![2.0 + i as f64 / 30.0]).collect();
         let valid_ys: Vec<f64> = valid_xs.iter().map(|x| 1.0 + x[0]).collect();
 
         let sel = ModelSelector::new(vec!["x".into()]);

@@ -185,9 +185,7 @@ mod tests {
     #[test]
     fn large_offset_stays_stable() {
         // naive sum-of-squares would lose precision here
-        let s: OnlineStats = (0..1000)
-            .map(|i| 1e9 + (i % 10) as f64)
-            .collect();
+        let s: OnlineStats = (0..1000).map(|i| 1e9 + (i % 10) as f64).collect();
         assert!((s.mean() - (1e9 + 4.5)).abs() < 1e-3);
         assert!((s.population_variance() - 8.25).abs() < 1e-3);
     }

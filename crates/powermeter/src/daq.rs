@@ -114,8 +114,7 @@ impl DaqChannel {
         let w_per_v = c.rail_v / c.sense_ohms;
         let mean_w = v * w_per_v;
         let var_v = c.noise_v_rms * c.noise_v_rms + step * step / 12.0;
-        let var_w = var_v * w_per_v * w_per_v
-            + self.derivation_noise_w * self.derivation_noise_w;
+        let var_w = var_v * w_per_v * w_per_v + self.derivation_noise_w * self.derivation_noise_w;
         let n = f64::from(n);
         n * mean_w + (n * var_w).sqrt() * rng.standard_normal()
     }
@@ -200,8 +199,7 @@ impl PowerMeter {
         let truth = self.truth.instantaneous(activity);
         let n = self.channels[0].samples_per_ms();
         for &s in Subsystem::ALL {
-            let sum = self.channels[s.index()]
-                .accumulate(truth.get(s), n, &mut self.rng);
+            let sum = self.channels[s.index()].accumulate(truth.get(s), n, &mut self.rng);
             self.acc.set(s, self.acc.get(s) + sum);
         }
         self.acc_samples += u64::from(n);
@@ -251,10 +249,7 @@ mod tests {
         // within one LSB (≈0.73 W at default settings).
         let true_w = 33.3;
         let n = 5000;
-        let avg: f64 = (0..n)
-            .map(|_| ch.measure(true_w, &mut rng))
-            .sum::<f64>()
-            / n as f64;
+        let avg: f64 = (0..n).map(|_| ch.measure(true_w, &mut rng)).sum::<f64>() / n as f64;
         let lsb = ch.full_scale_watts() / (1u64 << 12) as f64;
         assert!((avg - true_w).abs() < lsb, "avg {avg} vs {true_w}");
     }
@@ -263,8 +258,7 @@ mod tests {
     fn accumulate_matches_per_sample_statistics() {
         // The closed-form sum must agree with the per-sample path in
         // both moments, including derivation noise.
-        let ch = DaqChannel::new(AdcConfig::default())
-            .with_derivation_noise(0.2);
+        let ch = DaqChannel::new(AdcConfig::default()).with_derivation_noise(0.2);
         let mut rng_a = SimRng::seed(11);
         let mut rng_b = SimRng::seed(12);
         let true_w = 41.7;
@@ -272,14 +266,11 @@ mod tests {
         let windows = 4000;
         let stats = |xs: &[f64]| {
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
-            let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>()
-                / xs.len() as f64;
+            let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
             (m, v)
         };
         let looped: Vec<f64> = (0..windows)
-            .map(|_| {
-                (0..n).map(|_| ch.measure(true_w, &mut rng_a)).sum::<f64>()
-            })
+            .map(|_| (0..n).map(|_| ch.measure(true_w, &mut rng_a)).sum::<f64>())
             .collect();
         let closed: Vec<f64> = (0..windows)
             .map(|_| ch.accumulate(true_w, n, &mut rng_b))
@@ -336,8 +327,7 @@ mod tests {
             samples.push(meter.cut_window().watts.get(Subsystem::Disk));
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         let std = var.sqrt();
         assert!(std > 0.0, "measurement noise exists");
         assert!(std < 0.3, "but is small: {std}");

@@ -50,10 +50,7 @@ mod truth;
 pub use daq::{AdcConfig, DaqChannel, PowerMeter};
 pub use sample::{PowerSample, SubsystemPower};
 pub use spec::{
-    ChipsetPowerSpec, CpuPowerSpec, DiskPowerSpec, DramPowerSpec, IoPowerSpec,
-    PowerSpec,
+    ChipsetPowerSpec, CpuPowerSpec, DiskPowerSpec, DramPowerSpec, IoPowerSpec, PowerSpec,
 };
-pub use thermal::{
-    SubsystemTemps, ThermalModel, ThermalParams, ThermalSensor, ThermalSpec,
-};
+pub use thermal::{SubsystemTemps, ThermalModel, ThermalParams, ThermalSensor, ThermalSpec};
 pub use truth::GroundTruth;

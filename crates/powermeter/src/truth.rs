@@ -71,8 +71,7 @@ impl GroundTruth {
                     + s.window_search_w * core.stall_search_frac
                     - s.stall_gate_w * core.quiet_stall_frac)
                     .max(s.halt_w);
-                halted_frac * s.halt_w * scale
-                    + active_frac * active_w * active_dvfs
+                halted_frac * s.halt_w * scale + active_frac * active_w * active_dvfs
             })
             .sum()
     }
@@ -165,9 +164,7 @@ mod tests {
             idle.get(Subsystem::Cpu)
         );
         // Register-resident spin loops barely touch memory.
-        assert!(
-            (w.get(Subsystem::Memory) - idle.get(Subsystem::Memory)).abs() < 3.0
-        );
+        assert!((w.get(Subsystem::Memory) - idle.get(Subsystem::Memory)).abs() < 3.0);
     }
 
     #[test]

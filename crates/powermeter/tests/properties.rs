@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use tdp_counters::Subsystem;
-use tdp_powermeter::{
-    AdcConfig, DaqChannel, SubsystemPower, ThermalModel, ThermalSpec,
-};
+use tdp_powermeter::{AdcConfig, DaqChannel, SubsystemPower, ThermalModel, ThermalSpec};
 use tdp_simsys::SimRng;
 
 proptest! {

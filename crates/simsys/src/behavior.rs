@@ -71,8 +71,7 @@ impl ReuseProfile {
         for (slot, &(d, w)) in inline.iter_mut().zip(buckets) {
             *slot = (d, w / total);
         }
-        inline[..buckets.len()]
-            .sort_unstable_by(|a, c| a.0.partial_cmp(&c.0).unwrap());
+        inline[..buckets.len()].sort_unstable_by(|a, c| a.0.partial_cmp(&c.0).unwrap());
         Self {
             buckets: inline,
             len: buckets.len() as u8,

@@ -87,12 +87,9 @@ impl CacheHierarchy {
         let l3_misses = rng.poisson(m3).min(l2_misses);
 
         let load_fraction = loads as f64 / accesses;
-        let l3_load_misses =
-            (l3_misses as f64 * load_fraction).round() as u64;
+        let l3_load_misses = (l3_misses as f64 * load_fraction).round() as u64;
         let l3_store_misses = l3_misses - l3_load_misses;
-        let writeback_lines = rng.poisson(
-            l3_misses as f64 * self.cfg.dirty_eviction_fraction,
-        );
+        let writeback_lines = rng.poisson(l3_misses as f64 * self.cfg.dirty_eviction_fraction);
 
         CacheTraffic {
             l1_misses,
@@ -129,13 +126,7 @@ mod tests {
     #[test]
     fn streaming_workload_misses_everywhere() {
         let mut rng = SimRng::seed(2);
-        let t = hierarchy().simulate(
-            100_000,
-            0,
-            &ReuseProfile::streaming(),
-            1.0,
-            &mut rng,
-        );
+        let t = hierarchy().simulate(100_000, 0, &ReuseProfile::streaming(), 1.0, &mut rng);
         // All levels miss ~100%, modulo Poisson noise.
         assert!(t.l1_misses > 95_000);
         assert!(t.l3_load_misses as f64 > 0.95 * t.l1_misses as f64 - 2_000.0);
@@ -164,10 +155,8 @@ mod tests {
         let mut rng_b = SimRng::seed(4);
         // Working set sized to fit L3 alone but not at half share.
         let profile = ReuseProfile::new(&[(20_000.0, 1.0)]);
-        let alone =
-            hierarchy().simulate(100_000, 0, &profile, 1.0, &mut rng_a);
-        let shared =
-            hierarchy().simulate(100_000, 0, &profile, 0.5, &mut rng_b);
+        let alone = hierarchy().simulate(100_000, 0, &profile, 1.0, &mut rng_a);
+        let shared = hierarchy().simulate(100_000, 0, &profile, 0.5, &mut rng_b);
         assert_eq!(alone.l3_load_misses, 0);
         assert!(shared.l3_load_misses > 90_000);
     }
@@ -175,26 +164,14 @@ mod tests {
     #[test]
     fn zero_accesses_zero_traffic() {
         let mut rng = SimRng::seed(5);
-        let t = hierarchy().simulate(
-            0,
-            0,
-            &ReuseProfile::streaming(),
-            1.0,
-            &mut rng,
-        );
+        let t = hierarchy().simulate(0, 0, &ReuseProfile::streaming(), 1.0, &mut rng);
         assert_eq!(t, CacheTraffic::default());
     }
 
     #[test]
     fn load_store_split_respects_ratio() {
         let mut rng = SimRng::seed(6);
-        let t = hierarchy().simulate(
-            75_000,
-            25_000,
-            &ReuseProfile::streaming(),
-            1.0,
-            &mut rng,
-        );
+        let t = hierarchy().simulate(75_000, 25_000, &ReuseProfile::streaming(), 1.0, &mut rng);
         let total = t.l3_total_misses() as f64;
         let load_frac = t.l3_load_misses as f64 / total;
         assert!((load_frac - 0.75).abs() < 0.02, "load_frac {load_frac}");

@@ -371,8 +371,7 @@ impl MachineConfig {
         if self.cache.line_bytes == 0 || !self.cache.line_bytes.is_power_of_two() {
             return fail("line_bytes must be a power of two");
         }
-        if self.cache.l1_bytes >= self.cache.l2_bytes
-            || self.cache.l2_bytes >= self.cache.l3_bytes
+        if self.cache.l1_bytes >= self.cache.l2_bytes || self.cache.l2_bytes >= self.cache.l3_bytes
         {
             return fail("cache levels must grow: l1 < l2 < l3");
         }

@@ -222,9 +222,7 @@ impl CpuCore {
         let mut upcs = std::mem::take(&mut self.upcs);
         upcs.clear();
         upcs.extend(demands.iter().take(k).map(|demand| {
-            let slowdown = 1.0
-                - demand.memory_sensitivity.clamp(0.0, 1.0)
-                    * (1.0 - throttle);
+            let slowdown = 1.0 - demand.memory_sensitivity.clamp(0.0, 1.0) * (1.0 - throttle);
             (demand.target_upc * slowdown).clamp(0.0, per_thread_cap)
         }));
         let demanded: f64 = upcs.iter().sum();
@@ -245,38 +243,34 @@ impl CpuCore {
                     .rng
                     .poisson(retired as f64 * demand.wrongpath_fraction.max(0.0));
 
-            let loads =
-                self.rng.poisson(retired as f64 * demand.loads_per_uop.max(0.0));
+            let loads = self
+                .rng
+                .poisson(retired as f64 * demand.loads_per_uop.max(0.0));
             let stores = self
                 .rng
                 .poisson(retired as f64 * demand.stores_per_uop.max(0.0));
             let share = if k >= 2 { 0.5 } else { 1.0 };
-            let cache = self.caches.simulate(
-                loads,
-                stores,
-                &demand.reuse,
-                share,
-                &mut self.rng,
-            );
+            let cache = self
+                .caches
+                .simulate(loads, stores, &demand.reuse, share, &mut self.rng);
             let prefetch = self.prefetcher.tick(
                 cache.l3_total_misses(),
                 demand.streaming_fraction,
                 &mut self.rng,
             );
-            let tlb =
-                self.tlb
-                    .tick(retired, demand.tlb_misses_per_kuop, &mut self.rng);
-            let uncacheable = self.rng.poisson(
-                retired as f64 * demand.uncacheable_per_kuop.max(0.0) / 1000.0,
-            );
-            let mispredicts = self.rng.poisson(
-                retired as f64 * demand.mispredicts_per_kuop.max(0.0) / 1000.0,
-            );
+            let tlb = self
+                .tlb
+                .tick(retired, demand.tlb_misses_per_kuop, &mut self.rng);
+            let uncacheable = self
+                .rng
+                .poisson(retired as f64 * demand.uncacheable_per_kuop.max(0.0) / 1000.0);
+            let mispredicts = self
+                .rng
+                .poisson(retired as f64 * demand.mispredicts_per_kuop.max(0.0) / 1000.0);
 
             // Prefetch-covered misses disappear from the miss counters
             // but their lines still travel the bus.
-            let visible_l3 =
-                cache.l3_total_misses() - prefetch.covered_misses;
+            let visible_l3 = cache.l3_total_misses() - prefetch.covered_misses;
             let visible_l3_loads = ((cache.l3_load_misses as f64
                 / cache.l3_total_misses().max(1) as f64)
                 * visible_l3 as f64)
@@ -293,8 +287,7 @@ impl CpuCore {
             result.counters.uncacheable += uncacheable;
 
             result.traffic.demand_fill_lines += visible_l3;
-            result.traffic.prefetch_lines +=
-                prefetch.prefetch_lines + prefetch.covered_misses;
+            result.traffic.prefetch_lines += prefetch.prefetch_lines + prefetch.covered_misses;
             result.traffic.writeback_lines += cache.writeback_lines;
             result.traffic.pagewalk_lines += tlb.pagewalk_lines;
             result.traffic.uncacheable_accesses += uncacheable;
@@ -305,8 +298,7 @@ impl CpuCore {
             // chasing keeps the scheduler churning; streaming stalls
             // let units gate off.
             let starvation = (1.0 - upc / 1.5).clamp(0.0, 1.0);
-            let stall =
-                demand.memory_sensitivity.clamp(0.0, 1.0) * starvation;
+            let stall = demand.memory_sensitivity.clamp(0.0, 1.0) * starvation;
             let chase = demand.pointer_chasing.clamp(0.0, 1.0);
             stall_weight += stall * chase;
             quiet_weight += stall * (1.0 - chase);
@@ -320,16 +312,11 @@ impl CpuCore {
         self.upcs = upcs;
     }
 
-    fn run_idle_tick_into(
-        &mut self,
-        cycles: u64,
-        timer_interrupts: u64,
-        out: &mut CpuTickResult,
-    ) {
+    fn run_idle_tick_into(&mut self, cycles: u64, timer_interrupts: u64, out: &mut CpuTickResult) {
         // The OS idle loop executes HLT; only interrupt handling wakes
         // the clock. Each timer tick costs some active cycles.
-        let overhead = (self.cpu_cfg.timer_overhead_cycles * timer_interrupts.max(1))
-            .min(cycles / 2);
+        let overhead =
+            (self.cpu_cfg.timer_overhead_cycles * timer_interrupts.max(1)).min(cycles / 2);
         let overhead = self
             .rng
             .poisson(overhead as f64)
@@ -409,7 +396,10 @@ mod tests {
         let u1 = one.counters.retired_uops as f64;
         let u2 = two.counters.retired_uops as f64;
         assert!(u2 > u1 * 1.5, "SMT should add throughput: {u1} vs {u2}");
-        assert!(u2 < u1 * 1.95, "but under 2x (fetch-width cap): {u1} vs {u2}");
+        assert!(
+            u2 < u1 * 1.95,
+            "but under 2x (fetch-width cap): {u1} vs {u2}"
+        );
     }
 
     #[test]
@@ -434,17 +424,13 @@ mod tests {
         let free = c.run_tick(&[mem_demand], 1.0, 1);
         let mut c = core();
         let jammed = c.run_tick(&[mem_demand], 0.25, 1);
-        assert!(
-            (jammed.counters.retired_uops as f64)
-                < 0.4 * free.counters.retired_uops as f64
-        );
+        assert!((jammed.counters.retired_uops as f64) < 0.4 * free.counters.retired_uops as f64);
 
         let mut c = core();
         let cpu_free = c.run_tick(&[compute_demand(2.0)], 1.0, 1);
         let mut c = core();
         let cpu_jammed = c.run_tick(&[compute_demand(2.0)], 0.25, 1);
-        let ratio = cpu_jammed.counters.retired_uops as f64
-            / cpu_free.counters.retired_uops as f64;
+        let ratio = cpu_jammed.counters.retired_uops as f64 / cpu_free.counters.retired_uops as f64;
         assert!((ratio - 1.0).abs() < 0.05, "compute-bound unaffected");
     }
 

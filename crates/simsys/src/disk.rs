@@ -145,8 +145,7 @@ impl ScsiDisk {
                     break;
                 };
                 let distance = (next.position - self.head_position).abs();
-                let seek_ms = self.cfg.min_seek_ms
-                    + distance * self.cfg.seek_ms_per_distance;
+                let seek_ms = self.cfg.min_seek_ms + distance * self.cfg.seek_ms_per_distance;
                 self.head_position = next.position;
                 self.active = Some(ActiveCommand {
                     cmd: next,

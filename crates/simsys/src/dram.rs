@@ -46,8 +46,7 @@ impl DramModel {
         let lines = (reads + writes) as f64;
         let busy_ns = lines * self.cfg.service_ns_per_line / self.cfg.channels;
         let frac_active = (busy_ns / NS_PER_TICK).min(0.95);
-        let frac_precharge =
-            (frac_active * self.cfg.precharge_ratio).min(1.0 - frac_active);
+        let frac_precharge = (frac_active * self.cfg.precharge_ratio).min(1.0 - frac_active);
         let frac_idle = (1.0 - frac_active - frac_precharge).max(0.0);
         DramActivity {
             reads,

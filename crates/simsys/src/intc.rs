@@ -133,9 +133,6 @@ mod tests {
         intc.deliver(InterruptSource::Disk(1));
         let _ = intc.take_tick_deltas();
         intc.deliver(InterruptSource::Disk(1));
-        assert_eq!(
-            intc.accounting().cumulative(0, InterruptSource::Disk(1)),
-            2
-        );
+        assert_eq!(intc.accounting().cumulative(0, InterruptSource::Disk(1)), 2);
     }
 }

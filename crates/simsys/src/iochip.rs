@@ -60,8 +60,7 @@ impl IoChip {
         let total = self.carry_bytes + dma_bytes;
         let payload_lines = total / self.line_bytes;
         self.carry_bytes = total % self.line_bytes;
-        let inefficiency =
-            (payload_lines as f64 * self.cfg.wc_inefficiency).round() as u64;
+        let inefficiency = (payload_lines as f64 * self.cfg.wc_inefficiency).round() as u64;
         let overhead = commands_started * self.cfg.overhead_lines_per_command;
         IoActivity {
             bytes_switched: dma_bytes,

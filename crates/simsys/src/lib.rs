@@ -81,8 +81,8 @@ pub mod tlb;
 
 pub use behavior::{IoDemand, ReuseProfile, ThreadBehavior, TickContext, TickDemand};
 pub use config::{
-    BusConfig, CacheConfig, CpuConfig, DiskConfig, DramConfig, IoConfig,
-    MachineConfig, NicConfig, OsConfig,
+    BusConfig, CacheConfig, CpuConfig, DiskConfig, DramConfig, IoConfig, MachineConfig, NicConfig,
+    OsConfig,
 };
 pub use machine::{Machine, TickActivity};
 pub use rng::SimRng;

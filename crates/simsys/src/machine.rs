@@ -10,9 +10,7 @@ use crate::iochip::{IoActivity, IoChip};
 use crate::nic::NicDevice;
 use crate::os::{IoSubmission, Os};
 use crate::rng::SimRng;
-use tdp_counters::{
-    CounterBank, CpuId, InterruptSource, PerfEvent, SampleSet,
-};
+use tdp_counters::{CounterBank, CpuId, InterruptSource, PerfEvent, SampleSet};
 
 /// Everything the machine did during one tick, at device granularity.
 ///
@@ -111,9 +109,7 @@ impl Machine {
     /// # Errors
     ///
     /// Any violation reported by [`MachineConfig::validate`].
-    pub fn try_new(
-        cfg: MachineConfig,
-    ) -> Result<Self, crate::config::ConfigError> {
+    pub fn try_new(cfg: MachineConfig) -> Result<Self, crate::config::ConfigError> {
         cfg.validate()?;
         let root = SimRng::seed(cfg.seed);
         let cores = (0..cfg.cpu.num_cpus)
@@ -256,11 +252,12 @@ impl Machine {
             &mut self.scratch.assignments,
         );
         let throttle = self.bus.throttle();
-        let cycles_this_tick = (self.cfg.cpu.cycles_per_tick() as f64
-            * self.freq_scale)
+        let cycles_this_tick = (self.cfg.cpu.cycles_per_tick() as f64 * self.freq_scale)
             .round()
             .max(1.0) as u64;
-        self.scratch.results.resize_with(num_cpus, CpuTickResult::default);
+        self.scratch
+            .results
+            .resize_with(num_cpus, CpuTickResult::default);
         self.scratch.extra_uncacheable.clear();
         self.scratch.extra_uncacheable.resize(num_cpus, 0);
         let mut commands_started = 0u64;
@@ -295,18 +292,14 @@ impl Machine {
             for (&p, demand) in procs.iter().zip(&self.scratch.demands) {
                 let io = &demand.io;
                 net_bytes += io.net_bytes;
-                if io.read_bytes == 0
-                    && io.write_bytes == 0
-                    && !io.sync
-                    && io.sleep_ms == 0
-                {
+                if io.read_bytes == 0 && io.write_bytes == 0 && !io.sync && io.sleep_ms == 0 {
                     continue;
                 }
-                self.os.submit_io_into(p, io, self.now_ms, &mut self.scratch.sub);
+                self.os
+                    .submit_io_into(p, io, self.now_ms, &mut self.scratch.sub);
                 commands_started += self.scratch.sub.commands.len() as u64;
                 config_accesses_total += self.scratch.sub.config_accesses;
-                self.scratch.extra_uncacheable[cpu] +=
-                    self.scratch.sub.config_accesses;
+                self.scratch.extra_uncacheable[cpu] += self.scratch.sub.config_accesses;
                 for &(disk, cmd) in &self.scratch.sub.commands {
                     self.disks[disk].submit(cmd);
                 }
@@ -372,8 +365,7 @@ impl Machine {
         // (DRAM reads).
         // NIC traffic is roughly symmetric; treat it as memory-writes
         // (receive-dominated) alongside disk reads.
-        let dma_bytes_total =
-            (dma_read_bytes + dma_write_bytes + nic_result.dma_bytes).max(1);
+        let dma_bytes_total = (dma_read_bytes + dma_write_bytes + nic_result.dma_bytes).max(1);
         let dma_to_mem = io_activity.dma_lines as f64
             * (dma_read_bytes + nic_result.dma_bytes) as f64
             / dma_bytes_total as f64;
@@ -381,20 +373,14 @@ impl Machine {
         let cpu_reads: u64 = results
             .iter()
             .map(|r| {
-                r.traffic.demand_fill_lines
-                    + r.traffic.prefetch_lines
-                    + r.traffic.pagewalk_lines
+                r.traffic.demand_fill_lines + r.traffic.prefetch_lines + r.traffic.pagewalk_lines
             })
             .sum();
-        let cpu_writes: u64 =
-            results.iter().map(|r| r.traffic.writeback_lines).sum();
+        let cpu_writes: u64 = results.iter().map(|r| r.traffic.writeback_lines).sum();
         let offered = bus_activity.offered_lines().max(1) as f64;
-        let scale =
-            (bus_activity.serviced_lines as f64 / offered).min(1.0);
-        let dram_reads =
-            ((cpu_reads as f64 + dma_from_mem) * scale).round() as u64;
-        let dram_writes =
-            ((cpu_writes as f64 + dma_to_mem) * scale).round() as u64;
+        let scale = (bus_activity.serviced_lines as f64 / offered).min(1.0);
+        let dram_reads = ((cpu_reads as f64 + dma_from_mem) * scale).round() as u64;
+        let dram_writes = ((cpu_writes as f64 + dma_to_mem) * scale).round() as u64;
         let dram_activity = self.dram.tick(dram_reads, dram_writes);
 
         // 8. Retire counter deltas into the banks.
@@ -418,10 +404,7 @@ impl Machine {
             let self_lines = r.traffic.total_lines() + extra_uncacheable[cpu];
             bank.add(PerfEvent::BusTransactionsSelf, self_lines);
             bank.add(PerfEvent::BusTransactionsAll, self_lines);
-            bank.add(
-                PerfEvent::PrefetchBusTransactions,
-                r.traffic.prefetch_lines,
-            );
+            bank.add(PerfEvent::PrefetchBusTransactions, r.traffic.prefetch_lines);
             let (total, disk, timer, nic) = irq.per_cpu[cpu];
             bank.add(PerfEvent::InterruptsTotal, total);
             bank.add(PerfEvent::DiskInterrupts, disk);
@@ -487,8 +470,7 @@ impl Machine {
 mod tests {
     use super::*;
     use crate::behavior::{
-        spin_loop_behavior, IoDemand, ReuseProfile, ThreadBehavior,
-        TickContext, TickDemand,
+        spin_loop_behavior, IoDemand, ReuseProfile, ThreadBehavior, TickContext, TickDemand,
     };
 
     fn machine() -> Machine {
@@ -571,8 +553,7 @@ mod tests {
             })
             .count();
         assert_eq!(busy_cpus, 1);
-        let upc = s.total(PerfEvent::FetchedUops).unwrap() as f64
-            / 2_000_000_000.0;
+        let upc = s.total(PerfEvent::FetchedUops).unwrap() as f64 / 2_000_000_000.0;
         assert!(upc > 1.9 && upc < 2.3, "upc {upc}");
     }
 
@@ -604,7 +585,10 @@ mod tests {
             let t = m.tick();
             peak_util = peak_util.max(t.bus.utilization);
         }
-        assert!(peak_util > 0.9, "bus should approach saturation: {peak_util}");
+        assert!(
+            peak_util > 0.9,
+            "bus should approach saturation: {peak_util}"
+        );
     }
 
     struct StreamHog;

@@ -84,8 +84,7 @@ impl SchedDelta {
 
     /// The distinct processes seen this window.
     pub fn pids(&self) -> Vec<ProcessId> {
-        let mut pids: Vec<ProcessId> =
-            self.entries.iter().map(|&(p, _, _)| p).collect();
+        let mut pids: Vec<ProcessId> = self.entries.iter().map(|&(p, _, _)| p).collect();
         pids.sort_unstable();
         pids.dedup();
         pids
@@ -181,11 +180,7 @@ impl Os {
     }
 
     /// Spawns a thread that becomes runnable at `start_ms`.
-    pub fn spawn(
-        &mut self,
-        behavior: Box<dyn ThreadBehavior>,
-        start_ms: u64,
-    ) -> ProcessId {
+    pub fn spawn(&mut self, behavior: Box<dyn ThreadBehavior>, start_ms: u64) -> ProcessId {
         let id = ProcessId(self.next_pid);
         self.next_pid += 1;
         let rng = self.rng.derive(&format!("proc-{}", id.0));
@@ -355,12 +350,7 @@ impl Os {
 
     /// Processes the file-I/O part of a thread's demand, turning it into
     /// disk commands and possibly blocking or sleeping the thread.
-    pub fn submit_io(
-        &mut self,
-        proc_idx: usize,
-        io: &IoDemand,
-        now_ms: u64,
-    ) -> IoSubmission {
+    pub fn submit_io(&mut self, proc_idx: usize, io: &IoDemand, now_ms: u64) -> IoSubmission {
         let mut sub = IoSubmission::default();
         self.submit_io_into(proc_idx, io, now_ms, &mut sub);
         sub
@@ -391,8 +381,7 @@ impl Os {
         if io.read_bytes > 0 {
             let hit = io.read_hit_fraction.clamp(0.0, 1.0);
             if !self.rng.chance(hit) {
-                let range =
-                    self.enqueue_transfer(pid, io.read_bytes, false, sub);
+                let range = self.enqueue_transfer(pid, io.read_bytes, false, sub);
                 if io.blocking_reads {
                     block_ranges[0] = range;
                 }
@@ -422,8 +411,7 @@ impl Os {
             }
             self.processes[proc_idx].state = ProcState::Blocked(block_on);
         } else if io.sleep_ms > 0 {
-            self.processes[proc_idx].state =
-                ProcState::Sleeping(now_ms + io.sleep_ms);
+            self.processes[proc_idx].state = ProcState::Sleeping(now_ms + io.sleep_ms);
         }
     }
 
@@ -442,8 +430,7 @@ impl Os {
     /// `sub` is [`reset`](IoSubmission::reset) first.
     pub fn background_writeback_into(&mut self, sub: &mut IoSubmission) {
         sub.reset();
-        let threshold = (self.cfg.page_cache_pages as f64
-            * self.cfg.dirty_background_ratio) as u64;
+        let threshold = (self.cfg.page_cache_pages as f64 * self.cfg.dirty_background_ratio) as u64;
         self.wb_pace = self.wb_pace.wrapping_add(1);
         if self.dirty_pages <= threshold || !self.wb_pace.is_multiple_of(8) {
             return;
@@ -588,8 +575,7 @@ mod tests {
         assert_eq!(o.runnable_count(), 0);
 
         // Completing both commands wakes it.
-        let ids: Vec<CommandId> =
-            sub.commands.iter().map(|(_, c)| c.id).collect();
+        let ids: Vec<CommandId> = sub.commands.iter().map(|(_, c)| c.id).collect();
         o.on_completions(&ids[..1]);
         assert_eq!(o.runnable_count(), 0, "still one outstanding");
         o.on_completions(&ids[1..]);

@@ -81,8 +81,7 @@ impl StreamPrefetcher {
         // Long-term training accumulates while streams persist and
         // decays (4x slower) when they stop.
         if streaming > self.cfg.ramp_misses_per_tick * 0.25 {
-            self.trained_ticks =
-                (self.trained_ticks + 1.0).min(self.cfg.train_ticks);
+            self.trained_ticks = (self.trained_ticks + 1.0).min(self.cfg.train_ticks);
         } else {
             self.trained_ticks = (self.trained_ticks - 0.25).max(0.0);
         }

@@ -153,9 +153,7 @@ impl SimRng {
             }
             // Wedge between the strip rectangle and the density curve.
             let x = hz as f64 * t.wn[iz];
-            if t.fx[iz] + self.uniform() * (t.fx[iz - 1] - t.fx[iz])
-                < (-0.5 * x * x).exp()
-            {
+            if t.fx[iz] + self.uniform() * (t.fx[iz - 1] - t.fx[iz]) < (-0.5 * x * x).exp() {
                 return x;
             }
         }

@@ -33,12 +33,7 @@ impl TlbModel {
 
     /// Simulates one tick: `retired_uops` executed at
     /// `misses_per_kuop` TLB pressure.
-    pub fn tick(
-        &self,
-        retired_uops: u64,
-        misses_per_kuop: f64,
-        rng: &mut SimRng,
-    ) -> TlbTraffic {
+    pub fn tick(&self, retired_uops: u64, misses_per_kuop: f64, rng: &mut SimRng) -> TlbTraffic {
         let expected = retired_uops as f64 * misses_per_kuop.max(0.0) / 1000.0;
         let misses = rng.poisson(expected);
         let pagewalk_lines = rng.poisson(misses as f64 * WALK_LINES_PER_MISS);

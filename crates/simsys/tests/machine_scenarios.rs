@@ -2,10 +2,7 @@
 
 use tdp_counters::PerfEvent;
 use tdp_simsys::behavior::{spin_loop_behavior, IoDemand};
-use tdp_simsys::{
-    Machine, MachineConfig, ReuseProfile, ThreadBehavior, TickContext,
-    TickDemand,
-};
+use tdp_simsys::{Machine, MachineConfig, ReuseProfile, ThreadBehavior, TickContext, TickDemand};
 
 struct FileWriter;
 impl ThreadBehavior for FileWriter {
@@ -84,9 +81,7 @@ fn slower_timer_reduces_timer_interrupts_proportionally() {
         cfg.os.timer_hz = hz;
         let mut m = Machine::new(cfg);
         run(&mut m, 4000);
-        m.read_counters()
-            .total(PerfEvent::TimerInterrupts)
-            .unwrap()
+        m.read_counters().total(PerfEvent::TimerInterrupts).unwrap()
     };
     let fast = count_timers(1000);
     let slow = count_timers(250);
@@ -143,7 +138,10 @@ fn mixed_compute_and_disk_tenants_do_not_interfere_logically() {
     // Three tenants over four CPUs, with the streamer throttled by
     // the bus: system-wide upc lands around 0.75.
     assert!(upc > 0.6, "compute visible: {upc}");
-    assert!(s.total(PerfEvent::DiskInterrupts).unwrap() > 0, "disk visible");
+    assert!(
+        s.total(PerfEvent::DiskInterrupts).unwrap() > 0,
+        "disk visible"
+    );
     assert!(
         s.total(PerfEvent::PrefetchBusTransactions).unwrap() > 0
             || s.total(PerfEvent::L3LoadMisses).unwrap() > 1_000_000,

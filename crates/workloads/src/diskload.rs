@@ -69,9 +69,8 @@ impl ThreadBehavior for DiskLoadBehavior {
         self.ticks_in_phase += 1;
         // Only the first pass over the file creates new dirty pages;
         // subsequent overwrites re-dirty the same pages.
-        let fresh_pages =
-            (self.pages_per_sync - self.pages_dirtied.min(self.pages_per_sync))
-                .min(self.write_bytes_per_tick / 4096);
+        let fresh_pages = (self.pages_per_sync - self.pages_dirtied.min(self.pages_per_sync))
+            .min(self.write_bytes_per_tick / 4096);
         self.pages_dirtied += fresh_pages;
 
         let sync = self.ticks_in_phase >= self.overwrite_ticks;

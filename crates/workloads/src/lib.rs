@@ -29,14 +29,14 @@
 
 mod dbt2;
 mod diskload;
-mod specjbb;
 mod speccpu;
+mod specjbb;
 mod webserver;
 
 pub use dbt2::Dbt2Behavior;
 pub use diskload::DiskLoadBehavior;
-pub use specjbb::SpecJbbBehavior;
 pub use speccpu::{SpecCpuBehavior, SpecParams};
+pub use specjbb::SpecJbbBehavior;
 pub use webserver::WebServerBehavior;
 
 use serde::{Deserialize, Serialize};
@@ -57,9 +57,7 @@ pub enum WorkloadClass {
 }
 
 /// One of the paper's twelve evaluation workloads.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Workload {
     /// No threads at all; the machine idles.
     Idle,
@@ -168,30 +166,14 @@ impl Workload {
     pub fn make_behavior(self, instance: usize) -> Box<dyn ThreadBehavior> {
         match self {
             Workload::Idle => panic!("idle has no threads to create"),
-            Workload::Gcc => {
-                Box::new(SpecCpuBehavior::new(SpecParams::GCC, instance))
-            }
-            Workload::Mcf => {
-                Box::new(SpecCpuBehavior::new(SpecParams::MCF, instance))
-            }
-            Workload::Vortex => {
-                Box::new(SpecCpuBehavior::new(SpecParams::VORTEX, instance))
-            }
-            Workload::Art => {
-                Box::new(SpecCpuBehavior::new(SpecParams::ART, instance))
-            }
-            Workload::Lucas => {
-                Box::new(SpecCpuBehavior::new(SpecParams::LUCAS, instance))
-            }
-            Workload::Mesa => {
-                Box::new(SpecCpuBehavior::new(SpecParams::MESA, instance))
-            }
-            Workload::Mgrid => {
-                Box::new(SpecCpuBehavior::new(SpecParams::MGRID, instance))
-            }
-            Workload::Wupwise => {
-                Box::new(SpecCpuBehavior::new(SpecParams::WUPWISE, instance))
-            }
+            Workload::Gcc => Box::new(SpecCpuBehavior::new(SpecParams::GCC, instance)),
+            Workload::Mcf => Box::new(SpecCpuBehavior::new(SpecParams::MCF, instance)),
+            Workload::Vortex => Box::new(SpecCpuBehavior::new(SpecParams::VORTEX, instance)),
+            Workload::Art => Box::new(SpecCpuBehavior::new(SpecParams::ART, instance)),
+            Workload::Lucas => Box::new(SpecCpuBehavior::new(SpecParams::LUCAS, instance)),
+            Workload::Mesa => Box::new(SpecCpuBehavior::new(SpecParams::MESA, instance)),
+            Workload::Mgrid => Box::new(SpecCpuBehavior::new(SpecParams::MGRID, instance)),
+            Workload::Wupwise => Box::new(SpecCpuBehavior::new(SpecParams::WUPWISE, instance)),
             Workload::Dbt2 => Box::new(Dbt2Behavior::new(instance)),
             Workload::SpecJbb => Box::new(SpecJbbBehavior::new(instance)),
             Workload::DiskLoad => Box::new(DiskLoadBehavior::new(instance)),
@@ -315,9 +297,7 @@ impl WorkloadSet {
             return;
         }
         for (i, start) in self.start_times().into_iter().enumerate() {
-            machine
-                .os_mut()
-                .spawn(self.kind.make_behavior(i), start);
+            machine.os_mut().spawn(self.kind.make_behavior(i), start);
         }
     }
 }
@@ -378,10 +358,7 @@ mod tests {
                 m.tick();
                 peak_runnable = peak_runnable.max(m.os().runnable_count());
             }
-            assert!(
-                peak_runnable >= 1,
-                "{w}: something should have run"
-            );
+            assert!(peak_runnable >= 1, "{w}: something should have run");
         }
     }
 

@@ -277,8 +277,7 @@ impl ThreadBehavior for SpecCpuBehavior {
         }
         let p = &self.params;
         let t = ctx.now_ms as f64 + self.phase_offset_ms;
-        let phase =
-            (std::f64::consts::TAU * t / p.phase_period_ms).sin();
+        let phase = (std::f64::consts::TAU * t / p.phase_period_ms).sin();
         let wobble = 1.0 + p.upc_amplitude * phase;
         let noise = ctx.rng.normal(0.0, 0.02);
         let upc = (p.base_upc * wobble + noise).max(0.02);
@@ -376,8 +375,7 @@ mod tests {
 
     #[test]
     fn duration_limited_instance_finishes() {
-        let mut b =
-            SpecCpuBehavior::new(SpecParams::VORTEX, 0).with_duration_ms(3);
+        let mut b = SpecCpuBehavior::new(SpecParams::VORTEX, 0).with_duration_ms(3);
         assert!(!b.finished());
         for t in 0..3 {
             let _ = demand_at(&mut b, t, 1);

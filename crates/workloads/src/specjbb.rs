@@ -133,9 +133,7 @@ mod tests {
     fn warehouses_gc_at_different_times() {
         let a = SpecJbbBehavior::new(0);
         let b = SpecJbbBehavior::new(1);
-        let overlap = (0..4_200)
-            .filter(|&t| a.in_gc(t) && b.in_gc(t))
-            .count();
+        let overlap = (0..4_200).filter(|&t| a.in_gc(t) && b.in_gc(t)).count();
         assert_eq!(overlap, 0, "offsets decorrelate GC windows");
     }
 

@@ -32,11 +32,7 @@ impl WebServerBehavior {
 
     /// Creates a worker with an explicit request rate and mean response
     /// size (for load sweeps).
-    pub fn with_load(
-        _instance: usize,
-        requests_per_s: f64,
-        response_bytes: u64,
-    ) -> Self {
+    pub fn with_load(_instance: usize, requests_per_s: f64, response_bytes: u64) -> Self {
         Self {
             // Protocol parsing and handler code: cache-friendly.
             reuse: ReuseProfile::new(&[

@@ -5,8 +5,8 @@
 
 use tdp_simsys::{SimRng, ThreadBehavior, TickContext, TickDemand};
 use tdp_workloads::{
-    Dbt2Behavior, DiskLoadBehavior, SpecCpuBehavior, SpecJbbBehavior,
-    SpecParams, WebServerBehavior, Workload,
+    Dbt2Behavior, DiskLoadBehavior, SpecCpuBehavior, SpecJbbBehavior, SpecParams,
+    WebServerBehavior, Workload,
 };
 
 /// Runs a behaviour for `ticks` and collects its demands.
@@ -44,9 +44,8 @@ fn spec_throughput_ordering_matches_the_paper() {
     // vortex > wupwise > gcc > … > mcf (lowest, CPI > 10).
     // Long enough to average over the phase oscillations (gcc's period
     // is 9 s with ±45% amplitude).
-    let upc_of = |p: SpecParams| {
-        mean_upc(&demands(Box::new(SpecCpuBehavior::new(p, 0)), 60_000, 1))
-    };
+    let upc_of =
+        |p: SpecParams| mean_upc(&demands(Box::new(SpecCpuBehavior::new(p, 0)), 60_000, 1));
     let vortex = upc_of(SpecParams::VORTEX);
     let wupwise = upc_of(SpecParams::WUPWISE);
     let gcc = upc_of(SpecParams::GCC);
@@ -76,9 +75,7 @@ fn memory_tail_ordering_matches_the_paper() {
 fn stall_character_separates_mcf_from_the_fp_streamers() {
     // mcf chases pointers (window churn); lucas/mgrid stream (quiet
     // stalls) — the mechanism behind Table 3/4's CPU error signs.
-    let pc = |p: SpecParams| {
-        demands(Box::new(SpecCpuBehavior::new(p, 0)), 5, 3)[0].pointer_chasing
-    };
+    let pc = |p: SpecParams| demands(Box::new(SpecCpuBehavior::new(p, 0)), 5, 3)[0].pointer_chasing;
     assert_eq!(pc(SpecParams::MCF), 1.0);
     assert!(pc(SpecParams::LUCAS) < 0.1);
     assert!(pc(SpecParams::MGRID) < 0.1);
@@ -121,7 +118,10 @@ fn only_the_disk_workloads_touch_files() {
 #[test]
 fn only_the_webserver_touches_the_network() {
     let net = |b: Box<dyn ThreadBehavior>| {
-        demands(b, 500, 6).iter().map(|d| d.io.net_bytes).sum::<u64>()
+        demands(b, 500, 6)
+            .iter()
+            .map(|d| d.io.net_bytes)
+            .sum::<u64>()
     };
     assert!(net(Box::new(WebServerBehavior::new(0))) > 1 << 20);
     for &w in Workload::ALL {
@@ -138,9 +138,8 @@ fn only_the_webserver_touches_the_network() {
 
 #[test]
 fn diskload_is_the_only_syncer() {
-    let syncs = |b: Box<dyn ThreadBehavior>| {
-        demands(b, 30_000, 7).iter().filter(|d| d.io.sync).count()
-    };
+    let syncs =
+        |b: Box<dyn ThreadBehavior>| demands(b, 30_000, 7).iter().filter(|d| d.io.sync).count();
     assert!(syncs(Box::new(DiskLoadBehavior::new(0))) >= 1);
     assert_eq!(syncs(Box::new(Dbt2Behavior::new(0))), 0);
     assert_eq!(syncs(Box::new(WebServerBehavior::new(0))), 0);

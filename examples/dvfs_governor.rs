@@ -22,9 +22,7 @@
 
 use tdp_counters::Subsystem;
 use tdp_workloads::{Workload, WorkloadSet};
-use trickledown::{
-    CpuPowerModel, SubsystemPowerModel as _, Testbed, TestbedConfig,
-};
+use trickledown::{CpuPowerModel, SubsystemPowerModel as _, Testbed, TestbedConfig};
 
 const CPU_CAP_W: f64 = 120.0;
 const P_STATES: [f64; 4] = [1.0, 0.875, 0.75, 0.625];
@@ -38,8 +36,7 @@ fn calibrate_per_state() -> Result<Vec<CpuPowerModel>, Box<dyn std::error::Error
         bed.machine_mut().set_frequency_scale(scale);
         bed.deploy(WorkloadSet::new(Workload::Gcc, 8, 3_000).with_delay(2_000));
         let trace = bed.run_seconds(Workload::Gcc, 40);
-        let model =
-            CpuPowerModel::fit(&trace.inputs(), &trace.measured(Subsystem::Cpu))?;
+        let model = CpuPowerModel::fit(&trace.inputs(), &trace.measured(Subsystem::Cpu))?;
         eprintln!(
             "P-state {scale:>5.3}: halt {:5.2} W, active {:5.2} W, {:4.2} W per uop/cycle",
             model.halt_w, model.active_w, model.upc_w
@@ -58,9 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     bed.deploy(WorkloadSet::new(Workload::Wupwise, 8, 500));
     let mut state = 0usize;
 
-    println!(
-        "\nCPU power cap: {CPU_CAP_W:.0} W  (wupwise x8; governor sees only counters)"
-    );
+    println!("\nCPU power cap: {CPU_CAP_W:.0} W  (wupwise x8; governor sees only counters)");
     println!(
         "{:>4} {:>8} {:>11} {:>11} {:>11}  action",
         "sec", "P-state", "est (used)", "est (naive)", "measured"
@@ -87,9 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             state += 1;
             bed.machine_mut().set_frequency_scale(P_STATES[state]);
             "step down"
-        } else if state > 0
-            && models[state - 1].predict(&record.input) < CPU_CAP_W * 0.97
-        {
+        } else if state > 0 && models[state - 1].predict(&record.input) < CPU_CAP_W * 0.97 {
             state -= 1;
             bed.machine_mut().set_frequency_scale(P_STATES[state]);
             "step up"

@@ -16,11 +16,7 @@ use trickledown::{CalibrationSuite, Calibrator};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "gcc".to_owned());
-    let seconds: u64 = args
-        .next()
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(60);
+    let seconds: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(60);
     let workload: Workload = name.parse()?;
 
     eprintln!("calibrating...");

@@ -44,7 +44,9 @@ fn rows(trace: &Trace, subsystem: Subsystem) -> (Vec<Vec<f64>>, Vec<f64>) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let target = std::env::args().nth(1).unwrap_or_else(|| "memory".to_owned());
+    let target = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "memory".to_owned());
     let (subsystem, train_w, valid_w) = match target.as_str() {
         "memory" => (Subsystem::Memory, Workload::Mcf, Workload::Lucas),
         "io" => (Subsystem::Io, Workload::DiskLoad, Workload::Dbt2),
@@ -54,14 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     eprintln!("capturing training trace ({train_w}) and validation trace ({valid_w})...");
     let train = capture(
-        WorkloadSet::new(train_w, train_w.default_instances().max(1), 4_000)
-            .with_delay(3_000),
+        WorkloadSet::new(train_w, train_w.default_instances().max(1), 4_000).with_delay(3_000),
         60,
         21,
     );
     let valid = capture(
-        WorkloadSet::new(valid_w, valid_w.default_instances().max(1), 2_000)
-            .with_delay(3_000),
+        WorkloadSet::new(valid_w, valid_w.default_instances().max(1), 2_000).with_delay(3_000),
         40,
         22,
     );
@@ -69,15 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (train_xs, train_ys) = rows(&train, subsystem);
     let (valid_xs, valid_ys) = rows(&valid, subsystem);
 
-    let selector = ModelSelector::new(
-        CANDIDATE_NAMES.iter().map(|s| s.to_string()).collect(),
-    )
-    .max_subset_size(2);
+    let selector = ModelSelector::new(CANDIDATE_NAMES.iter().map(|s| s.to_string()).collect())
+        .max_subset_size(2);
     let ranked = selector.search(&train_xs, &train_ys, &valid_xs, &valid_ys);
 
-    println!(
-        "{subsystem} power model candidates, trained on {train_w}, validated on {valid_w}:"
-    );
+    println!("{subsystem} power model candidates, trained on {train_w}, validated on {valid_w}:");
     println!(
         "{:<40} {:>10} {:>12} {:>12}",
         "inputs", "form", "train err", "valid err"

@@ -16,9 +16,7 @@
 
 use tdp_counters::SamplerConfig;
 use tdp_workloads::Workload;
-use trickledown::{
-    CalibrationSuite, Calibrator, SystemPowerEstimator, Testbed, TestbedConfig,
-};
+use trickledown::{CalibrationSuite, Calibrator, SystemPowerEstimator, Testbed, TestbedConfig};
 
 const POWER_BUDGET_W: f64 = 230.0;
 

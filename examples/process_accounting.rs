@@ -22,8 +22,7 @@
 use tdp_simsys::os::ProcessId;
 use tdp_workloads::Workload;
 use trickledown::{
-    CalibrationSuite, Calibrator, ProcessEnergyLedger, SystemSample, Testbed,
-    TestbedConfig,
+    CalibrationSuite, Calibrator, ProcessEnergyLedger, SystemSample, Testbed, TestbedConfig,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -66,18 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = bed.machine_mut();
     print!(
         "{}",
-        ledger.render(|pid| {
-            machine
-                .os()
-                .name_of_pid(pid)
-                .unwrap_or("?")
-                .to_owned()
-        })
+        ledger.render(|pid| { machine.os().name_of_pid(pid).unwrap_or("?").to_owned() })
     );
 
-    let bill = |pids: &[ProcessId]| -> f64 {
-        pids.iter().map(|&p| ledger.energy_j(p)).sum()
-    };
+    let bill = |pids: &[ProcessId]| -> f64 { pids.iter().map(|&p| ledger.energy_j(p)).sum() };
     let a = bill(&tenant_a);
     let b = bill(&tenant_b);
     println!(

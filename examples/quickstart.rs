@@ -46,8 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for record in &trace.records {
         let est = estimator.push(&record.input);
         estimator.attribute_cpus_into(&record.input, &mut per_cpu_w);
-        busiest_cpu_w = busiest_cpu_w
-            .max(per_cpu_w.iter().cloned().fold(0.0, f64::max));
+        busiest_cpu_w = busiest_cpu_w.max(per_cpu_w.iter().cloned().fold(0.0, f64::max));
         let measured = record.measured.watts.total();
         let err = (est.total() - measured).abs() / measured * 100.0;
         worst = worst.max(err);

@@ -42,14 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let w = t.records.last().expect("window").measured.watts;
         thermal.advance(&w, 1.0);
     }
-    let mut sensor = ThermalSensor::new(
-        Subsystem::Cpu,
-        thermal.temps().get(Subsystem::Cpu),
-    );
+    let mut sensor = ThermalSensor::new(Subsystem::Cpu, thermal.temps().get(Subsystem::Cpu));
 
-    println!(
-        "CPU alarm threshold: {ALARM_C:.0} °C  (R = {r_cpu} °C/W, ambient 25 °C)"
-    );
+    println!("CPU alarm threshold: {ALARM_C:.0} °C  (R = {r_cpu} °C/W, ambient 25 °C)");
     println!(
         "{:>4} {:>9} {:>9} {:>9} {:>10}  events",
         "sec", "est P", "T true", "T sensor", "T∞ proj"

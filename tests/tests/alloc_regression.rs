@@ -3,7 +3,9 @@
 //! A counting `#[global_allocator]` (own test binary, so it observes
 //! everything) pins the buffer-reuse contract: once the machine's
 //! scratch buffers reach steady state, `Machine::tick_into` and
-//! `Machine::read_counters_into` must run without heap allocation.
+//! `Machine::read_counters_into` must run without heap allocation —
+//! and a whole fleet estimation window
+//! (`tdp_fleet::FleetEstimator`) must allocate nothing at all.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,12 +27,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
         System.dealloc(ptr, layout)
     }
 
-    unsafe fn realloc(
-        &self,
-        ptr: *mut u8,
-        layout: Layout,
-        new_size: usize,
-    ) -> *mut u8 {
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
@@ -102,6 +99,47 @@ fn steady_state_counter_reads_do_not_allocate() {
         delta <= 8,
         "50 sampling windows allocated {delta} times — \
          read_counters_into regression"
+    );
+}
+
+#[test]
+fn steady_state_fleet_window_does_not_allocate() {
+    // Fleet estimation is advertised as allocation-free once the column
+    // buffers reach their steady capacity: per window, one
+    // `begin_window`, one `push_sample_set` per machine and one
+    // `estimate` must not touch the heap.
+    const MACHINES: usize = 64;
+    let (mut machine, mut activity) = warmed_machine();
+    let mut set = tdp_counters::SampleSet::empty();
+    for _ in 0..100 {
+        machine.tick_into(&mut activity);
+    }
+    machine.read_counters_into(&mut set);
+
+    let mut fleet =
+        tdp_fleet::FleetEstimator::with_capacity(trickledown::SystemPowerModel::paper(), MACHINES);
+    // Prime: first window sizes the estimate columns.
+    for _ in 0..3 {
+        fleet.begin_window();
+        for _ in 0..MACHINES {
+            fleet.push_sample_set(&set);
+        }
+        fleet.estimate();
+    }
+
+    let before = allocations();
+    for _ in 0..50 {
+        fleet.begin_window();
+        for _ in 0..MACHINES {
+            fleet.push_sample_set(&set);
+        }
+        std::hint::black_box(fleet.estimate().fleet_total());
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "50 fleet windows allocated {delta} times — the steady-state \
+         fleet path must be allocation-free"
     );
 }
 

@@ -5,8 +5,7 @@
 use tdp_counters::Subsystem;
 use tdp_workloads::{Workload, WorkloadSet};
 use trickledown::{
-    CpuPowerModel, PStateModelSet, SubsystemPowerModel as _, Testbed,
-    TestbedConfig,
+    CpuPowerModel, PStateModelSet, SubsystemPowerModel as _, Testbed, TestbedConfig,
 };
 
 /// Captures a gcc trace at a given frequency scale and fits Equation 1
@@ -16,21 +15,18 @@ fn fit_at(scale: f64, seed: u64) -> (CpuPowerModel, trickledown::Trace) {
     bed.machine_mut().set_frequency_scale(scale);
     bed.deploy(WorkloadSet::new(Workload::Gcc, 8, 2_000).with_delay(2_000));
     let trace = bed.run_seconds(Workload::Gcc, 30);
-    let model = CpuPowerModel::fit(
-        &trace.inputs(),
-        &trace.measured(Subsystem::Cpu),
-    )
-    .expect("gcc ramp fits");
+    let model = CpuPowerModel::fit(&trace.inputs(), &trace.measured(Subsystem::Cpu))
+        .expect("gcc ramp fits");
     (model, trace)
 }
 
 fn avg_err(model: &CpuPowerModel, trace: &trickledown::Trace) -> f64 {
-    let modeled: Vec<f64> =
-        trace.inputs().into_iter().map(|s| model.predict(s)).collect();
-    tdp_modeling::metrics::average_error(
-        &modeled,
-        &trace.measured(Subsystem::Cpu),
-    )
+    let modeled: Vec<f64> = trace
+        .inputs()
+        .into_iter()
+        .map(|s| model.predict(s))
+        .collect();
+    tdp_modeling::metrics::average_error(&modeled, &trace.measured(Subsystem::Cpu))
 }
 
 #[test]
@@ -53,17 +49,14 @@ fn nominal_model_breaks_under_dvfs_and_pstate_set_repairs_it() {
     );
 
     // The set dispatches by nearest scale.
-    let set = PStateModelSet::new(vec![(1.0, nominal), (0.625, scaled)])
-        .expect("valid set");
+    let set = PStateModelSet::new(vec![(1.0, nominal), (0.625, scaled)]).expect("valid set");
     let via_set: Vec<f64> = scaled_trace
         .inputs()
         .into_iter()
         .map(|s| set.predict_at(0.625, s))
         .collect();
-    let set_err = tdp_modeling::metrics::average_error(
-        &via_set,
-        &scaled_trace.measured(Subsystem::Cpu),
-    );
+    let set_err =
+        tdp_modeling::metrics::average_error(&via_set, &scaled_trace.measured(Subsystem::Cpu));
     assert!((set_err - matched_err).abs() < 1e-9);
 
     // The fitted coefficients themselves shrink with the voltage.
@@ -81,14 +74,9 @@ fn scaled_machine_does_proportionally_less_work() {
         let uops: u64 = trace
             .records
             .iter()
-            .map(|r| {
-                r.raw
-                    .total(tdp_counters::PerfEvent::RetiredUops)
-                    .unwrap()
-            })
+            .map(|r| r.raw.total(tdp_counters::PerfEvent::RetiredUops).unwrap())
             .sum();
-        let cpu_w: f64 = trace.measured(Subsystem::Cpu).iter().sum::<f64>()
-            / trace.len() as f64;
+        let cpu_w: f64 = trace.measured(Subsystem::Cpu).iter().sum::<f64>() / trace.len() as f64;
         (uops, cpu_w)
     };
     let (full_uops, full_w) = run(1.0);

@@ -5,8 +5,7 @@ use tdp_counters::Subsystem;
 use tdp_workloads::{Workload, WorkloadSet};
 use trickledown::testbed::capture;
 use trickledown::{
-    CalibrationSuite, Calibrator, SystemPowerEstimator, SystemPowerModel,
-    ValidationReport,
+    CalibrationSuite, Calibrator, SystemPowerEstimator, SystemPowerModel, ValidationReport,
 };
 
 fn small_suite(seed: u64) -> CalibrationSuite {
@@ -48,9 +47,7 @@ fn model_persists_through_json_file() {
         .expect("calibrates");
     let path = std::env::temp_dir().join("tdp-system-tests-model.json");
     std::fs::write(&path, model.to_json().unwrap()).unwrap();
-    let loaded =
-        SystemPowerModel::from_json(&std::fs::read_to_string(&path).unwrap())
-            .unwrap();
+    let loaded = SystemPowerModel::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
     assert_eq!(model, loaded);
 
     // The reloaded model predicts identically.

@@ -90,10 +90,7 @@ fn measurement_noise_floor_matches_the_specified_sigma() {
     // sensor noise; its sigma should track the configured 0.027 W RMS.
     let mut bed = Testbed::new(TestbedConfig::with_seed(34));
     let trace = bed.run_seconds(Workload::Idle, 60);
-    let stats: OnlineStats = trace
-        .measured(Subsystem::Disk)
-        .into_iter()
-        .collect();
+    let stats: OnlineStats = trace.measured(Subsystem::Disk).into_iter().collect();
     let sigma = stats.population_std_dev();
     assert!(
         (0.01..0.06).contains(&sigma),

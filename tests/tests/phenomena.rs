@@ -44,12 +44,9 @@ fn cache_miss_model_fails_where_bus_model_holds() {
     )
     .expect("mesa has L3-miss variation");
     // Equation 2 fits its own training workload well.
-    let mesa_modeled: Vec<f64> =
-        mesa.inputs().into_iter().map(|s| l3.predict(s)).collect();
-    let mesa_err = tdp_modeling::metrics::average_error(
-        &mesa_modeled,
-        &mesa.measured(Subsystem::Memory),
-    );
+    let mesa_modeled: Vec<f64> = mesa.inputs().into_iter().map(|s| l3.predict(s)).collect();
+    let mesa_err =
+        tdp_modeling::metrics::average_error(&mesa_modeled, &mesa.measured(Subsystem::Memory));
     assert!(mesa_err < 5.0, "Eq 2 on mesa: {mesa_err:.2}% (paper ~1%)");
 
     // On mcf's mature phase (prefetcher trained, misses hidden) it
@@ -141,8 +138,7 @@ fn prefetch_hides_misses_but_not_traffic() {
 fn disk_dynamic_range_is_bounded_by_rotation() {
     let idle = fast_train_trace(Workload::Idle, 0, 0, 10, 14);
     let load = fast_train_trace(Workload::DiskLoad, 4, 1_000, 40, 14);
-    let idle_disk: f64 = idle.measured(Subsystem::Disk).iter().sum::<f64>()
-        / idle.len() as f64;
+    let idle_disk: f64 = idle.measured(Subsystem::Disk).iter().sum::<f64>() / idle.len() as f64;
     let peak_disk = load
         .measured(Subsystem::Disk)
         .into_iter()
@@ -184,11 +180,7 @@ fn phase_detector_finds_the_instance_ramp() {
     let trace = fast_train_trace(Workload::Gcc, 4, 10_000, 50, 16);
     let model = trickledown::SystemPowerModel::paper();
     let mut est = SystemPowerEstimator::new(model);
-    let estimates: Vec<_> = trace
-        .records
-        .iter()
-        .map(|r| est.push(&r.input))
-        .collect();
+    let estimates: Vec<_> = trace.records.iter().map(|r| est.push(&r.input)).collect();
     let phases = PhaseDetector::segment(
         PhaseConfig {
             threshold_w: 10.0,

@@ -13,19 +13,11 @@ fn mean_measured(trace: &Trace, s: Subsystem) -> f64 {
 }
 
 fn total_event(trace: &Trace, e: PerfEvent) -> u64 {
-    trace
-        .records
-        .iter()
-        .filter_map(|r| r.raw.total(e))
-        .sum()
+    trace.records.iter().filter_map(|r| r.raw.total(e)).sum()
 }
 
 fn steady(workload: Workload, instances: usize, seconds: u64, seed: u64) -> Trace {
-    let trace = capture(
-        WorkloadSet::new(workload, instances, 100),
-        seconds,
-        seed,
-    );
+    let trace = capture(WorkloadSet::new(workload, instances, 100), seconds, seed);
     trace.skip_warmup(3)
 }
 
@@ -52,8 +44,7 @@ fn cache_misses_trickle_into_bus_dram_and_memory_power() {
         hot_bus > idle_bus * 100,
         "streaming FP floods the bus: {idle_bus} vs {hot_bus}"
     );
-    let dmem = mean_measured(&hot, Subsystem::Memory)
-        - mean_measured(&idle, Subsystem::Memory);
+    let dmem = mean_measured(&hot, Subsystem::Memory) - mean_measured(&idle, Subsystem::Memory);
     assert!(dmem > 8.0, "memory power follows: +{dmem:.1} W");
     // And the disk stays asleep: no file I/O in SPEC workloads.
     assert_eq!(total_event(&hot, PerfEvent::DiskInterrupts), 0);
@@ -80,27 +71,18 @@ fn disk_io_trickles_through_uncacheable_dma_and_interrupts() {
     );
     // And the I/O + disk subsystems responded.
     let idle = steady(Workload::Idle, 0, 10, 3);
-    assert!(
-        mean_measured(&trace, Subsystem::Io)
-            > mean_measured(&idle, Subsystem::Io) + 1.0
-    );
-    assert!(
-        mean_measured(&trace, Subsystem::Disk)
-            > mean_measured(&idle, Subsystem::Disk) + 0.3
-    );
+    assert!(mean_measured(&trace, Subsystem::Io) > mean_measured(&idle, Subsystem::Io) + 1.0);
+    assert!(mean_measured(&trace, Subsystem::Disk) > mean_measured(&idle, Subsystem::Disk) + 0.3);
 }
 
 #[test]
 fn compute_only_work_stays_in_the_cpu_subsystem() {
     let idle = steady(Workload::Idle, 0, 12, 4);
     let hot = steady(Workload::Vortex, 8, 12, 4);
-    let dcpu = mean_measured(&hot, Subsystem::Cpu)
-        - mean_measured(&idle, Subsystem::Cpu);
-    let dmem = mean_measured(&hot, Subsystem::Memory)
-        - mean_measured(&idle, Subsystem::Memory);
-    let ddisk = (mean_measured(&hot, Subsystem::Disk)
-        - mean_measured(&idle, Subsystem::Disk))
-    .abs();
+    let dcpu = mean_measured(&hot, Subsystem::Cpu) - mean_measured(&idle, Subsystem::Cpu);
+    let dmem = mean_measured(&hot, Subsystem::Memory) - mean_measured(&idle, Subsystem::Memory);
+    let ddisk =
+        (mean_measured(&hot, Subsystem::Disk) - mean_measured(&idle, Subsystem::Disk)).abs();
     assert!(dcpu > 100.0, "vortex is compute-bound: +{dcpu:.0} W CPU");
     assert!(dmem < 12.0, "modest memory footprint: +{dmem:.1} W");
     assert!(ddisk < 0.3, "no disk involvement: {ddisk:.2} W");
@@ -122,10 +104,8 @@ fn smp_saturates_at_eight_threads() {
     // with eight threads" (§3.2.1).
     let eight = steady(Workload::Mgrid, 8, 12, 6);
     let twelve = steady(Workload::Mgrid, 12, 12, 6);
-    let p8 = mean_measured(&eight, Subsystem::Cpu)
-        + mean_measured(&eight, Subsystem::Memory);
-    let p12 = mean_measured(&twelve, Subsystem::Cpu)
-        + mean_measured(&twelve, Subsystem::Memory);
+    let p8 = mean_measured(&eight, Subsystem::Cpu) + mean_measured(&eight, Subsystem::Memory);
+    let p12 = mean_measured(&twelve, Subsystem::Cpu) + mean_measured(&twelve, Subsystem::Memory);
     assert!(
         (p12 - p8).abs() / p8 < 0.05,
         "beyond 8 threads nothing changes: {p8:.1} vs {p12:.1}"
@@ -136,14 +116,11 @@ fn smp_saturates_at_eight_threads() {
 fn network_traffic_trickles_through_nic_interrupts() {
     // Web serving (the §2.3 motivation, an extension workload): network
     // DMA shows up as coalesced NIC interrupts and I/O power.
-    let mut bed = trickledown::Testbed::new(
-        trickledown::TestbedConfig::with_seed(40),
-    );
+    let mut bed = trickledown::Testbed::new(trickledown::TestbedConfig::with_seed(40));
     for i in 0..8 {
-        bed.machine_mut().os_mut().spawn(
-            Box::new(tdp_workloads::WebServerBehavior::new(i)),
-            0,
-        );
+        bed.machine_mut()
+            .os_mut()
+            .spawn(Box::new(tdp_workloads::WebServerBehavior::new(i)), 0);
     }
     let trace = bed.run_seconds(Workload::Idle, 15).skip_warmup(2);
     let nic_ints = total_event(&trace, PerfEvent::NicInterrupts);
@@ -155,8 +132,7 @@ fn network_traffic_trickles_through_nic_interrupts() {
         "coalescing bounds the rate: {nic_ints}"
     );
     let idle = steady(Workload::Idle, 0, 10, 40);
-    let dio = mean_measured(&trace, Subsystem::Io)
-        - mean_measured(&idle, Subsystem::Io);
+    let dio = mean_measured(&trace, Subsystem::Io) - mean_measured(&idle, Subsystem::Io);
     assert!(dio > 0.5, "network serving raises I/O power: +{dio:.2} W");
     // And the interrupt-based Equation 5 sees it: device interrupts per
     // cycle are nonzero on every sampled window.
@@ -169,15 +145,10 @@ fn network_traffic_trickles_through_nic_interrupts() {
 #[test]
 fn finite_workloads_finish_and_the_machine_returns_to_idle() {
     use tdp_workloads::{SpecCpuBehavior, SpecParams};
-    let mut bed = trickledown::Testbed::new(
-        trickledown::TestbedConfig::with_seed(41),
-    );
+    let mut bed = trickledown::Testbed::new(trickledown::TestbedConfig::with_seed(41));
     for i in 0..4 {
         bed.machine_mut().os_mut().spawn(
-            Box::new(
-                SpecCpuBehavior::new(SpecParams::VORTEX, i)
-                    .with_duration_ms(3_000),
-            ),
+            Box::new(SpecCpuBehavior::new(SpecParams::VORTEX, i).with_duration_ms(3_000)),
             0,
         );
     }

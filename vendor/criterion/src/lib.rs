@@ -65,11 +65,7 @@ impl Default for Criterion {
 
 impl Criterion {
     /// Benchmarks `f` under `id` with default settings.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: &str,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
         run_bench(id, self.sample_size, self.target_sample_ms, None, f);
         self
     }
@@ -109,11 +105,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `f` under `group/id`.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: &str,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
         run_bench(
             &full,
@@ -144,8 +136,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        if b.elapsed.as_millis() as u64 >= target_sample_ms || iters >= 1 << 24
-        {
+        if b.elapsed.as_millis() as u64 >= target_sample_ms || iters >= 1 << 24 {
             break;
         }
         // Grow geometrically toward the target, at least doubling.

@@ -235,10 +235,7 @@ pub mod collection {
 
     /// Strategy for `Vec<T>` with element strategy `S` and a length drawn
     /// from `size`.
-    pub fn vec<S: Strategy>(
-        element: S,
-        size: impl Into<SizeRange>,
-    ) -> VecStrategy<S> {
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
         VecStrategy {
             element,
             size: size.into(),
@@ -297,8 +294,8 @@ pub fn run_cases(name: &str, mut f: impl FnMut(&mut TestRng) -> Result<(), Strin
 pub mod prelude {
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
-        Just, Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just, Strategy,
+        TestRng,
     };
 }
 
@@ -378,7 +375,8 @@ macro_rules! prop_assert_ne {
         if left == right {
             return ::std::result::Result::Err(format!(
                 "assertion failed: `{} != {}`\n  both: {left:?}",
-                stringify!($a), stringify!($b)
+                stringify!($a),
+                stringify!($b)
             ));
         }
     }};

@@ -218,9 +218,9 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
         let items = Vec::<T>::deserialize_json(p)?;
         let len = items.len();
-        items.try_into().map_err(|_| {
-            de::Error::new(format!("expected array of {N} elements, got {len}"))
-        })
+        items
+            .try_into()
+            .map_err(|_| de::Error::new(format!("expected array of {N} elements, got {len}")))
     }
 }
 
@@ -513,27 +513,18 @@ pub mod de {
                                 let hex = self
                                     .bytes
                                     .get(self.pos..self.pos + 4)
-                                    .ok_or_else(|| {
-                                        self.err("truncated \\u escape")
-                                    })?;
+                                    .ok_or_else(|| self.err("truncated \\u escape"))?;
                                 self.pos += 4;
                                 let code = std::str::from_utf8(hex)
                                     .ok()
-                                    .and_then(|h| {
-                                        u32::from_str_radix(h, 16).ok()
-                                    })
-                                    .ok_or_else(|| {
-                                        self.err("invalid \\u escape")
-                                    })?;
-                                out.push(
-                                    char::from_u32(code).unwrap_or('\u{fffd}'),
-                                );
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?;
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             }
                             other => {
-                                return Err(self.err(format!(
-                                    "invalid escape `\\{}`",
-                                    other as char
-                                )))
+                                return Err(
+                                    self.err(format!("invalid escape `\\{}`", other as char))
+                                )
                             }
                         }
                     }
@@ -542,12 +533,12 @@ pub mod de {
                         let start = self.pos - 1;
                         let len = utf8_len(b);
                         let end = start + len;
-                        let chunk =
-                            self.bytes.get(start..end).ok_or_else(|| {
-                                self.err("truncated utf-8 sequence")
-                            })?;
-                        let s = std::str::from_utf8(chunk)
-                            .map_err(|_| self.err("invalid utf-8"))?;
+                        let chunk = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or_else(|| self.err("truncated utf-8 sequence"))?;
+                        let s =
+                            std::str::from_utf8(chunk).map_err(|_| self.err("invalid utf-8"))?;
                         out.push_str(s);
                         self.pos = end;
                     }
@@ -628,9 +619,7 @@ pub mod de {
         pub fn expect_eof(&mut self) -> Result<(), Error> {
             match self.peek() {
                 None => Ok(()),
-                Some(b) => {
-                    Err(self.err(format!("trailing input `{}`", b as char)))
-                }
+                Some(b) => Err(self.err(format!("trailing input `{}`", b as char))),
             }
         }
     }

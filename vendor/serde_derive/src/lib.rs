@@ -37,14 +37,18 @@ struct Parsed {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let p = parse(input);
-    gen_serialize(&p).parse().expect("generated Serialize impl parses")
+    gen_serialize(&p)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives the stand-in `serde::Deserialize`.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let p = parse(input);
-    gen_deserialize(&p).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&p)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 fn parse(input: TokenStream) -> Parsed {
@@ -85,22 +89,14 @@ fn parse(input: TokenStream) -> Parsed {
     }
 
     let shape = match (kind.as_str(), tokens.get(i)) {
-        ("struct", Some(TokenTree::Group(g)))
-            if g.delimiter() == Delimiter::Brace =>
-        {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
             Shape::Struct(parse_named_fields(g.stream()))
         }
-        ("struct", Some(TokenTree::Group(g)))
-            if g.delimiter() == Delimiter::Parenthesis =>
-        {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
             Shape::TupleStruct(count_top_level_fields(g.stream()))
         }
-        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
-            Shape::TupleStruct(0)
-        }
-        ("enum", Some(TokenTree::Group(g)))
-            if g.delimiter() == Delimiter::Brace =>
-        {
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::TupleStruct(0),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
             Shape::Enum(parse_variants(g.stream()))
         }
         (k, t) => panic!("unsupported item shape: {k} {t:?}"),
@@ -120,8 +116,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             i += 2;
         }
         // Skip visibility.
-        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub")
-        {
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
             i += 1;
             if let Some(TokenTree::Group(g)) = tokens.get(i) {
                 if g.delimiter() == Delimiter::Parenthesis {
@@ -199,17 +194,14 @@ fn parse_variants(body: TokenStream) -> Vec<(String, usize)> {
                     arity = count_top_level_fields(g.stream());
                     i += 1;
                 }
-                Delimiter::Brace => panic!(
-                    "struct-like enum variant `{name}` is not supported"
-                ),
+                Delimiter::Brace => panic!("struct-like enum variant `{name}` is not supported"),
                 _ => {}
             }
         }
         variants.push((name, arity));
         // Skip an optional discriminant and the separating comma.
         while i < tokens.len() {
-            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
-            {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
                 i += 1;
                 break;
             }
@@ -236,12 +228,8 @@ fn gen_serialize(p: &Parsed) -> String {
             s.push_str("out.push('}');");
             s
         }
-        Shape::TupleStruct(0) => {
-            "out.push_str(\"null\");".to_string()
-        }
-        Shape::TupleStruct(1) => {
-            "::serde::Serialize::serialize_json(&self.0, out);".to_string()
-        }
+        Shape::TupleStruct(0) => "out.push_str(\"null\");".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize_json(&self.0, out);".to_string(),
         Shape::TupleStruct(n) => {
             let mut s = String::from("out.push('[');\n");
             for k in 0..*n {
@@ -259,9 +247,7 @@ fn gen_serialize(p: &Parsed) -> String {
             let mut arms = String::new();
             for (v, arity) in variants {
                 match arity {
-                    0 => arms.push_str(&format!(
-                        "{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"
-                    )),
+                    0 => arms.push_str(&format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n")),
                     1 => arms.push_str(&format!(
                         "{name}::{v}(a0) => {{\n\
                          out.push_str(\"{{\\\"{v}\\\":\");\n\
@@ -270,8 +256,7 @@ fn gen_serialize(p: &Parsed) -> String {
                          }}\n"
                     )),
                     n => {
-                        let binds: Vec<String> =
-                            (0..*n).map(|k| format!("a{k}")).collect();
+                        let binds: Vec<String> = (0..*n).map(|k| format!("a{k}")).collect();
                         let mut inner = format!(
                             "{name}::{v}({}) => {{\n\
                              out.push_str(\"{{\\\"{v}\\\":[\");\n",
@@ -309,9 +294,7 @@ fn gen_deserialize(p: &Parsed) -> String {
             let mut s = String::new();
             s.push_str("p.expect_byte(b'{')?;\n");
             for f in fields {
-                s.push_str(&format!(
-                    "let mut f_{f} = ::std::option::Option::None;\n"
-                ));
+                s.push_str(&format!("let mut f_{f} = ::std::option::Option::None;\n"));
             }
             s.push_str("while let Some(key) = p.next_key()? {\n");
             s.push_str("match key.as_str() {\n");
@@ -332,9 +315,7 @@ fn gen_deserialize(p: &Parsed) -> String {
             s.push_str("})\n");
             s
         }
-        Shape::TupleStruct(0) => format!(
-            "p.expect_null()?;\n::std::result::Result::Ok({name})"
-        ),
+        Shape::TupleStruct(0) => format!("p.expect_null()?;\n::std::result::Result::Ok({name})"),
         Shape::TupleStruct(1) => format!(
             "::std::result::Result::Ok({name}(\
              ::serde::Deserialize::deserialize_json(p)?))"
@@ -382,12 +363,8 @@ fn gen_deserialize(p: &Parsed) -> String {
                         ));
                     }
                     inner.push_str("p.expect_byte(b']')?;\n");
-                    let binds: Vec<String> =
-                        (0..*arity).map(|k| format!("a{k}")).collect();
-                    inner.push_str(&format!(
-                        "{name}::{v}({})\n}}",
-                        binds.join(", ")
-                    ));
+                    let binds: Vec<String> = (0..*arity).map(|k| format!("a{k}")).collect();
+                    inner.push_str(&format!("{name}::{v}({})\n}}", binds.join(", ")));
                     data_arms.push_str(&format!("\"{v}\" => {inner},\n"));
                 }
             }

@@ -28,9 +28,7 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 /// # Errors
 ///
 /// Never fails for the types in this workspace.
-pub fn to_string_pretty<T: Serialize + ?Sized>(
-    value: &T,
-) -> Result<String, Error> {
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(prettify(&to_string(value)?))
 }
 
@@ -75,9 +73,7 @@ fn prettify(compact: &str) -> String {
                 out.push(c);
                 // Keep empty containers on one line.
                 if let Some(&close) = chars.peek() {
-                    if (c == '{' && close == '}')
-                        || (c == '[' && close == ']')
-                    {
+                    if (c == '{' && close == '}') || (c == '[' && close == ']') {
                         out.push(close);
                         chars.next();
                         continue;
