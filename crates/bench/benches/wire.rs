@@ -1,0 +1,88 @@
+//! Criterion benches for the telemetry wire codec.
+//!
+//! Companion to `repro --wire N` (which measures the full five-way
+//! comparison and writes `BENCH_wire.json`): these isolate the
+//! per-window codec costs at a fixed fleet size so regressions show up
+//! as per-iteration deltas. `frames/s = (2 × MACHINES) / iteration
+//! time` for the decode benches (layout + sample frame per machine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tdp_bench::fleet::synthetic_set;
+use tdp_bench::ExperimentConfig;
+use tdp_counters::SampleSet;
+use tdp_fleet::FleetEstimator;
+use tdp_parallel::WorkerPool;
+use tdp_wire::{
+    ingest_serial, stream_window, CursorItem, FrameCursor, FrameDecoder, StreamConfig, WireEncoder,
+};
+use trickledown::SystemPowerModel;
+
+const MACHINES: usize = 256;
+
+fn synthetic_window() -> Vec<SampleSet> {
+    let seed = ExperimentConfig::default().seed;
+    (0..MACHINES).map(|m| synthetic_set(m, seed)).collect()
+}
+
+fn encode_window(sets: &[SampleSet]) -> Vec<u8> {
+    let mut enc = WireEncoder::new();
+    for (m, set) in sets.iter().enumerate() {
+        enc.push_sample_set(m as u64, set).expect("encodes");
+    }
+    enc.finish()
+}
+
+fn bench_wire_window(c: &mut Criterion) {
+    let sets = synthetic_window();
+    let buf = encode_window(&sets);
+    let model = SystemPowerModel::paper();
+
+    c.bench_function("wire/encode_window_256", |b| {
+        b.iter(|| black_box(encode_window(&sets).len()))
+    });
+
+    c.bench_function("wire/decode_only_256", |b| {
+        b.iter(|| {
+            let mut dec = FrameDecoder::new();
+            let mut cursor = FrameCursor::new(&buf);
+            let mut frames = 0u64;
+            while let Some(item) = cursor.next() {
+                if let CursorItem::Frame { start, header } = item {
+                    let decoded = dec
+                        .decode_frame(&header, cursor.payload(start, &header))
+                        .expect("clean stream");
+                    black_box(&decoded);
+                    frames += 1;
+                }
+            }
+            black_box(frames)
+        })
+    });
+
+    let mut fused = FleetEstimator::with_capacity(model.clone(), MACHINES);
+    c.bench_function("wire/fused_decode_estimate_256", |b| {
+        b.iter(|| {
+            ingest_serial(&buf, MACHINES, &mut fused);
+            black_box(fused.estimate().fleet_total())
+        })
+    });
+
+    let pool = WorkerPool::global();
+    let cfg = StreamConfig::default();
+    let mut streamed = FleetEstimator::with_capacity(model.clone(), MACHINES);
+    c.bench_function("wire/streamed_decode_estimate_256", |b| {
+        b.iter(|| {
+            stream_window(pool, &cfg, &buf, MACHINES, &mut streamed);
+            black_box(streamed.estimate().fleet_total())
+        })
+    });
+
+    let mut in_memory = FleetEstimator::with_capacity(model.clone(), MACHINES);
+    c.bench_function("wire/in_memory_baseline_256", |b| {
+        b.iter(|| black_box(in_memory.process_window(&sets).fleet_total()))
+    });
+}
+
+criterion_group!(benches, bench_wire_window);
+criterion_main!(benches);

@@ -21,133 +21,55 @@
 //!   all           everything above (except ablate)
 //! ```
 
-use std::collections::BTreeSet;
 use std::process::ExitCode;
+use tdp_bench::cli::{self, USAGE};
 use tdp_bench::experiments::{
     coefficients, headline, shape_checks, tables_1_and_2, tables_3_and_4,
 };
 use tdp_bench::figures::{fig2, fig3, fig4_fig5, fig6_fig7};
-use tdp_bench::{calibrate, capture_all, ExperimentConfig};
+use tdp_bench::{calibrate, capture_all};
 use trickledown::PowerCharacterization;
 
-const USAGE: &str = "usage: repro [--quick] [--markdown] [--bench-json] [--fleet N] [--seed N] [--out DIR] \
-    <table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|coefficients|shape|ablate|selection|all>...";
-
 fn main() -> ExitCode {
-    let mut cfg = ExperimentConfig::default();
-    let mut wanted: BTreeSet<String> = BTreeSet::new();
-    let mut markdown = false;
-    let mut bench_json = false;
-    let mut fleet: Option<usize> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--markdown" => markdown = true,
-            "--bench-json" => bench_json = true,
-            "--fleet" => match args.next().and_then(|s| s.parse().ok()) {
-                Some(n) if n > 0 => fleet = Some(n),
-                _ => {
-                    eprintln!("--fleet needs a positive machine count\n{USAGE}");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--quick" => {
-                let out = cfg.out_dir.clone();
-                cfg = ExperimentConfig::quick();
-                cfg.out_dir = out;
-            }
-            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
-                Some(seed) => cfg.seed = seed,
-                None => {
-                    eprintln!("--seed needs an integer\n{USAGE}");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--out" => match args.next() {
-                Some(dir) => cfg.out_dir = dir.into(),
-                None => {
-                    eprintln!("--out needs a directory\n{USAGE}");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return ExitCode::SUCCESS;
-            }
-            other if !other.starts_with('-') => {
-                wanted.insert(other.to_owned());
-            }
-            other => {
-                eprintln!("unknown flag {other}\n{USAGE}");
-                return ExitCode::FAILURE;
-            }
+    let parsed = match cli::parse(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
         }
+    };
+    if parsed.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
     }
-    if bench_json {
+    if !parsed.requests_something() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let (cfg, wanted, markdown) = (parsed.cfg, parsed.wanted, parsed.markdown);
+    if parsed.bench_json {
         eprintln!(
             "repro: benchmarking pipeline throughput (seed {}, {} s traces)…",
             cfg.seed, cfg.trace_seconds
         );
         println!("{}", tdp_bench::pipeline::run_and_write(&cfg));
-        if wanted.is_empty() && fleet.is_none() {
-            return ExitCode::SUCCESS;
-        }
     }
-    if let Some(n_machines) = fleet {
+    if let Some(n_machines) = parsed.fleet {
         eprintln!(
             "repro: benchmarking fleet estimation ({n_machines} machines, seed {})…",
             cfg.seed
         );
         println!("{}", tdp_bench::fleet::run_and_write(&cfg, n_machines));
-        if wanted.is_empty() {
-            return ExitCode::SUCCESS;
-        }
+    }
+    if let Some(n_machines) = parsed.wire {
+        eprintln!(
+            "repro: benchmarking wire codec + streaming ingest ({n_machines} machines, seed {})…",
+            cfg.seed
+        );
+        println!("{}", tdp_bench::wire::run_and_write(&cfg, n_machines));
     }
     if wanted.is_empty() {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
-    }
-    if wanted.contains("all") {
-        wanted = [
-            "table1",
-            "table2",
-            "table3",
-            "table4",
-            "fig2",
-            "fig3",
-            "fig4",
-            "fig5",
-            "fig6",
-            "fig7",
-            "coefficients",
-            "shape",
-        ]
-        .into_iter()
-        .map(str::to_owned)
-        .collect();
-    }
-    let known: BTreeSet<&str> = [
-        "table1",
-        "table2",
-        "table3",
-        "table4",
-        "fig2",
-        "fig3",
-        "fig4",
-        "fig5",
-        "fig6",
-        "fig7",
-        "coefficients",
-        "shape",
-        "ablate",
-        "selection",
-    ]
-    .into();
-    for w in &wanted {
-        if !known.contains(w.as_str()) {
-            eprintln!("unknown experiment {w}\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
+        return ExitCode::SUCCESS;
     }
 
     let needs_traces = ["table1", "table2", "table3", "table4", "shape"]

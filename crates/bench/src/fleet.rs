@@ -64,8 +64,9 @@ pub struct FleetReport {
 /// Deterministic synthetic counter read for one machine-window:
 /// realistic magnitudes (≈3 GHz × 1 s windows), every event-rate input
 /// exercised, varying by machine and window so neither path can
-/// special-case repeated values.
-fn synthetic_set(machine: usize, window: u64) -> SampleSet {
+/// special-case repeated values. Shared with the wire codec benchmark
+/// (`repro --wire N`) so both report on identical data.
+pub fn synthetic_set(machine: usize, window: u64) -> SampleSet {
     let mut state = (machine as u64 + 1)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(window.wrapping_mul(0xD1B5_4A32_D192_ED03))
@@ -76,27 +77,40 @@ fn synthetic_set(machine: usize, window: u64) -> SampleSet {
         state ^= state << 17;
         state
     };
+    // Machine-wide base draws with small per-CPU jitter: sibling CPUs
+    // of one server under one workload track each other closely (the
+    // paper's 4-way Xeon), which is also the locality the wire codec's
+    // CPU-over-CPU delta encoding is designed around.
+    let cycles: u64 = 3_000_000_000;
+    // Headroom keeps base + jitter below `cycles`, so active time
+    // never goes negative on any CPU.
+    let halted = next() % (cycles - cycles / 64);
+    let active = cycles - halted;
+    let fetched = next() % (2 * active + 1);
+    let l3 = next() % 8_000_000;
+    let bus = next() % 1_000_000;
+    let dma = next() % 100_000_000;
+    // Interrupt rates stay inside the paper's operating range (tens
+    // per second): Equations 4–5 are downward parabolas and blow up
+    // far outside it.
+    let ints = 1_000 + next() % 60;
+    let disk = next() % 30;
     let per_cpu = (0..CPUS_PER_MACHINE)
         .map(|cpu| {
-            let cycles: u64 = 3_000_000_000;
-            let halted = next() % cycles;
-            let active = cycles - halted;
+            let mut jitter = |base: u64| base + next() % (base / 128 + 2);
             CounterSample::new(
                 CpuId::new(cpu as u8),
                 window,
                 vec![
                     (PerfEvent::Cycles, cycles),
-                    (PerfEvent::HaltedCycles, halted),
-                    (PerfEvent::FetchedUops, next() % (2 * active + 1)),
-                    (PerfEvent::L3LoadMisses, next() % 8_000_000),
-                    (PerfEvent::BusTransactionsAll, next() % 1_000_000),
-                    (PerfEvent::DmaOtherBusTransactions, next() % 100_000_000),
-                    // Interrupt rates stay inside the paper's operating
-                    // range (tens per second): Equations 4–5 are
-                    // downward parabolas and blow up far outside it.
-                    (PerfEvent::InterruptsTotal, 1_000 + next() % 60),
+                    (PerfEvent::HaltedCycles, jitter(halted)),
+                    (PerfEvent::FetchedUops, jitter(fetched)),
+                    (PerfEvent::L3LoadMisses, jitter(l3)),
+                    (PerfEvent::BusTransactionsAll, jitter(bus)),
+                    (PerfEvent::DmaOtherBusTransactions, jitter(dma)),
+                    (PerfEvent::InterruptsTotal, jitter(ints)),
                     (PerfEvent::TimerInterrupts, 1_000),
-                    (PerfEvent::DiskInterrupts, next() % 30),
+                    (PerfEvent::DiskInterrupts, jitter(disk)),
                 ],
             )
         })

@@ -1,0 +1,311 @@
+//! Wire codec benchmark (`repro --wire N`).
+//!
+//! Measures the telemetry wire path end-to-end on the same synthetic
+//! fleet data as `repro --fleet N` ([`crate::fleet::synthetic_set`]):
+//!
+//! * **encode** — a persistent [`tdp_wire::WireEncoder`] appending one
+//!   steady-state window (a sample frame per machine; layout frames
+//!   appear only in the untimed warm-up window, as with any long-lived
+//!   producer);
+//! * **decode** — walking the window with [`FrameCursor`] +
+//!   [`FrameDecoder`]: checksum, varint/delta reconstruction and rate
+//!   derivation, rows discarded (the codec cost in isolation);
+//! * **fused** — [`tdp_wire::ingest_serial`]: decode straight into the
+//!   [`FleetEstimator`]'s batch plus the column evaluation;
+//! * **streamed** — [`tdp_wire::stream_window`]: sharded decoders
+//!   feeding the batch through bounded SPSC rings (equals fused on a
+//!   single-worker pool);
+//! * **in-memory** — `FleetEstimator::process_window` on the already
+//!   decoded [`SampleSet`]s, measured in the same run as the baseline
+//!   the fused path is compared against.
+//!
+//! The warm-up window asserts the wire paths are bit-identical to the
+//! in-memory path before any timing starts. Results land in
+//! `BENCH_wire.json`.
+
+use crate::fleet::synthetic_set;
+use crate::pipeline::{peak_rss_kb, StageRate};
+use crate::ExperimentConfig;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use tdp_counters::SampleSet;
+use tdp_fleet::FleetEstimator;
+use tdp_parallel::WorkerPool;
+use tdp_wire::{
+    ingest_serial_with, stream_window_with, CursorItem, FrameCursor, FrameDecoder, IngestState,
+    StreamConfig, StreamReport, WireEncoder,
+};
+use trickledown::SystemPowerModel;
+
+/// Full wire benchmark report.
+#[derive(Debug, Clone, Serialize)]
+pub struct WireReport {
+    /// Machines per window.
+    pub n_machines: usize,
+    /// Windows measured per path.
+    pub windows: u64,
+    /// Worker-pool concurrency available to the streamed path.
+    pub workers: usize,
+    /// Decoder shards the streamed path actually used
+    /// (`0` = it fell back to the serial fused path).
+    pub decoders: usize,
+    /// Encoded bytes per steady-state window (sample frames only —
+    /// layouts are announced once, in the untimed warm-up window).
+    pub bytes_per_window: u64,
+    /// Frames per steady-state window (one sample frame per machine).
+    pub frames_per_window: u64,
+    /// Mean encoded frame size, bytes.
+    pub bytes_per_frame: f64,
+    /// Encode path; units are frames.
+    pub encode: StageRate,
+    /// Decode-only path; units are frames.
+    pub decode: StageRate,
+    /// Fused serial decode→estimate; units are machine-windows.
+    pub fused: StageRate,
+    /// Pool-sharded streaming decode→estimate; units are machine-windows.
+    pub streamed: StageRate,
+    /// In-memory `process_window` baseline; units are machine-windows.
+    pub in_memory: StageRate,
+    /// Headline: frames decoded per second (decode-only path).
+    pub decode_frames_per_sec: f64,
+    /// Nanoseconds per machine-estimate, fused wire path.
+    pub fused_ns_per_machine: f64,
+    /// Nanoseconds per machine-estimate, streamed wire path.
+    pub streamed_ns_per_machine: f64,
+    /// Nanoseconds per machine-estimate, in-memory baseline.
+    pub in_memory_ns_per_machine: f64,
+    /// Fused wire cost relative to the in-memory baseline
+    /// (1.0 = free codec; the ISSUE target is ≤ 2.0).
+    pub fused_vs_in_memory: f64,
+    /// Corrupt frames the streamed path saw (must be 0 on clean input).
+    pub corrupt_frames: u64,
+    /// Rows shed under backpressure (0 in the default lossless mode).
+    pub dropped_rows: u64,
+    /// Full-ring events decoder shards waited on.
+    pub backpressure_events: u64,
+    /// Peak resident set (VmHWM), kilobytes; 0 when unavailable.
+    pub peak_rss_kb: u64,
+}
+
+/// Appends one window of `sets` to the persistent encoder and drains
+/// the bytes. Steady state: the encoder's layout memory means layout
+/// frames appear only in the first window (or when a machine's PMU
+/// programming changes), exactly as a long-lived producer behaves.
+fn encode_window(enc: &mut WireEncoder, sets: &[SampleSet]) -> Vec<u8> {
+    for (m, set) in sets.iter().enumerate() {
+        enc.push_sample_set(m as u64, set)
+            .expect("synthetic sets encode");
+    }
+    enc.take_bytes()
+}
+
+/// Decodes every frame in `buf`, discarding rows: the codec cost with
+/// no estimator behind it. Returns the frame count. The decoder
+/// persists so sample-only steady-state windows resolve their layouts.
+fn decode_only(dec: &mut FrameDecoder, buf: &[u8]) -> u64 {
+    let mut cursor = FrameCursor::new(buf);
+    let mut frames = 0u64;
+    while let Some(item) = cursor.next() {
+        if let CursorItem::Frame { start, header } = item {
+            let decoded = dec
+                .decode_frame(&header, cursor.payload(start, &header))
+                .expect("clean stream decodes");
+            black_box(&decoded);
+            frames += 1;
+        }
+    }
+    frames
+}
+
+/// Runs all paths over the same windows and assembles the report.
+///
+/// # Panics
+///
+/// Panics if a wire path's estimates are not bit-identical to the
+/// in-memory baseline — that is the codec's core contract and a run
+/// that breaks it must not report numbers.
+pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
+    let n_machines = n_machines.max(1);
+    // Encoding dominates setup; fewer windows than the fleet bench
+    // still average out scheduler noise because each window does
+    // 5 passes over the same buffer.
+    let windows: u64 = (262_144 / n_machines as u64).clamp(8, 256);
+    let model = SystemPowerModel::paper();
+    let pool = WorkerPool::global();
+    let stream_cfg = StreamConfig::default();
+
+    let mut fused = FleetEstimator::with_capacity(model.clone(), n_machines);
+    let mut streamed = FleetEstimator::with_capacity(model.clone(), n_machines);
+    let mut in_memory = FleetEstimator::with_capacity(model.clone(), n_machines);
+    let mut enc = WireEncoder::new();
+    let mut decode_state = FrameDecoder::new();
+    let mut fused_state = IngestState::new();
+    let mut stream_state = IngestState::new();
+
+    let mut sets: Vec<SampleSet> = Vec::with_capacity(n_machines);
+    let (mut enc_secs, mut dec_secs, mut fused_secs, mut str_secs, mut mem_secs) =
+        (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    let mut stream_totals = StreamReport::default();
+    let mut decoders_used = 0usize;
+    let (mut bytes_per_window, mut frames_per_window) = (0u64, 0u64);
+
+    for warmup in [true, false] {
+        let measured_windows = if warmup { 1 } else { windows };
+        for w in 0..measured_windows {
+            let window = if warmup { u64::MAX } else { w ^ cfg.seed };
+            sets.clear();
+            sets.extend((0..n_machines).map(|m| synthetic_set(m, window)));
+
+            let start = Instant::now();
+            let buf = encode_window(&mut enc, &sets);
+            let enc_elapsed = start.elapsed().as_secs_f64();
+            bytes_per_window = buf.len() as u64;
+
+            // Rotate path order so cache-position bias averages out.
+            let (mut dec_elapsed, mut fused_elapsed, mut str_elapsed, mut mem_elapsed) =
+                (0.0f64, 0.0, 0.0, 0.0);
+            for step in 0..4 {
+                match (step + w as usize) % 4 {
+                    0 => {
+                        let start = Instant::now();
+                        frames_per_window = decode_only(&mut decode_state, &buf);
+                        dec_elapsed = start.elapsed().as_secs_f64();
+                    }
+                    1 => {
+                        let start = Instant::now();
+                        let rep =
+                            ingest_serial_with(&mut fused_state, &buf, n_machines, &mut fused);
+                        let est = fused.estimate();
+                        fused_elapsed = start.elapsed().as_secs_f64();
+                        assert_eq!(rep.corrupt_frames, 0, "clean stream");
+                        assert_eq!(rep.unknown_layout_frames, 0, "layouts persist");
+                        black_box(est.fleet_total());
+                    }
+                    2 => {
+                        let start = Instant::now();
+                        let rep = stream_window_with(
+                            &mut stream_state,
+                            pool,
+                            &stream_cfg,
+                            &buf,
+                            n_machines,
+                            &mut streamed,
+                        );
+                        let est = streamed.estimate();
+                        str_elapsed = start.elapsed().as_secs_f64();
+                        decoders_used = rep.decoders;
+                        if !warmup {
+                            stream_totals.absorb(&rep);
+                        }
+                        black_box(est.fleet_total());
+                    }
+                    _ => {
+                        let start = Instant::now();
+                        let est = in_memory.process_window(&sets);
+                        mem_elapsed = start.elapsed().as_secs_f64();
+                        black_box(est.fleet_total());
+                    }
+                }
+            }
+
+            if warmup {
+                // The codec's contract, asserted on untimed data: both
+                // wire paths bit-identical to in-memory ingestion.
+                let mem = in_memory.estimates();
+                for (name, wire_est) in [
+                    ("fused", fused.estimates()),
+                    ("streamed", streamed.estimates()),
+                ] {
+                    for (a, b) in wire_est.total().iter().zip(mem.total()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{name} wire path diverged from in-memory ingestion"
+                        );
+                    }
+                }
+            } else {
+                enc_secs += enc_elapsed;
+                dec_secs += dec_elapsed;
+                fused_secs += fused_elapsed;
+                str_secs += str_elapsed;
+                mem_secs += mem_elapsed;
+            }
+        }
+    }
+
+    let machine_units = windows * n_machines as u64;
+    let frame_units = windows * frames_per_window;
+    let encode_rate = StageRate::new(frame_units, enc_secs);
+    let decode_rate = StageRate::new(frame_units, dec_secs);
+    let fused_rate = StageRate::new(machine_units, fused_secs);
+    let streamed_rate = StageRate::new(machine_units, str_secs);
+    let in_memory_rate = StageRate::new(machine_units, mem_secs);
+    WireReport {
+        n_machines,
+        windows,
+        workers: pool.workers(),
+        decoders: decoders_used,
+        bytes_per_window,
+        frames_per_window,
+        bytes_per_frame: bytes_per_window as f64 / frames_per_window.max(1) as f64,
+        decode_frames_per_sec: decode_rate.per_sec,
+        fused_ns_per_machine: fused_secs * 1e9 / machine_units as f64,
+        streamed_ns_per_machine: str_secs * 1e9 / machine_units as f64,
+        in_memory_ns_per_machine: mem_secs * 1e9 / machine_units as f64,
+        fused_vs_in_memory: fused_secs / mem_secs,
+        encode: encode_rate,
+        decode: decode_rate,
+        fused: fused_rate,
+        streamed: streamed_rate,
+        in_memory: in_memory_rate,
+        corrupt_frames: stream_totals.corrupt_frames,
+        dropped_rows: stream_totals.dropped_rows,
+        backpressure_events: stream_totals.backpressure_events,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Runs the benchmark, writes `BENCH_wire.json` under the output
+/// directory and returns the rendered JSON.
+///
+/// # Panics
+///
+/// Panics if the output directory is unwritable (consistent with the
+/// rest of the repro harness).
+pub fn run_and_write(cfg: &ExperimentConfig, n_machines: usize) -> String {
+    let report = run(cfg, n_machines);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
+    let path = cfg.out_dir.join("BENCH_wire.json");
+    std::fs::write(&path, &json).expect("write BENCH_wire.json");
+    eprintln!("bench: wrote {}", path.display());
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_wire_report_is_consistent() {
+        let cfg = ExperimentConfig {
+            out_dir: std::env::temp_dir().join("tdp-wire-bench-test"),
+            ..ExperimentConfig::quick()
+        };
+        let r = run(&cfg, 8);
+        assert_eq!(r.n_machines, 8);
+        assert_eq!(r.frames_per_window, 8, "steady state: sample frames only");
+        assert_eq!(r.decode.units, r.windows * 8);
+        assert_eq!(r.fused.units, r.windows * 8);
+        assert!(r.decode_frames_per_sec > 0.0);
+        assert!(r.fused_vs_in_memory > 0.0);
+        assert_eq!(r.corrupt_frames, 0);
+        assert_eq!(r.dropped_rows, 0, "lossless default sheds nothing");
+        assert!(
+            r.bytes_per_frame > 44.0,
+            "frames carry payload past the header"
+        );
+    }
+}

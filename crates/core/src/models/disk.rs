@@ -10,7 +10,7 @@
 //! subtracting that offset (§4.2.3).
 
 use crate::input::SystemSample;
-use crate::models::{fit_linear_features, SubsystemPowerModel};
+use crate::models::{fit_linear_features, quad_poly, SubsystemPowerModel};
 use serde::{Deserialize, Serialize};
 use tdp_counters::Subsystem;
 use tdp_modeling::FitError;
@@ -89,16 +89,21 @@ impl SubsystemPowerModel for DiskPowerModel {
     }
 
     fn predict(&self, sample: &SystemSample) -> f64 {
-        let dynamic: f64 = sample
-            .per_cpu
-            .iter()
-            .map(|c| {
-                let i = c.disk_interrupts_per_cycle;
-                let d = c.dma_per_cycle;
-                self.int_lin * i + self.int_quad * i * i + self.dma_lin * d + self.dma_quad * d * d
-            })
-            .sum();
-        self.dc_w + dynamic
+        // Aggregate both inputs and their squares in CPU order, then
+        // evaluate the shared quadratic twice (interrupts carry the DC
+        // term, DMA contributes dynamics only) — the same sequence the
+        // fleet columns evaluate, bit for bit.
+        let (mut i_sum, mut i_sq, mut d_sum, mut d_sq) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for c in &sample.per_cpu {
+            let i = c.disk_interrupts_per_cycle;
+            let d = c.dma_per_cycle;
+            i_sum += i;
+            i_sq += i * i;
+            d_sum += d;
+            d_sq += d * d;
+        }
+        quad_poly(self.dc_w, self.int_lin, self.int_quad, i_sum, i_sq)
+            + quad_poly(0.0, self.dma_lin, self.dma_quad, d_sum, d_sq)
     }
 }
 

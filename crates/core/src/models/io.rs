@@ -8,7 +8,7 @@
 //! large DC term (two bridge chips and six PCI-X bus clocks never stop).
 
 use crate::input::SystemSample;
-use crate::models::{fit_linear_features, SubsystemPowerModel};
+use crate::models::{fit_linear_features, quad_poly, SubsystemPowerModel};
 use serde::{Deserialize, Serialize};
 use tdp_counters::Subsystem;
 use tdp_modeling::FitError;
@@ -79,15 +79,15 @@ impl SubsystemPowerModel for IoPowerModel {
     }
 
     fn predict(&self, sample: &SystemSample) -> f64 {
-        let dynamic: f64 = sample
-            .per_cpu
-            .iter()
-            .map(|c| {
-                let i = c.device_interrupts_per_cycle;
-                self.int_lin * i + self.int_quad * i * i
-            })
-            .sum();
-        self.dc_w + dynamic
+        // Aggregate-then-evaluate through the shared quadratic, in the
+        // same order as the fleet columns (bit-for-bit agreement).
+        let (mut i_sum, mut i_sq) = (0.0f64, 0.0f64);
+        for c in &sample.per_cpu {
+            let i = c.device_interrupts_per_cycle;
+            i_sum += i;
+            i_sq += i * i;
+        }
+        quad_poly(self.dc_w, self.int_lin, self.int_quad, i_sum, i_sq)
     }
 }
 

@@ -17,7 +17,7 @@
 //! feeds them.
 
 use crate::input::SystemSample;
-use crate::models::{fit_linear_features, SubsystemPowerModel};
+use crate::models::{fit_linear_features, quad_poly, SubsystemPowerModel};
 use serde::{Deserialize, Serialize};
 use tdp_counters::Subsystem;
 use tdp_modeling::FitError;
@@ -122,15 +122,17 @@ impl SubsystemPowerModel for MemoryPowerModel {
     }
 
     fn predict(&self, sample: &SystemSample) -> f64 {
-        let dynamic: f64 = sample
-            .per_cpu
-            .iter()
-            .map(|c| {
-                let x = self.input.value(c);
-                self.lin * x + self.quad * x * x
-            })
-            .sum();
-        self.background_w + dynamic
+        // Aggregate Σx and Σx² in CPU order, then evaluate the shared
+        // quadratic — the identical accumulation sequence and
+        // polynomial the fleet columns use, so scalar and batched
+        // predictions match bit for bit.
+        let (mut x, mut x_sq) = (0.0f64, 0.0f64);
+        for c in &sample.per_cpu {
+            let v = self.input.value(c);
+            x += v;
+            x_sq += v * v;
+        }
+        quad_poly(self.background_w, self.lin, self.quad, x, x_sq)
     }
 }
 

@@ -32,6 +32,26 @@ use tdp_counters::Subsystem;
 use tdp_modeling::FitError;
 use tdp_powermeter::SubsystemPower;
 
+/// The shared quadratic form of Equations 2–5:
+/// `dc + lin·x + quad·x_sq`, with the squared input passed explicitly.
+///
+/// Every off-CPU subsystem model (memory, disk, I/O) is this one
+/// polynomial over machine-aggregated inputs, and `tdp-fleet`'s column
+/// kernels evaluate the very same expression over whole fleet columns.
+/// Keeping the arithmetic in one `#[inline]` function makes the scalar
+/// and batched paths agree **bit for bit**: both compute
+/// `(dc + lin·x) + quad·x_sq` in exactly this association, so identical
+/// inputs give identical output bits (pinned by
+/// `crates/fleet/tests/quad_crosscheck.rs`).
+///
+/// `x_sq` is a parameter rather than `x * x` so callers that carry the
+/// squared aggregate separately (the fleet columns materialise Σx² at
+/// ingest) evaluate the same expression as callers that square inline.
+#[inline]
+pub fn quad_poly(dc: f64, lin: f64, quad: f64, x: f64, x_sq: f64) -> f64 {
+    dc + lin * x + quad * x_sq
+}
+
 /// A power model for one subsystem, driven purely by CPU performance
 /// events.
 ///

@@ -53,7 +53,7 @@ mod subsystem;
 mod sync;
 
 pub use bank::{CounterBank, ProgramError, MAX_HARDWARE_COUNTERS};
-pub use event::{EventProvenance, EventSet, PerfEvent};
+pub use event::{layout_hash, layout_hash_indices, EventProvenance, EventSet, PerfEvent};
 pub use interrupts::{InterruptAccounting, InterruptSnapshot, InterruptSource, InterruptVector};
 pub use multiplex::{MultiplexSchedule, MultiplexedSample, MultiplexedSampler};
 pub use sampler::{CounterSample, CpuId, SampleSet, SamplerConfig, SamplingDriver};

@@ -29,7 +29,7 @@ use trickledown::SystemSample;
 pub const COLUMNS: usize = 13;
 
 /// Column indices into a [`SampleBatch`].
-pub(crate) mod col {
+pub mod col {
     /// CPUs per machine (the Equation-1 `NumCPUs` multiplier).
     pub const NUM_CPUS: usize = 0;
     /// Σ over CPUs of the active (non-halted) fraction.
@@ -137,9 +137,31 @@ impl SampleBatch {
         self.push_row(extract_sample(sample));
     }
 
-    fn push_row(&mut self, row: [f64; COLUMNS]) {
+    /// Appends one machine's pre-aggregated column row — the raw-row
+    /// ingestion point for producers that build rows outside this
+    /// crate, such as the `tdp-wire` zero-copy decoder (via
+    /// [`RowAccumulator`], which guarantees the row was formed by the
+    /// exact arithmetic [`push_sample_set`](Self::push_sample_set)
+    /// uses).
+    pub fn push_row(&mut self, row: [f64; COLUMNS]) {
         for (c, v) in self.cols.iter_mut().zip(row) {
             c.push(v);
+        }
+    }
+
+    /// Overwrites row `machine` with a pre-aggregated column row — the
+    /// indexed counterpart of [`push_row`](Self::push_row) for writers
+    /// that place machines at fixed positions (the streaming wire
+    /// ingest keys rows by machine id so decoder sharding cannot change
+    /// results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is out of range — size the batch first with
+    /// [`resize_rows`](Self::resize_rows).
+    pub fn set_row(&mut self, machine: usize, row: [f64; COLUMNS]) {
+        for (c, v) in self.cols.iter_mut().zip(row) {
+            c[machine] = v;
         }
     }
 
@@ -148,9 +170,18 @@ impl SampleBatch {
         std::array::from_fn(|k| self.cols[k].as_slice())
     }
 
-    /// Resizes every column to `machines` rows (values unspecified
-    /// until written) for the sharded write path.
-    pub(crate) fn resize_rows(&mut self, machines: usize) {
+    /// All columns as shared slices, indexable with the [`col`]
+    /// constants (one entry per machine each).
+    pub fn columns(&self) -> [&[f64]; COLUMNS] {
+        self.col_slices()
+    }
+
+    /// Resizes every column to `machines` rows for the indexed write
+    /// paths ([`set_row`](Self::set_row) and the pooled shard writer).
+    /// Rows grown beyond the current length are zeroed; rows already
+    /// present keep their values (call [`clear`](Self::clear) first for
+    /// an all-zero window).
+    pub fn resize_rows(&mut self, machines: usize) {
         for c in &mut self.cols {
             c.resize(machines, 0.0);
         }
@@ -163,8 +194,15 @@ impl SampleBatch {
     }
 }
 
-/// The event rates ingestion consumes, in [`LayoutCache::pos`] order.
-const WANTED_EVENTS: [PerfEvent; 9] = [
+/// The nine raw events a machine row is built from, in the count order
+/// [`RowAccumulator::accumulate_cpu`] consumes (and [`LayoutCache::pos`]
+/// caches).
+///
+/// External ingestion paths — the `tdp-wire` decoder in particular —
+/// gather one `Option<u64>` count per entry of this array per CPU and
+/// feed them through [`RowAccumulator`], which applies the exact same
+/// rate arithmetic as [`SampleBatch::push_sample_set`].
+pub const ROW_EVENTS: [PerfEvent; 9] = [
     PerfEvent::Cycles,
     PerfEvent::HaltedCycles,
     PerfEvent::FetchedUops,
@@ -212,14 +250,14 @@ pub(crate) struct LayoutCache {
     /// Number of cached events; `u8::MAX` marks "nothing cached yet /
     /// layout too long to cache", which no real list length matches.
     len: u8,
-    /// Whether every [`WANTED_EVENTS`] entry was present — the
+    /// Whether every [`ROW_EVENTS`] entry was present — the
     /// precondition for the verified-load fast path.
     all_present: bool,
     events: [PerfEvent; MAX_CACHED_EVENTS],
-    /// Position of each [`WANTED_EVENTS`] entry in the layout
+    /// Position of each [`ROW_EVENTS`] entry in the layout
     /// (first occurrence, like `CounterSample::count`'s linear find);
     /// `u16::MAX` when absent.
-    pos: [u16; WANTED_EVENTS.len()],
+    pos: [u16; ROW_EVENTS.len()],
 }
 
 impl Default for LayoutCache {
@@ -228,7 +266,7 @@ impl Default for LayoutCache {
             len: u8::MAX,
             all_present: false,
             events: [PerfEvent::Cycles; MAX_CACHED_EVENTS],
-            pos: [u16::MAX; WANTED_EVENTS.len()],
+            pos: [u16::MAX; ROW_EVENTS.len()],
         }
     }
 }
@@ -237,13 +275,13 @@ impl LayoutCache {
     /// Verified loads of all wanted counts, or `None` if the sample's
     /// layout no longer matches the cached positions.
     #[inline]
-    fn load_verified(&self, pairs: &[(PerfEvent, u64)]) -> Option<[u64; WANTED_EVENTS.len()]> {
+    fn load_verified(&self, pairs: &[(PerfEvent, u64)]) -> Option<[u64; ROW_EVENTS.len()]> {
         if !self.all_present || pairs.len() != self.len as usize {
             return None;
         }
-        let mut vals = [0u64; WANTED_EVENTS.len()];
+        let mut vals = [0u64; ROW_EVENTS.len()];
         let mut ok = true;
-        for (k, (&wanted, v)) in WANTED_EVENTS.iter().zip(&mut vals).enumerate() {
+        for (k, (&wanted, v)) in ROW_EVENTS.iter().zip(&mut vals).enumerate() {
             let (event, count) = pairs[self.pos[k] as usize];
             ok &= event == wanted;
             *v = count;
@@ -268,7 +306,7 @@ impl LayoutCache {
         } else {
             self.len = u8::MAX;
         }
-        for (k, &e) in WANTED_EVENTS.iter().enumerate() {
+        for (k, &e) in ROW_EVENTS.iter().enumerate() {
             self.pos[k] = pairs
                 .iter()
                 .position(|&(pe, _)| pe == e)
@@ -330,7 +368,7 @@ fn accumulate_cpu(cpu: &CounterSample, row: &mut [f64; COLUMNS], cache: &mut Lay
 /// (where every `Option` is statically `Some` and folds away) and the
 /// rescan path.
 #[inline(always)]
-fn accumulate_rates(row: &mut [f64; COLUMNS], vals: [Option<u64>; WANTED_EVENTS.len()]) {
+fn accumulate_rates(row: &mut [f64; COLUMNS], vals: [Option<u64>; ROW_EVENTS.len()]) {
     let [cycles, halted, uops, l3, bus, dma, int_total, timer, disk] = vals;
 
     // One reciprocal instead of nine divides per CPU: `n · (1/c)`
@@ -360,6 +398,43 @@ fn accumulate_rates(row: &mut [f64; COLUMNS], vals: [Option<u64>; WANTED_EVENTS.
     row[col::DISK_INT_SQ] += disk * disk;
     row[col::DEV_INT] += dev;
     row[col::DEV_INT_SQ] += dev * dev;
+}
+
+/// Builds one machine row from per-CPU raw counts using the *same*
+/// rate arithmetic as [`SampleBatch::push_sample_set`] — the contract
+/// external decoders (the `tdp-wire` zero-copy path) rely on for
+/// bit-identical wire-vs-in-memory ingestion.
+///
+/// Feed one `[Option<u64>; 9]` of counts per CPU, ordered as
+/// [`ROW_EVENTS`] (`None` marks an event absent from that CPU's PMU
+/// programming), then [`finish`](Self::finish) the row for
+/// [`SampleBatch::push_row`] or [`SampleBatch::set_row`].
+#[derive(Debug, Clone)]
+pub struct RowAccumulator {
+    row: [f64; COLUMNS],
+}
+
+impl RowAccumulator {
+    /// Starts a row for a machine with `num_cpus` CPUs.
+    pub fn new(num_cpus: usize) -> Self {
+        let mut row = [0.0f64; COLUMNS];
+        row[col::NUM_CPUS] = num_cpus as f64;
+        Self { row }
+    }
+
+    /// Folds one CPU's raw counts (ordered as [`ROW_EVENTS`]) into the
+    /// row. Call order must match CPU order — float accumulation is
+    /// order-sensitive, and the bit-identical guarantee holds only for
+    /// the same sequence `push_sample_set` would use (CPU 0 first).
+    #[inline]
+    pub fn accumulate_cpu(&mut self, counts: [Option<u64>; ROW_EVENTS.len()]) {
+        accumulate_rates(&mut self.row, counts);
+    }
+
+    /// The finished machine row.
+    pub fn finish(self) -> [f64; COLUMNS] {
+        self.row
+    }
 }
 
 /// Machine-aggregated columns from a pre-extracted sample, in the same

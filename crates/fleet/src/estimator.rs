@@ -2,7 +2,7 @@
 //! every machine in a window with column kernels.
 
 use crate::batch::{col, extract_set_cached, LayoutCache, SampleBatch, COLUMNS};
-use crate::kernels::{add_assign, axpy, fill};
+use crate::kernels::{add_assign, axpy, fill, quadratic, quadratic_acc};
 use tdp_counters::{SampleSet, Subsystem};
 use tdp_parallel::WorkerPool;
 use tdp_powermeter::SubsystemPower;
@@ -114,29 +114,52 @@ fn evaluate(
     axpy(out[OUT_CPU], cpu.active_w - cpu.halt_w, cols[col::ACTIVE]);
     axpy(out[OUT_CPU], cpu.upc_w, cols[col::UPC]);
 
-    // Equations 2/3: background + lin·Σx + quad·Σx².
+    // Equations 2/3: background + lin·Σx + quad·Σx², evaluated through
+    // the shared `quad_poly` helper — bit-identical to the scalar
+    // models on identical aggregates (see `tests/quad_crosscheck.rs`).
     let mem = &model.memory;
     let (x, x_sq) = match mem.input {
         MemoryInput::L3LoadMisses => (cols[col::L3], cols[col::L3_SQ]),
         MemoryInput::BusTransactions => (cols[col::BUS], cols[col::BUS_SQ]),
     };
-    fill(out[OUT_MEMORY], mem.background_w);
-    axpy(out[OUT_MEMORY], mem.lin, x);
-    axpy(out[OUT_MEMORY], mem.quad, x_sq);
+    quadratic(
+        out[OUT_MEMORY],
+        mem.background_w,
+        mem.lin,
+        mem.quad,
+        x,
+        x_sq,
+    );
 
-    // Equation 4.
+    // Equation 4: the interrupt quadratic carries the DC term, the DMA
+    // quadratic accumulates on top (same order as the scalar model).
     let disk = &model.disk;
-    fill(out[OUT_DISK], disk.dc_w);
-    axpy(out[OUT_DISK], disk.int_lin, cols[col::DISK_INT]);
-    axpy(out[OUT_DISK], disk.int_quad, cols[col::DISK_INT_SQ]);
-    axpy(out[OUT_DISK], disk.dma_lin, cols[col::DMA]);
-    axpy(out[OUT_DISK], disk.dma_quad, cols[col::DMA_SQ]);
+    quadratic(
+        out[OUT_DISK],
+        disk.dc_w,
+        disk.int_lin,
+        disk.int_quad,
+        cols[col::DISK_INT],
+        cols[col::DISK_INT_SQ],
+    );
+    quadratic_acc(
+        out[OUT_DISK],
+        disk.dma_lin,
+        disk.dma_quad,
+        cols[col::DMA],
+        cols[col::DMA_SQ],
+    );
 
     // Equation 5.
     let io = &model.io;
-    fill(out[OUT_IO], io.dc_w);
-    axpy(out[OUT_IO], io.int_lin, cols[col::DEV_INT]);
-    axpy(out[OUT_IO], io.int_quad, cols[col::DEV_INT_SQ]);
+    quadratic(
+        out[OUT_IO],
+        io.dc_w,
+        io.int_lin,
+        io.int_quad,
+        cols[col::DEV_INT],
+        cols[col::DEV_INT_SQ],
+    );
 
     fill(out[OUT_CHIPSET], model.chipset.constant_w);
 
@@ -232,6 +255,14 @@ impl FleetEstimator {
     /// The current window's ingested batch.
     pub fn batch(&self) -> &SampleBatch {
         &self.batch
+    }
+
+    /// Mutable access to the current window's batch, for external
+    /// ingestion paths (the `tdp-wire` streaming pipeline sizes the
+    /// batch with [`SampleBatch::resize_rows`] and writes rows at fixed
+    /// machine indices with [`SampleBatch::set_row`]).
+    pub fn batch_mut(&mut self) -> &mut SampleBatch {
+        &mut self.batch
     }
 
     /// Estimates from the most recent window.

@@ -14,6 +14,8 @@
 //! bit-identical to serial: the per-element operation sequence never
 //! changes, only which thread performs it.
 
+use trickledown::quad_poly;
+
 /// Elements processed per unrolled step.
 const LANES: usize = 8;
 
@@ -40,6 +42,38 @@ pub fn axpy(out: &mut [f64], a: f64, x: &[f64]) {
     }
     for (o, &xv) in out_it.into_remainder().iter_mut().zip(x_it.remainder()) {
         *o += a * xv;
+    }
+}
+
+/// `out[i] = quad_poly(dc, lin, quad, x[i], x_sq[i])` — one whole
+/// Equation-2/3/5 (or the interrupt half of Equation 4) per pass,
+/// evaluated through the *same* shared [`trickledown::quad_poly`]
+/// helper the scalar models call, so batched and scalar predictions
+/// agree bit for bit on identical aggregates.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn quadratic(out: &mut [f64], dc: f64, lin: f64, quad: f64, x: &[f64], x_sq: &[f64]) {
+    assert_eq!(out.len(), x.len(), "quadratic length mismatch");
+    assert_eq!(out.len(), x_sq.len(), "quadratic length mismatch");
+    for ((o, &xv), &sv) in out.iter_mut().zip(x).zip(x_sq) {
+        *o = quad_poly(dc, lin, quad, xv, sv);
+    }
+}
+
+/// `out[i] += quad_poly(0, lin, quad, x[i], x_sq[i])` — the accumulate
+/// form for multi-input models (Equation 4 adds its DMA quadratic on
+/// top of the interrupt one).
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn quadratic_acc(out: &mut [f64], lin: f64, quad: f64, x: &[f64], x_sq: &[f64]) {
+    assert_eq!(out.len(), x.len(), "quadratic_acc length mismatch");
+    assert_eq!(out.len(), x_sq.len(), "quadratic_acc length mismatch");
+    for ((o, &xv), &sv) in out.iter_mut().zip(x).zip(x_sq) {
+        *o += quad_poly(0.0, lin, quad, xv, sv);
     }
 }
 
@@ -87,5 +121,26 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         axpy(&mut [0.0; 3], 1.0, &[0.0; 4]);
+    }
+
+    #[test]
+    fn quadratic_kernels_match_quad_poly_bit_for_bit() {
+        let x: Vec<f64> = (0..33).map(|i| i as f64 * 0.37 - 4.0).collect();
+        let x_sq: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let (dc, lin, quad) = (21.6, 10.6e7, -11.1e15);
+        let mut out = vec![0.0; x.len()];
+        quadratic(&mut out, dc, lin, quad, &x, &x_sq);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(
+                o.to_bits(),
+                quad_poly(dc, lin, quad, x[i], x_sq[i]).to_bits()
+            );
+        }
+        quadratic_acc(&mut out, 9.18, -45.4, &x, &x_sq);
+        for (i, &o) in out.iter().enumerate() {
+            let expect = quad_poly(dc, lin, quad, x[i], x_sq[i])
+                + quad_poly(0.0, 9.18, -45.4, x[i], x_sq[i]);
+            assert_eq!(o.to_bits(), expect.to_bits());
+        }
     }
 }

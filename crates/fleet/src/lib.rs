@@ -59,6 +59,6 @@ mod calibrate;
 mod estimator;
 pub mod kernels;
 
-pub use batch::{SampleBatch, COLUMNS};
+pub use batch::{col, RowAccumulator, SampleBatch, COLUMNS, ROW_EVENTS};
 pub use calibrate::StreamingCalibrator;
 pub use estimator::{FleetEstimates, FleetEstimator};

@@ -1,0 +1,208 @@
+//! The layout-cache memoization must be invisible: a `SampleBatch`
+//! whose cache was warmed by *any* previous PMU layout must extract a
+//! sample with a *different* layout exactly as a cold batch would —
+//! reordered, truncated or extended event lists can never misattribute
+//! a count to the wrong column.
+//!
+//! The deterministic tests pin the mid-stream reprogramming scenarios
+//! by name; the property test drives the cache through arbitrary
+//! shuffled/subset layouts and checks bitwise agreement with fresh
+//! extraction on every row.
+
+use proptest::prelude::*;
+use tdp_counters::{CounterSample, CpuId, InterruptSnapshot, PerfEvent, SampleSet};
+use tdp_fleet::{SampleBatch, COLUMNS};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A sample set whose CPUs all list `layout` in order, with
+/// seed-derived counts large enough to produce nonzero rates.
+fn set_with_layout(layout: &[PerfEvent], seed: u64, cpus: usize) -> SampleSet {
+    let mut s = seed;
+    let per_cpu = (0..cpus)
+        .map(|cpu| {
+            let counts = layout
+                .iter()
+                .map(|&e| {
+                    let base = if e == PerfEvent::Cycles {
+                        1_000_000_000
+                    } else {
+                        0
+                    };
+                    (e, base + splitmix(&mut s) % 1_000_000_000)
+                })
+                .collect();
+            CounterSample::new(CpuId::new(cpu as u8), seed, counts)
+        })
+        .collect();
+    SampleSet {
+        time_ms: 1000,
+        window_ms: 1000,
+        seq: seed,
+        per_cpu,
+        interrupts: InterruptSnapshot::default(),
+    }
+}
+
+/// Seed-derived layout: a subset of all events, Fisher–Yates shuffled.
+fn arbitrary_layout(seed: u64) -> Vec<PerfEvent> {
+    let mut s = seed;
+    let mask = splitmix(&mut s);
+    let mut layout: Vec<PerfEvent> = PerfEvent::ALL
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask >> i & 1 == 1)
+        .map(|(_, &e)| e)
+        .collect();
+    for i in (1..layout.len()).rev() {
+        layout.swap(i, (splitmix(&mut s) % (i as u64 + 1)) as usize);
+    }
+    layout
+}
+
+/// Row `i` of a batch, as bits.
+fn row_bits(batch: &SampleBatch, i: usize) -> [u64; COLUMNS] {
+    let cols = batch.columns();
+    std::array::from_fn(|k| cols[k][i].to_bits())
+}
+
+/// Extraction through a cold (fresh) batch — the reference the warmed
+/// cache must match.
+fn fresh_row_bits(set: &SampleSet) -> [u64; COLUMNS] {
+    let mut b = SampleBatch::new();
+    b.push_sample_set(set);
+    row_bits(&b, 0)
+}
+
+fn assert_stream_matches_fresh(sets: &[SampleSet]) {
+    let mut warm = SampleBatch::new();
+    for set in sets {
+        warm.push_sample_set(set);
+    }
+    for (i, set) in sets.iter().enumerate() {
+        assert_eq!(
+            row_bits(&warm, i),
+            fresh_row_bits(set),
+            "sample {i}: warmed cache diverged from fresh extraction"
+        );
+    }
+}
+
+/// The canonical nine-event trickle-down programming.
+const TRICKLE: [PerfEvent; 9] = [
+    PerfEvent::Cycles,
+    PerfEvent::HaltedCycles,
+    PerfEvent::FetchedUops,
+    PerfEvent::L3LoadMisses,
+    PerfEvent::BusTransactionsAll,
+    PerfEvent::DmaOtherBusTransactions,
+    PerfEvent::InterruptsTotal,
+    PerfEvent::TimerInterrupts,
+    PerfEvent::DiskInterrupts,
+];
+
+#[test]
+fn reordered_layout_mid_stream_invalidates_the_memo() {
+    let mut reversed = TRICKLE;
+    reversed.reverse();
+    let mut rotated = TRICKLE;
+    rotated.rotate_left(4);
+    assert_stream_matches_fresh(&[
+        set_with_layout(&TRICKLE, 1, 4),
+        set_with_layout(&TRICKLE, 2, 4),  // verified-load fast path
+        set_with_layout(&reversed, 3, 4), // same events, new positions
+        set_with_layout(&rotated, 4, 4),
+        set_with_layout(&TRICKLE, 5, 4), // back again
+    ]);
+}
+
+#[test]
+fn extended_layout_mid_stream_shifts_no_columns() {
+    // The PMU gains extra events in front of and between the wanted
+    // ones — every cached position is stale at once.
+    let extended: Vec<PerfEvent> = [PerfEvent::TlbMisses, PerfEvent::L2Misses]
+        .iter()
+        .chain(TRICKLE.iter())
+        .chain([PerfEvent::BranchMispredictions].iter())
+        .copied()
+        .collect();
+    let interleaved: Vec<PerfEvent> = TRICKLE
+        .iter()
+        .flat_map(|&e| [e, PerfEvent::RetiredUops])
+        .collect();
+    // `interleaved` lists RetiredUops nine times; dedupe to keep the
+    // first-occurrence rule trivially satisfied by construction.
+    let mut seen = std::collections::HashSet::new();
+    let interleaved: Vec<PerfEvent> = interleaved
+        .into_iter()
+        .filter(|e| seen.insert(*e))
+        .collect();
+    assert_stream_matches_fresh(&[
+        set_with_layout(&TRICKLE, 10, 3),
+        set_with_layout(&extended, 11, 3),
+        set_with_layout(&interleaved, 12, 3),
+        set_with_layout(&TRICKLE, 13, 3),
+    ]);
+}
+
+#[test]
+fn truncated_layout_mid_stream_zeroes_missing_events_only() {
+    // Events vanish (counter multiplexed away): their rates must read
+    // zero, and surviving events must keep their true values.
+    let partial = [PerfEvent::Cycles, PerfEvent::FetchedUops];
+    assert_stream_matches_fresh(&[
+        set_with_layout(&TRICKLE, 20, 2),
+        set_with_layout(&partial, 21, 2),
+        set_with_layout(&TRICKLE, 22, 2),
+    ]);
+}
+
+#[test]
+fn oversized_layout_falls_back_without_misattribution() {
+    // More simultaneous events than the cache memoises (33 > 32):
+    // the rescan fallback must still extract correctly, repeatedly.
+    let oversized: Vec<PerfEvent> = PerfEvent::ALL
+        .iter()
+        .chain(PerfEvent::ALL.iter().take(15))
+        .copied()
+        .collect();
+    assert!(oversized.len() > 32);
+    assert_stream_matches_fresh(&[
+        set_with_layout(&oversized, 30, 2),
+        set_with_layout(&oversized, 31, 2),
+        set_with_layout(&TRICKLE, 32, 2),
+    ]);
+}
+
+proptest! {
+    /// Arbitrary streams of shuffled-subset layouts: the warmed cache
+    /// must agree with fresh extraction bit for bit on every row, no
+    /// matter how layouts mutate between samples.
+    #[test]
+    fn shuffled_layout_streams_match_fresh_extraction(
+        seeds in prop::collection::vec(any::<u64>(), 1..12),
+        cpus in 1usize..5,
+    ) {
+        let sets: Vec<SampleSet> = seeds
+            .iter()
+            .map(|&s| set_with_layout(&arbitrary_layout(s), s ^ 0xabcd, cpus))
+            .collect();
+        let mut warm = SampleBatch::new();
+        for set in &sets {
+            warm.push_sample_set(set);
+        }
+        for (i, set) in sets.iter().enumerate() {
+            prop_assert_eq!(
+                row_bits(&warm, i),
+                fresh_row_bits(set),
+                "sample {} diverged", i
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Bit-for-bit agreement between the scalar subsystem models and the
+//! fleet column kernels on the shared quadratic form.
+//!
+//! Equations 2–5 are all `dc + lin·Σx + quad·Σx²`. Both evaluation
+//! paths — `trickledown`'s per-machine `predict` and `tdp-fleet`'s
+//! columnar `quadratic`/`quadratic_acc` kernels — route through the
+//! single `trickledown::quad_poly` helper and aggregate `Σx`/`Σx²` in
+//! the same CPU order, so their results must agree to the last bit,
+//! not within a tolerance. This test pins that contract for every
+//! quadratic model against fleet batches ingested from the same
+//! pre-extracted samples.
+
+use tdp_fleet::FleetEstimator;
+use trickledown::{CpuRates, MemoryInput, SystemPowerModel, SystemSample};
+
+fn sample(machine: usize, cpus: usize) -> SystemSample {
+    let m = machine as f64;
+    SystemSample {
+        time_ms: 1000,
+        window_ms: 1000,
+        per_cpu: (0..cpus)
+            .map(|c| {
+                let s = c as f64;
+                CpuRates {
+                    active_frac: ((m * 0.13 + s * 0.21) % 1.0),
+                    fetched_upc: (m * 0.07 + s * 0.4) % 2.0,
+                    l3_load_misses: (m * 1.7e-5 + s * 3e-6) % 3e-3,
+                    bus_tx_per_mcycle: (m * 41.0 + s * 13.0) % 9000.0,
+                    dma_per_cycle: (m * 1.3e-4 + s * 2e-5) % 0.02,
+                    interrupts_per_cycle: (m * 3e-9 + s * 5e-10) % 2e-8,
+                    device_interrupts_per_cycle: (m * 2e-9 + s * 4e-10) % 1.5e-8,
+                    disk_interrupts_per_cycle: (m * 1e-9 + s * 2e-10) % 0.8e-8,
+                    tlb_per_cycle: 0.0,
+                    uncacheable_per_cycle: 0.0,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Odd CPU counts exercise the kernels' remainder paths; machine count
+/// 97 exercises the column kernels' lane remainder.
+fn fleet_samples() -> Vec<SystemSample> {
+    (0..97).map(|m| sample(m, 1 + m % 5)).collect()
+}
+
+fn crosscheck(model: SystemPowerModel) {
+    let samples = fleet_samples();
+    let mut fleet = FleetEstimator::new(model.clone());
+    fleet.begin_window();
+    for s in &samples {
+        fleet.push_sample(s);
+    }
+    let est = fleet.estimate();
+
+    for (i, s) in samples.iter().enumerate() {
+        let scalar = model.predict(s);
+        for (name, batched, scalar_w) in [
+            (
+                "memory",
+                est.memory()[i],
+                scalar.get(tdp_counters::Subsystem::Memory),
+            ),
+            (
+                "disk",
+                est.disk()[i],
+                scalar.get(tdp_counters::Subsystem::Disk),
+            ),
+            ("io", est.io()[i], scalar.get(tdp_counters::Subsystem::Io)),
+        ] {
+            assert_eq!(
+                batched.to_bits(),
+                scalar_w.to_bits(),
+                "machine {i} {name}: batched {batched} vs scalar {scalar_w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quadratic_models_agree_bit_for_bit_bus_memory() {
+    crosscheck(SystemPowerModel::paper());
+}
+
+#[test]
+fn quadratic_models_agree_bit_for_bit_l3_memory() {
+    let mut model = SystemPowerModel::paper();
+    model.memory = trickledown::MemoryPowerModel::paper_l3();
+    crosscheck(model);
+}
+
+#[test]
+fn quadratic_models_agree_bit_for_bit_fitted_coefficients() {
+    // Not just the published constants: perturbed coefficients (as a
+    // calibration pass would produce) must also agree, since agreement
+    // comes from the shared evaluation routine, not from lucky values.
+    let mut model = SystemPowerModel::paper();
+    model.memory.lin *= 1.000001;
+    model.memory.quad *= 0.999998;
+    model.disk.int_lin *= 1.000003;
+    model.disk.dma_quad *= 1.000007;
+    model.io.int_quad *= 0.999991;
+    assert!(matches!(model.memory.input, MemoryInput::BusTransactions));
+    crosscheck(model);
+}

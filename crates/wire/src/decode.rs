@@ -1,0 +1,353 @@
+//! Zero-copy frame decoding straight into fleet sample rows.
+//!
+//! [`FrameDecoder`] never materialises an intermediate `SampleSet` or
+//! `SystemSample`: it walks a frame's varints in place, reconstructs
+//! per-CPU counts in two reused scratch buffers (current and previous
+//! CPU, for the delta chain), and folds them through
+//! [`tdp_fleet::RowAccumulator`] — the *same* arithmetic
+//! `SampleBatch::push_sample_set` applies to in-memory samples, which
+//! is what makes wire ingestion bit-identical to in-memory ingestion by
+//! construction. In the steady state (layouts already registered,
+//! scratch sized) a decode performs no allocation.
+//!
+//! Layouts are resolved through [`LayoutTable`], keyed on the header's
+//! `layout_hash`: a layout frame registers the positions of the nine
+//! [`ROW_EVENTS`] within the wire event list once, and every subsequent
+//! sample frame with that hash reuses the memoised positions (a
+//! one-entry hot cache makes the common single-layout fleet a single
+//! comparison). A sample frame whose hash was never declared is
+//! reported as [`DecodeError::UnknownLayout`], never guessed at — and
+//! because positions are keyed on the *hash of the full ordered list*,
+//! a mid-stream PMU reprogramming (reordered or extended event list)
+//! can never misattribute columns.
+
+use crate::frame::{
+    read_uvarint, unzigzag, FrameHeader, FrameType, HeaderError, HEADER_LEN, MAGIC, MAX_WIRE_EVENTS,
+};
+use tdp_counters::layout_hash_indices;
+use tdp_fleet::{RowAccumulator, COLUMNS, ROW_EVENTS};
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Stored checksum does not match header + payload.
+    Checksum,
+    /// A layout frame whose payload hashes differently than its header
+    /// claims, or varints that overrun the payload, or out-of-bounds
+    /// counts of events/CPUs.
+    Malformed,
+    /// A sample frame referencing a `layout_hash` no layout frame
+    /// declared.
+    UnknownLayout,
+}
+
+/// A successfully decoded frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decoded {
+    /// A layout frame; its mapping is now registered in the decoder.
+    Layout,
+    /// One machine-window reduced to a fleet sample row.
+    Row {
+        /// Which machine the row describes.
+        machine_id: u64,
+        /// The window sequence number from the frame header.
+        window_seq: u64,
+        /// Machine aggregates, ready for
+        /// [`SampleBatch::push_row`](tdp_fleet::SampleBatch::push_row) /
+        /// [`set_row`](tdp_fleet::SampleBatch::set_row).
+        row: [f64; COLUMNS],
+    },
+}
+
+/// One registered wire layout: where each of the nine [`ROW_EVENTS`]
+/// sits in the wire event list (`u16::MAX` = absent).
+#[derive(Debug, Clone, Copy)]
+struct LayoutEntry {
+    hash: u64,
+    n_events: u16,
+    pos: [u16; ROW_EVENTS.len()],
+}
+
+/// Memoised `layout_hash → column positions` mapping.
+///
+/// Fleets overwhelmingly run one PMU programming, so lookups check a
+/// hot index first; the fallback is a linear scan (distinct layouts per
+/// stream are few — re-registration of a known hash is free).
+#[derive(Debug, Clone, Default)]
+pub struct LayoutTable {
+    entries: Vec<LayoutEntry>,
+    hot: usize,
+}
+
+impl LayoutTable {
+    fn lookup(&mut self, hash: u64) -> Option<&LayoutEntry> {
+        if let Some(e) = self.entries.get(self.hot) {
+            if e.hash == hash {
+                return self.entries.get(self.hot);
+            }
+        }
+        let i = self.entries.iter().position(|e| e.hash == hash)?;
+        self.hot = i;
+        self.entries.get(i)
+    }
+
+    fn register(&mut self, entry: LayoutEntry) {
+        if let Some(i) = self.entries.iter().position(|e| e.hash == entry.hash) {
+            self.entries[i] = entry;
+            self.hot = i;
+        } else {
+            self.hot = self.entries.len();
+            self.entries.push(entry);
+        }
+    }
+
+    /// Registered layouts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no layout has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Streaming frame decoder; see the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct FrameDecoder {
+    layouts: LayoutTable,
+    /// Previous CPU's reconstructed counts (delta-chain base).
+    prev: Vec<u64>,
+    /// Current CPU's reconstructed counts.
+    cur: Vec<u64>,
+}
+
+impl FrameDecoder {
+    /// A decoder with no layouts registered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The layouts registered so far.
+    pub fn layouts(&self) -> &LayoutTable {
+        &self.layouts
+    }
+
+    /// Decodes one frame given its parsed header and payload slice
+    /// (both still borrowed from the input buffer — nothing is copied
+    /// out except the reconstructed counts).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Checksum`] on any corruption (the checksum covers
+    /// every header field and payload bit), [`DecodeError::Malformed`]
+    /// on a structurally invalid frame that nonetheless checksums
+    /// (encoder bug), [`DecodeError::UnknownLayout`] for a sample frame
+    /// whose layout was never declared.
+    pub fn decode_frame(
+        &mut self,
+        header: &FrameHeader,
+        payload: &[u8],
+    ) -> Result<Decoded, DecodeError> {
+        if !header.verify(payload) {
+            return Err(DecodeError::Checksum);
+        }
+        if header.n_events as usize > MAX_WIRE_EVENTS {
+            return Err(DecodeError::Malformed);
+        }
+        match header.frame_type {
+            FrameType::Layout => self.decode_layout(header, payload),
+            FrameType::Sample => self.decode_sample(header, payload),
+        }
+    }
+
+    fn decode_layout(
+        &mut self,
+        header: &FrameHeader,
+        payload: &[u8],
+    ) -> Result<Decoded, DecodeError> {
+        // Re-declaration of an already-registered hash: the checksum
+        // proved this frame intact, and the hash → positions binding
+        // was payload-verified when first registered, so re-parsing
+        // would recompute the identical entry. Skipping it makes
+        // producers that re-announce layouts (e.g. at stream joins)
+        // nearly free.
+        if let Some(e) = self.layouts.lookup(header.layout_hash) {
+            if e.n_events == header.n_events {
+                return Ok(Decoded::Layout);
+            }
+        }
+        let n = header.n_events as usize;
+        self.cur.clear();
+        let mut pos = 0usize;
+        for _ in 0..n {
+            self.cur
+                .push(read_uvarint(payload, &mut pos).ok_or(DecodeError::Malformed)?);
+        }
+        if pos != payload.len() {
+            return Err(DecodeError::Malformed);
+        }
+        // The payload must hash to what the header claims — otherwise
+        // sample frames keyed on that hash would silently bind to the
+        // wrong column mapping.
+        if layout_hash_indices(self.cur.iter().copied()) != header.layout_hash {
+            return Err(DecodeError::Malformed);
+        }
+        let mut entry = LayoutEntry {
+            hash: header.layout_hash,
+            n_events: header.n_events,
+            pos: [u16::MAX; ROW_EVENTS.len()],
+        };
+        for (k, e) in ROW_EVENTS.iter().enumerate() {
+            // First occurrence wins, matching the in-memory rescan rule.
+            entry.pos[k] = self
+                .cur
+                .iter()
+                .position(|&i| i == e.index() as u64)
+                .map_or(u16::MAX, |i| i as u16);
+        }
+        self.layouts.register(entry);
+        Ok(Decoded::Layout)
+    }
+
+    fn decode_sample(
+        &mut self,
+        header: &FrameHeader,
+        payload: &[u8],
+    ) -> Result<Decoded, DecodeError> {
+        let entry = *self
+            .layouts
+            .lookup(header.layout_hash)
+            .ok_or(DecodeError::UnknownLayout)?;
+        if entry.n_events != header.n_events {
+            return Err(DecodeError::Malformed);
+        }
+        let n = header.n_events as usize;
+        self.prev.clear();
+        self.prev.resize(n, 0);
+        self.cur.clear();
+        self.cur.resize(n, 0);
+
+        let mut acc = RowAccumulator::new(header.cpu_count as usize);
+        let mut pos = 0usize;
+        for cpu in 0..header.cpu_count {
+            for e in 0..n {
+                let v = read_uvarint(payload, &mut pos).ok_or(DecodeError::Malformed)?;
+                self.cur[e] = if cpu == 0 {
+                    v
+                } else {
+                    self.prev[e].wrapping_add(unzigzag(v) as u64)
+                };
+            }
+            // The absent-event sentinel (`u16::MAX`) is out of bounds
+            // by construction, so one bounds-checked `get` folds the
+            // presence test and the lookup into a single branch.
+            let counts: [Option<u64>; ROW_EVENTS.len()] =
+                std::array::from_fn(|k| self.cur.get(entry.pos[k] as usize).copied());
+            acc.accumulate_cpu(counts);
+            std::mem::swap(&mut self.prev, &mut self.cur);
+        }
+        if pos != payload.len() {
+            return Err(DecodeError::Malformed);
+        }
+        Ok(Decoded::Row {
+            machine_id: header.machine_id,
+            window_seq: header.window_seq,
+            row: acc.finish(),
+        })
+    }
+}
+
+/// One framing step over a raw byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CursorItem {
+    /// A well-framed frame (header parsed; checksum **not** yet
+    /// verified — skip-scanning shards only verify frames they own).
+    Frame {
+        /// Byte offset of the frame's header in the stream.
+        start: usize,
+        /// The parsed header.
+        header: FrameHeader,
+    },
+    /// Bytes skipped while hunting for the next frame boundary after a
+    /// framing failure (bad magic/version/type, or a length that
+    /// overruns the buffer).
+    Resync {
+        /// How many bytes were discarded.
+        skipped: usize,
+    },
+}
+
+/// Splits a byte stream into frames, resynchronising on the magic
+/// number after corruption. Every decoder shard runs an identical
+/// cursor over the identical buffer, so all shards agree on frame
+/// boundaries and ownership even around corrupt regions.
+#[derive(Debug, Clone)]
+pub struct FrameCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameCursor<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// The payload slice of a frame yielded by this cursor.
+    pub fn payload(&self, start: usize, header: &FrameHeader) -> &'a [u8] {
+        let p = start + HEADER_LEN;
+        &self.buf[p..p + header.payload_len as usize]
+    }
+
+    /// Scans forward from `from` to the next possible magic, returning
+    /// the new position (end of buffer if none).
+    fn next_magic(&self, from: usize) -> usize {
+        let magic = MAGIC.to_le_bytes();
+        let mut i = from;
+        while i + 1 < self.buf.len() {
+            if self.buf[i] == magic[0] && self.buf[i + 1] == magic[1] {
+                return i;
+            }
+            i += 1;
+        }
+        self.buf.len()
+    }
+}
+
+impl Iterator for FrameCursor<'_> {
+    type Item = CursorItem;
+
+    fn next(&mut self) -> Option<CursorItem> {
+        let remaining = self.buf.len() - self.pos;
+        if remaining == 0 {
+            return None;
+        }
+        let start = self.pos;
+        match FrameHeader::parse(&self.buf[start..]) {
+            Ok(h) => {
+                let total = HEADER_LEN + h.payload_len as usize;
+                if total <= remaining {
+                    self.pos = start + total;
+                    return Some(CursorItem::Frame { start, header: h });
+                }
+                // Length overruns the buffer: either truncation or a
+                // corrupt length field. Hunt for the next boundary.
+                self.pos = self.next_magic(start + 2);
+                Some(CursorItem::Resync {
+                    skipped: self.pos - start,
+                })
+            }
+            Err(HeaderError::Truncated) => {
+                self.pos = self.buf.len();
+                Some(CursorItem::Resync { skipped: remaining })
+            }
+            Err(_) => {
+                self.pos = self.next_magic(start + 2);
+                Some(CursorItem::Resync {
+                    skipped: self.pos - start,
+                })
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Frame encoding: [`SampleSet`]s → wire bytes.
+//!
+//! [`WireEncoder`] is the stateful producer side: it tracks the last
+//! layout hash announced per machine and interleaves a layout frame
+//! whenever a machine's PMU programming changes (including the first
+//! time it is seen), so a stream is always self-describing. The
+//! stateless [`encode_layout_frame`] / [`encode_sample_frame`] building
+//! blocks are public for tests and custom producers.
+
+use crate::frame::{put_uvarint, zigzag, FrameHeader, FrameType, HEADER_LEN, MAX_WIRE_EVENTS};
+use std::collections::HashMap;
+use tdp_counters::{layout_hash, PerfEvent, SampleSet};
+
+/// Why a sample set could not be encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// CPUs within one set disagree on event list or order; a frame
+    /// carries exactly one layout for all its CPUs.
+    MixedLayouts,
+    /// More events per CPU than [`MAX_WIRE_EVENTS`] (or more CPUs than
+    /// `u16::MAX`) — outside the format's bounds.
+    OutOfBounds,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::MixedLayouts => {
+                write!(f, "CPUs in one sample set must share one event layout")
+            }
+            EncodeError::OutOfBounds => write!(f, "layout exceeds wire format bounds"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Reserves header space, runs `payload` to append the payload, then
+/// backfills the header (with checksum) over the reservation.
+fn with_frame(out: &mut Vec<u8>, mut header: FrameHeader, payload: impl FnOnce(&mut Vec<u8>)) {
+    let start = out.len();
+    out.resize(start + HEADER_LEN, 0);
+    payload(out);
+    let payload_len = out.len() - start - HEADER_LEN;
+    header.payload_len = payload_len as u32;
+    header.checksum = header.expected_checksum(&out[start + HEADER_LEN..]);
+    let (head, _) = out[start..].split_at_mut(HEADER_LEN);
+    header.write(head);
+}
+
+/// Appends one layout frame declaring `events` for `machine_id`.
+///
+/// # Errors
+///
+/// [`EncodeError::OutOfBounds`] if `events` exceeds
+/// [`MAX_WIRE_EVENTS`].
+pub fn encode_layout_frame(
+    out: &mut Vec<u8>,
+    machine_id: u64,
+    window_seq: u64,
+    events: &[PerfEvent],
+) -> Result<(), EncodeError> {
+    if events.len() > MAX_WIRE_EVENTS {
+        return Err(EncodeError::OutOfBounds);
+    }
+    let header = FrameHeader {
+        frame_type: FrameType::Layout,
+        payload_len: 0,
+        machine_id,
+        window_seq,
+        layout_hash: layout_hash(events),
+        cpu_count: 0,
+        n_events: events.len() as u16,
+        checksum: 0,
+    };
+    with_frame(out, header, |buf| {
+        for &e in events {
+            put_uvarint(buf, e.index() as u64);
+        }
+    });
+    Ok(())
+}
+
+/// Appends one sample frame for `machine_id`, encoding every CPU's
+/// counts against `events` (the layout all CPUs of the set share).
+///
+/// CPU 0's counts are raw varints; each later CPU stores the zigzag
+/// delta against the previous CPU's count of the same event.
+///
+/// # Errors
+///
+/// [`EncodeError::MixedLayouts`] if any CPU's counter layout differs
+/// from the first CPU's; [`EncodeError::OutOfBounds`] if the layout or
+/// CPU count exceeds the format's bounds.
+pub fn encode_sample_frame(
+    out: &mut Vec<u8>,
+    machine_id: u64,
+    set: &SampleSet,
+) -> Result<(), EncodeError> {
+    let first: &[(PerfEvent, u64)] = set.per_cpu.first().map_or(&[], |c| c.counts());
+    if first.len() > MAX_WIRE_EVENTS || set.per_cpu.len() > u16::MAX as usize {
+        return Err(EncodeError::OutOfBounds);
+    }
+    for cpu in &set.per_cpu {
+        let counts = cpu.counts();
+        if counts.len() != first.len() || counts.iter().zip(first).any(|(a, b)| a.0 != b.0) {
+            return Err(EncodeError::MixedLayouts);
+        }
+    }
+    let header = FrameHeader {
+        frame_type: FrameType::Sample,
+        payload_len: 0,
+        machine_id,
+        window_seq: set.seq,
+        layout_hash: layout_hash_of(first),
+        cpu_count: set.per_cpu.len() as u16,
+        n_events: first.len() as u16,
+        checksum: 0,
+    };
+    with_frame(out, header, |buf| {
+        for (k, cpu) in set.per_cpu.iter().enumerate() {
+            for (e, &(_, count)) in cpu.counts().iter().enumerate() {
+                if k == 0 {
+                    put_uvarint(buf, count);
+                } else {
+                    let prev = set.per_cpu[k - 1].counts()[e].1;
+                    put_uvarint(buf, zigzag(count.wrapping_sub(prev) as i64));
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+fn layout_hash_of(pairs: &[(PerfEvent, u64)]) -> u64 {
+    tdp_counters::layout_hash_indices(pairs.iter().map(|p| p.0.index() as u64))
+}
+
+/// Stateful stream encoder: one byte buffer, automatic layout frames.
+///
+/// # Example
+///
+/// ```
+/// use tdp_simsys::{Machine, MachineConfig};
+/// use tdp_wire::WireEncoder;
+///
+/// let mut machine = Machine::new(MachineConfig::default());
+/// for _ in 0..1000 {
+///     machine.tick();
+/// }
+/// let set = machine.read_counters();
+///
+/// let mut enc = WireEncoder::new();
+/// enc.push_sample_set(7, &set).unwrap(); // layout frame + sample frame
+/// enc.push_sample_set(7, &set).unwrap(); // sample frame only
+/// assert!(!enc.bytes().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WireEncoder {
+    buf: Vec<u8>,
+    last_layout: HashMap<u64, u64>,
+}
+
+impl WireEncoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one machine-window, preceding it with a layout frame if
+    /// this machine's event layout is new or changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EncodeError`] (nothing is appended on error).
+    pub fn push_sample_set(&mut self, machine_id: u64, set: &SampleSet) -> Result<(), EncodeError> {
+        let events: Vec<PerfEvent> = set
+            .per_cpu
+            .first()
+            .map_or(Vec::new(), |c| c.counts().iter().map(|p| p.0).collect());
+        let hash = layout_hash(&events);
+        let rollback = self.buf.len();
+        if self.last_layout.get(&machine_id) != Some(&hash) {
+            encode_layout_frame(&mut self.buf, machine_id, set.seq, &events)?;
+        }
+        match encode_sample_frame(&mut self.buf, machine_id, set) {
+            Ok(()) => {
+                self.last_layout.insert(machine_id, hash);
+                Ok(())
+            }
+            Err(e) => {
+                self.buf.truncate(rollback);
+                Err(e)
+            }
+        }
+    }
+
+    /// The encoded stream so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Drains the encoded bytes, keeping the per-machine layout
+    /// memory — the natural per-window flush for a long-lived
+    /// producer: layout frames are re-emitted only when a machine's
+    /// PMU programming actually changes, not once per window.
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Consumes the encoder, returning the encoded stream.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}

@@ -1,0 +1,460 @@
+//! The frame format: fixed little-endian header, LEB128 varints,
+//! zigzag deltas, and a mix-based 64-bit frame checksum.
+//!
+//! A wire stream is a concatenation of frames. Each frame is a 44-byte
+//! header followed by `payload_len` payload bytes:
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic        0x5754 ("TW" little-endian)
+//!      2     1  version      1
+//!      3     1  frame type   0 = layout, 1 = sample
+//!      4     4  payload_len  bytes following the header
+//!      8     8  machine_id
+//!     16     8  window_seq   sampling-window sequence number
+//!     24     8  layout_hash  tdp_counters::layout_hash of the event list
+//!     32     2  cpu_count
+//!     34     2  n_events     events per CPU in this layout
+//!     36     8  checksum     see [`FrameHeader::expected_checksum`]
+//! ```
+//!
+//! A **layout frame** declares a PMU event layout: its payload is
+//! `n_events` varints of stable event indices ([`PerfEvent::index`]),
+//! and `layout_hash` is their [`layout_hash_indices`] — a decoder
+//! verifies the two agree before trusting either. A **sample frame**
+//! carries one machine's window of raw counts: `cpu_count × n_events`
+//! varints in layout order, CPU 0 raw and every later CPU zigzag
+//! delta-encoded against the previous CPU's count of the same event
+//! (fleet siblings count nearly alike, so deltas are short).
+//!
+//! The checksum mixes every header field (except the checksum itself)
+//! and every payload word through a chain of bijective steps
+//! (`rotate ⊕ mul-odd`), so **any single-bit corruption of a stored
+//! frame changes the expected checksum** — each step is invertible in
+//! both its state and its input word, so a difference introduced at any
+//! step survives to the final state. Magic and version are excluded
+//! only because their flips are caught by their own equality checks
+//! before the checksum is ever consulted.
+//!
+//! [`PerfEvent::index`]: tdp_counters::PerfEvent::index
+//! [`layout_hash_indices`]: tdp_counters::layout_hash_indices
+
+/// First two header bytes, `"TW"` read as a little-endian `u16`.
+pub const MAGIC: u16 = 0x5754;
+
+/// Current (only) format version.
+pub const VERSION: u8 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 44;
+
+/// Upper bound on `n_events` a decoder will size scratch buffers for.
+/// Generous versus [`tdp_counters::PerfEvent::count`] (18 today) to
+/// leave room for newer producers, tight enough that a corrupt header
+/// cannot request an absurd allocation.
+pub const MAX_WIRE_EVENTS: usize = 64;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Declares an event layout (payload: `n_events` event indices).
+    Layout,
+    /// One machine-window of counts (payload: `cpu_count × n_events`
+    /// delta/varint counts).
+    Sample,
+}
+
+impl FrameType {
+    fn from_wire(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(FrameType::Layout),
+            1 => Some(FrameType::Sample),
+            _ => None,
+        }
+    }
+
+    fn to_wire(self) -> u8 {
+        match self {
+            FrameType::Layout => 0,
+            FrameType::Sample => 1,
+        }
+    }
+}
+
+/// A parsed frame header (all fields host-endian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// What the payload contains.
+    pub frame_type: FrameType,
+    /// Payload bytes following the header.
+    pub payload_len: u32,
+    /// Which machine this frame describes.
+    pub machine_id: u64,
+    /// Sampling-window sequence number.
+    pub window_seq: u64,
+    /// Identity of the event layout the payload is encoded against.
+    pub layout_hash: u64,
+    /// CPUs in a sample frame (0 for layout frames).
+    pub cpu_count: u16,
+    /// Events per CPU in the layout.
+    pub n_events: u16,
+    /// Stored frame checksum.
+    pub checksum: u64,
+}
+
+/// Why a header failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderError {
+    /// Fewer than [`HEADER_LEN`] bytes available.
+    Truncated,
+    /// First two bytes are not [`MAGIC`].
+    BadMagic,
+    /// Unsupported [`VERSION`].
+    BadVersion,
+    /// Unknown frame-type byte.
+    BadType,
+}
+
+impl FrameHeader {
+    /// Parses the fixed header at the start of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HeaderError`] when `buf` is too short or the
+    /// magic/version/type bytes are wrong. Checksum verification is
+    /// separate ([`verify`](Self::verify)) because skip-scanning
+    /// decoders read headers without touching payloads.
+    pub fn parse(buf: &[u8]) -> Result<Self, HeaderError> {
+        if buf.len() < HEADER_LEN {
+            return Err(HeaderError::Truncated);
+        }
+        let u16_at = |o: usize| u16::from_le_bytes([buf[o], buf[o + 1]]);
+        let u32_at = |o: usize| u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]);
+        let u64_at = |o: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[o..o + 8]);
+            u64::from_le_bytes(b)
+        };
+        if u16_at(0) != MAGIC {
+            return Err(HeaderError::BadMagic);
+        }
+        if buf[2] != VERSION {
+            return Err(HeaderError::BadVersion);
+        }
+        let frame_type = FrameType::from_wire(buf[3]).ok_or(HeaderError::BadType)?;
+        Ok(Self {
+            frame_type,
+            payload_len: u32_at(4),
+            machine_id: u64_at(8),
+            window_seq: u64_at(16),
+            layout_hash: u64_at(24),
+            cpu_count: u16_at(32),
+            n_events: u16_at(34),
+            checksum: u64_at(36),
+        })
+    }
+
+    /// Serialises the header into exactly [`HEADER_LEN`] bytes at the
+    /// start of `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`HEADER_LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        out[2] = VERSION;
+        out[3] = self.frame_type.to_wire();
+        out[4..8].copy_from_slice(&self.payload_len.to_le_bytes());
+        out[8..16].copy_from_slice(&self.machine_id.to_le_bytes());
+        out[16..24].copy_from_slice(&self.window_seq.to_le_bytes());
+        out[24..32].copy_from_slice(&self.layout_hash.to_le_bytes());
+        out[32..34].copy_from_slice(&self.cpu_count.to_le_bytes());
+        out[34..36].copy_from_slice(&self.n_events.to_le_bytes());
+        out[36..44].copy_from_slice(&self.checksum.to_le_bytes());
+    }
+
+    /// The checksum this header + payload *should* carry.
+    pub fn expected_checksum(&self, payload: &[u8]) -> u64 {
+        // Odd multiplier (golden-ratio) and nothing-up-my-sleeve seeds
+        // (π words). Each step `h = rotl(h) ⊕ w  ·  K` is a bijection
+        // of `h` for fixed `w` and of `w` for fixed `h`. Payload words
+        // feed two independent lanes (even words → lane 0, odd → lane
+        // 1) so the multiply chains overlap instead of serialising;
+        // a flipped bit perturbs exactly one lane's state, and the
+        // final cross-lane mix is bijective in each lane, so the
+        // single-bit detection argument is unchanged.
+        const K: u64 = 0x9e37_79b9_7f4a_7c15;
+        const SEED0: u64 = 0x243f_6a88_85a3_08d3;
+        const SEED1: u64 = 0x1319_8a2e_0370_7344;
+        let mix = |h: u64, w: u64| (h.rotate_left(25) ^ w).wrapping_mul(K);
+        let mut h = SEED0;
+        h = mix(
+            h,
+            (self.frame_type.to_wire() as u64) << 32 | self.payload_len as u64,
+        );
+        h = mix(h, self.machine_id);
+        h = mix(h, self.window_seq);
+        h = mix(h, self.layout_hash);
+        h = mix(h, (self.cpu_count as u64) << 16 | self.n_events as u64);
+        let mut lane = SEED1;
+        let mut chunks = payload.chunks_exact(16);
+        for c in chunks.by_ref() {
+            let a = u64::from_le_bytes(c[..8].try_into().expect("8 bytes"));
+            let b = u64::from_le_bytes(c[8..].try_into().expect("8 bytes"));
+            h = mix(h, a);
+            lane = mix(lane, b);
+        }
+        let rem = chunks.remainder();
+        let mut i = 0;
+        while i < rem.len() {
+            let take = rem.len().min(i + 8);
+            let mut b = [0u8; 8];
+            b[..take - i].copy_from_slice(&rem[i..take]);
+            let w = u64::from_le_bytes(b);
+            if i == 0 {
+                h = mix(h, w);
+            } else {
+                lane = mix(lane, w);
+            }
+            i = take;
+        }
+        // payload_len is already mixed in, so the zero padding of the
+        // final partial word cannot alias a longer payload, and the
+        // word → lane assignment is a pure function of position.
+        mix(h, lane)
+    }
+
+    /// Whether the stored checksum matches the payload.
+    #[must_use]
+    pub fn verify(&self, payload: &[u8]) -> bool {
+        self.checksum == self.expected_checksum(payload)
+    }
+}
+
+/// Longest LEB128 encoding of a `u64`.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `v` to `out`.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Reads one LEB128 varint at `*pos`, advancing it past the encoding.
+///
+/// Returns `None` on buffer overrun or an encoding longer than
+/// [`MAX_VARINT_LEN`] bytes (which no `u64` produces).
+///
+/// Hot path: when at least 8 bytes remain, one unaligned word load
+/// finds the terminator (first byte without the continuation bit) and
+/// compacts the 7-bit groups with three shift/mask rounds — no
+/// per-byte loop for the ≤ 8-byte encodings that dominate real streams
+/// (values below 2⁵⁶). Longer encodings and buffer tails fall back to
+/// the byte loop with identical semantics.
+#[inline]
+pub fn read_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let p = *pos;
+    if let Some(chunk) = buf.get(p..p + 8) {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte slice"));
+        let stops = !word & 0x8080_8080_8080_8080;
+        if stops != 0 {
+            let len = (stops.trailing_zeros() as usize >> 3) + 1;
+            let data = word & (u64::MAX >> (64 - 8 * len as u32));
+            *pos = p + len;
+            return Some(compact7(data));
+        }
+    }
+    read_uvarint_slow(buf, pos)
+}
+
+/// Compacts up to eight 7-bit LEB128 groups (continuation bits still
+/// set or not — they are masked off) into one value.
+#[inline]
+fn compact7(w: u64) -> u64 {
+    let w = w & 0x7f7f_7f7f_7f7f_7f7f;
+    let w = (w & 0x7f00_7f00_7f00_7f00) >> 1 | (w & 0x007f_007f_007f_007f);
+    let w = (w & 0x3fff_0000_3fff_0000) >> 2 | (w & 0x0000_3fff_0000_3fff);
+    (w & 0x0fff_ffff_0000_0000) >> 4 | (w & 0x0000_0000_0fff_ffff)
+}
+
+/// Byte-at-a-time fallback for encodings longer than 8 bytes or closer
+/// than 8 bytes to the end of the buffer.
+fn read_uvarint_slow(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return None; // overflows u64 (or a >10-byte encoding)
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-folds a signed delta into an unsigned varint-friendly value
+/// (small magnitudes of either sign encode short).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> FrameHeader {
+        FrameHeader {
+            frame_type: FrameType::Sample,
+            payload_len: 5,
+            machine_id: 0x0123_4567_89ab_cdef,
+            window_seq: 42,
+            layout_hash: 0xdead_beef_cafe_f00d,
+            cpu_count: 4,
+            n_events: 9,
+            checksum: 0,
+        }
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let mut h = header();
+        h.checksum = h.expected_checksum(b"hello");
+        let mut buf = [0u8; HEADER_LEN];
+        h.write(&mut buf);
+        assert_eq!(FrameHeader::parse(&buf), Ok(h));
+    }
+
+    #[test]
+    fn parse_rejects_bad_prefixes() {
+        let mut buf = [0u8; HEADER_LEN];
+        header().write(&mut buf);
+        assert_eq!(FrameHeader::parse(&buf[..10]), Err(HeaderError::Truncated));
+        let mut bad = buf;
+        bad[0] ^= 1;
+        assert_eq!(FrameHeader::parse(&bad), Err(HeaderError::BadMagic));
+        let mut bad = buf;
+        bad[2] = 9;
+        assert_eq!(FrameHeader::parse(&bad), Err(HeaderError::BadVersion));
+        let mut bad = buf;
+        bad[3] = 7;
+        assert_eq!(FrameHeader::parse(&bad), Err(HeaderError::BadType));
+    }
+
+    #[test]
+    fn varints_roundtrip() {
+        let cases = [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &cases {
+            put_uvarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &cases {
+            assert_eq!(read_uvarint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_fast_and_slow_paths_agree() {
+        // Every encoded length 1..=10, read both far from the buffer
+        // tail (word fast path) and exactly at it (byte-loop fallback).
+        let mut values = vec![0u64, 1];
+        for s in 1..64 {
+            values.extend([(1u64 << s) - 1, 1u64 << s, (1u64 << s) | 1]);
+        }
+        values.push(u64::MAX);
+        for v in values {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let padded: Vec<u8> = buf.iter().copied().chain([0u8; 16]).collect();
+            let (mut a, mut b) = (0usize, 0usize);
+            assert_eq!(read_uvarint(&padded, &mut a), Some(v), "fast path {v}");
+            assert_eq!(read_uvarint(&buf, &mut b), Some(v), "tail path {v}");
+            assert_eq!(a, b, "both paths consume the same bytes for {v}");
+            assert_eq!(b, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overruns_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&[0x80, 0x80], &mut pos), None, "truncated");
+        // 10 continuation bytes followed by a large final byte would
+        // need a 71-bit value.
+        let too_big = [0xff; 9]
+            .iter()
+            .copied()
+            .chain([0x02u8])
+            .collect::<Vec<_>>();
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&too_big, &mut pos), None, "overflow");
+    }
+
+    #[test]
+    fn zigzag_roundtrips_and_keeps_small_magnitudes_short() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 12345, -9876] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert!(zigzag(-3) < 0x80, "small negative delta fits one byte");
+        // Wrapping delta arithmetic roundtrips across the full u64 range.
+        let (prev, cur) = (5u64, u64::MAX);
+        let delta = cur.wrapping_sub(prev) as i64;
+        assert_eq!(prev.wrapping_add(unzigzag(zigzag(delta)) as u64), cur);
+    }
+
+    #[test]
+    fn every_single_bit_flip_changes_the_checksum() {
+        let h = header();
+        let payload = b"payload bytes!";
+        let base = h.expected_checksum(payload);
+        // Payload bits.
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut p = payload.to_vec();
+                p[byte] ^= 1 << bit;
+                assert_ne!(h.expected_checksum(&p), base, "payload {byte}:{bit}");
+            }
+        }
+        // Checksummed header fields (everything past magic/version,
+        // which are equality-checked before the checksum).
+        let mut buf = vec![0u8; HEADER_LEN];
+        h.write(&mut buf);
+        for byte in 3..36 {
+            for bit in 0..8 {
+                let mut b = buf.clone();
+                b[byte] ^= 1 << bit;
+                if let Ok(flipped) = FrameHeader::parse(&b) {
+                    assert_ne!(
+                        flipped.expected_checksum(payload),
+                        base,
+                        "header {byte}:{bit}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! A bounded lock-free single-producer/single-consumer ring.
+//!
+//! The classic Lamport queue: the producer owns `tail`, the consumer
+//! owns `head`, each publishes its index with a release store and reads
+//! the other's with an acquire load, so the slot an index hands over is
+//! always fully written (or fully drained) before the other side
+//! touches it. No CAS, no locks, no allocation after construction.
+//!
+//! This is the only module in the crate (and the workspace outside
+//! `tdp-parallel`'s lifetime erasure) that uses `unsafe`; the safety
+//! argument is confined to the slot-handover protocol documented on
+//! [`push`](Producer::push) and [`pop`](Consumer::pop). Endpoint
+//! exclusivity is enforced by the type system: [`Producer`] and
+//! [`Consumer`] are not `Clone`, and both methods take `&mut self`.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Ring<T> {
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next index the consumer will pop. Written only by the consumer.
+    head: AtomicUsize,
+    /// Next index the producer will fill. Written only by the producer.
+    tail: AtomicUsize,
+    closed: AtomicBool,
+}
+
+// SAFETY: the ring is shared between exactly one producer and one
+// consumer thread; all slot accesses are ordered by the head/tail
+// acquire/release protocol below, so sending the (T: Send) contents
+// across threads is sound.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Both endpoints are gone (Arc refcount hit zero), so plain
+        // loads are sufficient and the occupied range is stable.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        let mut i = head;
+        while i != tail {
+            // SAFETY: indices in [head, tail) were written by a push
+            // and never popped.
+            unsafe { (*self.slots[i & self.mask].get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// Creates a ring holding at most `capacity` items (rounded up to a
+/// power of two, minimum 2).
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let ring = Arc::new(Ring {
+        mask: cap - 1,
+        slots: (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+    });
+    (
+        Producer {
+            ring: Arc::clone(&ring),
+        },
+        Consumer { ring },
+    )
+}
+
+/// The sending endpoint. Dropping it closes the ring.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> Producer<T> {
+    /// Attempts to enqueue `v`; hands it back if the ring is full (the
+    /// backpressure signal — the caller decides whether to spin, yield
+    /// or drop).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(v)` when the ring is at capacity.
+    pub fn push(&mut self, v: T) -> Result<(), T> {
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let head = self.ring.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.ring.mask {
+            return Err(v);
+        }
+        // SAFETY: tail − head ≤ mask, so slot (tail & mask) is outside
+        // the occupied range [head, tail): the consumer finished with
+        // it (its head release-store happened-before our acquire load),
+        // and only this producer writes slots.
+        unsafe { (*self.ring.slots[tail & self.ring.mask].get()).write(v) };
+        self.ring
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently queued — how far ahead of the consumer this
+    /// producer is running (the backpressure observable).
+    pub fn occupancy(&self) -> usize {
+        self.ring
+            .tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.ring.head.load(Ordering::Acquire))
+    }
+
+    /// Marks the stream complete; the consumer drains what is queued
+    /// and then reports [`Consumer::is_drained`]. Dropping the producer
+    /// closes implicitly (panic safety: an aborted decoder never wedges
+    /// its consumer).
+    pub fn close(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The receiving endpoint.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> Consumer<T> {
+    /// Dequeues the oldest item, or `None` if the ring is currently
+    /// empty (which does not mean the stream is over — see
+    /// [`is_drained`](Self::is_drained)).
+    pub fn pop(&mut self) -> Option<T> {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        let tail = self.ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: head < tail, so slot (head & mask) was fully written
+        // by the producer (its tail release-store happened-before our
+        // acquire load) and has not been popped (only this consumer
+        // advances head).
+        let v = unsafe { (*self.ring.slots[head & self.ring.mask].get()).assume_init_read() };
+        self.ring
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+
+    /// Whether the producer closed the stream *and* everything it
+    /// pushed has been popped. Reads `closed` before re-checking
+    /// emptiness, so a close racing with final pushes is never
+    /// misreported: items pushed before `close` are visible by the
+    /// time `closed` reads true.
+    pub fn is_drained(&self) -> bool {
+        let closed = self.ring.closed.load(Ordering::Acquire);
+        closed && self.ring.head.load(Ordering::Relaxed) == self.ring.tail.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99), "full ring refuses");
+        assert_eq!(tx.occupancy(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+        assert!(!rx.is_drained(), "open stream is not drained");
+        tx.close();
+        assert!(rx.is_drained());
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let (mut tx, _rx) = ring::<u8>(5);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        assert!(tx.push(8).is_err());
+    }
+
+    #[test]
+    fn dropping_the_producer_closes() {
+        let (tx, mut rx) = ring::<u8>(2);
+        drop(tx);
+        assert!(rx.is_drained());
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn unread_items_are_dropped_with_the_ring() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, rx) = ring::<Counted>(4);
+        tx.push(Counted).unwrap();
+        tx.push(Counted).unwrap();
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn cross_thread_stream_preserves_every_item() {
+        let (mut tx, mut rx) = ring::<u64>(8);
+        let n = 10_000u64;
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                let mut v = i;
+                while let Err(back) = tx.push(v) {
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut expect = 0u64;
+        loop {
+            match rx.pop() {
+                Some(v) => {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                }
+                None if rx.is_drained() => break,
+                None => std::thread::yield_now(),
+            }
+        }
+        assert_eq!(expect, n);
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,438 @@
+//! Streaming wire ingest: sharded decoders → SPSC rings → one consumer
+//! writing fleet sample rows.
+//!
+//! # Topology
+//!
+//! With `D` decoder shards on a [`WorkerPool`], `D + 1` tasks run under
+//! one `par_map`: shard `k` walks the *whole* stream with a
+//! [`FrameCursor`] but fully decodes only frames whose
+//! `machine_id % D == k` (header-skipping the rest is a length add, so
+//! the redundant scans cost little), batching decoded rows into chunks
+//! it pushes onto its own bounded [`ring`]; the single consumer task
+//! drains all `D` rings round-robin and writes each row at its
+//! machine's fixed index with [`SampleBatch::set_row`]. The consumer
+//! task is listed first and `D ≤ workers − 1`, so the pool always has a
+//! participant for it — a blocking producer can never wait on a
+//! consumer that nobody will run. (Corollary: do not call
+//! [`stream_window`] from inside a `par_map` closure, where the pool
+//! degrades to a serial loop.)
+//!
+//! # Backpressure
+//!
+//! Rings are bounded. A producer that finds its ring full observes the
+//! occupancy and, by default, yields until the consumer catches up —
+//! lossless and deterministic. With
+//! [`drop_when_full`](StreamConfig::drop_when_full) it sheds the chunk
+//! instead, bounding decoder latency at the price of dropped rows;
+//! both pressure events are counted in the [`StreamReport`].
+//!
+//! # Determinism
+//!
+//! In lossless mode the streamed result is **bit-identical** for any
+//! decoder count, including the serial fused path: a machine's row is
+//! produced by [`FrameDecoder`]'s arithmetic (itself bit-identical to
+//! in-memory ingestion) from the last frame for that machine in stream
+//! order, every machine is owned by exactly one shard, and rows land at
+//! fixed indices — so neither sharding nor ring interleaving can
+//! reorder any machine's writes.
+
+use crate::decode::{CursorItem, DecodeError, Decoded, FrameCursor, FrameDecoder};
+use crate::frame::FrameType;
+use crate::ring::{ring, Consumer, Producer};
+use tdp_fleet::{FleetEstimator, SampleBatch, COLUMNS};
+use tdp_parallel::WorkerPool;
+
+/// Tuning for [`stream_window`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Decoder shards; `0` means auto (`workers − 1`). Clamped to
+    /// `workers − 1` so the consumer always has a participant; on a
+    /// single-worker pool the serial fused path runs instead.
+    pub decoders: usize,
+    /// Chunks each ring holds before its producer feels backpressure.
+    pub ring_capacity: usize,
+    /// Rows per chunk (amortises ring traffic).
+    pub chunk_rows: usize,
+    /// `false` (default): block (yield) on a full ring — lossless,
+    /// deterministic. `true`: drop the chunk — bounded latency, lossy,
+    /// and dependent on scheduling timing.
+    pub drop_when_full: bool,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            decoders: 0,
+            ring_capacity: 8,
+            chunk_rows: 32,
+            drop_when_full: false,
+        }
+    }
+}
+
+/// What happened during one streamed window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Decoder shards actually used (`0` = serial fused path).
+    pub decoders: usize,
+    /// Sample frames whose decode was attempted (owned frames only).
+    pub sample_frames: u64,
+    /// Layout frames accepted.
+    pub layout_frames: u64,
+    /// Rows written into the batch.
+    pub rows_written: u64,
+    /// Frames rejected: checksum mismatch or malformed structure.
+    pub corrupt_frames: u64,
+    /// Framing failures (bad magic/version/type or overrunning length)
+    /// that forced a scan for the next frame boundary.
+    pub resyncs: u64,
+    /// Bytes discarded while resynchronising.
+    pub resync_bytes: u64,
+    /// Sample frames naming a layout never declared on the stream.
+    pub unknown_layout_frames: u64,
+    /// Decoded rows for machines beyond the window's machine count.
+    pub out_of_range_frames: u64,
+    /// Rows shed under backpressure (only with
+    /// [`StreamConfig::drop_when_full`]).
+    pub dropped_rows: u64,
+    /// Full-ring events a producer waited (or dropped) on.
+    pub backpressure_events: u64,
+}
+
+impl StreamReport {
+    /// Adds `o`'s event counters into `self` (all fields except
+    /// [`decoders`](Self::decoders), which describes a topology, not a
+    /// count) — for aggregating per-shard or per-window reports.
+    pub fn absorb(&mut self, o: &StreamReport) {
+        self.sample_frames += o.sample_frames;
+        self.layout_frames += o.layout_frames;
+        self.rows_written += o.rows_written;
+        self.corrupt_frames += o.corrupt_frames;
+        self.resyncs += o.resyncs;
+        self.resync_bytes += o.resync_bytes;
+        self.unknown_layout_frames += o.unknown_layout_frames;
+        self.out_of_range_frames += o.out_of_range_frames;
+        self.dropped_rows += o.dropped_rows;
+        self.backpressure_events += o.backpressure_events;
+    }
+}
+
+/// One decoded machine row in flight from a decoder shard to the
+/// consumer.
+#[derive(Debug, Clone, Copy)]
+struct WireRow {
+    machine: u64,
+    row: [f64; COLUMNS],
+}
+
+/// Decoder state that survives across windows: one [`FrameDecoder`]
+/// per shard, so a steady-state stream (layouts announced once, then
+/// sample frames only — see [`WireEncoder`](crate::WireEncoder)) pays
+/// for layout registration exactly once, not per window.
+///
+/// Every shard walks the whole stream and registers every layout
+/// frame, so shards that existed when a layout was announced all know
+/// it. Keep the decoder count stable across a stream: a shard added
+/// later (a grown pool) starts with an empty table and reports
+/// [`unknown_layout_frames`](StreamReport::unknown_layout_frames) for
+/// its machines until layouts are re-announced.
+#[derive(Debug, Default)]
+pub struct IngestState {
+    decoders: Vec<FrameDecoder>,
+}
+
+impl IngestState {
+    /// State with no layouts registered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shards(&mut self, d: usize) -> &mut [FrameDecoder] {
+        if self.decoders.len() < d {
+            self.decoders.resize_with(d, FrameDecoder::default);
+        }
+        &mut self.decoders[..d]
+    }
+}
+
+/// Walks the whole stream as shard `shard` of `nshards`, decoding owned
+/// frames and emitting in-range rows. Every shard runs this same
+/// function over the same buffer, so all shards agree on framing and
+/// ownership; counters for unattributable events (resyncs) are taken by
+/// shard 0 alone so fleet-wide sums are exact.
+fn run_shard(
+    dec: &mut FrameDecoder,
+    buf: &[u8],
+    shard: u64,
+    nshards: u64,
+    machines: usize,
+    mut emit: impl FnMut(WireRow),
+) -> StreamReport {
+    let mut stats = StreamReport::default();
+    let mut cursor = FrameCursor::new(buf);
+    while let Some(item) = cursor.next() {
+        let (start, header) = match item {
+            CursorItem::Resync { skipped } => {
+                if shard == 0 {
+                    stats.resyncs += 1;
+                    stats.resync_bytes += skipped as u64;
+                }
+                continue;
+            }
+            CursorItem::Frame { start, header } => (start, header),
+        };
+        let mine = header.machine_id % nshards == shard;
+        match header.frame_type {
+            FrameType::Layout => {
+                // Every shard registers every layout (any shard may own
+                // samples encoded against it); only the owner counts.
+                match dec.decode_frame(&header, cursor.payload(start, &header)) {
+                    Ok(_) => {
+                        if mine {
+                            stats.layout_frames += 1;
+                        }
+                    }
+                    Err(_) => {
+                        if mine {
+                            stats.corrupt_frames += 1;
+                        }
+                    }
+                }
+            }
+            FrameType::Sample => {
+                if !mine {
+                    continue;
+                }
+                stats.sample_frames += 1;
+                match dec.decode_frame(&header, cursor.payload(start, &header)) {
+                    Ok(Decoded::Row {
+                        machine_id, row, ..
+                    }) => {
+                        if (machine_id as usize) < machines {
+                            emit(WireRow {
+                                machine: machine_id,
+                                row,
+                            });
+                        } else {
+                            stats.out_of_range_frames += 1;
+                        }
+                    }
+                    Ok(Decoded::Layout) => {}
+                    Err(DecodeError::UnknownLayout) => stats.unknown_layout_frames += 1,
+                    Err(_) => stats.corrupt_frames += 1,
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Ships `chunk` to the consumer, observing ring occupancy for
+/// backpressure. Returns `(dropped_rows, pressure_events)`.
+fn ship(
+    producer: &mut Producer<Vec<WireRow>>,
+    chunk: Vec<WireRow>,
+    drop_when_full: bool,
+) -> (u64, u64) {
+    let rows = chunk.len() as u64;
+    match producer.push(chunk) {
+        Ok(()) => (0, 0),
+        Err(back) if drop_when_full => {
+            drop(back);
+            (rows, 1)
+        }
+        Err(back) => {
+            let mut c = back;
+            loop {
+                std::thread::yield_now();
+                match producer.push(c) {
+                    Ok(()) => return (0, 1),
+                    Err(b) => c = b,
+                }
+            }
+        }
+    }
+}
+
+/// Serial fused ingest: decode frames and write rows straight into the
+/// estimator's batch — no threads, no rings, no allocation in the
+/// steady state. This is the single-worker fallback of
+/// [`stream_window`] and the best-latency path when the stream is
+/// already in memory. Uses a fresh decoder, so `buf` must be
+/// self-describing; use [`ingest_serial_with`] to carry layouts across
+/// windows.
+pub fn ingest_serial(buf: &[u8], machines: usize, est: &mut FleetEstimator) -> StreamReport {
+    ingest_serial_with(&mut IngestState::new(), buf, machines, est)
+}
+
+/// [`ingest_serial`] with persistent decoder state: layouts registered
+/// by earlier windows (or earlier in this one) stay known, so
+/// steady-state windows can carry sample frames only.
+pub fn ingest_serial_with(
+    state: &mut IngestState,
+    buf: &[u8],
+    machines: usize,
+    est: &mut FleetEstimator,
+) -> StreamReport {
+    let dec = &mut state.shards(1)[0];
+    est.begin_window();
+    let batch = est.batch_mut();
+    batch.resize_rows(machines);
+    let mut rows = 0u64;
+    let mut stats = run_shard(dec, buf, 0, 1, machines, |r| {
+        batch.set_row(r.machine as usize, r.row);
+        rows += 1;
+    });
+    stats.rows_written = rows;
+    stats.decoders = 0;
+    stats
+}
+
+/// Streams one window of wire bytes into `est`'s batch across the
+/// pool: `D` decoder shards feeding one consumer through bounded SPSC
+/// rings (see the [module docs](self) for topology, backpressure and
+/// determinism). Call [`FleetEstimator::estimate`] afterwards. Uses
+/// fresh decoders, so `buf` must be self-describing; use
+/// [`stream_window_with`] to carry layouts across windows.
+pub fn stream_window(
+    pool: &WorkerPool,
+    cfg: &StreamConfig,
+    buf: &[u8],
+    machines: usize,
+    est: &mut FleetEstimator,
+) -> StreamReport {
+    stream_window_with(&mut IngestState::new(), pool, cfg, buf, machines, est)
+}
+
+/// [`stream_window`] with persistent per-shard decoder state (see
+/// [`IngestState`] for the layout-visibility contract when the shard
+/// count changes between windows).
+pub fn stream_window_with(
+    state: &mut IngestState,
+    pool: &WorkerPool,
+    cfg: &StreamConfig,
+    buf: &[u8],
+    machines: usize,
+    est: &mut FleetEstimator,
+) -> StreamReport {
+    let requested = if cfg.decoders == 0 {
+        usize::MAX
+    } else {
+        cfg.decoders
+    };
+    let d = requested.min(pool.workers().saturating_sub(1));
+    if d == 0 {
+        return ingest_serial_with(state, buf, machines, est);
+    }
+
+    est.begin_window();
+    let batch = est.batch_mut();
+    batch.resize_rows(machines);
+
+    enum Task<'a> {
+        Consume {
+            consumers: Vec<Consumer<Vec<WireRow>>>,
+            batch: &'a mut SampleBatch,
+        },
+        Decode {
+            shard: u64,
+            producer: Producer<Vec<WireRow>>,
+            dec: &'a mut FrameDecoder,
+        },
+    }
+
+    enum TaskOut {
+        Rows(u64),
+        Stats(StreamReport),
+    }
+
+    let mut consumers = Vec::with_capacity(d);
+    let mut tasks: Vec<Task> = Vec::with_capacity(d + 1);
+    let mut producers = Vec::with_capacity(d);
+    for _ in 0..d {
+        let (tx, rx) = ring(cfg.ring_capacity);
+        producers.push(tx);
+        consumers.push(rx);
+    }
+    // Consumer first: the submitting thread claims tasks in order, so
+    // the drain side is running before any producer can fill a ring.
+    tasks.push(Task::Consume { consumers, batch });
+    for ((shard, producer), dec) in producers
+        .into_iter()
+        .enumerate()
+        .zip(state.shards(d).iter_mut())
+    {
+        tasks.push(Task::Decode {
+            shard: shard as u64,
+            producer,
+            dec,
+        });
+    }
+
+    let chunk_rows = cfg.chunk_rows.max(1);
+    let drop_when_full = cfg.drop_when_full;
+    let outs = pool.par_map(tasks, |task| match task {
+        Task::Consume {
+            mut consumers,
+            batch,
+        } => {
+            let mut rows = 0u64;
+            while !consumers.is_empty() {
+                let mut progressed = false;
+                consumers.retain_mut(|c| {
+                    while let Some(chunk) = c.pop() {
+                        progressed = true;
+                        for r in chunk {
+                            batch.set_row(r.machine as usize, r.row);
+                            rows += 1;
+                        }
+                    }
+                    !c.is_drained()
+                });
+                if !progressed && !consumers.is_empty() {
+                    std::thread::yield_now();
+                }
+            }
+            TaskOut::Rows(rows)
+        }
+        Task::Decode {
+            shard,
+            mut producer,
+            dec,
+        } => {
+            let mut chunk: Vec<WireRow> = Vec::with_capacity(chunk_rows);
+            let mut dropped = 0u64;
+            let mut pressure = 0u64;
+            let mut stats = run_shard(dec, buf, shard, d as u64, machines, |r| {
+                chunk.push(r);
+                if chunk.len() == chunk_rows {
+                    let full = std::mem::replace(&mut chunk, Vec::with_capacity(chunk_rows));
+                    let (dr, pr) = ship(&mut producer, full, drop_when_full);
+                    dropped += dr;
+                    pressure += pr;
+                }
+            });
+            if !chunk.is_empty() {
+                let (dr, pr) = ship(&mut producer, chunk, drop_when_full);
+                dropped += dr;
+                pressure += pr;
+            }
+            producer.close();
+            stats.dropped_rows = dropped;
+            stats.backpressure_events = pressure;
+            TaskOut::Stats(stats)
+        }
+    });
+
+    let mut report = StreamReport {
+        decoders: d,
+        ..StreamReport::default()
+    };
+    for out in &outs {
+        match out {
+            TaskOut::Rows(r) => report.rows_written += r,
+            TaskOut::Stats(s) => report.absorb(s),
+        }
+    }
+    report
+}

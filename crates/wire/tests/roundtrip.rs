@@ -1,0 +1,384 @@
+//! End-to-end guarantees of the wire codec and streaming pipeline:
+//! wire ingestion is bit-identical to in-memory ingestion, streamed
+//! results are bit-identical for any decoder count, and every
+//! single-bit corruption of a frame is detected, never silently
+//! ingested.
+
+use tdp_counters::{CounterSample, CpuId, InterruptSnapshot, PerfEvent, SampleSet};
+use tdp_fleet::FleetEstimator;
+use tdp_parallel::WorkerPool;
+use tdp_wire::{
+    ingest_serial, ingest_serial_with, stream_window, stream_window_with, IngestState,
+    StreamConfig, WireEncoder,
+};
+use trickledown::SystemPowerModel;
+
+/// The nine-event trickle-down layout every machine runs by default.
+const LAYOUT: [PerfEvent; 9] = [
+    PerfEvent::Cycles,
+    PerfEvent::HaltedCycles,
+    PerfEvent::FetchedUops,
+    PerfEvent::L3LoadMisses,
+    PerfEvent::BusTransactionsAll,
+    PerfEvent::DmaOtherBusTransactions,
+    PerfEvent::InterruptsTotal,
+    PerfEvent::TimerInterrupts,
+    PerfEvent::DiskInterrupts,
+];
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A realistic machine-window: 4 CPUs, counts scaled per event so the
+/// derived rates land in each model's operating range.
+fn synthetic_set(machine: u64, seq: u64, layout: &[PerfEvent]) -> SampleSet {
+    let mut rng = machine
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(seq)
+        | 1;
+    let per_cpu = (0..4)
+        .map(|cpu| {
+            let counts = layout
+                .iter()
+                .map(|&e| {
+                    let r = xorshift(&mut rng);
+                    let scale: u64 = match e {
+                        PerfEvent::Cycles => 2_000_000_000,
+                        PerfEvent::HaltedCycles => 900_000_000,
+                        PerfEvent::FetchedUops => 2_500_000_000,
+                        PerfEvent::L3LoadMisses => 4_000_000,
+                        PerfEvent::BusTransactionsAll => 25_000_000,
+                        PerfEvent::DmaOtherBusTransactions => 1_500_000,
+                        PerfEvent::InterruptsTotal => 6_000,
+                        PerfEvent::TimerInterrupts => 2_000,
+                        PerfEvent::DiskInterrupts => 900,
+                        _ => 10_000,
+                    };
+                    (e, scale / 2 + r % scale.max(1))
+                })
+                .collect();
+            CounterSample::new(CpuId::new(cpu), seq, counts)
+        })
+        .collect();
+    SampleSet {
+        time_ms: (seq + 1) * 1000,
+        window_ms: 1000,
+        seq,
+        per_cpu,
+        interrupts: InterruptSnapshot::default(),
+    }
+}
+
+fn fleet_window(machines: u64) -> Vec<SampleSet> {
+    (0..machines)
+        .map(|m| synthetic_set(m, 3, &LAYOUT))
+        .collect()
+}
+
+fn encode_window(sets: &[SampleSet]) -> Vec<u8> {
+    let mut enc = WireEncoder::new();
+    for (id, set) in sets.iter().enumerate() {
+        enc.push_sample_set(id as u64, set).unwrap();
+    }
+    enc.finish()
+}
+
+/// Ingests in-memory and returns the batch columns + estimates as bits.
+fn reference_bits(sets: &[SampleSet]) -> (Vec<Vec<u64>>, Vec<u64>) {
+    let mut est = FleetEstimator::new(SystemPowerModel::paper());
+    est.begin_window();
+    for set in sets {
+        est.push_sample_set(set);
+    }
+    let totals = est.estimate().total().iter().map(|v| v.to_bits()).collect();
+    let cols = est
+        .batch()
+        .columns()
+        .iter()
+        .map(|c| c.iter().map(|v| v.to_bits()).collect())
+        .collect();
+    (cols, totals)
+}
+
+fn batch_bits(est: &FleetEstimator) -> Vec<Vec<u64>> {
+    est.batch()
+        .columns()
+        .iter()
+        .map(|c| c.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn wire_ingestion_is_bit_identical_to_in_memory() {
+    let sets = fleet_window(37);
+    let wire = encode_window(&sets);
+    let (ref_cols, ref_totals) = reference_bits(&sets);
+
+    let mut est = FleetEstimator::new(SystemPowerModel::paper());
+    let report = ingest_serial(&wire, sets.len(), &mut est);
+    assert_eq!(report.rows_written, 37);
+    assert_eq!(report.sample_frames, 37);
+    assert_eq!(report.layout_frames, 37, "one layout frame per machine");
+    assert_eq!(report.corrupt_frames + report.resyncs, 0);
+
+    assert_eq!(batch_bits(&est), ref_cols, "columns must match bit for bit");
+    let totals: Vec<u64> = est.estimate().total().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(totals, ref_totals, "estimates must match bit for bit");
+}
+
+#[test]
+fn streamed_result_is_bit_identical_across_decoder_counts() {
+    let sets = fleet_window(101);
+    let wire = encode_window(&sets);
+    let (ref_cols, ref_totals) = reference_bits(&sets);
+
+    // Pool sizes 1 (serial fused), 2 (one decoder), 3 (two decoders)
+    // and a wider pool; lossless mode must agree bit for bit with the
+    // in-memory reference in every configuration, and with a tiny ring
+    // that forces real backpressure.
+    for (workers, ring_capacity) in [(1, 8), (2, 2), (3, 8), (4, 2), (8, 4)] {
+        let pool = WorkerPool::new(workers);
+        let cfg = StreamConfig {
+            ring_capacity,
+            chunk_rows: 7,
+            ..StreamConfig::default()
+        };
+        let mut est = FleetEstimator::new(SystemPowerModel::paper());
+        let report = stream_window(&pool, &cfg, &wire, sets.len(), &mut est);
+        assert_eq!(report.rows_written, 101, "workers {workers}");
+        assert_eq!(report.dropped_rows, 0, "lossless mode never drops");
+        assert_eq!(report.decoders, workers.saturating_sub(1).min(101));
+        assert_eq!(batch_bits(&est), ref_cols, "workers {workers}");
+        let totals: Vec<u64> = est.estimate().total().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(totals, ref_totals, "workers {workers}");
+    }
+}
+
+#[test]
+fn explicit_decoder_request_is_honoured_and_clamped() {
+    let sets = fleet_window(9);
+    let wire = encode_window(&sets);
+    let pool = WorkerPool::new(4);
+    for (requested, expect) in [(1, 1), (2, 2), (3, 3), (7, 3)] {
+        let cfg = StreamConfig {
+            decoders: requested,
+            ..StreamConfig::default()
+        };
+        let mut est = FleetEstimator::new(SystemPowerModel::paper());
+        let report = stream_window(&pool, &cfg, &wire, sets.len(), &mut est);
+        assert_eq!(report.decoders, expect, "requested {requested}");
+        assert_eq!(report.rows_written, 9);
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_detected() {
+    // A small stream: two machines, layout + sample frame each.
+    let sets = fleet_window(2);
+    let wire = encode_window(&sets);
+    let mut pristine = FleetEstimator::new(SystemPowerModel::paper());
+    let base = ingest_serial(&wire, 2, &mut pristine);
+    assert_eq!(base.corrupt_frames + base.resyncs, 0);
+    let clean_cols = batch_bits(&pristine);
+
+    for byte in 0..wire.len() {
+        for bit in 0..8 {
+            let mut bad = wire.clone();
+            bad[byte] ^= 1 << bit;
+            let mut est = FleetEstimator::new(SystemPowerModel::paper());
+            let report = ingest_serial(&bad, 2, &mut est);
+            let detections = report.corrupt_frames
+                + report.resyncs
+                + report.unknown_layout_frames
+                + report.out_of_range_frames;
+            // Every stored bit is covered: magic/version/type flips
+            // fail their equality checks (resync), and everything else
+            // — including the length and checksum fields — feeds the
+            // bijective checksum mix.
+            assert!(
+                detections > 0,
+                "flip of byte {byte} bit {bit} was silently accepted"
+            );
+            // And a detected frame is dropped, never half-ingested:
+            // whatever rows were written match the pristine extraction.
+            for (clean_col, col) in clean_cols.iter().zip(batch_bits(&est)) {
+                for (m, (&clean, bits)) in clean_col.iter().zip(col).enumerate() {
+                    assert!(
+                        bits == clean || bits == 0f64.to_bits(),
+                        "byte {byte} bit {bit}: machine {m} row silently altered"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_stream_layout_change_never_misattributes_columns() {
+    // Machine 0 reprograms its PMU mid-stream: same events reordered,
+    // then an extended list with extra (irrelevant) events in front.
+    let mut reordered = LAYOUT;
+    reordered.reverse();
+    let extended: Vec<PerfEvent> = [PerfEvent::TlbMisses, PerfEvent::L2Misses]
+        .iter()
+        .chain(LAYOUT.iter())
+        .copied()
+        .collect();
+
+    let windows = [
+        synthetic_set(0, 0, &LAYOUT),
+        synthetic_set(0, 1, &reordered),
+        synthetic_set(0, 2, &extended),
+    ];
+
+    for (seq, set) in windows.iter().enumerate() {
+        // Wire path: encode this window alone (the encoder emits a
+        // fresh layout frame at each change) and ingest it.
+        let mut enc = WireEncoder::new();
+        enc.push_sample_set(0, set).unwrap();
+        let wire = enc.finish();
+        let mut est = FleetEstimator::new(SystemPowerModel::paper());
+        let report = ingest_serial(&wire, 1, &mut est);
+        assert_eq!(report.rows_written, 1, "window {seq}");
+        assert_eq!(report.corrupt_frames + report.unknown_layout_frames, 0);
+
+        // In-memory reference for the same set.
+        let mut reference = FleetEstimator::new(SystemPowerModel::paper());
+        reference.begin_window();
+        reference.push_sample_set(set);
+        assert_eq!(
+            batch_bits(&est),
+            batch_bits(&reference),
+            "window {seq}: wire row must match in-memory extraction"
+        );
+    }
+
+    // And as one continuous stream: three windows, three layout frames.
+    let mut enc = WireEncoder::new();
+    for set in &windows {
+        enc.push_sample_set(0, set).unwrap();
+    }
+    let wire = enc.finish();
+    let mut est = FleetEstimator::new(SystemPowerModel::paper());
+    let report = ingest_serial(&wire, 1, &mut est);
+    assert_eq!(report.layout_frames, 3, "each reprogramming re-announces");
+    assert_eq!(report.sample_frames, 3);
+    assert_eq!(report.corrupt_frames + report.unknown_layout_frames, 0);
+
+    // The surviving row is the last window's; it must equal the
+    // in-memory extraction of that window.
+    let mut reference = FleetEstimator::new(SystemPowerModel::paper());
+    reference.begin_window();
+    reference.push_sample_set(&windows[2]);
+    assert_eq!(batch_bits(&est), batch_bits(&reference));
+}
+
+#[test]
+fn sample_frame_without_its_layout_is_counted_not_guessed() {
+    let sets = fleet_window(1);
+    let wire = encode_window(&sets);
+    // Strip the leading layout frame, leaving a dangling sample frame.
+    let sample_start = {
+        use tdp_wire::{CursorItem, FrameCursor};
+        let mut cursor = FrameCursor::new(&wire);
+        match cursor.next() {
+            Some(CursorItem::Frame { header, start }) => start + 44 + header.payload_len as usize,
+            other => panic!("expected leading layout frame, got {other:?}"),
+        }
+    };
+    let mut est = FleetEstimator::new(SystemPowerModel::paper());
+    let report = ingest_serial(&wire[sample_start..], 1, &mut est);
+    assert_eq!(report.unknown_layout_frames, 1);
+    assert_eq!(report.rows_written, 0);
+    // The machine's row stays zero rather than being misdecoded.
+    assert!(est.batch().columns().iter().all(|c| c[0] == 0.0));
+}
+
+#[test]
+fn drop_mode_accounts_for_every_row() {
+    let sets = fleet_window(257);
+    let wire = encode_window(&sets);
+    let pool = WorkerPool::new(3);
+    let cfg = StreamConfig {
+        ring_capacity: 2,
+        chunk_rows: 4,
+        drop_when_full: true,
+        ..StreamConfig::default()
+    };
+    let mut est = FleetEstimator::new(SystemPowerModel::paper());
+    let report = stream_window(&pool, &cfg, &wire, sets.len(), &mut est);
+    // Shedding is timing-dependent, but accounting never is: every
+    // decoded row is either written or counted as dropped.
+    assert_eq!(report.rows_written + report.dropped_rows, 257);
+    assert_eq!(report.sample_frames, 257);
+}
+
+#[test]
+fn persistent_state_decodes_steady_state_streams() {
+    // A long-lived producer announces layouts once; every later window
+    // is sample frames only. Persistent `IngestState` must decode every
+    // such window fully and bit-identically to in-memory ingestion; a
+    // cold decoder on the same bytes must count the frames unknown.
+    let machines = 23usize;
+    let pool = WorkerPool::global();
+    let cfg = StreamConfig {
+        decoders: 3,
+        ring_capacity: 4,
+        chunk_rows: 5,
+        drop_when_full: false,
+    };
+    let mut enc = WireEncoder::new();
+    let mut serial_state = IngestState::new();
+    let mut stream_state = IngestState::new();
+    let mut serial_est = FleetEstimator::new(SystemPowerModel::paper());
+    let mut stream_est = FleetEstimator::new(SystemPowerModel::paper());
+    for seq in 0..4u64 {
+        let sets: Vec<SampleSet> = (0..machines)
+            .map(|m| synthetic_set(m as u64, seq, &LAYOUT))
+            .collect();
+        for (id, set) in sets.iter().enumerate() {
+            enc.push_sample_set(id as u64, set).unwrap();
+        }
+        let buf = enc.take_bytes();
+
+        let rep = ingest_serial_with(&mut serial_state, &buf, machines, &mut serial_est);
+        assert_eq!(rep.rows_written, machines as u64);
+        assert_eq!(rep.unknown_layout_frames, 0);
+        if seq > 0 {
+            assert_eq!(rep.layout_frames, 0, "steady state re-announces nothing");
+        }
+
+        let rep = stream_window_with(
+            &mut stream_state,
+            pool,
+            &cfg,
+            &buf,
+            machines,
+            &mut stream_est,
+        );
+        assert_eq!(rep.rows_written, machines as u64);
+        assert_eq!(rep.unknown_layout_frames, 0);
+
+        let (ref_cols, ref_totals) = reference_bits(&sets);
+        assert_eq!(batch_bits(&serial_est), ref_cols, "window {seq}: serial");
+        assert_eq!(batch_bits(&stream_est), ref_cols, "window {seq}: streamed");
+        let totals: Vec<u64> = serial_est
+            .estimate()
+            .total()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(totals, ref_totals, "window {seq}: estimates");
+
+        if seq > 0 {
+            let mut cold = FleetEstimator::new(SystemPowerModel::paper());
+            let rep = ingest_serial(&buf, machines, &mut cold);
+            assert_eq!(rep.unknown_layout_frames, machines as u64);
+            assert_eq!(rep.rows_written, 0, "a cold decoder never guesses a layout");
+        }
+    }
+}
