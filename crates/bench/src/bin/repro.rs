@@ -62,11 +62,23 @@ fn main() -> ExitCode {
         println!("{}", tdp_bench::fleet::run_and_write(&cfg, n_machines));
     }
     if let Some(n_machines) = parsed.wire {
-        eprintln!(
-            "repro: benchmarking wire codec + streaming ingest ({n_machines} machines, seed {})…",
-            cfg.seed
-        );
-        println!("{}", tdp_bench::wire::run_and_write(&cfg, n_machines));
+        if let Some(fault_seed) = parsed.faults {
+            eprintln!(
+                "repro: chaos harness — fault-injected streaming ingest \
+                 ({n_machines} machines, fault seed {fault_seed}, seed {})…",
+                cfg.seed
+            );
+            println!(
+                "{}",
+                tdp_bench::wire::run_chaos_and_write(&cfg, n_machines, fault_seed)
+            );
+        } else {
+            eprintln!(
+                "repro: benchmarking wire codec + streaming ingest ({n_machines} machines, seed {})…",
+                cfg.seed
+            );
+            println!("{}", tdp_bench::wire::run_and_write(&cfg, n_machines));
+        }
     }
     if wanted.is_empty() {
         return ExitCode::SUCCESS;

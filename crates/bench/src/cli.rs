@@ -10,7 +10,7 @@ use std::collections::BTreeSet;
 
 /// One-line usage string, printed with every argument error.
 pub const USAGE: &str = "usage: repro [--quick] [--markdown] [--bench-json] [--fleet N] [--wire N] \
-    [--seed N] [--out DIR] \
+    [--faults SEED] [--seed N] [--out DIR] \
     <table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|coefficients|shape|ablate|selection|all>...";
 
 /// Every experiment name the binary knows, excluding `all`.
@@ -63,6 +63,10 @@ pub struct Cli {
     pub fleet: Option<usize>,
     /// Wire-codec benchmark machine count (`BENCH_wire.json`).
     pub wire: Option<usize>,
+    /// Fault-injection seed: turns `--wire N` into the chaos harness
+    /// (`CHAOS.json`) — a seeded `FaultPlan` batters the stream while
+    /// the ingest pipeline must degrade gracefully.
+    pub faults: Option<u64>,
     /// `--help` was requested: print usage, exit success.
     pub help: bool,
 }
@@ -124,6 +128,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, CliError> {
         bench_json: false,
         fleet: None,
         wire: None,
+        faults: None,
         help: false,
     };
     let mut args = args.into_iter();
@@ -133,6 +138,15 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, CliError> {
             "--bench-json" => cli.bench_json = true,
             "--fleet" => cli.fleet = Some(positive_count("--fleet", args.next())?),
             "--wire" => cli.wire = Some(positive_count("--wire", args.next())?),
+            "--faults" => match args.next().map(|s| (s.parse::<u64>(), s)) {
+                Some((Ok(seed), _)) => cli.faults = Some(seed),
+                Some((Err(_), s)) => {
+                    return Err(CliError(format!(
+                        "--faults needs an integer fault-plan seed, got {s:?}"
+                    )))
+                }
+                None => return Err(CliError("--faults needs an integer fault-plan seed".into())),
+            },
             "--quick" => {
                 let out = cli.cfg.out_dir.clone();
                 let seed = cli.cfg.seed;
@@ -161,6 +175,11 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, CliError> {
             }
             other => return Err(CliError(format!("unknown flag {other}"))),
         }
+    }
+    if cli.faults.is_some() && cli.wire.is_none() {
+        return Err(CliError(
+            "--faults injects faults into the wire chaos harness; also pass --wire N".into(),
+        ));
     }
     Ok(cli)
 }
@@ -209,6 +228,28 @@ mod tests {
         assert_eq!(cli.wire, Some(1024));
         assert!(cli.requests_something());
         assert!(cli.wanted.is_empty());
+    }
+
+    #[test]
+    fn faults_flag_parses_and_requires_wire() {
+        let cli = parse_strs(&["--wire", "64", "--faults", "1234"]).unwrap();
+        assert_eq!(cli.faults, Some(1234));
+        assert_eq!(cli.wire, Some(64));
+        // Seed 0 is a legitimate seed, unlike a zero machine count.
+        let cli = parse_strs(&["--wire", "64", "--faults", "0"]).unwrap();
+        assert_eq!(cli.faults, Some(0));
+
+        let err = parse_strs(&["--faults", "7"]).unwrap_err();
+        assert!(
+            err.to_string().contains("--wire"),
+            "points at the fix: {err}"
+        );
+        let err = parse_strs(&["--wire", "8", "--faults", "lots"]).unwrap_err();
+        assert!(
+            err.to_string().contains("lots"),
+            "echoes the operand: {err}"
+        );
+        assert!(parse_strs(&["--wire", "8", "--faults"]).is_err());
     }
 
     #[test]

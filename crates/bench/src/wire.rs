@@ -22,19 +22,26 @@
 //! The warm-up window asserts the wire paths are bit-identical to the
 //! in-memory path before any timing starts. Results land in
 //! `BENCH_wire.json`.
+//!
+//! With `--faults SEED` the benchmark becomes the **chaos harness**
+//! ([`run_chaos`]): a seeded [`FaultPlan`] batters the same stream and
+//! the graceful-degradation contract is checked instead of throughput;
+//! the verdict lands in `CHAOS.json`.
 
 use crate::fleet::synthetic_set;
 use crate::pipeline::{peak_rss_kb, StageRate};
 use crate::ExperimentConfig;
 use serde::Serialize;
+use std::collections::{BTreeSet, VecDeque};
 use std::hint::black_box;
 use std::time::Instant;
 use tdp_counters::SampleSet;
 use tdp_fleet::FleetEstimator;
 use tdp_parallel::WorkerPool;
 use tdp_wire::{
-    ingest_serial_with, stream_window_with, CursorItem, FrameCursor, FrameDecoder, IngestState,
-    StreamConfig, StreamReport, WireEncoder,
+    ingest_serial_with, stream_window_with, CursorItem, FaultKind, FaultPlan, FaultedWindow,
+    FrameCursor, FrameDecoder, IngestState, PipelineHealth, StreamConfig, StreamReport,
+    WireEncoder,
 };
 use trickledown::SystemPowerModel;
 
@@ -156,6 +163,14 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
             let window = if warmup { u64::MAX } else { w ^ cfg.seed };
             sets.clear();
             sets.extend((0..n_machines).map(|m| synthetic_set(m, window)));
+            // `window` is a data salt and is deliberately scrambled; the
+            // wire sequence numbers must stay monotone per machine (the
+            // health layer reads a regression as a counter reset), so
+            // override them: warm-up first, then 1, 2, …
+            let seq = if warmup { 0 } else { w + 1 };
+            for set in &mut sets {
+                set.seq = seq;
+            }
 
             let start = Instant::now();
             let buf = encode_window(&mut enc, &sets);
@@ -284,6 +299,229 @@ pub fn run_and_write(cfg: &ExperimentConfig, n_machines: usize) -> String {
     json
 }
 
+/// Chaos-harness report (`repro --wire N --faults SEED`), written to
+/// `CHAOS.json`. The boolean verdicts are the machine-checkable
+/// contract a CI smoke step asserts on; the counters say *how* the
+/// pipeline degraded, not merely that it survived.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosReport {
+    /// Machines per window.
+    pub n_machines: usize,
+    /// Windows ingested (window 0 is fault-free and carries layouts).
+    pub windows: u64,
+    /// Seed of the [`FaultPlan`] that battered windows 1….
+    pub fault_seed: u64,
+    /// Faults the plan injected over the whole run.
+    pub faults_injected: u64,
+    /// Distinct machines a destructive fault ever touched.
+    pub machines_affected: u64,
+    /// Machines eligible for the final window's bit-identity check
+    /// (no destructive fault within the staleness horizon).
+    pub clean_machines_final_window: u64,
+    /// Rows the faulted pipeline still delivered to the estimator.
+    pub rows_written: u64,
+    /// Frames rejected by checksum/structure validation.
+    pub corrupt_frames: u64,
+    /// Framing-loss recoveries and the bytes they skipped.
+    pub resyncs: u64,
+    /// Bytes skipped while resynchronising.
+    pub resync_bytes: u64,
+    /// Counter resets detected and re-baselined.
+    pub resets_detected: u64,
+    /// Duplicate machine-windows ignored.
+    pub duplicate_windows: u64,
+    /// Rows quarantined by the sanity policy.
+    pub rows_quarantined: u64,
+    /// Held (last-good) rows substituted for missing machines.
+    pub rows_held: u64,
+    /// Machines that exhausted the staleness budget.
+    pub machines_stale: u64,
+    /// Per-subsystem predictions clamped by the estimator.
+    pub clamped_predictions: u64,
+    /// Every injected fault landed in a health counter (per window).
+    pub all_faults_accounted: bool,
+    /// Machines outside the fault horizon estimated bit-identically
+    /// to a fault-free run, every window.
+    pub clean_subset_bit_identical: bool,
+    /// Serial and pool-sharded ingest degraded identically
+    /// (same health block, same estimate bits, every window).
+    pub serial_sharded_identical: bool,
+    /// Peak resident set (VmHWM), kilobytes; 0 when unavailable.
+    pub peak_rss_kb: u64,
+}
+
+/// Counter floors implied by a window's injected faults — `false`
+/// means a fault degraded the pipeline without being accounted.
+fn faults_accounted(f: &FaultedWindow, rep: &StreamReport) -> bool {
+    rep.corrupt_frames >= f.count(FaultKind::BitFlip)
+        && rep.resyncs >= f.count(FaultKind::GarbageInsert) + f.count(FaultKind::TruncateTail)
+        && rep.rows_quarantined >= f.count(FaultKind::RateSpike)
+        && rep.resets_detected + rep.duplicate_windows
+            >= f.count(FaultKind::SeqReset) + f.count(FaultKind::DuplicateFrame)
+}
+
+/// Per-machine `[memory, disk, io, total]` estimate bits.
+fn estimate_bits(est: &mut FleetEstimator, n: usize) -> Vec<[u64; 4]> {
+    let e = est.estimate();
+    (0..n)
+        .map(|i| {
+            [
+                e.memory()[i].to_bits(),
+                e.disk()[i].to_bits(),
+                e.io()[i].to_bits(),
+                e.total()[i].to_bits(),
+            ]
+        })
+        .collect()
+}
+
+/// Runs the fault-injection harness: the same synthetic fleet stream
+/// is ingested clean and through a seeded [`FaultPlan`], serial and
+/// pool-sharded, and the report records whether degradation stayed
+/// inside its contract. Never panics on a contract violation — the
+/// verdict booleans go `false` so a CI assertion on `CHAOS.json`
+/// fails with the evidence on disk.
+pub fn run_chaos(cfg: &ExperimentConfig, n_machines: usize, fault_seed: u64) -> ChaosReport {
+    let n_machines = n_machines.max(1);
+    // Long enough for an outage to cross the staleness horizon,
+    // recover, and re-enter the clean subset.
+    let windows: u64 = 24;
+    let model = SystemPowerModel::paper();
+    let pool = WorkerPool::global();
+    let stream_cfg = StreamConfig::default();
+    let plan = FaultPlan::new(fault_seed);
+
+    let mut clean_est = FleetEstimator::with_capacity(model.clone(), n_machines);
+    let mut serial_est = FleetEstimator::with_capacity(model.clone(), n_machines);
+    let mut sharded_est = FleetEstimator::with_capacity(model, n_machines);
+    let mut clean_state = IngestState::new();
+    let mut serial_state = IngestState::new();
+    let mut sharded_state = IngestState::new();
+    let mut enc = WireEncoder::new();
+
+    let horizon = serial_state.policy().max_stale_windows as usize + 1;
+    let mut recent: VecDeque<BTreeSet<u64>> = VecDeque::with_capacity(horizon);
+    let mut ever_affected: BTreeSet<u64> = BTreeSet::new();
+    let mut totals = StreamReport::default();
+    let mut faults_injected = 0u64;
+    let mut clamped = 0u64;
+    let mut clean_machines_final = 0u64;
+    let (mut accounted, mut clean_identical, mut paths_identical) = (true, true, true);
+
+    let mut sets: Vec<SampleSet> = Vec::with_capacity(n_machines);
+    for w in 0..windows {
+        sets.clear();
+        sets.extend((0..n_machines).map(|m| synthetic_set(m, w ^ cfg.seed)));
+        for set in &mut sets {
+            set.seq = w + 1;
+        }
+        let clean_bytes = encode_window(&mut enc, &sets);
+
+        // Window 0 stays pristine so every layout frame lands before
+        // the plan starts cutting; all later windows take 1–3 faults.
+        let faulted = (w > 0).then(|| plan.apply(w, &clean_bytes));
+        let fault_bytes: &[u8] = faulted.as_ref().map_or(&clean_bytes, |f| &f.bytes);
+
+        ingest_serial_with(&mut clean_state, &clean_bytes, n_machines, &mut clean_est);
+        let clean_bits = estimate_bits(&mut clean_est, n_machines);
+
+        let serial_rep =
+            ingest_serial_with(&mut serial_state, fault_bytes, n_machines, &mut serial_est);
+        clamped += serial_est.estimate().clamped_predictions();
+        let serial_bits = estimate_bits(&mut serial_est, n_machines);
+        totals.absorb(&serial_rep);
+
+        let sharded_rep = stream_window_with(
+            &mut sharded_state,
+            pool,
+            &stream_cfg,
+            fault_bytes,
+            n_machines,
+            &mut sharded_est,
+        );
+        sharded_est.estimate();
+        let sharded_bits = estimate_bits(&mut sharded_est, n_machines);
+
+        // Sharding is an implementation detail: identical degradation
+        // decisions, identical estimates (backpressure counters are
+        // timing-dependent, so compare the health block, not the raw
+        // report).
+        paths_identical &= PipelineHealth::from_report(&serial_rep)
+            == PipelineHealth::from_report(&sharded_rep)
+            && serial_rep.rows_written == sharded_rep.rows_written
+            && serial_bits == sharded_bits;
+
+        if let Some(f) = &faulted {
+            faults_injected += f.injected.len() as u64;
+            accounted &= faults_accounted(f, &serial_rep);
+            ever_affected.extend(f.affected.iter().copied());
+        }
+
+        // Machines with no destructive fault inside the staleness
+        // horizon must estimate bit-identically to the fault-free run
+        // (held rows replay history, so affection persists only while
+        // a machine is being held).
+        if recent.len() == horizon {
+            recent.pop_front();
+        }
+        recent.push_back(
+            faulted
+                .as_ref()
+                .map(|f| f.affected.clone())
+                .unwrap_or_default(),
+        );
+        let dirty: BTreeSet<u64> = recent.iter().flatten().copied().collect();
+        for m in 0..n_machines as u64 {
+            if !dirty.contains(&m) {
+                clean_identical &= serial_bits[m as usize] == clean_bits[m as usize];
+            }
+        }
+        if w == windows - 1 {
+            clean_machines_final = n_machines as u64 - dirty.len() as u64;
+        }
+    }
+
+    ChaosReport {
+        n_machines,
+        windows,
+        fault_seed,
+        faults_injected,
+        machines_affected: ever_affected.len() as u64,
+        clean_machines_final_window: clean_machines_final,
+        rows_written: totals.rows_written,
+        corrupt_frames: totals.corrupt_frames,
+        resyncs: totals.resyncs,
+        resync_bytes: totals.resync_bytes,
+        resets_detected: totals.resets_detected,
+        duplicate_windows: totals.duplicate_windows,
+        rows_quarantined: totals.rows_quarantined,
+        rows_held: totals.rows_held,
+        machines_stale: totals.machines_stale,
+        clamped_predictions: clamped,
+        all_faults_accounted: accounted,
+        clean_subset_bit_identical: clean_identical,
+        serial_sharded_identical: paths_identical,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Runs the chaos harness, writes `CHAOS.json` under the output
+/// directory and returns the rendered JSON.
+///
+/// # Panics
+///
+/// Panics if the output directory is unwritable (consistent with the
+/// rest of the repro harness).
+pub fn run_chaos_and_write(cfg: &ExperimentConfig, n_machines: usize, fault_seed: u64) -> String {
+    let report = run_chaos(cfg, n_machines, fault_seed);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
+    let path = cfg.out_dir.join("CHAOS.json");
+    std::fs::write(&path, &json).expect("write CHAOS.json");
+    eprintln!("chaos: wrote {}", path.display());
+    json
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,5 +545,33 @@ mod tests {
             r.bytes_per_frame > 44.0,
             "frames carry payload past the header"
         );
+    }
+
+    #[test]
+    fn small_chaos_run_upholds_the_degradation_contract() {
+        let cfg = ExperimentConfig {
+            out_dir: std::env::temp_dir().join("tdp-wire-chaos-test"),
+            ..ExperimentConfig::quick()
+        };
+        let r = run_chaos(&cfg, 12, 1234);
+        assert!(
+            r.faults_injected >= r.windows - 1,
+            "1–3 faults per faulted window, got {}",
+            r.faults_injected
+        );
+        assert!(r.machines_affected >= 1);
+        assert!(r.all_faults_accounted, "unaccounted fault: {r:?}");
+        assert!(r.clean_subset_bit_identical, "clean subset diverged: {r:?}");
+        assert!(r.serial_sharded_identical, "paths diverged: {r:?}");
+        assert!(r.rows_written > 0);
+
+        // The harness replays deterministically, seed in → verdict out.
+        let again = run_chaos(&cfg, 12, 1234);
+        assert_eq!(r.faults_injected, again.faults_injected);
+        assert_eq!(r.rows_written, again.rows_written);
+        assert_eq!(r.rows_quarantined, again.rows_quarantined);
+        // A different seed is a different battering.
+        let other = run_chaos(&cfg, 12, 4321);
+        assert!(other.all_faults_accounted && other.clean_subset_bit_identical);
     }
 }

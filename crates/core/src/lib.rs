@@ -82,8 +82,8 @@ pub use calibrate::{CalibrationError, CalibrationSuite, Calibrator};
 pub use estimator::{PowerEstimate, SystemPowerEstimator};
 pub use input::{CpuRates, SystemSample};
 pub use models::{
-    quad_poly, ChipsetPowerModel, CpuPowerModel, DiskPowerModel, IoPowerModel, MemoryInput,
-    MemoryPowerModel, SubsystemPowerModel, SystemPowerModel,
+    clamp_watts, dynamic_peak_per_cpu, quad_poly, ChipsetPowerModel, CpuPowerModel, DiskPowerModel,
+    IoPowerModel, MemoryInput, MemoryPowerModel, SubsystemPowerModel, SystemPowerModel,
 };
 pub use phases::{PhaseConfig, PhaseDetector, PowerPhase};
 pub use pstate::{PStateError, PStateModelSet};

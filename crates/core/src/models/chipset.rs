@@ -9,7 +9,7 @@
 //! the price of the constant.
 
 use crate::input::SystemSample;
-use crate::models::SubsystemPowerModel;
+use crate::models::{clamp_watts, SubsystemPowerModel};
 use serde::{Deserialize, Serialize};
 use tdp_counters::Subsystem;
 use tdp_modeling::FitError;
@@ -51,7 +51,10 @@ impl SubsystemPowerModel for ChipsetPowerModel {
     }
 
     fn predict(&self, _sample: &SystemSample) -> f64 {
-        self.constant_w
+        // A fitted constant is a mean of measurements and can only be
+        // negative if the calibration trace was garbage — saturate at
+        // the floor all the same.
+        clamp_watts(self.constant_w, f64::INFINITY)
     }
 }
 

@@ -13,7 +13,7 @@
 //! billing in shared/virtualised machines.
 
 use crate::input::SystemSample;
-use crate::models::{fit_linear_features, SubsystemPowerModel};
+use crate::models::{clamp_watts, fit_linear_features, SubsystemPowerModel};
 use serde::{Deserialize, Serialize};
 use tdp_counters::Subsystem;
 use tdp_modeling::FitError;
@@ -81,7 +81,13 @@ impl SubsystemPowerModel for CpuPowerModel {
     }
 
     fn predict(&self, sample: &SystemSample) -> f64 {
-        sample.per_cpu.iter().map(|c| self.predict_single(c)).sum()
+        // The linear Eq. 1 cannot go negative on valid inputs
+        // (active_frac ∈ [0, 1], upc ≥ 0), but fitted coefficients fed
+        // corrupt rates can — saturate at the non-negative floor like
+        // every other subsystem. For in-range data the clamp is the
+        // identity, bit for bit.
+        let raw: f64 = sample.per_cpu.iter().map(|c| self.predict_single(c)).sum();
+        clamp_watts(raw, f64::INFINITY)
     }
 }
 

@@ -10,7 +10,10 @@
 //! subtracting that offset (§4.2.3).
 
 use crate::input::SystemSample;
-use crate::models::{fit_linear_features, quad_poly, SubsystemPowerModel};
+use crate::models::{
+    clamp_watts, dynamic_peak_per_cpu, fit_linear_features, is_unbounded, quad_poly, unbounded,
+    SubsystemPowerModel,
+};
 use serde::{Deserialize, Serialize};
 use tdp_counters::Subsystem;
 use tdp_modeling::FitError;
@@ -29,6 +32,19 @@ pub struct DiskPowerModel {
     pub dma_lin: f64,
     /// Quadratic DMA-rate coefficient.
     pub dma_quad: f64,
+    /// Upper end of the calibrated per-CPU interrupt-rate range
+    /// (interrupts/cycle); `∞` = unbounded. Both published quadratics
+    /// have negative curvature (`int_quad: -11.1e15`), so rates past
+    /// the vertex drive the raw polynomial below zero — predictions are
+    /// clamped to `[0, ceiling]` (see [`Self::dynamic_peak`]). Skipped
+    /// in JSON when unbounded.
+    #[serde(default = "unbounded", skip_serializing_if = "is_unbounded")]
+    pub int_valid_max: f64,
+    /// Upper end of the calibrated per-CPU DMA-rate range
+    /// (accesses/cycle); `∞` = unbounded. Same clamping role as
+    /// [`int_valid_max`](Self::int_valid_max).
+    #[serde(default = "unbounded", skip_serializing_if = "is_unbounded")]
+    pub dma_valid_max: f64,
 }
 
 impl DiskPowerModel {
@@ -40,7 +56,29 @@ impl DiskPowerModel {
             int_quad: -11.1e15,
             dma_lin: 9.18,
             dma_quad: -45.4,
+            int_valid_max: f64::INFINITY,
+            dma_valid_max: f64::INFINITY,
         }
+    }
+
+    /// Attaches calibrated validity ranges: the largest per-CPU
+    /// interrupt and DMA rates the training trace exercised.
+    #[must_use]
+    pub fn with_valid_max(mut self, int_valid_max: f64, dma_valid_max: f64) -> Self {
+        self.int_valid_max = int_valid_max;
+        self.dma_valid_max = dma_valid_max;
+        self
+    }
+
+    /// The largest dynamic (above-DC) contribution one CPU can make
+    /// inside the calibrated ranges: interrupt peak plus DMA peak. With
+    /// unbounded ranges the negative curvature still yields a finite
+    /// peak (the parabola's vertex), so even the paper model has a
+    /// ceiling valid data cannot cross. Shared with the fleet column
+    /// kernels for bit-identical clamping.
+    pub fn dynamic_peak(&self) -> f64 {
+        dynamic_peak_per_cpu(self.int_lin, self.int_quad, self.int_valid_max)
+            + dynamic_peak_per_cpu(self.dma_lin, self.dma_quad, self.dma_valid_max)
     }
 
     /// Fits the five coefficients against measured disk watts.
@@ -74,6 +112,8 @@ impl DiskPowerModel {
             int_quad: coeffs[2],
             dma_lin: coeffs[3],
             dma_quad: coeffs[4],
+            int_valid_max: f64::INFINITY,
+            dma_valid_max: f64::INFINITY,
         })
     }
 
@@ -102,8 +142,10 @@ impl SubsystemPowerModel for DiskPowerModel {
             d_sum += d;
             d_sq += d * d;
         }
-        quad_poly(self.dc_w, self.int_lin, self.int_quad, i_sum, i_sq)
-            + quad_poly(0.0, self.dma_lin, self.dma_quad, d_sum, d_sq)
+        let raw = quad_poly(self.dc_w, self.int_lin, self.int_quad, i_sum, i_sq)
+            + quad_poly(0.0, self.dma_lin, self.dma_quad, d_sum, d_sq);
+        let n = sample.per_cpu.len() as f64;
+        clamp_watts(raw, self.dc_w + self.dynamic_peak() * n)
     }
 }
 
@@ -149,6 +191,38 @@ mod tests {
     }
 
     #[test]
+    fn extreme_rates_never_predict_negative_watts() {
+        // Regression: the published quadratics have negative curvature
+        // (int_quad −11.1e15, dma_quad −45.4), so out-of-calibration
+        // rates used to drive predict() far below 0 W. 1e-6
+        // interrupts/cycle is ~200× past the parabola's vertex; the raw
+        // polynomial sits around −44 kW before clamping.
+        let m = DiskPowerModel::paper();
+        for (ints, dma) in [(1e-6, 0.0), (0.0, 5.0), (1e-5, 10.0), (1.0, 1.0)] {
+            let w = m.predict(&sample(ints, dma));
+            assert!(w >= 0.0, "ints {ints} dma {dma} predicted {w} W");
+            let ceiling = m.dc_w + 4.0 * m.dynamic_peak();
+            assert!(
+                w <= ceiling,
+                "ints {ints} dma {dma}: {w} > ceiling {ceiling}"
+            );
+        }
+        // In-range predictions are bit-identical to the raw polynomial
+        // (aggregated in the same CPU order).
+        let in_range = sample(2e-9, 1e-3);
+        let (mut i_s, mut i_q, mut d_s, mut d_q) = (0.0f64, 0.0, 0.0, 0.0);
+        for _ in 0..4 {
+            i_s += 2e-9;
+            i_q += 2e-9 * 2e-9;
+            d_s += 1e-3;
+            d_q += 1e-3 * 1e-3;
+        }
+        let raw = quad_poly(m.dc_w, m.int_lin, m.int_quad, i_s, i_q)
+            + quad_poly(0.0, m.dma_lin, m.dma_quad, d_s, d_q);
+        assert_eq!(m.predict(&in_range).to_bits(), raw.to_bits());
+    }
+
+    #[test]
     fn fit_recovers_two_input_quadratic() {
         let truth = DiskPowerModel {
             dc_w: 21.5,
@@ -156,6 +230,8 @@ mod tests {
             int_quad: -2e14,
             dma_lin: 12.0,
             dma_quad: -30.0,
+            int_valid_max: f64::INFINITY,
+            dma_valid_max: f64::INFINITY,
         };
         let mut samples = Vec::new();
         let mut watts = Vec::new();

@@ -8,7 +8,10 @@
 //! large DC term (two bridge chips and six PCI-X bus clocks never stop).
 
 use crate::input::SystemSample;
-use crate::models::{fit_linear_features, quad_poly, SubsystemPowerModel};
+use crate::models::{
+    clamp_watts, dynamic_peak_per_cpu, fit_linear_features, is_unbounded, quad_poly, unbounded,
+    SubsystemPowerModel,
+};
 use serde::{Deserialize, Serialize};
 use tdp_counters::Subsystem;
 use tdp_modeling::FitError;
@@ -23,6 +26,14 @@ pub struct IoPowerModel {
     pub int_lin: f64,
     /// Quadratic coefficient.
     pub int_quad: f64,
+    /// Upper end of the calibrated per-CPU interrupt-rate range
+    /// (interrupts/cycle); `∞` = unbounded. The published curvature is
+    /// negative (−1.12e9), so far-out-of-range rates drive the raw
+    /// polynomial below zero — predictions are clamped to
+    /// `[0, ceiling]` (see [`Self::dynamic_peak`]). Skipped in JSON
+    /// when unbounded.
+    #[serde(default = "unbounded", skip_serializing_if = "is_unbounded")]
+    pub valid_max: f64,
 }
 
 impl IoPowerModel {
@@ -34,7 +45,23 @@ impl IoPowerModel {
             dc_w: 32.7,
             int_lin: 108e6,
             int_quad: -1.12e9,
+            valid_max: f64::INFINITY,
         }
+    }
+
+    /// Attaches a calibrated validity range: the largest per-CPU device
+    /// interrupt rate the training trace exercised.
+    #[must_use]
+    pub fn with_valid_max(mut self, valid_max: f64) -> Self {
+        self.valid_max = valid_max;
+        self
+    }
+
+    /// The largest dynamic (above-DC) contribution one CPU can make
+    /// inside the calibrated range — shared with the fleet column
+    /// kernels for bit-identical clamping.
+    pub fn dynamic_peak(&self) -> f64 {
+        dynamic_peak_per_cpu(self.int_lin, self.int_quad, self.valid_max)
     }
 
     /// Fits against measured I/O watts, using the device (non-timer)
@@ -62,6 +89,7 @@ impl IoPowerModel {
             dc_w: coeffs[0],
             int_lin: coeffs[1],
             int_quad: coeffs[2],
+            valid_max: f64::INFINITY,
         })
     }
 
@@ -87,7 +115,9 @@ impl SubsystemPowerModel for IoPowerModel {
             i_sum += i;
             i_sq += i * i;
         }
-        quad_poly(self.dc_w, self.int_lin, self.int_quad, i_sum, i_sq)
+        let raw = quad_poly(self.dc_w, self.int_lin, self.int_quad, i_sum, i_sq);
+        let n = sample.per_cpu.len() as f64;
+        clamp_watts(raw, self.dc_w + self.dynamic_peak() * n)
     }
 }
 
@@ -130,11 +160,32 @@ mod tests {
     }
 
     #[test]
+    fn extreme_rates_never_predict_negative_watts() {
+        // Past ~0.096 interrupts/cycle (per CPU, ×4 aggregated) the
+        // published downward parabola crosses zero; a storm of 0.5
+        // interrupts/cycle used to predict around −2 MW. Clamp to the
+        // non-negative floor instead.
+        let m = IoPowerModel::paper();
+        for ints in [0.5, 1.0, 10.0] {
+            let w = m.predict(&sample(ints));
+            assert!(w >= 0.0, "ints {ints} predicted {w} W");
+        }
+        // A calibrated range additionally caps the upside: the ceiling
+        // is what the range's peak input could produce, not the vertex
+        // of an extrapolated parabola.
+        let ranged = m.with_valid_max(1e-6);
+        let per_cpu_peak = 108e6 * 1e-6 + -1.12e9 * 1e-6 * 1e-6;
+        let capped = ranged.predict(&sample(0.01));
+        assert!((capped - (32.7 + 4.0 * per_cpu_peak)).abs() < 1e-9);
+    }
+
+    #[test]
     fn fit_recovers_coefficients() {
         let truth = IoPowerModel {
             dc_w: 33.0,
             int_lin: 9e7,
             int_quad: -8e8,
+            valid_max: f64::INFINITY,
         };
         let mut samples = Vec::new();
         let mut watts = Vec::new();

@@ -17,7 +17,10 @@
 //! feeds them.
 
 use crate::input::SystemSample;
-use crate::models::{fit_linear_features, quad_poly, SubsystemPowerModel};
+use crate::models::{
+    clamp_watts, dynamic_peak_per_cpu, fit_linear_features, is_unbounded, quad_poly, unbounded,
+    SubsystemPowerModel,
+};
 use serde::{Deserialize, Serialize};
 use tdp_counters::Subsystem;
 use tdp_modeling::FitError;
@@ -56,6 +59,15 @@ pub struct MemoryPowerModel {
     pub lin: f64,
     /// Quadratic coefficient.
     pub quad: f64,
+    /// Upper end of the calibrated per-CPU input range (in the
+    /// [`MemoryInput`] variant's native units); `∞` = unbounded. The
+    /// quadratic is a fit, only trusted inside this range — the paper
+    /// documents Equation 2 "failing under extreme cases" at high
+    /// utilization (§4.2.2) — so predictions are clamped to the output
+    /// ceiling the range implies (see [`Self::dynamic_peak`]). Skipped
+    /// in JSON when unbounded (`serde_json` cannot carry infinities).
+    #[serde(default = "unbounded", skip_serializing_if = "is_unbounded")]
+    pub valid_max: f64,
 }
 
 impl MemoryPowerModel {
@@ -70,6 +82,7 @@ impl MemoryPowerModel {
             background_w: 28.0,
             lin: 3.43,
             quad: 7.66,
+            valid_max: f64::INFINITY,
         }
     }
 
@@ -81,7 +94,25 @@ impl MemoryPowerModel {
             background_w: 29.2,
             lin: -50.1e-4,
             quad: 813e-8,
+            valid_max: f64::INFINITY,
         }
+    }
+
+    /// Attaches a calibrated validity range: the largest per-CPU input
+    /// the training trace exercised. Predictions are clamped to the
+    /// output ceiling this range implies.
+    #[must_use]
+    pub fn with_valid_max(mut self, valid_max: f64) -> Self {
+        self.valid_max = valid_max;
+        self
+    }
+
+    /// The largest dynamic (above-background) contribution one CPU can
+    /// make inside the calibrated range — the per-CPU term of the
+    /// prediction ceiling. The fleet column kernels use this same value
+    /// so scalar and batched clamping stay bit-identical.
+    pub fn dynamic_peak(&self) -> f64 {
+        dynamic_peak_per_cpu(self.lin, self.quad, self.valid_max)
     }
 
     /// Fits a quadratic for the given input against measured memory
@@ -112,6 +143,7 @@ impl MemoryPowerModel {
             background_w: coeffs[0],
             lin: coeffs[1],
             quad: coeffs[2],
+            valid_max: f64::INFINITY,
         })
     }
 }
@@ -132,7 +164,9 @@ impl SubsystemPowerModel for MemoryPowerModel {
             x += v;
             x_sq += v * v;
         }
-        quad_poly(self.background_w, self.lin, self.quad, x, x_sq)
+        let raw = quad_poly(self.background_w, self.lin, self.quad, x, x_sq);
+        let n = sample.per_cpu.len() as f64;
+        clamp_watts(raw, self.background_w + self.dynamic_peak() * n)
     }
 }
 
@@ -168,6 +202,7 @@ mod tests {
             background_w: 28.5,
             lin: 0.001,
             quad: 2e-8,
+            valid_max: f64::INFINITY,
         };
         let mut samples = Vec::new();
         let mut watts = Vec::new();
@@ -201,6 +236,44 @@ mod tests {
         let bus = MemoryPowerModel::paper_bus();
         let l3_only = sample_with(MemoryInput::L3LoadMisses, &[0.01; 4]);
         assert!((bus.predict(&l3_only) - bus.background_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_rates_never_predict_negative_watts() {
+        // The bus model's linear term is negative (−50.1e-4), so a
+        // pathological input just below the parabola's positive region
+        // can push the raw polynomial under the background term; a
+        // fitted model with negative curvature can go below zero
+        // outright. Predictions saturate at the non-negative floor.
+        let bent = MemoryPowerModel {
+            input: MemoryInput::BusTransactions,
+            background_w: 5.0,
+            lin: 0.01,
+            quad: -1e-5,
+            valid_max: f64::INFINITY,
+        };
+        let s = sample_with(MemoryInput::BusTransactions, &[1e6; 4]);
+        assert_eq!(bent.predict(&s), 0.0, "floor at 0 W, not negative");
+    }
+
+    #[test]
+    fn valid_range_ceiling_caps_out_of_range_inputs() {
+        // Positive curvature (the Eq. 2 blow-up case): unbounded range
+        // means no ceiling, a calibrated range caps the output at what
+        // in-range inputs could have produced.
+        let m = MemoryPowerModel::paper_l3();
+        let wild = sample_with(MemoryInput::L3LoadMisses, &[0.5; 4]);
+        let unbounded = m.predict(&wild);
+        let ranged = m.with_valid_max(10.0).predict(&wild);
+        assert!(unbounded > 10_000.0, "raw quadratic blows up: {unbounded}");
+        let per_cpu_peak = 3.43 * 10.0 + 7.66 * 100.0;
+        assert!((ranged - (28.0 + 4.0 * per_cpu_peak)).abs() < 1e-9);
+        // In-range inputs are untouched by the same ceiling.
+        let tame = sample_with(MemoryInput::L3LoadMisses, &[0.004; 4]);
+        assert_eq!(
+            m.with_valid_max(10.0).predict(&tame).to_bits(),
+            m.predict(&tame).to_bits()
+        );
     }
 
     #[test]

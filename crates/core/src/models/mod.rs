@@ -52,6 +52,78 @@ pub fn quad_poly(dc: f64, lin: f64, quad: f64, x: f64, x_sq: f64) -> f64 {
     dc + lin * x + quad * x_sq
 }
 
+/// Clamps one subsystem prediction to `[0, ceil]` watts.
+///
+/// The paper's quadratics (Equations 2–5) are fits, valid only inside
+/// the calibrated input range — the paper itself documents Equation 2
+/// "failing under extreme cases" at high utilization (§4.2.2), and the
+/// published disk/IO coefficients have *negative* curvature, so rates
+/// past the parabola's vertex drive the raw polynomial below zero. A
+/// power estimate below 0 W (or above what the calibrated range can
+/// produce) is physically meaningless, so predictions are saturated
+/// instead of silently reported.
+///
+/// The comparison sequence here (`< 0`, then `> ceil`, else identity)
+/// is the single definition both the scalar models and `tdp-fleet`'s
+/// column kernels apply, keeping the two paths bit-identical.
+#[inline]
+pub fn clamp_watts(w: f64, ceil: f64) -> f64 {
+    if w < 0.0 {
+        0.0
+    } else if w > ceil {
+        ceil
+    } else {
+        w
+    }
+}
+
+/// Maximum of the per-CPU dynamic term `lin·x + quad·x²` over the
+/// calibrated input range `x ∈ [0, x_max]` (never below 0: `x = 0` is
+/// always in range).
+///
+/// This is the building block of a model's prediction ceiling: with
+/// per-CPU inputs confined to `[0, x_max]`, the machine-aggregated
+/// dynamic contribution `lin·Σxᵢ + quad·Σxᵢ²` cannot exceed
+/// `n · dynamic_peak_per_cpu(...)`, because it decomposes as
+/// `Σᵢ (lin·xᵢ + quad·xᵢ²)` — one bounded term per CPU. For an
+/// unbounded range (`x_max = ∞`) with negative curvature the peak is
+/// the parabola's vertex, so even uncalibrated paper models get a
+/// finite ceiling that valid data can never cross; with non-negative
+/// curvature the peak is unbounded and the ceiling degenerates to
+/// "non-negative floor only".
+pub fn dynamic_peak_per_cpu(lin: f64, quad: f64, x_max: f64) -> f64 {
+    let f = |x: f64| lin * x + quad * x * x;
+    let mut peak = 0.0f64;
+    if x_max.is_finite() {
+        peak = peak.max(f(x_max));
+    } else if quad > 0.0 || (quad == 0.0 && lin > 0.0) {
+        return f64::INFINITY;
+    }
+    if quad < 0.0 {
+        let vertex = -lin / (2.0 * quad);
+        if vertex > 0.0 && vertex < x_max {
+            peak = peak.max(f(vertex));
+        }
+    }
+    peak
+}
+
+/// Serde default for validity-range fields: unbounded.
+///
+/// `serde_json` cannot represent `f64::INFINITY` (it serialises to
+/// `null`), so unbounded ranges are *skipped* on write and restored by
+/// this default on read — see the `skip_serializing_if` attributes on
+/// the model structs.
+pub(crate) fn unbounded() -> f64 {
+    f64::INFINITY
+}
+
+/// Serde skip predicate paired with [`unbounded`].
+#[allow(clippy::trivially_copy_pass_by_ref)] // signature fixed by serde
+pub(crate) fn is_unbounded(v: &f64) -> bool {
+    v.is_infinite()
+}
+
 /// A power model for one subsystem, driven purely by CPU performance
 /// events.
 ///

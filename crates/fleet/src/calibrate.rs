@@ -185,6 +185,7 @@ impl StreamingCalibrator {
             background_w: m[0],
             lin: m[1],
             quad: m[2],
+            valid_max: f64::INFINITY,
         };
 
         let d = coeffs(&self.disk, Subsystem::Disk)?;
@@ -194,6 +195,8 @@ impl StreamingCalibrator {
             int_quad: d[2],
             dma_lin: d[3],
             dma_quad: d[4],
+            int_valid_max: f64::INFINITY,
+            dma_valid_max: f64::INFINITY,
         };
 
         let i = coeffs(&self.io, Subsystem::Io)?;
@@ -201,6 +204,7 @@ impl StreamingCalibrator {
             dc_w: i[0],
             int_lin: i[1],
             int_quad: i[2],
+            valid_max: f64::INFINITY,
         };
 
         if self.chipset_n == 0 {

@@ -2,7 +2,7 @@
 //! every machine in a window with column kernels.
 
 use crate::batch::{col, extract_set_cached, LayoutCache, SampleBatch, COLUMNS};
-use crate::kernels::{add_assign, axpy, fill, quadratic, quadratic_acc};
+use crate::kernels::{add_assign, axpy, clamp_predictions, fill, quadratic, quadratic_acc};
 use tdp_counters::{SampleSet, Subsystem};
 use tdp_parallel::WorkerPool;
 use tdp_powermeter::SubsystemPower;
@@ -25,6 +25,7 @@ const OUT_TOTAL: usize = 5;
 #[derive(Debug, Clone, Default)]
 pub struct FleetEstimates {
     cols: [Vec<f64>; OUT_COLUMNS],
+    clamped: u64,
 }
 
 impl FleetEstimates {
@@ -88,6 +89,15 @@ impl FleetEstimates {
         self.cols[OUT_TOTAL].iter().sum()
     }
 
+    /// How many subsystem predictions this window had to be clamped to
+    /// their model's valid output range (non-negative floor, calibrated
+    /// ceiling). Non-zero means some machine reported event rates
+    /// outside what the models were calibrated for — a degradation
+    /// signal, not an error.
+    pub fn clamped_predictions(&self) -> u64 {
+        self.clamped
+    }
+
     fn resize_rows(&mut self, machines: usize) {
         for c in &mut self.cols {
             c.resize(machines, 0.0);
@@ -100,13 +110,16 @@ impl FleetEstimates {
     }
 }
 
-/// Evaluates the model over whole columns. Elementwise — the basis of
-/// the serial == sharded determinism guarantee.
+/// Evaluates the model over whole columns, returning how many
+/// subsystem predictions had to be clamped to their valid range (a
+/// pipeline-health signal: non-zero means some machine reported rates
+/// outside what the models were calibrated for). Elementwise — the
+/// basis of the serial == sharded determinism guarantee.
 fn evaluate(
     model: &SystemPowerModel,
     cols: &[&[f64]; COLUMNS],
     out: &mut [&mut [f64]; OUT_COLUMNS],
-) {
+) -> u64 {
     // Equation 1: N·halt + (active − halt)·Σactive + upc·Σupc.
     let cpu = &model.cpu;
     fill(out[OUT_CPU], 0.0);
@@ -163,6 +176,18 @@ fn evaluate(
 
     fill(out[OUT_CHIPSET], model.chipset.constant_w);
 
+    // Saturate every subsystem to its valid range before totalling —
+    // the same `clamp_watts(raw, dc + dynamic_peak()·n)` the scalar
+    // models apply, so clamped rows stay bit-identical too. CPU and
+    // chipset are linear/constant: floor only (infinite ceiling).
+    let ncpus = cols[col::NUM_CPUS];
+    let mut clamped = 0;
+    clamped += clamp_predictions(out[OUT_CPU], f64::INFINITY, 0.0, ncpus);
+    clamped += clamp_predictions(out[OUT_MEMORY], mem.background_w, mem.dynamic_peak(), ncpus);
+    clamped += clamp_predictions(out[OUT_DISK], disk.dc_w, disk.dynamic_peak(), ncpus);
+    clamped += clamp_predictions(out[OUT_IO], io.dc_w, io.dynamic_peak(), ncpus);
+    clamped += clamp_predictions(out[OUT_CHIPSET], f64::INFINITY, 0.0, ncpus);
+
     // Total, accumulated in `Subsystem::ALL` order so it matches
     // `SubsystemPower::total()` on the reassembled scalar estimate.
     fill(out[OUT_TOTAL], 0.0);
@@ -172,6 +197,7 @@ fn evaluate(
     add_assign(total, mem_col);
     add_assign(total, io_col);
     add_assign(total, disk_col);
+    clamped
 }
 
 /// The fleet-scale counterpart of
@@ -289,7 +315,7 @@ impl FleetEstimator {
     /// Evaluates the model over every ingested machine, serially.
     pub fn estimate(&mut self) -> &FleetEstimates {
         self.estimates.resize_rows(self.batch.len());
-        evaluate(
+        self.estimates.clamped = evaluate(
             &self.model,
             &self.batch.col_slices(),
             &mut self.estimates.col_slices_mut(),
@@ -307,7 +333,7 @@ impl FleetEstimator {
         let n = sets.len();
         self.batch.resize_rows(n);
         self.estimates.resize_rows(n);
-        ingest_evaluate(
+        self.estimates.clamped = ingest_evaluate(
             &self.model,
             &mut self.batch.col_slices_mut(),
             &mut self.estimates.col_slices_mut(),
@@ -365,9 +391,10 @@ impl FleetEstimator {
         }
 
         let model = &self.model;
-        pool.par_map(shards, |(mut cols, mut outs, sets)| {
-            ingest_evaluate(model, &mut cols, &mut outs, sets);
+        let per_shard = pool.par_map(shards, |(mut cols, mut outs, sets)| {
+            ingest_evaluate(model, &mut cols, &mut outs, sets)
         });
+        self.estimates.clamped = per_shard.iter().sum();
 
         self.windows += 1;
         &self.estimates
@@ -383,7 +410,7 @@ fn ingest_evaluate(
     cols: &mut [&mut [f64]; COLUMNS],
     outs: &mut [&mut [f64]; OUT_COLUMNS],
     sets: &[SampleSet],
-) {
+) -> u64 {
     // Layout cache per call: all-inline, so no allocation.
     let mut layout = LayoutCache::default();
     for (i, set) in sets.iter().enumerate() {
@@ -393,7 +420,7 @@ fn ingest_evaluate(
         }
     }
     let shared: [&[f64]; COLUMNS] = cols.each_ref().map(|s| &**s);
-    evaluate(model, &shared, outs);
+    evaluate(model, &shared, outs)
 }
 
 #[cfg(test)]

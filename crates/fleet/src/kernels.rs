@@ -14,7 +14,7 @@
 //! bit-identical to serial: the per-element operation sequence never
 //! changes, only which thread performs it.
 
-use trickledown::quad_poly;
+use trickledown::{clamp_watts, quad_poly};
 
 /// Elements processed per unrolled step.
 const LANES: usize = 8;
@@ -77,6 +77,34 @@ pub fn quadratic_acc(out: &mut [f64], lin: f64, quad: f64, x: &[f64], x_sq: &[f6
     }
 }
 
+/// `out[i] = clamp_watts(out[i], dc + peak1 · ncpus[i])` — saturates a
+/// finished subsystem column to its physically meaningful range (the
+/// non-negative floor, and the ceiling the model's calibrated validity
+/// range implies per machine). Returns how many entries the clamp
+/// changed, for the pipeline-health counters.
+///
+/// The ceiling expression `dc + peak1 * n` and the clamp itself are the
+/// very ones the scalar models evaluate
+/// ([`trickledown::clamp_watts`] with `dc + dynamic_peak() * n`), so
+/// scalar and batched predictions stay bit-identical — including for
+/// out-of-range rows, where both saturate to the same ceiling bits.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn clamp_predictions(out: &mut [f64], dc: f64, peak1: f64, ncpus: &[f64]) -> u64 {
+    assert_eq!(out.len(), ncpus.len(), "clamp_predictions length mismatch");
+    let mut clamped = 0u64;
+    for (o, &n) in out.iter_mut().zip(ncpus) {
+        let c = clamp_watts(*o, dc + peak1 * n);
+        if c.to_bits() != o.to_bits() {
+            clamped += 1;
+        }
+        *o = c;
+    }
+    clamped
+}
+
 /// `out[i] += x[i]`.
 ///
 /// # Panics
@@ -121,6 +149,31 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         axpy(&mut [0.0; 3], 1.0, &[0.0; 4]);
+    }
+
+    #[test]
+    fn clamp_predictions_matches_scalar_clamp_and_counts() {
+        // One negative entry, one above the 4-CPU ceiling, two already
+        // in range (incl. an exact-ceiling value that must not count).
+        let dc = 21.6;
+        let peak1 = 0.5;
+        let ncpus = [4.0, 4.0, 4.0, 2.0];
+        let mut out = [-3.0, 30.0, dc + peak1 * 4.0, 10.0];
+        let n = clamp_predictions(&mut out, dc, peak1, &ncpus);
+        assert_eq!(n, 2);
+        for (i, (&o, &nc)) in out.iter().zip(&ncpus).enumerate() {
+            let expect = clamp_watts(if i == 0 { -3.0 } else { o }, dc + peak1 * nc);
+            assert_eq!(o.to_bits(), expect.to_bits(), "i={i}");
+        }
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], dc + peak1 * 4.0);
+        // An unbounded ceiling only enforces the floor.
+        let mut raw = [f64::MAX, -1.0];
+        assert_eq!(
+            clamp_predictions(&mut raw, f64::INFINITY, 0.0, &[4.0, 4.0]),
+            1
+        );
+        assert_eq!(raw, [f64::MAX, 0.0]);
     }
 
     #[test]

@@ -90,6 +90,68 @@ fn quadratic_models_agree_bit_for_bit_l3_memory() {
 }
 
 #[test]
+fn clamped_predictions_agree_bit_for_bit_at_extreme_rates() {
+    // Regression for the negative-power bug: rates far outside the
+    // calibrated range drive the negative-curvature quadratics (disk
+    // int_quad −11.1e15, io int_quad −1.12e9) below zero, and both
+    // paths must saturate to the *same* floor/ceiling bits. Scale every
+    // input by a huge factor so most machines clamp, while machine 0
+    // (all-zero rates) stays on the untouched in-range path.
+    let mut model = SystemPowerModel::paper();
+    model.memory = trickledown::MemoryPowerModel::paper_l3().with_valid_max(10.0);
+    model.disk = model.disk.with_valid_max(4e-9, 1e-3);
+    model.io = model.io.with_valid_max(1e-8);
+
+    let samples: Vec<SystemSample> = fleet_samples()
+        .into_iter()
+        .map(|mut s| {
+            for c in &mut s.per_cpu {
+                c.l3_load_misses *= 1e4;
+                c.dma_per_cycle *= 1e4;
+                c.disk_interrupts_per_cycle *= 1e6;
+                c.device_interrupts_per_cycle *= 1e8;
+            }
+            s
+        })
+        .collect();
+
+    let mut fleet = FleetEstimator::new(model.clone());
+    fleet.begin_window();
+    for s in &samples {
+        fleet.push_sample(s);
+    }
+    let est = fleet.estimate();
+    assert!(
+        est.clamped_predictions() > 0,
+        "extreme rates must trip the clamp counter"
+    );
+
+    for (i, s) in samples.iter().enumerate() {
+        let scalar = model.predict(s);
+        for (name, batched, scalar_w) in [
+            (
+                "memory",
+                est.memory()[i],
+                scalar.get(tdp_counters::Subsystem::Memory),
+            ),
+            (
+                "disk",
+                est.disk()[i],
+                scalar.get(tdp_counters::Subsystem::Disk),
+            ),
+            ("io", est.io()[i], scalar.get(tdp_counters::Subsystem::Io)),
+        ] {
+            assert!(scalar_w >= 0.0, "machine {i} {name}: negative {scalar_w} W");
+            assert_eq!(
+                batched.to_bits(),
+                scalar_w.to_bits(),
+                "machine {i} {name}: batched {batched} vs scalar {scalar_w}"
+            );
+        }
+    }
+}
+
+#[test]
 fn quadratic_models_agree_bit_for_bit_fitted_coefficients() {
     // Not just the published constants: perturbed coefficients (as a
     // calibration pass would produce) must also agree, since agreement

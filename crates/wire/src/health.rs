@@ -1,0 +1,291 @@
+//! Graceful degradation policy for streaming ingest.
+//!
+//! A fleet stream is a hostile input: frames arrive bit-flipped,
+//! truncated, duplicated, reordered, or not at all, and a rebooted
+//! machine restarts its window sequence from zero. The codec layer
+//! already *detects* most of this (checksums, resync scanning); this
+//! module decides what the pipeline does about it, so that damage to
+//! one machine's telemetry never contaminates another's estimate:
+//!
+//! * every machine carries a [`HealthState`] that ingest updates from
+//!   observed evidence (sequence regressions, insane rates, silence);
+//! * rows whose rates fail the [`DegradePolicy`] sanity bounds are
+//!   **quarantined** — counted, never fed to the estimator;
+//! * a machine that goes silent is **held** at its last good row for a
+//!   bounded number of windows ([`DegradePolicy::max_stale_windows`]),
+//!   then declared stale and dropped from the window entirely;
+//! * model-level protection (prediction clamping to the calibrated
+//!   validity range — see [`trickledown::clamp_watts`]) catches what
+//!   row-level sanity bounds cannot: rates that are individually
+//!   plausible but outside what the quadratics were fitted on, the
+//!   paper's own Equation-2 "fails under extreme cases" caveat
+//!   (§4.2.2).
+//!
+//! The counters all of this produces are summarised by
+//! [`PipelineHealth`].
+
+use crate::stream::StreamReport;
+use tdp_fleet::{col, COLUMNS};
+
+/// Where a machine stands in the degradation ladder.
+///
+/// Transitions (applied by streaming ingest, per machine, per window):
+///
+/// ```text
+/// Healthy ──insane row──────────► Quarantined
+/// Healthy ──seq regression──────► Suspect
+/// Healthy ──no frame, held──────► Suspect
+/// Suspect/Quarantined ──good row► Healthy
+/// any ──held past staleness─────► Stale
+/// Stale ──good row──────────────► Healthy
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthState {
+    /// Last observed window decoded cleanly and passed sanity bounds.
+    #[default]
+    Healthy,
+    /// Evidence of trouble that didn't invalidate data: a window
+    /// sequence regression (counter reset / reboot), or the machine's
+    /// row was held from a previous window.
+    Suspect,
+    /// The machine's latest decoded row failed the sanity bounds and
+    /// was withheld from the estimator.
+    Quarantined,
+    /// No acceptable row for longer than the staleness bound; the
+    /// machine no longer contributes to fleet estimates.
+    Stale,
+}
+
+/// Sanity bounds and hold limits for streaming ingest.
+///
+/// The rate caps are *physical plausibility* screens, deliberately far
+/// above anything a real machine sustains (compare: the simulated
+/// fleet peaks around 3 misses/kilocycle, 9 000 bus tx/megacycle,
+/// 0.03 DMA/cycle, and interrupt rates near 1e-8/cycle) but far below
+/// the garbage a misattributed or malicious payload produces. Rows are
+/// machine-aggregated sums over CPUs, so every per-CPU cap is scaled
+/// by the row's CPU count before comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradePolicy {
+    /// Max fetched uops per cycle, per CPU (architectural width is
+    /// single digits).
+    pub max_upc: f64,
+    /// Max L3 load misses per **kilo**cycle, per CPU.
+    pub max_l3_per_kilocycle: f64,
+    /// Max bus transactions per **mega**cycle, per CPU.
+    pub max_bus_per_megacycle: f64,
+    /// Max DMA accesses per cycle, per CPU.
+    pub max_dma_per_cycle: f64,
+    /// Max interrupts per cycle, per CPU (covers disk and device
+    /// interrupt rates; even a 1 kHz tick at 10 MHz is 1e-4).
+    pub max_interrupts_per_cycle: f64,
+    /// Max CPUs one machine may claim.
+    pub max_cpus: f64,
+    /// How many consecutive windows a silent machine is carried at its
+    /// last good row before being declared [`HealthState::Stale`].
+    pub max_stale_windows: u64,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        Self {
+            max_upc: 16.0,
+            max_l3_per_kilocycle: 50.0,
+            max_bus_per_megacycle: 1e5,
+            max_dma_per_cycle: 0.2,
+            max_interrupts_per_cycle: 1e-3,
+            max_cpus: 1024.0,
+            max_stale_windows: 4,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// Whether a decoded sample row is physically plausible under this
+    /// policy. A `false` verdict quarantines the row: it checksummed
+    /// (the bytes arrived as sent) but describes a machine that cannot
+    /// exist, so the *producer* is lying or broken, not the wire.
+    pub fn row_is_sane(&self, row: &[f64; COLUMNS]) -> bool {
+        if !row.iter().all(|v| v.is_finite() && *v >= 0.0) {
+            return false;
+        }
+        let n = row[col::NUM_CPUS];
+        if !(1.0..=self.max_cpus).contains(&n) {
+            return false;
+        }
+        // Aggregates are per-CPU sums, each term individually capped,
+        // so the sums are bounded by n·cap and the squared-rate sums
+        // by n·cap².
+        let within = |sum: f64, sq: f64, cap: f64| sum <= cap * n && sq <= cap * cap * n;
+        row[col::ACTIVE] <= n
+            && within(row[col::UPC], 0.0, self.max_upc)
+            && within(row[col::L3], row[col::L3_SQ], self.max_l3_per_kilocycle)
+            && within(row[col::BUS], row[col::BUS_SQ], self.max_bus_per_megacycle)
+            && within(row[col::DMA], row[col::DMA_SQ], self.max_dma_per_cycle)
+            && within(
+                row[col::DISK_INT],
+                row[col::DISK_INT_SQ],
+                self.max_interrupts_per_cycle,
+            )
+            && within(
+                row[col::DEV_INT],
+                row[col::DEV_INT_SQ],
+                self.max_interrupts_per_cycle,
+            )
+    }
+}
+
+/// Per-machine ingest health, tracked by the owning decoder shard.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MachineHealth {
+    /// Current position on the degradation ladder.
+    pub state: HealthState,
+    /// Last accepted window sequence number (duplicate / regression
+    /// detection).
+    pub last_seq: Option<u64>,
+    /// Last row that decoded cleanly and passed sanity bounds — the
+    /// value held for bounded staleness when the machine goes silent.
+    pub last_good: Option<[f64; COLUMNS]>,
+    /// Ingest epoch `last_good` was captured in.
+    pub last_good_epoch: u64,
+    /// Ingest epoch this machine last contributed a row (fresh or
+    /// held).
+    pub emitted_epoch: u64,
+    /// Whether this silence has already been counted in
+    /// `machines_stale` (one count per outage, not per window).
+    pub counted_stale: bool,
+}
+
+/// The pipeline-health counter block: every way the stream degraded
+/// this window, condensed from a [`StreamReport`].
+///
+/// Invariant the chaos tests pin: every injected fault lands in at
+/// least one of these counters — nothing fails silently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineHealth {
+    /// Frames rejected by checksum or structure.
+    pub corrupt_frames: u64,
+    /// Framing losses that forced a scan for the next boundary.
+    pub resyncs: u64,
+    /// Window-sequence regressions (machine reboot / counter reset).
+    pub resets_detected: u64,
+    /// Frames re-delivering an already-accepted window.
+    pub duplicate_windows: u64,
+    /// Decoded rows withheld as physically implausible.
+    pub rows_quarantined: u64,
+    /// Rows emitted from a machine's last good window while it was
+    /// silent or quarantined.
+    pub rows_held: u64,
+    /// Machines dropped after exceeding the staleness bound.
+    pub machines_stale: u64,
+    /// Rows shed under backpressure (lossy mode only).
+    pub dropped_rows: u64,
+}
+
+impl PipelineHealth {
+    /// Condenses a window's [`StreamReport`] to the health block.
+    pub fn from_report(r: &StreamReport) -> Self {
+        Self {
+            corrupt_frames: r.corrupt_frames,
+            resyncs: r.resyncs,
+            resets_detected: r.resets_detected,
+            duplicate_windows: r.duplicate_windows,
+            rows_quarantined: r.rows_quarantined,
+            rows_held: r.rows_held,
+            machines_stale: r.machines_stale,
+            dropped_rows: r.dropped_rows,
+        }
+    }
+
+    /// Whether the window showed no degradation at all.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl std::fmt::Display for PipelineHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corrupt={} resyncs={} resets={} dups={} quarantined={} held={} stale={} dropped={}",
+            self.corrupt_frames,
+            self.resyncs,
+            self.resets_detected,
+            self.duplicate_windows,
+            self.rows_quarantined,
+            self.rows_held,
+            self.machines_stale,
+            self.dropped_rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sane_row() -> [f64; COLUMNS] {
+        let mut row = [0.0; COLUMNS];
+        row[col::NUM_CPUS] = 4.0;
+        row[col::ACTIVE] = 2.5;
+        row[col::UPC] = 6.0;
+        row[col::L3] = 8.0;
+        row[col::L3_SQ] = 20.0;
+        row[col::BUS] = 20_000.0;
+        row[col::BUS_SQ] = 1.2e8;
+        row[col::DMA] = 0.1;
+        row[col::DMA_SQ] = 0.004;
+        row[col::DISK_INT] = 2e-8;
+        row[col::DISK_INT_SQ] = 4e-16;
+        row[col::DEV_INT] = 3e-8;
+        row[col::DEV_INT_SQ] = 9e-16;
+        row
+    }
+
+    #[test]
+    fn default_policy_accepts_plausible_rows() {
+        assert!(DegradePolicy::default().row_is_sane(&sane_row()));
+    }
+
+    #[test]
+    fn each_bound_rejects_independently() {
+        let p = DegradePolicy::default();
+        let cases: [(usize, f64); 9] = [
+            (col::NUM_CPUS, 0.0),
+            (col::NUM_CPUS, 4096.0),
+            (col::ACTIVE, 4.5),
+            (col::UPC, 100.0),
+            (col::L3, 1000.0),
+            (col::BUS, 4.0e6),
+            (col::DMA, 4.0),
+            (col::DISK_INT, 1.0),
+            (col::DEV_INT, 1.0),
+        ];
+        for (i, v) in cases {
+            let mut row = sane_row();
+            row[i] = v;
+            assert!(!p.row_is_sane(&row), "col {i} = {v} must be insane");
+        }
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut row = sane_row();
+            row[col::UPC] = bad;
+            assert!(!p.row_is_sane(&row), "{bad} must be insane");
+        }
+        // Squared-rate columns are bounded too (a consistent sum with
+        // an impossible square means the payload lies).
+        let mut row = sane_row();
+        row[col::L3_SQ] = 1e9;
+        assert!(!p.row_is_sane(&row));
+    }
+
+    #[test]
+    fn health_block_display_and_cleanliness() {
+        let clean = PipelineHealth::default();
+        assert!(clean.is_clean());
+        let mut dirty = clean;
+        dirty.rows_quarantined = 3;
+        assert!(!dirty.is_clean());
+        let s = dirty.to_string();
+        assert!(s.contains("quarantined=3"), "{s}");
+    }
+}

@@ -23,6 +23,14 @@
 //!   lock-free SPSC [`ring`]s, explicit backpressure, and a streamed
 //!   result that is bit-identical to serial ingestion for any decoder
 //!   count.
+//! * [`health`](PipelineHealth) — graceful degradation under a hostile
+//!   stream: per-machine [`HealthState`] ledgers, sequence
+//!   reset/duplicate detection, [`DegradePolicy`] sanity quarantine,
+//!   bounded last-good-row holds, and a per-window counter block in
+//!   which every fault is accounted.
+//! * [`faults`] — a seeded, deterministic fault injector
+//!   ([`FaultPlan`]) that damages encoded windows in replayable ways,
+//!   for chaos tests and `repro --faults`.
 //!
 //! [`SampleBatch`]: tdp_fleet::SampleBatch
 //! [`RowAccumulator`]: tdp_fleet::RowAccumulator
@@ -61,12 +69,16 @@ pub mod frame;
 
 mod decode;
 mod encode;
+pub mod faults;
+mod health;
 #[allow(unsafe_code)]
 pub mod ring;
 mod stream;
 
 pub use decode::{CursorItem, DecodeError, Decoded, FrameCursor, FrameDecoder, LayoutTable};
 pub use encode::{encode_layout_frame, encode_sample_frame, EncodeError, WireEncoder};
+pub use faults::{FaultKind, FaultPlan, FaultedWindow, InjectedFault};
+pub use health::{DegradePolicy, HealthState, PipelineHealth};
 pub use stream::{
     ingest_serial, ingest_serial_with, stream_window, stream_window_with, IngestState,
     StreamConfig, StreamReport,

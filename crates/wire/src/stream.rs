@@ -38,7 +38,9 @@
 
 use crate::decode::{CursorItem, DecodeError, Decoded, FrameCursor, FrameDecoder};
 use crate::frame::FrameType;
+use crate::health::{DegradePolicy, HealthState, MachineHealth};
 use crate::ring::{ring, Consumer, Producer};
+use std::collections::BTreeMap;
 use tdp_fleet::{FleetEstimator, SampleBatch, COLUMNS};
 use tdp_parallel::WorkerPool;
 
@@ -92,6 +94,24 @@ pub struct StreamReport {
     pub unknown_layout_frames: u64,
     /// Decoded rows for machines beyond the window's machine count.
     pub out_of_range_frames: u64,
+    /// Window-sequence regressions: a machine's frame carried a lower
+    /// sequence than its last accepted one (reboot / counter reset).
+    /// The row is accepted and the machine re-baselined as
+    /// [`HealthState::Suspect`].
+    pub resets_detected: u64,
+    /// Frames re-delivering a machine's already-accepted window
+    /// sequence; the redundant row is skipped.
+    pub duplicate_windows: u64,
+    /// Decoded rows withheld because they failed the
+    /// [`DegradePolicy`] sanity bounds.
+    pub rows_quarantined: u64,
+    /// Rows emitted from a machine's last good window because this
+    /// window brought no acceptable fresh row.
+    pub rows_held: u64,
+    /// Machines declared [`HealthState::Stale`] this window after
+    /// exceeding [`DegradePolicy::max_stale_windows`] (counted once
+    /// per outage, not once per silent window).
+    pub machines_stale: u64,
     /// Rows shed under backpressure (only with
     /// [`StreamConfig::drop_when_full`]).
     pub dropped_rows: u64,
@@ -112,8 +132,19 @@ impl StreamReport {
         self.resync_bytes += o.resync_bytes;
         self.unknown_layout_frames += o.unknown_layout_frames;
         self.out_of_range_frames += o.out_of_range_frames;
+        self.resets_detected += o.resets_detected;
+        self.duplicate_windows += o.duplicate_windows;
+        self.rows_quarantined += o.rows_quarantined;
+        self.rows_held += o.rows_held;
+        self.machines_stale += o.machines_stale;
         self.dropped_rows += o.dropped_rows;
         self.backpressure_events += o.backpressure_events;
+    }
+
+    /// The window's [`PipelineHealth`](crate::PipelineHealth) block —
+    /// shorthand for [`PipelineHealth::from_report`](crate::PipelineHealth::from_report).
+    pub fn health(&self) -> crate::PipelineHealth {
+        crate::PipelineHealth::from_report(self)
     }
 }
 
@@ -125,47 +156,104 @@ struct WireRow {
     row: [f64; COLUMNS],
 }
 
-/// Decoder state that survives across windows: one [`FrameDecoder`]
-/// per shard, so a steady-state stream (layouts announced once, then
+/// One decoder shard's cross-window state: its [`FrameDecoder`]
+/// (layout memo) plus the health ledger for every machine it owns.
+#[derive(Debug, Default)]
+struct ShardState {
+    dec: FrameDecoder,
+    health: BTreeMap<u64, MachineHealth>,
+}
+
+/// Ingest state that survives across windows: one [`FrameDecoder`] per
+/// shard — so a steady-state stream (layouts announced once, then
 /// sample frames only — see [`WireEncoder`](crate::WireEncoder)) pays
-/// for layout registration exactly once, not per window.
+/// for layout registration exactly once — plus per-machine health
+/// ([`HealthState`]) driving the graceful-degradation ladder: duplicate
+/// and reset detection on window sequences, quarantine of rows that
+/// fail the [`DegradePolicy`] sanity bounds, bounded last-good-row
+/// holds for silent machines, and staleness cut-off.
 ///
 /// Every shard walks the whole stream and registers every layout
 /// frame, so shards that existed when a layout was announced all know
 /// it. Keep the decoder count stable across a stream: a shard added
-/// later (a grown pool) starts with an empty table and reports
+/// later (a grown pool) starts with an empty layout table and health
+/// ledger, so it reports
 /// [`unknown_layout_frames`](StreamReport::unknown_layout_frames) for
-/// its machines until layouts are re-announced.
+/// its machines until layouts are re-announced, and re-learns their
+/// health from scratch.
 #[derive(Debug, Default)]
 pub struct IngestState {
-    decoders: Vec<FrameDecoder>,
+    shards: Vec<ShardState>,
+    policy: DegradePolicy,
+    epoch: u64,
 }
 
 impl IngestState {
-    /// State with no layouts registered.
+    /// State with no layouts registered and the default
+    /// [`DegradePolicy`].
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn shards(&mut self, d: usize) -> &mut [FrameDecoder] {
-        if self.decoders.len() < d {
-            self.decoders.resize_with(d, FrameDecoder::default);
+    /// State enforcing a caller-chosen [`DegradePolicy`].
+    pub fn with_policy(policy: DegradePolicy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
         }
-        &mut self.decoders[..d]
+    }
+
+    /// The degradation policy this state enforces.
+    pub fn policy(&self) -> &DegradePolicy {
+        &self.policy
+    }
+
+    /// How many windows this state has ingested.
+    pub fn windows_ingested(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The last known [`HealthState`] of `machine`, or `None` if no
+    /// shard has ever decoded a row for it.
+    pub fn machine_health(&self, machine: u64) -> Option<HealthState> {
+        self.shards
+            .iter()
+            .find_map(|s| s.health.get(&machine).map(|h| h.state))
+    }
+
+    /// Opens the next ingest window: bumps the epoch and makes sure
+    /// `d` shards exist. Returns the new epoch.
+    fn begin(&mut self, d: usize) -> u64 {
+        self.epoch += 1;
+        if self.shards.len() < d {
+            self.shards.resize_with(d, ShardState::default);
+        }
+        self.epoch
     }
 }
 
-/// Walks the whole stream as shard `shard` of `nshards`, decoding owned
-/// frames and emitting in-range rows. Every shard runs this same
-/// function over the same buffer, so all shards agree on framing and
-/// ownership; counters for unattributable events (resyncs) are taken by
-/// shard 0 alone so fleet-wide sums are exact.
-fn run_shard(
-    dec: &mut FrameDecoder,
-    buf: &[u8],
+/// Everything a shard needs to know about the window it is decoding
+/// (`Copy`, so each parallel task takes its own).
+#[derive(Clone, Copy)]
+struct ShardCtx {
+    policy: DegradePolicy,
+    epoch: u64,
     shard: u64,
     nshards: u64,
     machines: usize,
+}
+
+/// Walks the whole stream as shard `ctx.shard` of `ctx.nshards`,
+/// decoding owned frames and emitting accepted rows, then runs the
+/// hold/staleness pass over owned machines that produced nothing this
+/// window. Every shard runs this same function over the same buffer, so
+/// all shards agree on framing and ownership; counters for
+/// unattributable events (resyncs) are taken by shard 0 alone so
+/// fleet-wide sums are exact.
+fn run_shard(
+    state: &mut ShardState,
+    ctx: ShardCtx,
+    buf: &[u8],
     mut emit: impl FnMut(WireRow),
 ) -> StreamReport {
     let mut stats = StreamReport::default();
@@ -173,7 +261,7 @@ fn run_shard(
     while let Some(item) = cursor.next() {
         let (start, header) = match item {
             CursorItem::Resync { skipped } => {
-                if shard == 0 {
+                if ctx.shard == 0 {
                     stats.resyncs += 1;
                     stats.resync_bytes += skipped as u64;
                 }
@@ -181,12 +269,15 @@ fn run_shard(
             }
             CursorItem::Frame { start, header } => (start, header),
         };
-        let mine = header.machine_id % nshards == shard;
+        let mine = header.machine_id % ctx.nshards == ctx.shard;
         match header.frame_type {
             FrameType::Layout => {
                 // Every shard registers every layout (any shard may own
                 // samples encoded against it); only the owner counts.
-                match dec.decode_frame(&header, cursor.payload(start, &header)) {
+                match state
+                    .dec
+                    .decode_frame(&header, cursor.payload(start, &header))
+                {
                     Ok(_) => {
                         if mine {
                             stats.layout_frames += 1;
@@ -204,15 +295,19 @@ fn run_shard(
                     continue;
                 }
                 stats.sample_frames += 1;
-                match dec.decode_frame(&header, cursor.payload(start, &header)) {
+                match state
+                    .dec
+                    .decode_frame(&header, cursor.payload(start, &header))
+                {
                     Ok(Decoded::Row {
-                        machine_id, row, ..
+                        machine_id,
+                        window_seq,
+                        row,
                     }) => {
-                        if (machine_id as usize) < machines {
-                            emit(WireRow {
-                                machine: machine_id,
-                                row,
-                            });
+                        if (machine_id as usize) < ctx.machines {
+                            state.accept_row(
+                                machine_id, &ctx, window_seq, &row, &mut stats, &mut emit,
+                            );
                         } else {
                             stats.out_of_range_frames += 1;
                         }
@@ -224,7 +319,96 @@ fn run_shard(
             }
         }
     }
+    hold_pass(state, &ctx, &mut stats, &mut emit);
     stats
+}
+
+impl ShardState {
+    /// Screens one decoded in-range row through the degradation
+    /// ladder: duplicate skip, reset re-baseline, sanity quarantine,
+    /// then emission with the machine's ledger updated.
+    fn accept_row(
+        &mut self,
+        machine: u64,
+        ctx: &ShardCtx,
+        window_seq: u64,
+        row: &[f64; COLUMNS],
+        stats: &mut StreamReport,
+        emit: &mut impl FnMut(WireRow),
+    ) {
+        let h = self.health.entry(machine).or_default();
+        if h.last_seq == Some(window_seq) {
+            // Same window delivered again (duplicated frame or replayed
+            // chunk): the first delivery already decided this window.
+            stats.duplicate_windows += 1;
+            return;
+        }
+        let reset = match h.last_seq {
+            Some(last) if window_seq < last => {
+                // The producer's sequence went backwards: reboot or
+                // counter reset. Counters are read-and-clear, so the
+                // row is still a valid per-window delta — accept it,
+                // re-baseline the sequence, and flag the machine.
+                stats.resets_detected += 1;
+                true
+            }
+            _ => false,
+        };
+        h.last_seq = Some(window_seq);
+        if !ctx.policy.row_is_sane(row) {
+            // The bytes arrived as sent (checksummed) but describe an
+            // impossible machine: never let it touch the estimator.
+            stats.rows_quarantined += 1;
+            h.state = HealthState::Quarantined;
+            return;
+        }
+        emit(WireRow { machine, row: *row });
+        h.last_good = Some(*row);
+        h.last_good_epoch = ctx.epoch;
+        h.emitted_epoch = ctx.epoch;
+        h.counted_stale = false;
+        h.state = if reset {
+            HealthState::Suspect
+        } else {
+            HealthState::Healthy
+        };
+    }
+}
+
+/// After the cursor walk: every owned machine that contributed nothing
+/// this window is either carried at its last good row (bounded by
+/// [`DegradePolicy::max_stale_windows`]) or declared stale.
+fn hold_pass(
+    state: &mut ShardState,
+    ctx: &ShardCtx,
+    stats: &mut StreamReport,
+    emit: &mut impl FnMut(WireRow),
+) {
+    for (&machine, h) in state.health.iter_mut() {
+        if machine % ctx.nshards != ctx.shard
+            || (machine as usize) >= ctx.machines
+            || h.emitted_epoch == ctx.epoch
+        {
+            continue;
+        }
+        match h.last_good {
+            Some(row) if ctx.epoch - h.last_good_epoch <= ctx.policy.max_stale_windows => {
+                emit(WireRow { machine, row });
+                h.emitted_epoch = ctx.epoch;
+                stats.rows_held += 1;
+                if h.state == HealthState::Healthy {
+                    h.state = HealthState::Suspect;
+                }
+            }
+            _ => {
+                if !h.counted_stale {
+                    stats.machines_stale += 1;
+                    h.counted_stale = true;
+                }
+                h.state = HealthState::Stale;
+            }
+        }
+    }
 }
 
 /// Ships `chunk` to the consumer, observing ring occupancy for
@@ -274,12 +458,20 @@ pub fn ingest_serial_with(
     machines: usize,
     est: &mut FleetEstimator,
 ) -> StreamReport {
-    let dec = &mut state.shards(1)[0];
+    let epoch = state.begin(1);
+    let ctx = ShardCtx {
+        policy: state.policy,
+        epoch,
+        shard: 0,
+        nshards: 1,
+        machines,
+    };
+    let shard = &mut state.shards[0];
     est.begin_window();
     let batch = est.batch_mut();
     batch.resize_rows(machines);
     let mut rows = 0u64;
-    let mut stats = run_shard(dec, buf, 0, 1, machines, |r| {
+    let mut stats = run_shard(shard, ctx, buf, |r| {
         batch.set_row(r.machine as usize, r.row);
         rows += 1;
     });
@@ -325,6 +517,8 @@ pub fn stream_window_with(
         return ingest_serial_with(state, buf, machines, est);
     }
 
+    let epoch = state.begin(d);
+    let policy = state.policy;
     est.begin_window();
     let batch = est.batch_mut();
     batch.resize_rows(machines);
@@ -335,9 +529,9 @@ pub fn stream_window_with(
             batch: &'a mut SampleBatch,
         },
         Decode {
-            shard: u64,
+            ctx: ShardCtx,
             producer: Producer<Vec<WireRow>>,
-            dec: &'a mut FrameDecoder,
+            shard_state: &'a mut ShardState,
         },
     }
 
@@ -357,15 +551,21 @@ pub fn stream_window_with(
     // Consumer first: the submitting thread claims tasks in order, so
     // the drain side is running before any producer can fill a ring.
     tasks.push(Task::Consume { consumers, batch });
-    for ((shard, producer), dec) in producers
+    for ((shard, producer), shard_state) in producers
         .into_iter()
         .enumerate()
-        .zip(state.shards(d).iter_mut())
+        .zip(state.shards[..d].iter_mut())
     {
         tasks.push(Task::Decode {
-            shard: shard as u64,
+            ctx: ShardCtx {
+                policy,
+                epoch,
+                shard: shard as u64,
+                nshards: d as u64,
+                machines,
+            },
             producer,
-            dec,
+            shard_state,
         });
     }
 
@@ -396,14 +596,14 @@ pub fn stream_window_with(
             TaskOut::Rows(rows)
         }
         Task::Decode {
-            shard,
+            ctx,
             mut producer,
-            dec,
+            shard_state,
         } => {
             let mut chunk: Vec<WireRow> = Vec::with_capacity(chunk_rows);
             let mut dropped = 0u64;
             let mut pressure = 0u64;
-            let mut stats = run_shard(dec, buf, shard, d as u64, machines, |r| {
+            let mut stats = run_shard(shard_state, ctx, buf, |r| {
                 chunk.push(r);
                 if chunk.len() == chunk_rows {
                     let full = std::mem::replace(&mut chunk, Vec::with_capacity(chunk_rows));

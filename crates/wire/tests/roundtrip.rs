@@ -8,7 +8,7 @@ use tdp_counters::{CounterSample, CpuId, InterruptSnapshot, PerfEvent, SampleSet
 use tdp_fleet::FleetEstimator;
 use tdp_parallel::WorkerPool;
 use tdp_wire::{
-    ingest_serial, ingest_serial_with, stream_window, stream_window_with, IngestState,
+    ingest_serial, ingest_serial_with, stream_window, stream_window_with, HealthState, IngestState,
     StreamConfig, WireEncoder,
 };
 use trickledown::SystemPowerModel;
@@ -296,6 +296,92 @@ fn sample_frame_without_its_layout_is_counted_not_guessed() {
     assert_eq!(report.rows_written, 0);
     // The machine's row stays zero rather than being misdecoded.
     assert!(est.batch().columns().iter().all(|c| c[0] == 0.0));
+}
+
+#[test]
+fn single_worker_pool_takes_the_serial_fused_path_deterministically() {
+    // With one worker there is no room for a decoder shard plus a
+    // consumer, so `stream_window` must fall back to the serial fused
+    // path (reported as zero decoders) — and that fallback must be
+    // indistinguishable, bit for bit and counter for counter, from
+    // calling `ingest_serial_with` directly, across repeated windows.
+    let machines = 13usize;
+    let pool = WorkerPool::new(1);
+    let cfg = StreamConfig {
+        decoders: 4, // an explicit request cannot outvote the pool size
+        ..StreamConfig::default()
+    };
+    let mut pooled_state = IngestState::new();
+    let mut serial_state = IngestState::new();
+    let mut pooled_est = FleetEstimator::new(SystemPowerModel::paper());
+    let mut serial_est = FleetEstimator::new(SystemPowerModel::paper());
+    for seq in 0..3u64 {
+        let sets: Vec<SampleSet> = (0..machines)
+            .map(|m| synthetic_set(m as u64, seq, &LAYOUT))
+            .collect();
+        let buf = encode_window(&sets);
+
+        let pooled = stream_window_with(
+            &mut pooled_state,
+            &pool,
+            &cfg,
+            &buf,
+            machines,
+            &mut pooled_est,
+        );
+        assert_eq!(pooled.decoders, 0, "window {seq}: must report serial path");
+        let serial = ingest_serial_with(&mut serial_state, &buf, machines, &mut serial_est);
+        assert_eq!(pooled, serial, "window {seq}: reports must be identical");
+        assert_eq!(
+            batch_bits(&pooled_est),
+            batch_bits(&serial_est),
+            "window {seq}: batches must be identical"
+        );
+    }
+}
+
+#[test]
+fn counter_reset_is_rebaselined_not_poisoned() {
+    // A machine reboots mid-stream: its window sequence rewinds to
+    // zero. Counters are read-and-clear, so the post-reboot row is a
+    // valid per-window delta — ingest must accept it (bit-identical to
+    // in-memory extraction of the same set), count exactly one reset,
+    // mark the machine Suspect, and let the next monotone window
+    // restore it to Healthy. Nothing about the reboot may leak into
+    // the decoded values.
+    let mut state = IngestState::new();
+    let mut est = FleetEstimator::new(SystemPowerModel::paper());
+
+    for (step, seq) in [5u64, 6, 0, 1].iter().enumerate() {
+        let set = synthetic_set(0, *seq, &LAYOUT);
+        let mut enc = WireEncoder::new();
+        enc.push_sample_set(0, &set).unwrap();
+        let rep = ingest_serial_with(&mut state, &enc.finish(), 1, &mut est);
+
+        assert_eq!(rep.rows_written, 1, "step {step}: row must be accepted");
+        assert_eq!(rep.rows_quarantined, 0);
+        let expect_reset = u64::from(step == 2);
+        assert_eq!(
+            rep.resets_detected, expect_reset,
+            "step {step}: reset counted exactly at the rewind"
+        );
+        let expect_state = if step == 2 {
+            HealthState::Suspect
+        } else {
+            HealthState::Healthy
+        };
+        assert_eq!(state.machine_health(0), Some(expect_state), "step {step}");
+
+        // The decoded row is the set's own delta — reboot or not.
+        let mut reference = FleetEstimator::new(SystemPowerModel::paper());
+        reference.begin_window();
+        reference.push_sample_set(&set);
+        assert_eq!(
+            batch_bits(&est),
+            batch_bits(&reference),
+            "step {step}: reset must not distort the decoded row"
+        );
+    }
 }
 
 #[test]

@@ -13,15 +13,30 @@
 //! * enums with unit and tuple variants (externally tagged, matching
 //!   serde's default representation).
 //!
-//! Generics and `#[serde(...)]` attributes are not supported and panic at
-//! expansion time so misuse is caught immediately.
+//! On named-field structs the two field attributes this workspace uses
+//! are honoured: `#[serde(default = "path")]` (fall back to `path()`
+//! when the key is absent) and `#[serde(skip_serializing_if = "path")]`
+//! (omit the key when `path(&field)` is true). Generics and any other
+//! `#[serde(...)]` attribute are not supported and panic at expansion
+//! time so misuse is caught immediately.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named struct field with its recognised serde attributes.
+struct Field {
+    name: String,
+    /// `#[serde(default = "path")]`: call `path()` when the key is
+    /// missing instead of erroring.
+    default: Option<String>,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the key when
+    /// `path(&self.field)` returns true.
+    skip_if: Option<String>,
+}
+
 /// Parsed shape of the deriving type.
 enum Shape {
-    /// Named-field struct: field names in declaration order.
-    Struct(Vec<String>),
+    /// Named-field struct: fields in declaration order.
+    Struct(Vec<Field>),
     /// Tuple struct with N fields.
     TupleStruct(usize),
     /// Enum: `(variant name, tuple arity)`; arity 0 is a unit variant.
@@ -34,7 +49,7 @@ struct Parsed {
 }
 
 /// Derives the stand-in `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let p = parse(input);
     gen_serialize(&p)
@@ -43,7 +58,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the stand-in `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let p = parse(input);
     gen_deserialize(&p)
@@ -105,14 +120,20 @@ fn parse(input: TokenStream) -> Parsed {
     Parsed { name, shape }
 }
 
-/// Field names of a named-field struct body.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Fields (names + recognised serde attributes) of a named-field
+/// struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        // Skip attributes (doc comments included).
+        // Walk attributes (doc comments included), harvesting
+        // `#[serde(...)]` and skipping everything else.
+        let (mut default, mut skip_if) = (None, None);
         while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                parse_serde_attr(g.stream(), &mut default, &mut skip_if);
+            }
             i += 2;
         }
         // Skip visibility.
@@ -125,7 +146,11 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             }
         }
         match &tokens[i] {
-            TokenTree::Ident(id) => fields.push(id.to_string()),
+            TokenTree::Ident(id) => fields.push(Field {
+                name: id.to_string(),
+                default,
+                skip_if,
+            }),
             other => panic!("expected field name, found {other:?}"),
         }
         i += 1;
@@ -149,6 +174,46 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
         }
     }
     fields
+}
+
+/// Parses one attribute body (`serde(...)`, `doc = "..."`, ...) and
+/// records the recognised serde keys. Non-serde attributes are ignored;
+/// unrecognised serde keys panic, matching this stand-in's
+/// fail-at-expansion policy.
+fn parse_serde_attr(attr: TokenStream, default: &mut Option<String>, skip_if: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut k = 0;
+            while k < inner.len() {
+                let key = match &inner[k] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("expected serde attribute key, found {other:?}"),
+                };
+                let value = match (inner.get(k + 1), inner.get(k + 2)) {
+                    (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit)))
+                        if p.as_char() == '=' =>
+                    {
+                        lit.to_string().trim_matches('"').to_string()
+                    }
+                    other => panic!("expected `= \"path\"` after `{key}`, found {other:?}"),
+                };
+                match key.as_str() {
+                    "default" => *default = Some(value),
+                    "skip_serializing_if" => *skip_if = Some(value),
+                    other => panic!("unsupported serde attribute `{other}`"),
+                }
+                k += 3;
+                if matches!(inner.get(k), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    k += 1;
+                }
+            }
+        }
+        _ => {}
+    }
 }
 
 /// Number of fields in a tuple-struct/tuple-variant body.
@@ -214,9 +279,10 @@ fn parse_variants(body: TokenStream) -> Vec<(String, usize)> {
 fn gen_serialize(p: &Parsed) -> String {
     let name = &p.name;
     let body = match &p.shape {
-        Shape::Struct(fields) => {
+        Shape::Struct(fields) if fields.iter().all(|f| f.skip_if.is_none()) => {
             let mut s = String::from("out.push('{');\n");
             for (k, f) in fields.iter().enumerate() {
+                let f = &f.name;
                 if k > 0 {
                     s.push_str("out.push(',');\n");
                 }
@@ -226,6 +292,26 @@ fn gen_serialize(p: &Parsed) -> String {
                 ));
             }
             s.push_str("out.push('}');");
+            s
+        }
+        Shape::Struct(fields) => {
+            // Some fields are conditional, so comma placement must be
+            // decided at runtime with a first-emitted flag.
+            let mut s = String::from("out.push('{');\nlet mut first = true;\n");
+            for f in fields {
+                let n = &f.name;
+                let emit = format!(
+                    "if !first {{ out.push(','); }}\n\
+                     first = false;\n\
+                     out.push_str(\"\\\"{n}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{n}, out);\n"
+                );
+                match &f.skip_if {
+                    Some(pred) => s.push_str(&format!("if !{pred}(&self.{n}) {{\n{emit}}}\n")),
+                    None => s.push_str(&emit),
+                }
+            }
+            s.push_str("let _ = first;\nout.push('}');");
             s
         }
         Shape::TupleStruct(0) => "out.push_str(\"null\");".to_string(),
@@ -294,11 +380,13 @@ fn gen_deserialize(p: &Parsed) -> String {
             let mut s = String::new();
             s.push_str("p.expect_byte(b'{')?;\n");
             for f in fields {
+                let f = &f.name;
                 s.push_str(&format!("let mut f_{f} = ::std::option::Option::None;\n"));
             }
             s.push_str("while let Some(key) = p.next_key()? {\n");
             s.push_str("match key.as_str() {\n");
             for f in fields {
+                let f = &f.name;
                 s.push_str(&format!(
                     "\"{f}\" => f_{f} = ::std::option::Option::Some(\
                      ::serde::Deserialize::deserialize_json(p)?),\n"
@@ -307,10 +395,14 @@ fn gen_deserialize(p: &Parsed) -> String {
             s.push_str("_ => p.skip_value()?,\n}\n}\n");
             s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
             for f in fields {
-                s.push_str(&format!(
-                    "{f}: f_{f}.ok_or_else(|| \
-                     ::serde::de::Error::missing_field(\"{f}\"))?,\n"
-                ));
+                let n = &f.name;
+                match &f.default {
+                    Some(path) => s.push_str(&format!("{n}: f_{n}.unwrap_or_else({path}),\n")),
+                    None => s.push_str(&format!(
+                        "{n}: f_{n}.ok_or_else(|| \
+                         ::serde::de::Error::missing_field(\"{n}\"))?,\n"
+                    )),
+                }
             }
             s.push_str("})\n");
             s
