@@ -59,6 +59,9 @@ pub struct FleetReport {
     pub speedup_pooled: f64,
     /// Peak resident set (VmHWM), kilobytes; 0 when unavailable.
     pub peak_rss_kb: u64,
+    /// Kernel dispatch flavour the run used (`scalar` / `wide` — see
+    /// [`tdp_simd::Dispatch::active`]).
+    pub simd: &'static str,
 }
 
 /// Deterministic synthetic counter read for one machine-window:
@@ -224,6 +227,7 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> FleetReport {
         batched: batched_rate,
         pooled: pooled_rate,
         peak_rss_kb: peak_rss_kb(),
+        simd: tdp_simd::Dispatch::active().label(),
     }
 }
 

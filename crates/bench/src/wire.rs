@@ -93,6 +93,9 @@ pub struct WireReport {
     pub backpressure_events: u64,
     /// Peak resident set (VmHWM), kilobytes; 0 when unavailable.
     pub peak_rss_kb: u64,
+    /// Kernel dispatch flavour the run used (`scalar` / `wide` — see
+    /// [`tdp_simd::Dispatch::active`]).
+    pub simd: &'static str,
 }
 
 /// Appends one window of `sets` to the persistent encoder and drains
@@ -279,6 +282,7 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
         dropped_rows: stream_totals.dropped_rows,
         backpressure_events: stream_totals.backpressure_events,
         peak_rss_kb: peak_rss_kb(),
+        simd: tdp_simd::Dispatch::active().label(),
     }
 }
 

@@ -1,7 +1,7 @@
 //! Batched fleet estimation: evaluate one [`SystemPowerModel`] over
 //! every machine in a window with column kernels.
 
-use crate::batch::{col, extract_set_cached, LayoutCache, SampleBatch, COLUMNS};
+use crate::batch::{col, extract_sets_into, LayoutCache, SampleBatch, COLUMNS};
 use crate::kernels::{add_assign, axpy, clamp_predictions, fill, quadratic, quadratic_acc};
 use tdp_counters::{SampleSet, Subsystem};
 use tdp_parallel::WorkerPool;
@@ -85,8 +85,13 @@ impl FleetEstimates {
     }
 
     /// Total estimated watts across the whole fleet.
+    ///
+    /// Reduced with [`crate::kernels::sum`]'s fixed four-accumulator
+    /// association: identical across dispatch modes (and across serial
+    /// vs sharded evaluation, since the reduction always runs over the
+    /// whole assembled column), a few ulp from a sequential sum.
     pub fn fleet_total(&self) -> f64 {
-        self.cols[OUT_TOTAL].iter().sum()
+        crate::kernels::sum(&self.cols[OUT_TOTAL])
     }
 
     /// How many subsystem predictions this window had to be clamped to
@@ -413,12 +418,7 @@ fn ingest_evaluate(
 ) -> u64 {
     // Layout cache per call: all-inline, so no allocation.
     let mut layout = LayoutCache::default();
-    for (i, set) in sets.iter().enumerate() {
-        let row = extract_set_cached(set, &mut layout);
-        for (dst, v) in cols.iter_mut().zip(row) {
-            dst[i] = v;
-        }
-    }
+    extract_sets_into(sets, &mut layout, cols);
     let shared: [&[f64]; COLUMNS] = cols.each_ref().map(|s| &**s);
     evaluate(model, &shared, outs)
 }

@@ -4,26 +4,35 @@
 //! Equations 1–5 are linear/quadratic forms, so evaluating a model over
 //! a whole fleet column reduces to `fill` (the DC term) plus a few
 //! `axpy` passes (one per coefficient — the squared inputs are
-//! materialised as their own columns at ingest). Each kernel walks its
-//! slices in fixed-width chunks with the remainder handled separately,
-//! the shape LLVM reliably turns into unrolled FMA vector code without
-//! any explicit SIMD.
+//! materialised as their own columns at ingest).
 //!
-//! Every kernel is elementwise — `out[i]` depends only on position `i`
-//! of the inputs — which is what makes sharded (parallel) evaluation
-//! bit-identical to serial: the per-element operation sequence never
-//! changes, only which thread performs it.
+//! The arithmetic itself lives in [`tdp_simd`], which compiles each
+//! kernel body twice — once with the build's baseline target features,
+//! once under AVX2 — and the functions here bind the process-wide
+//! [`Dispatch::active`] decision so estimator code stays
+//! dispatch-oblivious. Because both flavours compile the *same*
+//! expression sequence, the elementwise kernels are bit-identical
+//! across dispatch modes, which preserves the two contracts this crate
+//! pins:
+//!
+//! * every kernel is elementwise — `out[i]` depends only on position
+//!   `i` of the inputs — so sharded (parallel) evaluation is
+//!   bit-identical to serial;
+//! * the quadratic kernels evaluate `trickledown::quad_poly` /
+//!   `trickledown::clamp_watts`'s exact expressions, so batched and
+//!   scalar predictions agree bit for bit on identical aggregates (the
+//!   tests below pin `tdp_simd`'s copies against the canonical
+//!   helpers).
+//!
+//! The one reduction ([`sum`], used for the fleet total) uses a fixed
+//! four-accumulator association — identical across dispatch modes, a
+//! few ulp from a naive sequential sum.
 
-use trickledown::{clamp_watts, quad_poly};
-
-/// Elements processed per unrolled step.
-const LANES: usize = 8;
+use tdp_simd::Dispatch;
 
 /// `out[i] = v`.
 pub fn fill(out: &mut [f64], v: f64) {
-    for o in out.iter_mut() {
-        *o = v;
-    }
+    tdp_simd::fill(Dispatch::active(), out, v);
 }
 
 /// `out[i] += a · x[i]`.
@@ -32,34 +41,20 @@ pub fn fill(out: &mut [f64], v: f64) {
 ///
 /// Panics if the slices disagree in length.
 pub fn axpy(out: &mut [f64], a: f64, x: &[f64]) {
-    assert_eq!(out.len(), x.len(), "axpy length mismatch");
-    let mut out_it = out.chunks_exact_mut(LANES);
-    let mut x_it = x.chunks_exact(LANES);
-    for (oc, xc) in out_it.by_ref().zip(x_it.by_ref()) {
-        for (o, &xv) in oc.iter_mut().zip(xc) {
-            *o += a * xv;
-        }
-    }
-    for (o, &xv) in out_it.into_remainder().iter_mut().zip(x_it.remainder()) {
-        *o += a * xv;
-    }
+    tdp_simd::axpy(Dispatch::active(), out, a, x);
 }
 
 /// `out[i] = quad_poly(dc, lin, quad, x[i], x_sq[i])` — one whole
 /// Equation-2/3/5 (or the interrupt half of Equation 4) per pass,
-/// evaluated through the *same* shared [`trickledown::quad_poly`]
-/// helper the scalar models call, so batched and scalar predictions
-/// agree bit for bit on identical aggregates.
+/// evaluating the exact expression of the shared
+/// [`trickledown::quad_poly`] helper the scalar models call, so batched
+/// and scalar predictions agree bit for bit on identical aggregates.
 ///
 /// # Panics
 ///
 /// Panics if the slices disagree in length.
 pub fn quadratic(out: &mut [f64], dc: f64, lin: f64, quad: f64, x: &[f64], x_sq: &[f64]) {
-    assert_eq!(out.len(), x.len(), "quadratic length mismatch");
-    assert_eq!(out.len(), x_sq.len(), "quadratic length mismatch");
-    for ((o, &xv), &sv) in out.iter_mut().zip(x).zip(x_sq) {
-        *o = quad_poly(dc, lin, quad, xv, sv);
-    }
+    tdp_simd::quadratic(Dispatch::active(), out, dc, lin, quad, x, x_sq);
 }
 
 /// `out[i] += quad_poly(0, lin, quad, x[i], x_sq[i])` — the accumulate
@@ -70,11 +65,7 @@ pub fn quadratic(out: &mut [f64], dc: f64, lin: f64, quad: f64, x: &[f64], x_sq:
 ///
 /// Panics if the slices disagree in length.
 pub fn quadratic_acc(out: &mut [f64], lin: f64, quad: f64, x: &[f64], x_sq: &[f64]) {
-    assert_eq!(out.len(), x.len(), "quadratic_acc length mismatch");
-    assert_eq!(out.len(), x_sq.len(), "quadratic_acc length mismatch");
-    for ((o, &xv), &sv) in out.iter_mut().zip(x).zip(x_sq) {
-        *o += quad_poly(0.0, lin, quad, xv, sv);
-    }
+    tdp_simd::quadratic_acc(Dispatch::active(), out, lin, quad, x, x_sq);
 }
 
 /// `out[i] = clamp_watts(out[i], dc + peak1 · ncpus[i])` — saturates a
@@ -93,16 +84,7 @@ pub fn quadratic_acc(out: &mut [f64], lin: f64, quad: f64, x: &[f64], x_sq: &[f6
 ///
 /// Panics if the slices disagree in length.
 pub fn clamp_predictions(out: &mut [f64], dc: f64, peak1: f64, ncpus: &[f64]) -> u64 {
-    assert_eq!(out.len(), ncpus.len(), "clamp_predictions length mismatch");
-    let mut clamped = 0u64;
-    for (o, &n) in out.iter_mut().zip(ncpus) {
-        let c = clamp_watts(*o, dc + peak1 * n);
-        if c.to_bits() != o.to_bits() {
-            clamped += 1;
-        }
-        *o = c;
-    }
-    clamped
+    tdp_simd::clamp_predictions(Dispatch::active(), out, dc, peak1, ncpus)
 }
 
 /// `out[i] += x[i]`.
@@ -111,22 +93,19 @@ pub fn clamp_predictions(out: &mut [f64], dc: f64, peak1: f64, ncpus: &[f64]) ->
 ///
 /// Panics if the slices disagree in length.
 pub fn add_assign(out: &mut [f64], x: &[f64]) {
-    assert_eq!(out.len(), x.len(), "add_assign length mismatch");
-    let mut out_it = out.chunks_exact_mut(LANES);
-    let mut x_it = x.chunks_exact(LANES);
-    for (oc, xc) in out_it.by_ref().zip(x_it.by_ref()) {
-        for (o, &xv) in oc.iter_mut().zip(xc) {
-            *o += xv;
-        }
-    }
-    for (o, &xv) in out_it.into_remainder().iter_mut().zip(x_it.remainder()) {
-        *o += xv;
-    }
+    tdp_simd::add_assign(Dispatch::active(), out, x);
+}
+
+/// `Σ x[i]` in `tdp_simd`'s fixed four-accumulator association
+/// (identical across dispatch modes; a few ulp from a sequential sum).
+pub fn sum(x: &[f64]) -> f64 {
+    tdp_simd::sum(Dispatch::active(), x)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trickledown::{clamp_watts, quad_poly};
 
     #[test]
     fn kernels_match_scalar_loops_across_lengths() {
@@ -176,6 +155,10 @@ mod tests {
         assert_eq!(raw, [f64::MAX, 0.0]);
     }
 
+    /// Pins `tdp_simd`'s local `quad_poly` copy against the canonical
+    /// `trickledown` helper, bit for bit (the simd crate sits below
+    /// `trickledown` in the dependency graph, so it carries a copy —
+    /// this test is what keeps the copy honest).
     #[test]
     fn quadratic_kernels_match_quad_poly_bit_for_bit() {
         let x: Vec<f64> = (0..33).map(|i| i as f64 * 0.37 - 4.0).collect();
@@ -195,5 +178,17 @@ mod tests {
                 + quad_poly(0.0, 9.18, -45.4, x[i], x_sq[i]);
             assert_eq!(o.to_bits(), expect.to_bits());
         }
+    }
+
+    #[test]
+    fn sum_matches_sequential_within_ulps() {
+        let x: Vec<f64> = (0..101).map(|i| (i as f64).sin() * 250.0).collect();
+        let naive: f64 = x.iter().sum();
+        let got = sum(&x);
+        assert!(
+            (got - naive).abs() <= 1e-12 * naive.abs().max(1.0),
+            "{got} vs {naive}"
+        );
+        assert_eq!(sum(&[]), 0.0);
     }
 }

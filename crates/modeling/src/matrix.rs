@@ -4,10 +4,15 @@
 //! deliberately not a general linear-algebra library. Matrices in this
 //! workspace are tiny (the largest is `n_samples × n_features` with a
 //! handful of features), so simple `O(n³)` algorithms are the right tool.
+//! The row-sweep inner loops ([`matmul`](Matrix::matmul),
+//! [`gram`](Matrix::gram), [`transpose_vec_mul`](Matrix::transpose_vec_mul))
+//! accumulate through the workspace-wide [`tdp_simd::axpy`] kernel —
+//! elementwise, so both dispatch flavours produce bit-identical results.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
+use tdp_simd::Dispatch;
 
 /// A dense row-major matrix of `f64`.
 ///
@@ -92,6 +97,11 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Mutable borrow of row `r` as a slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// The transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
@@ -114,16 +124,16 @@ impl Matrix {
             "inner dimensions must agree: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let d = Dispatch::active();
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
+            let out_row = out.row_mut(i);
             for k in 0..self.cols {
                 let a = self[(i, k)];
                 if a == 0.0 {
                     continue;
                 }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += a * rhs[(k, j)];
-                }
+                tdp_simd::axpy(d, out_row, a, rhs.row(k));
             }
         }
         out
@@ -132,6 +142,7 @@ impl Matrix {
     /// Computes `selfᵀ · self` (the Gram matrix) without materialising the
     /// transpose.
     pub fn gram(&self) -> Matrix {
+        let d = Dispatch::active();
         let mut out = Matrix::zeros(self.cols, self.cols);
         for r in 0..self.rows {
             let row = self.row(r);
@@ -140,9 +151,7 @@ impl Matrix {
                 if v == 0.0 {
                     continue;
                 }
-                for j in i..self.cols {
-                    out[(i, j)] += v * row[j];
-                }
+                tdp_simd::axpy(d, &mut out.row_mut(i)[i..], v, &row[i..]);
             }
         }
         // mirror the upper triangle
@@ -161,12 +170,10 @@ impl Matrix {
     /// Panics if `y.len() != self.rows()`.
     pub fn transpose_vec_mul(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows, "vector length must match row count");
+        let d = Dispatch::active();
         let mut out = vec![0.0; self.cols];
         for (r, &w) in y.iter().enumerate() {
-            let row = self.row(r);
-            for (o, &v) in out.iter_mut().zip(row) {
-                *o += v * w;
-            }
+            tdp_simd::axpy(d, &mut out, w, self.row(r));
         }
         out
     }

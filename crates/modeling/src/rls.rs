@@ -20,11 +20,20 @@
 //! unit max-abs (power-model features span ~16 orders of magnitude —
 //! an intercept of 1 next to squared interrupt rates near 1e-16), with
 //! the scales frozen when the estimator first becomes invertible.
+//!
+//! The update's dot products and row sweeps run through the
+//! [`tdp_simd`] dispatch kernels — the same ones the fleet estimator's
+//! batched evaluation uses — so calibration shares one vectorized
+//! arithmetic path with prediction. [`tdp_simd::dot`] reduces with a
+//! fixed four-accumulator association, which perturbs coefficients by
+//! at most a few ulp relative to a sequential sum; well inside the
+//! 1e-9 OLS-equivalence tolerance the property tests pin.
 
 use crate::features::FeatureMap;
 use crate::matrix::Matrix;
 use crate::model::RegressionModel;
 use crate::ols::FitError;
+use tdp_simd::Dispatch;
 
 /// A streaming least-squares estimator over a fixed [`FeatureMap`].
 ///
@@ -129,7 +138,11 @@ impl RecursiveLeastSquares {
             return Ok(());
         }
 
-        // Primed: rank-one Sherman–Morrison update in scaled space.
+        // Primed: rank-one Sherman–Morrison update in scaled space. The
+        // dots and row sweeps run through the same dispatch kernels the
+        // fleet estimator evaluates with, so calibration residuals and
+        // batched predictions share one arithmetic path.
+        let d = Dispatch::active();
         let k = self.map.output_dim();
         let expanded = self.map.expand(x);
         for (dst, (&v, &s)) in self.phi.iter_mut().zip(expanded.iter().zip(&self.scales)) {
@@ -138,29 +151,23 @@ impl RecursiveLeastSquares {
         let p = self.p.as_mut().expect("primed");
         // pv = P · φ  (P is symmetric).
         for i in 0..k {
-            let mut acc = 0.0;
-            for j in 0..k {
-                acc += p[(i, j)] * self.phi[j];
-            }
-            self.pv[i] = acc;
+            self.pv[i] = tdp_simd::dot(d, p.row(i), &self.phi);
         }
-        let denom = 1.0 + dot(&self.phi, &self.pv);
+        let denom = 1.0 + tdp_simd::dot(d, &self.phi, &self.pv);
         if !denom.is_finite() || denom <= 0.0 {
             return Err(FitError::SingularSystem);
         }
-        let residual = y - dot(&self.phi, &self.beta);
-        for (b, &pv) in self.beta.iter_mut().zip(&self.pv) {
-            *b += pv * residual / denom;
-        }
-        // P ← P − (pv pvᵀ)/denom, written symmetrically so rounding
-        // drift cannot skew the two triangles apart.
+        let residual = y - tdp_simd::dot(d, &self.phi, &self.beta);
+        tdp_simd::axpy(d, &mut self.beta, residual / denom, &self.pv);
+        // P ← P − (pv pvᵀ)/denom: upper triangle by row sweep, then a
+        // mirror pass so rounding drift cannot skew the triangles apart.
         for i in 0..k {
-            for j in i..k {
-                let delta = self.pv[i] * self.pv[j] / denom;
-                p[(i, j)] -= delta;
-                if j != i {
-                    p[(j, i)] = p[(i, j)];
-                }
+            let scale = -self.pv[i] / denom;
+            tdp_simd::axpy(d, &mut p.row_mut(i)[i..], scale, &self.pv[i..]);
+        }
+        for i in 0..k {
+            for j in 0..i {
+                p[(i, j)] = p[(j, i)];
             }
         }
         self.observations += 1;
@@ -297,10 +304,6 @@ pub fn fit_rls(map: &FeatureMap, xs: &[Vec<f64>], ys: &[f64]) -> Result<Regressi
         rls.observe(x, y)?;
     }
     rls.model()
-}
-
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 
 #[cfg(test)]

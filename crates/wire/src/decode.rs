@@ -21,11 +21,11 @@
 //! a mid-stream PMU reprogramming (reordered or extended event list)
 //! can never misattribute columns.
 
-use crate::frame::{
-    read_uvarint, unzigzag, FrameHeader, FrameType, HeaderError, HEADER_LEN, MAGIC, MAX_WIRE_EVENTS,
-};
+use crate::frame::{FrameHeader, FrameType, HeaderError, HEADER_LEN, MAGIC, MAX_WIRE_EVENTS};
+use crate::varint::{read_uvarint, read_uvarints, unzigzag};
 use tdp_counters::layout_hash_indices;
 use tdp_fleet::{RowAccumulator, COLUMNS, ROW_EVENTS};
+use tdp_simd::Dispatch;
 
 /// Why a frame failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +65,10 @@ pub enum Decoded {
 struct LayoutEntry {
     hash: u64,
     n_events: u16,
+    /// The layout is exactly [`ROW_EVENTS`] in order — the canonical
+    /// producer layout, whose counts are consumed without position
+    /// indirection.
+    identity: bool,
     pos: [u16; ROW_EVENTS.len()],
 }
 
@@ -116,9 +120,8 @@ impl LayoutTable {
 #[derive(Debug, Clone, Default)]
 pub struct FrameDecoder {
     layouts: LayoutTable,
-    /// Previous CPU's reconstructed counts (delta-chain base).
-    prev: Vec<u64>,
-    /// Current CPU's reconstructed counts.
+    /// Scratch for a whole frame's reconstructed counts, row-major
+    /// (`cpu_count × n_events`); the delta chain unfolds in place.
     cur: Vec<u64>,
 }
 
@@ -196,6 +199,7 @@ impl FrameDecoder {
         let mut entry = LayoutEntry {
             hash: header.layout_hash,
             n_events: header.n_events,
+            identity: false,
             pos: [u16::MAX; ROW_EVENTS.len()],
         };
         for (k, e) in ROW_EVENTS.iter().enumerate() {
@@ -206,6 +210,8 @@ impl FrameDecoder {
                 .position(|&i| i == e.index() as u64)
                 .map_or(u16::MAX, |i| i as u16);
         }
+        entry.identity = entry.n_events as usize == ROW_EVENTS.len()
+            && entry.pos.iter().enumerate().all(|(k, &p)| p as usize == k);
         self.layouts.register(entry);
         Ok(Decoded::Layout)
     }
@@ -223,32 +229,49 @@ impl FrameDecoder {
             return Err(DecodeError::Malformed);
         }
         let n = header.n_events as usize;
-        self.prev.clear();
-        self.prev.resize(n, 0);
-        self.cur.clear();
-        self.cur.resize(n, 0);
-
-        let mut acc = RowAccumulator::new(header.cpu_count as usize);
-        let mut pos = 0usize;
-        for cpu in 0..header.cpu_count {
-            for e in 0..n {
-                let v = read_uvarint(payload, &mut pos).ok_or(DecodeError::Malformed)?;
-                self.cur[e] = if cpu == 0 {
-                    v
-                } else {
-                    self.prev[e].wrapping_add(unzigzag(v) as u64)
-                };
-            }
-            // The absent-event sentinel (`u16::MAX`) is out of bounds
-            // by construction, so one bounds-checked `get` folds the
-            // presence test and the lookup into a single branch.
-            let counts: [Option<u64>; ROW_EVENTS.len()] =
-                std::array::from_fn(|k| self.cur.get(entry.pos[k] as usize).copied());
-            acc.accumulate_cpu(counts);
-            std::mem::swap(&mut self.prev, &mut self.cur);
+        let cpus = header.cpu_count as usize;
+        let total = n * cpus;
+        // The scratch contents never leak between frames — the bulk
+        // decode overwrites every entry — so resizing only on a frame
+        // geometry change spares the steady state a memset per frame.
+        if self.cur.len() != total {
+            self.cur.clear();
+            self.cur.resize(total, 0);
         }
+
+        // Every varint of the frame in one bulk decode: the batched
+        // decoder's 8-byte windows run straight across CPU-row
+        // boundaries instead of discarding a partially consumed word at
+        // each row. Then the delta chain unfolds row over row in place —
+        // integer-exact, so dispatch flavour cannot change a single
+        // reconstructed count.
+        let mut pos = 0usize;
+        read_uvarints(Dispatch::active(), payload, &mut pos, &mut self.cur)
+            .ok_or(DecodeError::Malformed)?;
         if pos != payload.len() {
             return Err(DecodeError::Malformed);
+        }
+        for cpu in 1..cpus {
+            let (done, rest) = self.cur.split_at_mut(cpu * n);
+            let prev = &done[(cpu - 1) * n..];
+            for (c, &p) in rest[..n].iter_mut().zip(prev) {
+                *c = p.wrapping_add(unzigzag(*c) as u64);
+            }
+        }
+
+        let mut acc = RowAccumulator::new(cpus);
+        for cpu in 0..cpus {
+            let row = &self.cur[cpu * n..(cpu + 1) * n];
+            // The absent-event sentinel (`u16::MAX`) is out of bounds
+            // by construction, so one bounds-checked `get` folds the
+            // presence test and the lookup into a single branch. The
+            // canonical identity layout skips the indirection entirely.
+            let counts: [Option<u64>; ROW_EVENTS.len()] = if entry.identity {
+                std::array::from_fn(|k| Some(row[k]))
+            } else {
+                std::array::from_fn(|k| row.get(entry.pos[k] as usize).copied())
+            };
+            acc.accumulate_cpu(counts);
         }
         Ok(Decoded::Row {
             machine_id: header.machine_id,

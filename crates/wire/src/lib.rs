@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod varint;
 
 mod decode;
 mod encode;

@@ -40,7 +40,6 @@ use crate::decode::{CursorItem, DecodeError, Decoded, FrameCursor, FrameDecoder}
 use crate::frame::FrameType;
 use crate::health::{DegradePolicy, HealthState, MachineHealth};
 use crate::ring::{ring, Consumer, Producer};
-use std::collections::BTreeMap;
 use tdp_fleet::{FleetEstimator, SampleBatch, COLUMNS};
 use tdp_parallel::WorkerPool;
 
@@ -158,10 +157,17 @@ struct WireRow {
 
 /// One decoder shard's cross-window state: its [`FrameDecoder`]
 /// (layout memo) plus the health ledger for every machine it owns.
+///
+/// The ledger is a dense `Vec` indexed by machine id — ids are
+/// `< machines` by the time [`ShardState::accept_row`] runs, so the
+/// hot-path lookup is one bounds-checked index instead of a tree walk.
+/// A machine the shard has never decoded is exactly one whose entry
+/// has `last_seq == None` (every ledger write path goes through
+/// `accept_row`, which sets it first).
 #[derive(Debug, Default)]
 struct ShardState {
     dec: FrameDecoder,
-    health: BTreeMap<u64, MachineHealth>,
+    health: Vec<MachineHealth>,
 }
 
 /// Ingest state that survives across windows: one [`FrameDecoder`] per
@@ -216,9 +222,12 @@ impl IngestState {
     /// The last known [`HealthState`] of `machine`, or `None` if no
     /// shard has ever decoded a row for it.
     pub fn machine_health(&self, machine: u64) -> Option<HealthState> {
-        self.shards
-            .iter()
-            .find_map(|s| s.health.get(&machine).map(|h| h.state))
+        self.shards.iter().find_map(|s| {
+            s.health
+                .get(machine as usize)
+                .filter(|h| h.last_seq.is_some())
+                .map(|h| h.state)
+        })
     }
 
     /// Opens the next ingest window: bumps the epoch and makes sure
@@ -336,7 +345,11 @@ impl ShardState {
         stats: &mut StreamReport,
         emit: &mut impl FnMut(WireRow),
     ) {
-        let h = self.health.entry(machine).or_default();
+        let idx = machine as usize;
+        if idx >= self.health.len() {
+            self.health.resize_with(idx + 1, MachineHealth::default);
+        }
+        let h = &mut self.health[idx];
         if h.last_seq == Some(window_seq) {
             // Same window delivered again (duplicated frame or replayed
             // chunk): the first delivery already decided this window.
@@ -384,9 +397,11 @@ fn hold_pass(
     stats: &mut StreamReport,
     emit: &mut impl FnMut(WireRow),
 ) {
-    for (&machine, h) in state.health.iter_mut() {
-        if machine % ctx.nshards != ctx.shard
-            || (machine as usize) >= ctx.machines
+    for (idx, h) in state.health.iter_mut().enumerate() {
+        let machine = idx as u64;
+        if h.last_seq.is_none() // dense ledger slot never decoded into
+            || machine % ctx.nshards != ctx.shard
+            || idx >= ctx.machines
             || h.emitted_epoch == ctx.epoch
         {
             continue;

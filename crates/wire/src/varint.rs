@@ -1,0 +1,353 @@
+//! LEB128 varints and zigzag folding — the one home of every
+//! byte-level integer codec helper in the crate (the frame module
+//! re-exports them for compatibility).
+//!
+//! Three decode tiers, all with identical semantics:
+//!
+//! * [`read_uvarint`] — one value. When ≥ 8 buffer bytes remain, a
+//!   single unaligned word load finds the terminator and three
+//!   shift/mask rounds ([`compact7`]) compact the payload bits; buffer
+//!   tails and > 8-byte encodings take the byte loop, whose own fast
+//!   path peels the 1- and 2-byte classes that dominate real streams.
+//! * [`read_uvarints`] — a run of values, dispatch-gated
+//!   ([`tdp_simd::Dispatch`]). The wide flavour extracts *every*
+//!   complete varint from each 8-byte window before reloading —
+//!   typically 4–8 per load for the 1–2-byte encodings a delta stream
+//!   produces — so the load/terminator-scan cost is amortised across
+//!   the lane instead of paid per value. Pure shift/mask SWAR on
+//!   `u64`s: no unsafe, no hardware gate; the dispatch knob exists so
+//!   the CI equivalence matrix can force either flavour.
+//! * the byte loop — the reference semantics both of the above fall
+//!   back to and are tested against.
+
+use tdp_simd::Dispatch;
+
+/// Longest LEB128 encoding of a `u64`.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `v` to `out`.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Reads one LEB128 varint at `*pos`, advancing it past the encoding.
+///
+/// Returns `None` on buffer overrun or an encoding longer than
+/// [`MAX_VARINT_LEN`] bytes (which no `u64` produces).
+///
+/// Hot path: when at least 8 bytes remain, one unaligned word load
+/// finds the terminator (first byte without the continuation bit) and
+/// compacts the 7-bit groups with three shift/mask rounds — no
+/// per-byte loop for the ≤ 8-byte encodings that dominate real streams
+/// (values below 2⁵⁶). Longer encodings and buffer tails fall back to
+/// the byte loop with identical semantics.
+#[inline]
+pub fn read_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let p = *pos;
+    if let Some(chunk) = buf.get(p..p + 8) {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte slice"));
+        let stops = !word & 0x8080_8080_8080_8080;
+        if stops != 0 {
+            let len = (stops.trailing_zeros() as usize >> 3) + 1;
+            let data = word & (u64::MAX >> (64 - 8 * len as u32));
+            *pos = p + len;
+            return Some(compact7(data));
+        }
+    }
+    read_uvarint_slow(buf, pos)
+}
+
+/// Compacts up to eight 7-bit LEB128 groups (continuation bits still
+/// set or not — they are masked off) into one value.
+#[inline]
+fn compact7(w: u64) -> u64 {
+    let w = w & 0x7f7f_7f7f_7f7f_7f7f;
+    let w = (w & 0x7f00_7f00_7f00_7f00) >> 1 | (w & 0x007f_007f_007f_007f);
+    let w = (w & 0x3fff_0000_3fff_0000) >> 2 | (w & 0x0000_3fff_0000_3fff);
+    (w & 0x0fff_ffff_0000_0000) >> 4 | (w & 0x0000_0000_0fff_ffff)
+}
+
+/// Fallback for encodings longer than 8 bytes or closer than 8 bytes
+/// to the end of the buffer. Peels the 1- and 2-byte classes — which
+/// dominate buffer tails exactly as they dominate everywhere else —
+/// before the general byte loop, so the scalar baseline doesn't pay
+/// loop overhead for the common case merely because a frame ends.
+fn read_uvarint_slow(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let b0 = *buf.get(*pos)?;
+    if b0 < 0x80 {
+        *pos += 1;
+        return Some(b0 as u64);
+    }
+    if let Some(&b1) = buf.get(*pos + 1) {
+        if b1 < 0x80 {
+            *pos += 2;
+            return Some((b0 & 0x7f) as u64 | (b1 as u64) << 7);
+        }
+    }
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return None; // overflows u64 (or a >10-byte encoding)
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Decodes `dst.len()` consecutive varints starting at `*pos`,
+/// advancing it past them — the bulk form a frame's per-CPU count rows
+/// decode through.
+///
+/// Values, final position, and success/failure are identical to
+/// `dst.len()` sequential [`read_uvarint`] calls in both dispatch
+/// flavours (the values are integers — there is no arithmetic to
+/// reassociate). On `None` (truncated or over-long encoding), `*pos`
+/// and the tail of `dst` are unspecified, matching the sequential
+/// contract.
+#[inline]
+pub fn read_uvarints(d: Dispatch, buf: &[u8], pos: &mut usize, dst: &mut [u64]) -> Option<()> {
+    match d {
+        Dispatch::Scalar => {
+            for v in dst {
+                *v = read_uvarint(buf, pos)?;
+            }
+            Some(())
+        }
+        Dispatch::Wide => read_uvarints_wide(buf, pos, dst),
+    }
+}
+
+/// Word-batched decode: each 8-byte load yields every varint that ends
+/// inside it — typically four to eight for the 1–2-byte encodings a
+/// delta stream produces — so only the window advance is loop-carried.
+///
+/// Terminators are cleared from the stops mask one `stops & (stops − 1)`
+/// at a time and each varint's bytes are masked out of the already
+/// loaded word; no class-specialised branches (an 8×1-byte and a
+/// 4×2-byte whole-window fold were both measured slower than this
+/// uniform greedy extraction, which keeps the loop branch-predictable
+/// on the mixed-length runs real deltas produce). A varint straddling
+/// the window boundary is simply re-read in the next window; one with
+/// no terminator in sight (a > 8-byte encoding) or too few buffer bytes
+/// for a word load degrades to [`read_uvarint`] for that value alone.
+fn read_uvarints_wide(buf: &[u8], pos: &mut usize, dst: &mut [u64]) -> Option<()> {
+    const STOP: u64 = 0x8080_8080_8080_8080;
+    let mut p = *pos;
+    let mut i = 0;
+    'outer: while i < dst.len() {
+        if let Some(chunk) = buf.get(p..p + 8) {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte slice"));
+            let mut stops = !word & STOP;
+            let mut off = 0usize;
+            while stops != 0 {
+                let end = ((stops.trailing_zeros() as usize) >> 3) + 1;
+                let len = end - off;
+                let data = (word >> (8 * off)) & (u64::MAX >> (64 - 8 * len as u32));
+                dst[i] = compact7(data);
+                i += 1;
+                p += len;
+                off = end;
+                if i == dst.len() {
+                    break 'outer;
+                }
+                stops &= stops - 1;
+            }
+            if off != 0 {
+                continue; // window exhausted: reload at the new `p`
+            }
+        }
+        // No terminator in the window (> 8-byte encoding) or < 8 bytes
+        // left: decode this one value through the scalar path.
+        *pos = p;
+        dst[i] = read_uvarint(buf, pos)?;
+        p = *pos;
+        i += 1;
+    }
+    *pos = p;
+    Some(())
+}
+
+/// Zigzag-folds a signed delta into an unsigned varint-friendly value
+/// (small magnitudes of either sign encode short).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn varints_roundtrip() {
+        let cases = [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &cases {
+            put_uvarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &cases {
+            assert_eq!(read_uvarint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_fast_and_slow_paths_agree() {
+        // Every encoded length 1..=10, read both far from the buffer
+        // tail (word fast path) and exactly at it (byte-loop fallback).
+        let mut values = vec![0u64, 1];
+        for s in 1..64 {
+            values.extend([(1u64 << s) - 1, 1u64 << s, (1u64 << s) | 1]);
+        }
+        values.push(u64::MAX);
+        for v in values {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let padded: Vec<u8> = buf.iter().copied().chain([0u8; 16]).collect();
+            let (mut a, mut b) = (0usize, 0usize);
+            assert_eq!(read_uvarint(&padded, &mut a), Some(v), "fast path {v}");
+            assert_eq!(read_uvarint(&buf, &mut b), Some(v), "tail path {v}");
+            assert_eq!(a, b, "both paths consume the same bytes for {v}");
+            assert_eq!(b, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overruns_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&[0x80, 0x80], &mut pos), None, "truncated");
+        // 10 continuation bytes followed by a large final byte would
+        // need a 71-bit value.
+        let too_big = [0xff; 9]
+            .iter()
+            .copied()
+            .chain([0x02u8])
+            .collect::<Vec<_>>();
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&too_big, &mut pos), None, "overflow");
+        // The batched decoder agrees on both failure shapes.
+        for bad in [vec![0x80u8, 0x80], too_big] {
+            let mut pos = 0;
+            let mut dst = [0u64; 1];
+            assert_eq!(read_uvarints_wide(&bad, &mut pos, &mut dst), None);
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrips_and_keeps_small_magnitudes_short() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 12345, -9876] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert!(zigzag(-3) < 0x80, "small negative delta fits one byte");
+        // Wrapping delta arithmetic roundtrips across the full u64 range.
+        let (prev, cur) = (5u64, u64::MAX);
+        let delta = cur.wrapping_sub(prev) as i64;
+        assert_eq!(prev.wrapping_add(unzigzag(zigzag(delta)) as u64), cur);
+    }
+
+    /// Both dispatch flavours of the bulk decoder against the scalar
+    /// reference, on the exact shape frames produce: a run of values,
+    /// read to the very last buffer byte (no padding — the tail class
+    /// is always exercised).
+    fn assert_bulk_matches(values: &[u64]) {
+        let mut buf = Vec::new();
+        for &v in values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut reference = vec![0u64; values.len()];
+        let mut ref_pos = 0usize;
+        for r in &mut reference {
+            *r = read_uvarint(&buf, &mut ref_pos).expect("reference decode");
+        }
+        for d in [Dispatch::Scalar, Dispatch::Wide] {
+            let mut out = vec![0u64; values.len()];
+            let mut pos = 0usize;
+            assert_eq!(read_uvarints(d, &buf, &mut pos, &mut out), Some(()));
+            assert_eq!(out, reference, "{d:?} values");
+            assert_eq!(pos, ref_pos, "{d:?} final position");
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    proptest! {
+        /// Satellite property: zigzag ∘ varint round-trips arbitrary
+        /// signed deltas through an actual byte buffer, in both bulk
+        /// dispatch flavours.
+        #[test]
+        fn zigzag_varint_roundtrip(deltas in proptest::collection::vec(any::<i64>(), 0..64)) {
+            let mut buf = Vec::new();
+            for &d in &deltas {
+                put_uvarint(&mut buf, zigzag(d));
+            }
+            for disp in [Dispatch::Scalar, Dispatch::Wide] {
+                let mut out = vec![0u64; deltas.len()];
+                let mut pos = 0usize;
+                prop_assert_eq!(read_uvarints(disp, &buf, &mut pos, &mut out), Some(()));
+                prop_assert_eq!(pos, buf.len());
+                for (&got, &want) in out.iter().zip(&deltas) {
+                    prop_assert_eq!(unzigzag(got), want);
+                }
+            }
+        }
+
+        /// Bulk decode ≡ sequential decode for arbitrary value runs —
+        /// the class draw skews toward the 1–3-byte encodings frames
+        /// produce but includes full-range values, so windows split at
+        /// every alignment.
+        #[test]
+        fn bulk_decode_matches_sequential(
+            picks in proptest::collection::vec((0u8..4, any::<u64>()), 0..96)
+        ) {
+            let values: Vec<u64> = picks
+                .iter()
+                .map(|&(class, raw)| match class {
+                    0 => raw % 0x80,                            // 1-byte class
+                    1 => 0x80 + raw % (0x4000 - 0x80),          // 2-byte class
+                    2 => 0x4000 + raw % (0x0020_0000 - 0x4000), // 3-byte class
+                    _ => raw,                                   // up to 10 bytes
+                })
+                .collect();
+            assert_bulk_matches(&values);
+        }
+    }
+
+    #[test]
+    fn bulk_decode_handles_boundary_shapes() {
+        // All 1-byte (8 per window), all 2-byte (window-straddling at
+        // every second value), the 9/10-byte in-window fallback, and a
+        // tail shorter than a word.
+        assert_bulk_matches(&[0; 40]);
+        assert_bulk_matches(&[0x80; 40]);
+        assert_bulk_matches(&[u64::MAX; 7]);
+        assert_bulk_matches(&[1, u64::MAX, 2, 1 << 62, 3]);
+        assert_bulk_matches(&[0x7f, 0x80, 0x3fff, 0x4000]);
+    }
+}
