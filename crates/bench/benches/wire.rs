@@ -5,16 +5,24 @@
 //! per-window codec costs at a fixed fleet size so regressions show up
 //! as per-iteration deltas. `frames/s = (2 × MACHINES) / iteration
 //! time` for the decode benches (layout + sample frame per machine).
+//!
+//! The `wire/stage_*` group isolates the fused path's constituent
+//! stages — checksum mix, bulk varint decode, batched health scan,
+//! SampleSet→column extraction — mirroring the `stage_*_ns_per_machine`
+//! fields of `BENCH_wire.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tdp_bench::fleet::synthetic_set;
 use tdp_bench::ExperimentConfig;
 use tdp_counters::SampleSet;
-use tdp_fleet::FleetEstimator;
+use tdp_fleet::{FleetEstimator, SampleBatch};
 use tdp_parallel::WorkerPool;
+use tdp_wire::frame::FrameType;
+use tdp_wire::varint::read_uvarints;
 use tdp_wire::{
-    ingest_serial, stream_window, CursorItem, FrameCursor, FrameDecoder, StreamConfig, WireEncoder,
+    ingest_serial, stream_window, CursorItem, DegradePolicy, FrameCursor, FrameDecoder,
+    StreamConfig, WireEncoder,
 };
 use trickledown::SystemPowerModel;
 
@@ -84,5 +92,64 @@ fn bench_wire_window(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_wire_window);
+fn bench_wire_stages(c: &mut Criterion) {
+    let sets = synthetic_window();
+    let buf = encode_window(&sets);
+    let d = tdp_simd::Dispatch::active();
+
+    c.bench_function("wire/stage_checksum_256", |b| {
+        b.iter(|| {
+            let mut cursor = FrameCursor::new(&buf);
+            let mut acc = 0u64;
+            while let Some(item) = cursor.next() {
+                if let CursorItem::Frame { start, header } = item {
+                    acc ^= header.expected_checksum(cursor.payload(start, &header));
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    let mut scratch: Vec<u64> = Vec::new();
+    c.bench_function("wire/stage_varint_256", |b| {
+        b.iter(|| {
+            let mut cursor = FrameCursor::new(&buf);
+            while let Some(item) = cursor.next() {
+                if let CursorItem::Frame { start, header } = item {
+                    if header.frame_type != FrameType::Sample {
+                        continue;
+                    }
+                    let payload = cursor.payload(start, &header);
+                    let n = header.cpu_count as usize * header.n_events as usize;
+                    scratch.resize(n, 0);
+                    let mut pos = 0usize;
+                    read_uvarints(d, payload, &mut pos, &mut scratch).expect("clean varints");
+                    black_box(&scratch);
+                }
+            }
+        })
+    });
+
+    let mut batch = SampleBatch::with_capacity(MACHINES);
+    c.bench_function("wire/stage_extraction_256", |b| {
+        b.iter(|| {
+            batch.clear();
+            for set in &sets {
+                batch.push_sample_set(set);
+            }
+            black_box(batch.len())
+        })
+    });
+
+    let policy = DegradePolicy::default();
+    let mut mask: Vec<u8> = Vec::new();
+    c.bench_function("wire/stage_health_256", |b| {
+        b.iter(|| {
+            policy.sane_mask_batch(d, batch.columns(), &mut mask);
+            black_box(mask.iter().map(|&m| m as u64).sum::<u64>())
+        })
+    });
+}
+
+criterion_group!(benches, bench_wire_window, bench_wire_stages);
 criterion_main!(benches);

@@ -36,12 +36,14 @@ use std::collections::{BTreeSet, VecDeque};
 use std::hint::black_box;
 use std::time::Instant;
 use tdp_counters::SampleSet;
-use tdp_fleet::FleetEstimator;
+use tdp_fleet::{FleetEstimator, SampleBatch};
 use tdp_parallel::WorkerPool;
+use tdp_wire::frame::FrameType;
+use tdp_wire::varint::read_uvarints;
 use tdp_wire::{
-    ingest_serial_with, stream_window_with, CursorItem, FaultKind, FaultPlan, FaultedWindow,
-    FrameCursor, FrameDecoder, IngestState, PipelineHealth, StreamConfig, StreamReport,
-    WireEncoder,
+    ingest_serial_with, stream_window_with, CursorItem, DegradePolicy, FaultKind, FaultPlan,
+    FaultedWindow, FrameCursor, FrameDecoder, IngestState, PipelineHealth, StreamConfig,
+    StreamReport, WireEncoder,
 };
 use trickledown::SystemPowerModel;
 
@@ -85,6 +87,19 @@ pub struct WireReport {
     /// Fused wire cost relative to the in-memory baseline
     /// (1.0 = free codec; the ISSUE target is ≤ 2.0).
     pub fused_vs_in_memory: f64,
+    /// Isolated checksum stage: frame walk + payload checksum mix
+    /// only, ns per machine-window.
+    pub stage_checksum_ns_per_machine: f64,
+    /// Isolated varint stage: frame walk + bulk LEB128 decode of every
+    /// sample payload, ns per machine-window (overlaps the checksum
+    /// stage on the fused path, so the stages sum past the whole).
+    pub stage_varint_ns_per_machine: f64,
+    /// Isolated health stage: the batched [`DegradePolicy`] sanity
+    /// scan over one window's columns, ns per machine-window.
+    pub stage_health_ns_per_machine: f64,
+    /// Isolated extraction stage: `SampleSet` → SoA batch columns with
+    /// no model evaluation behind it, ns per machine-window.
+    pub stage_extraction_ns_per_machine: f64,
     /// Corrupt frames the streamed path saw (must be 0 on clean input).
     pub corrupt_frames: u64,
     /// Rows shed under backpressure (0 in the default lossless mode).
@@ -128,6 +143,63 @@ fn decode_only(dec: &mut FrameDecoder, buf: &[u8]) -> u64 {
     frames
 }
 
+/// Times the isolated pipeline stages over one encoded window and its
+/// decoded sets: checksum mix, bulk varint decode, batched health scan
+/// and SampleSet→column extraction. Returns seconds per stage in that
+/// order. These passes share scratch across windows like the real
+/// paths, so steady-state cost is what gets measured.
+fn stage_passes(
+    buf: &[u8],
+    sets: &[SampleSet],
+    batch: &mut SampleBatch,
+    policy: &DegradePolicy,
+    scratch: &mut Vec<u64>,
+    mask: &mut Vec<u8>,
+) -> [f64; 4] {
+    let d = tdp_simd::Dispatch::active();
+
+    let start = Instant::now();
+    let mut cursor = FrameCursor::new(buf);
+    while let Some(item) = cursor.next() {
+        if let CursorItem::Frame { start, header } = item {
+            black_box(header.expected_checksum(cursor.payload(start, &header)));
+        }
+    }
+    let checksum = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut cursor = FrameCursor::new(buf);
+    while let Some(item) = cursor.next() {
+        if let CursorItem::Frame { start, header } = item {
+            if header.frame_type != FrameType::Sample {
+                continue;
+            }
+            let payload = cursor.payload(start, &header);
+            let n = header.cpu_count as usize * header.n_events as usize;
+            scratch.resize(n, 0);
+            let mut pos = 0usize;
+            read_uvarints(d, payload, &mut pos, scratch).expect("clean payload varints");
+            black_box(&scratch);
+        }
+    }
+    let varint = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    batch.clear();
+    for set in sets {
+        batch.push_sample_set(set);
+    }
+    black_box(&batch);
+    let extraction = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    policy.sane_mask_batch(d, batch.columns(), mask);
+    black_box(&mask);
+    let health = start.elapsed().as_secs_f64();
+
+    [checksum, varint, health, extraction]
+}
+
 /// Runs all paths over the same windows and assembles the report.
 ///
 /// # Panics
@@ -156,6 +228,11 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
     let mut sets: Vec<SampleSet> = Vec::with_capacity(n_machines);
     let (mut enc_secs, mut dec_secs, mut fused_secs, mut str_secs, mut mem_secs) =
         (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    let policy = DegradePolicy::default();
+    let mut stage_batch = SampleBatch::with_capacity(n_machines);
+    let mut stage_scratch: Vec<u64> = Vec::new();
+    let mut stage_mask: Vec<u8> = Vec::new();
+    let mut stage_secs = [0.0f64; 4];
     let mut stream_totals = StreamReport::default();
     let mut decoders_used = 0usize;
     let (mut bytes_per_window, mut frames_per_window) = (0u64, 0u64);
@@ -249,6 +326,17 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
                 fused_secs += fused_elapsed;
                 str_secs += str_elapsed;
                 mem_secs += mem_elapsed;
+                let stages = stage_passes(
+                    &buf,
+                    &sets,
+                    &mut stage_batch,
+                    &policy,
+                    &mut stage_scratch,
+                    &mut stage_mask,
+                );
+                for (total, s) in stage_secs.iter_mut().zip(stages) {
+                    *total += s;
+                }
             }
         }
     }
@@ -273,6 +361,10 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
         streamed_ns_per_machine: str_secs * 1e9 / machine_units as f64,
         in_memory_ns_per_machine: mem_secs * 1e9 / machine_units as f64,
         fused_vs_in_memory: fused_secs / mem_secs,
+        stage_checksum_ns_per_machine: stage_secs[0] * 1e9 / machine_units as f64,
+        stage_varint_ns_per_machine: stage_secs[1] * 1e9 / machine_units as f64,
+        stage_health_ns_per_machine: stage_secs[2] * 1e9 / machine_units as f64,
+        stage_extraction_ns_per_machine: stage_secs[3] * 1e9 / machine_units as f64,
         encode: encode_rate,
         decode: decode_rate,
         fused: fused_rate,
@@ -549,6 +641,17 @@ mod tests {
             r.bytes_per_frame > 44.0,
             "frames carry payload past the header"
         );
+        for (name, ns) in [
+            ("checksum", r.stage_checksum_ns_per_machine),
+            ("varint", r.stage_varint_ns_per_machine),
+            ("health", r.stage_health_ns_per_machine),
+            ("extraction", r.stage_extraction_ns_per_machine),
+        ] {
+            assert!(
+                ns > 0.0 && ns.is_finite(),
+                "stage {name} must report a positive budget, got {ns}"
+            );
+        }
     }
 
     #[test]

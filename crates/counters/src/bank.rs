@@ -164,18 +164,19 @@ impl CounterBank {
     /// `seq`, then clears **all** counters (programmed or not), matching
     /// the paper's record-total-then-clear sampling discipline (§3.1.3).
     pub fn read_and_clear(&mut self, seq: u64) -> CounterSample {
-        let mut sample =
-            CounterSample::new(self.cpu, seq, Vec::with_capacity(self.programmed.len()));
+        // The sample's count store is inline up to the hardware limit,
+        // so an empty seed vector never allocates.
+        let mut sample = CounterSample::new(self.cpu, seq, Vec::new());
         self.read_and_clear_into(seq, &mut sample);
         sample
     }
 
     /// Like [`read_and_clear`](Self::read_and_clear) but refilling a
-    /// caller-owned sample in place, reusing its count buffer.
+    /// caller-owned sample in place, reusing its count store.
     pub fn read_and_clear_into(&mut self, seq: u64, out: &mut CounterSample) {
-        let counts = out.reset_for(self.cpu, seq);
+        out.reset_for(self.cpu, seq);
         for e in self.programmed.iter() {
-            counts.push((e, self.counts[e.index()]));
+            out.push_count((e, self.counts[e.index()]));
         }
         for c in &mut self.counts {
             *c = 0;

@@ -1,5 +1,6 @@
 //! Sampling driver and sample records.
 
+use crate::bank::MAX_HARDWARE_COUNTERS;
 use crate::event::PerfEvent;
 use crate::interrupts::InterruptSnapshot;
 use serde::{Deserialize, Serialize};
@@ -43,22 +44,163 @@ impl From<u8> for CpuId {
     }
 }
 
-/// Event totals read from one CPU's counter bank over one sampling window.
+/// Flat, allocation-free storage for a sample's `(event, count)`
+/// pairs: one inline slot per hardware counter, with a heap spill arm
+/// only for over-subscribed synthetic layouts (exploration mode lists
+/// more events than a real PMU can count at once).
 ///
-/// Counts are stored sparsely as `(event, total)` pairs in event
-/// declaration order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CounterSample {
+/// Because every sample a [`CounterBank`](crate::CounterBank) can
+/// produce fits inline, a `Vec<CounterSample>` (e.g.
+/// [`SampleSet::per_cpu`]) is a single contiguous arena of fixed-size,
+/// stride-indexed records — readers walk it with no per-CPU pointer
+/// chase, and in-place refills touch no allocator.
+// The size gap between arms is the design: the big inline arm keeps
+// the hot path allocation-free, and boxing it would reintroduce the
+// pointer chase this type exists to remove.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+enum CountStore {
+    /// Up to [`MAX_HARDWARE_COUNTERS`] pairs stored in place.
+    Inline {
+        len: u8,
+        buf: [(PerfEvent, u64); MAX_HARDWARE_COUNTERS],
+    },
+    /// More pairs than the hardware can count simultaneously; kept (and
+    /// capacity-reused) on the heap.
+    Spilled(Vec<(PerfEvent, u64)>),
+}
+
+impl CountStore {
+    /// Filler for unused inline slots — never visible through
+    /// [`as_slice`](Self::as_slice), which stops at `len`.
+    const EMPTY_SLOT: (PerfEvent, u64) = (PerfEvent::Cycles, 0);
+
+    fn from_vec(v: Vec<(PerfEvent, u64)>) -> Self {
+        if v.len() <= MAX_HARDWARE_COUNTERS {
+            let mut buf = [Self::EMPTY_SLOT; MAX_HARDWARE_COUNTERS];
+            buf[..v.len()].copy_from_slice(&v);
+            CountStore::Inline {
+                len: v.len() as u8,
+                buf,
+            }
+        } else {
+            CountStore::Spilled(v)
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[(PerfEvent, u64)] {
+        match self {
+            CountStore::Inline { len, buf } => &buf[..*len as usize],
+            CountStore::Spilled(v) => v,
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            CountStore::Inline { len, .. } => *len = 0,
+            // Keep the spilled capacity: a producer that once
+            // over-subscribed will likely do so again.
+            CountStore::Spilled(v) => v.clear(),
+        }
+    }
+
+    fn push(&mut self, pair: (PerfEvent, u64)) {
+        match self {
+            CountStore::Inline { len, buf } => {
+                if (*len as usize) < MAX_HARDWARE_COUNTERS {
+                    buf[*len as usize] = pair;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(MAX_HARDWARE_COUNTERS * 2);
+                    v.extend_from_slice(buf);
+                    v.push(pair);
+                    *self = CountStore::Spilled(v);
+                }
+            }
+            CountStore::Spilled(v) => v.push(pair),
+        }
+    }
+}
+
+/// The deserialized face of [`CounterSample`] — the pre-arena struct
+/// shape, so stored samples round-trip unchanged no matter which
+/// [`CountStore`] arm holds them in memory.
+#[derive(Deserialize)]
+struct SampleRepr {
     cpu: CpuId,
     seq: u64,
     counts: Vec<(PerfEvent, u64)>,
 }
 
+/// Event totals read from one CPU's counter bank over one sampling window.
+///
+/// Counts are stored sparsely as `(event, total)` pairs in event
+/// declaration order — inline (flat, fixed-stride) for anything real
+/// hardware can produce, so collections of samples are contiguous
+/// arenas rather than vectors of heap pointers.
+#[derive(Clone)]
+pub struct CounterSample {
+    cpu: CpuId,
+    seq: u64,
+    counts: CountStore,
+}
+
+/// Hand-rolled to keep the serialized shape exactly what the derive
+/// produced when `counts` was a `Vec` — `{"cpu":..,"seq":..,"counts":
+/// [..]}` — independent of the in-memory [`CountStore`] arm.
+impl Serialize for CounterSample {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"cpu\":");
+        self.cpu.serialize_json(out);
+        out.push_str(",\"seq\":");
+        self.seq.serialize_json(out);
+        out.push_str(",\"counts\":[");
+        for (i, pair) in self.counts.as_slice().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            pair.serialize_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+impl Deserialize for CounterSample {
+    fn deserialize_json(p: &mut serde::de::Parser<'_>) -> Result<Self, serde::de::Error> {
+        SampleRepr::deserialize_json(p).map(|r| CounterSample::new(r.cpu, r.seq, r.counts))
+    }
+}
+
+impl fmt::Debug for CounterSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CounterSample")
+            .field("cpu", &self.cpu)
+            .field("seq", &self.seq)
+            .field("counts", &self.counts.as_slice())
+            .finish()
+    }
+}
+
+/// Samples compare by what they expose, not by storage arm: an inline
+/// store equals a spilled one holding the same pairs.
+impl PartialEq for CounterSample {
+    fn eq(&self, other: &Self) -> bool {
+        self.cpu == other.cpu && self.seq == other.seq && self.counts() == other.counts()
+    }
+}
+
+impl Eq for CounterSample {}
+
 impl CounterSample {
     /// Creates a sample. `counts` should be in event declaration order, as
     /// produced by [`CounterBank::read_and_clear`](crate::CounterBank::read_and_clear).
     pub fn new(cpu: CpuId, seq: u64, counts: Vec<(PerfEvent, u64)>) -> Self {
-        Self { cpu, seq, counts }
+        Self {
+            cpu,
+            seq,
+            counts: CountStore::from_vec(counts),
+        }
     }
 
     /// The CPU the sample was read from.
@@ -76,6 +218,7 @@ impl CounterSample {
     /// not programmed.
     pub fn count(&self, event: PerfEvent) -> Option<u64> {
         self.counts
+            .as_slice()
             .iter()
             .find(|(e, _)| *e == event)
             .map(|&(_, c)| c)
@@ -97,7 +240,7 @@ impl CounterSample {
 
     /// Iterates over `(event, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (PerfEvent, u64)> + '_ {
-        self.counts.iter().copied()
+        self.counts.as_slice().iter().copied()
     }
 
     /// The raw `(event, count)` pairs, in the order they were read.
@@ -106,17 +249,23 @@ impl CounterSample {
     /// without an opaque-iterator call per sample.
     #[inline]
     pub fn counts(&self) -> &[(PerfEvent, u64)] {
-        &self.counts
+        self.counts.as_slice()
     }
 
-    /// Re-tags the sample and clears its counts for refilling in place,
-    /// returning the count buffer — the buffer-reuse path behind
+    /// Re-tags the sample and clears its counts for refilling in place
+    /// with [`push_count`](Self::push_count) — the store-reuse path
+    /// behind
     /// [`CounterBank::read_and_clear_into`](crate::CounterBank::read_and_clear_into).
-    pub(crate) fn reset_for(&mut self, cpu: CpuId, seq: u64) -> &mut Vec<(PerfEvent, u64)> {
+    pub(crate) fn reset_for(&mut self, cpu: CpuId, seq: u64) {
         self.cpu = cpu;
         self.seq = seq;
         self.counts.clear();
-        &mut self.counts
+    }
+
+    /// Appends one `(event, count)` pair (spilling to the heap only
+    /// past the hardware-counter limit).
+    pub(crate) fn push_count(&mut self, pair: (PerfEvent, u64)) {
+        self.counts.push(pair);
     }
 }
 
@@ -130,7 +279,9 @@ pub struct SampleSet {
     pub window_ms: u64,
     /// Monotonic sequence number (matches the sync pulse).
     pub seq: u64,
-    /// One sample per CPU, indexed by CPU id.
+    /// One sample per CPU, indexed by CPU id. Samples store their
+    /// counts inline, so this vector is one contiguous, stride-indexed
+    /// arena — extraction walks it without per-CPU pointer chases.
     pub per_cpu: Vec<CounterSample>,
     /// OS interrupt-source deltas over the same window.
     pub interrupts: InterruptSnapshot,
@@ -273,6 +424,74 @@ mod tests {
     fn rate_per_cycle_missing_event_is_none() {
         let s = CounterSample::new(CpuId::new(0), 0, vec![(PerfEvent::Cycles, 10)]);
         assert_eq!(s.rate_per_cycle(PerfEvent::TlbMisses), None);
+    }
+
+    /// The inline/spilled split is invisible: every accessor, equality
+    /// and the serialized form behave identically on both arms, and
+    /// pushing past the hardware limit spills without losing pairs.
+    #[test]
+    fn count_store_spill_is_invisible() {
+        let inline_pairs: Vec<(PerfEvent, u64)> = PerfEvent::ALL
+            .iter()
+            .take(MAX_HARDWARE_COUNTERS)
+            .enumerate()
+            .map(|(i, &e)| (e, i as u64 * 7 + 1))
+            .collect();
+        let spilled_pairs: Vec<(PerfEvent, u64)> = PerfEvent::ALL
+            .iter()
+            .cycle()
+            .take(MAX_HARDWARE_COUNTERS + 15)
+            .enumerate()
+            .map(|(i, &e)| (e, i as u64))
+            .collect();
+        assert_eq!(PerfEvent::ALL.len(), MAX_HARDWARE_COUNTERS);
+
+        let a = CounterSample::new(CpuId::new(3), 9, inline_pairs.clone());
+        assert_eq!(a.counts(), inline_pairs.as_slice());
+        let b = CounterSample::new(CpuId::new(3), 9, spilled_pairs.clone());
+        assert_eq!(b.counts(), spilled_pairs.as_slice());
+        assert_ne!(a, b);
+
+        // Refill in place from empty past the limit: spills, keeps all.
+        let mut c = CounterSample::new(CpuId::new(0), 0, Vec::new());
+        c.reset_for(CpuId::new(3), 9);
+        for &p in &spilled_pairs {
+            c.push_count(p);
+        }
+        assert_eq!(c, b, "pushed-past-limit sample equals the spilled one");
+
+        // A spilled store refilled with few pairs still compares equal
+        // to an inline-born sample (equality is by exposed pairs).
+        c.reset_for(CpuId::new(3), 9);
+        for &p in &inline_pairs {
+            c.push_count(p);
+        }
+        assert_eq!(c, a);
+
+        // Serialized form is the pre-arena struct shape — exactly what
+        // the derive emits for {cpu, seq, counts: Vec} — for both arms,
+        // and round-trips exactly.
+        #[derive(Serialize)]
+        struct FlatShape {
+            cpu: CpuId,
+            seq: u64,
+            counts: Vec<(PerfEvent, u64)>,
+        }
+        for (s, pairs) in [(&a, &inline_pairs), (&b, &spilled_pairs)] {
+            let json = serde_json::to_string(s).unwrap();
+            let flat = FlatShape {
+                cpu: CpuId::new(3),
+                seq: 9,
+                counts: pairs.clone(),
+            };
+            assert_eq!(
+                json,
+                serde_json::to_string(&flat).unwrap(),
+                "serialized shape must be the flat struct"
+            );
+            let back: CounterSample = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, s);
+        }
     }
 
     #[test]

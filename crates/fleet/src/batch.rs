@@ -192,6 +192,16 @@ impl SampleBatch {
         let mut it = self.cols.iter_mut();
         std::array::from_fn(|_| it.next().expect("13 columns").as_mut_slice())
     }
+
+    /// All columns as mutable slices, indexable with the [`col`]
+    /// constants — the raw write surface external fused ingestion
+    /// (the `tdp-wire` serial path) builds rows in directly, via
+    /// [`RowAccumulator::finish_into`], instead of staging each row
+    /// through [`set_row`](Self::set_row). Size the batch first with
+    /// [`resize_rows`](Self::resize_rows).
+    pub fn columns_mut(&mut self) -> [&mut [f64]; COLUMNS] {
+        self.col_slices_mut()
+    }
 }
 
 /// The nine raw events a machine row is built from, in the count order
@@ -608,6 +618,21 @@ impl RowAccumulator {
     /// The finished machine row.
     pub fn finish(self) -> [f64; COLUMNS] {
         self.row
+    }
+
+    /// Writes the finished row straight into column slices at `idx` —
+    /// the same thirteen values [`finish`](Self::finish) returns, minus
+    /// the intermediate row copy a [`SampleBatch::set_row`] round trip
+    /// would add. Pair with [`SampleBatch::columns_mut`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column is `idx` or shorter.
+    #[inline]
+    pub fn finish_into(self, cols: &mut [&mut [f64]; COLUMNS], idx: usize) {
+        for (c, v) in cols.iter_mut().zip(self.row) {
+            c[idx] = v;
+        }
     }
 }
 

@@ -17,7 +17,8 @@
 //! and Rust performs no floating-point contraction or reassociation on
 //! its own, so for the elementwise kernels ([`fill`], [`axpy`],
 //! [`quadratic`], [`quadratic_acc`], [`clamp_predictions`],
-//! [`add_assign`]) the two dispatch paths are bit-identical by
+//! [`add_assign`], [`mask_in_range`], [`mask_nonneg_le_scaled`]) the
+//! two dispatch paths are bit-identical by
 //! construction — vector lanes evaluate the same `a·x + b` per element
 //! that the scalar loop does, in the same order.
 //!
@@ -45,7 +46,10 @@
 #[allow(unsafe_code)]
 pub mod kernels;
 
-pub use kernels::{add_assign, axpy, clamp_predictions, dot, fill, quadratic, quadratic_acc, sum};
+pub use kernels::{
+    add_assign, axpy, clamp_predictions, dot, fill, mask_in_range, mask_nonneg_le_scaled,
+    quadratic, quadratic_acc, sum,
+};
 
 use std::sync::OnceLock;
 

@@ -21,8 +21,10 @@
 //! a mid-stream PMU reprogramming (reordered or extended event list)
 //! can never misattribute columns.
 
-use crate::frame::{FrameHeader, FrameType, HeaderError, HEADER_LEN, MAGIC, MAX_WIRE_EVENTS};
-use crate::varint::{read_uvarint, read_uvarints, unzigzag};
+use crate::frame::{
+    FrameHeader, FrameType, HeaderError, PayloadChecksum, HEADER_LEN, MAGIC, MAX_WIRE_EVENTS,
+};
+use crate::varint::{read_uvarint, read_uvarints_ck, unzigzag};
 use tdp_counters::layout_hash_indices;
 use tdp_fleet::{RowAccumulator, COLUMNS, ROW_EVENTS};
 use tdp_simd::Dispatch;
@@ -152,15 +154,28 @@ impl FrameDecoder {
         header: &FrameHeader,
         payload: &[u8],
     ) -> Result<Decoded, DecodeError> {
-        if !header.verify(payload) {
-            return Err(DecodeError::Checksum);
-        }
-        if header.n_events as usize > MAX_WIRE_EVENTS {
-            return Err(DecodeError::Malformed);
-        }
         match header.frame_type {
-            FrameType::Layout => self.decode_layout(header, payload),
-            FrameType::Sample => self.decode_sample(header, payload),
+            FrameType::Layout => {
+                if !header.verify(payload) {
+                    return Err(DecodeError::Checksum);
+                }
+                if header.n_events as usize > MAX_WIRE_EVENTS {
+                    return Err(DecodeError::Malformed);
+                }
+                self.decode_layout(header, payload)
+            }
+            // Sample frames fuse verification into the varint walk
+            // (the hot path — see `decode_sample_pending`); the
+            // checksum verdict still takes precedence over every
+            // structural one, exactly as the layout arm orders them.
+            FrameType::Sample => {
+                let pending = self.decode_sample_pending(header, payload)?;
+                Ok(Decoded::Row {
+                    machine_id: pending.machine_id,
+                    window_seq: pending.window_seq,
+                    row: self.fold_row(&pending),
+                })
+            }
         }
     }
 
@@ -216,11 +231,65 @@ impl FrameDecoder {
         Ok(Decoded::Layout)
     }
 
-    fn decode_sample(
+    /// Decodes a sample frame up to (but not including) the row
+    /// reduction: checksum verification fused into the varint walk,
+    /// delta chain unfolded in the decoder's scratch. The caller folds
+    /// the counts with [`fold_row`](Self::fold_row) (sharded ingest,
+    /// which ships rows through rings) or
+    /// [`fold_into`](Self::fold_into) (serial fused ingest, straight
+    /// into the batch's columns) — the fold must happen before the next
+    /// decode reuses the scratch.
+    ///
+    /// Error precedence is identical to the historical two-pass decode:
+    /// the checksum is *always* computed over the full payload (the
+    /// walk absorbs what it reads, [`PayloadChecksum::finish`] the
+    /// rest) and checked first, so a corrupt frame reports
+    /// [`DecodeError::Checksum`] no matter how it is corrupt, and only
+    /// a frame that checksums can report a structural error.
+    pub(crate) fn decode_sample_pending(
         &mut self,
         header: &FrameHeader,
         payload: &[u8],
-    ) -> Result<Decoded, DecodeError> {
+    ) -> Result<PendingSample, DecodeError> {
+        let mut ck = PayloadChecksum::new(header);
+        let scanned = self.scan_sample(header, payload, &mut ck);
+        if header.checksum != ck.finish(payload) {
+            return Err(DecodeError::Checksum);
+        }
+        let entry = scanned?;
+        let n = header.n_events as usize;
+        let cpus = header.cpu_count as usize;
+        // The delta chain unfolds row over row in place —
+        // integer-exact, so dispatch flavour cannot change a single
+        // reconstructed count.
+        for cpu in 1..cpus {
+            let (done, rest) = self.cur.split_at_mut(cpu * n);
+            let prev = &done[(cpu - 1) * n..];
+            for (c, &p) in rest[..n].iter_mut().zip(prev) {
+                *c = p.wrapping_add(unzigzag(*c) as u64);
+            }
+        }
+        Ok(PendingSample {
+            machine_id: header.machine_id,
+            window_seq: header.window_seq,
+            entry,
+            cpus,
+        })
+    }
+
+    /// The structural half of a sample decode: layout lookup, geometry
+    /// checks, and the checksum-fused bulk varint walk into the scratch
+    /// buffer. Whatever this returns, the caller finishes the checksum
+    /// and gives its verdict precedence.
+    fn scan_sample(
+        &mut self,
+        header: &FrameHeader,
+        payload: &[u8],
+        ck: &mut PayloadChecksum,
+    ) -> Result<LayoutEntry, DecodeError> {
+        if header.n_events as usize > MAX_WIRE_EVENTS {
+            return Err(DecodeError::Malformed);
+        }
         let entry = *self
             .layouts
             .lookup(header.layout_hash)
@@ -231,6 +300,12 @@ impl FrameDecoder {
         let n = header.n_events as usize;
         let cpus = header.cpu_count as usize;
         let total = n * cpus;
+        // Every varint is at least one byte, so a payload shorter than
+        // the count cannot parse — and refusing it here keeps a corrupt
+        // header's geometry from growing the scratch buffer.
+        if total > payload.len() {
+            return Err(DecodeError::Malformed);
+        }
         // The scratch contents never leak between frames — the bulk
         // decode overwrites every entry — so resizing only on a frame
         // geometry change spares the steady state a memset per frame.
@@ -238,47 +313,73 @@ impl FrameDecoder {
             self.cur.clear();
             self.cur.resize(total, 0);
         }
-
         // Every varint of the frame in one bulk decode: the batched
         // decoder's 8-byte windows run straight across CPU-row
         // boundaries instead of discarding a partially consumed word at
-        // each row. Then the delta chain unfolds row over row in place —
-        // integer-exact, so dispatch flavour cannot change a single
-        // reconstructed count.
+        // each row, and the checksum absorbs each window as the walk
+        // passes it — one read of the payload for both.
         let mut pos = 0usize;
-        read_uvarints(Dispatch::active(), payload, &mut pos, &mut self.cur)
+        read_uvarints_ck(Dispatch::active(), payload, &mut pos, &mut self.cur, ck)
             .ok_or(DecodeError::Malformed)?;
         if pos != payload.len() {
             return Err(DecodeError::Malformed);
         }
-        for cpu in 1..cpus {
-            let (done, rest) = self.cur.split_at_mut(cpu * n);
-            let prev = &done[(cpu - 1) * n..];
-            for (c, &p) in rest[..n].iter_mut().zip(prev) {
-                *c = p.wrapping_add(unzigzag(*c) as u64);
-            }
-        }
+        Ok(entry)
+    }
 
-        let mut acc = RowAccumulator::new(cpus);
-        for cpu in 0..cpus {
+    /// Reduces a pending sample's reconstructed counts to one fleet
+    /// row — the arithmetic `SampleBatch::push_sample_set` applies to
+    /// in-memory samples, via the same [`RowAccumulator`].
+    pub(crate) fn fold_row(&self, p: &PendingSample) -> [f64; COLUMNS] {
+        let mut acc = RowAccumulator::new(p.cpus);
+        self.accumulate(p, &mut acc);
+        acc.finish()
+    }
+
+    /// [`fold_row`](Self::fold_row) writing straight into a batch's
+    /// column slices at `idx` — the serial fused path, which skips the
+    /// intermediate row copy through `set_row`.
+    pub(crate) fn fold_into(
+        &self,
+        p: &PendingSample,
+        cols: &mut [&mut [f64]; COLUMNS],
+        idx: usize,
+    ) {
+        let mut acc = RowAccumulator::new(p.cpus);
+        self.accumulate(p, &mut acc);
+        acc.finish_into(cols, idx);
+    }
+
+    fn accumulate(&self, p: &PendingSample, acc: &mut RowAccumulator) {
+        let n = p.entry.n_events as usize;
+        for cpu in 0..p.cpus {
             let row = &self.cur[cpu * n..(cpu + 1) * n];
             // The absent-event sentinel (`u16::MAX`) is out of bounds
             // by construction, so one bounds-checked `get` folds the
             // presence test and the lookup into a single branch. The
             // canonical identity layout skips the indirection entirely.
-            let counts: [Option<u64>; ROW_EVENTS.len()] = if entry.identity {
+            let counts: [Option<u64>; ROW_EVENTS.len()] = if p.entry.identity {
                 std::array::from_fn(|k| Some(row[k]))
             } else {
-                std::array::from_fn(|k| row.get(entry.pos[k] as usize).copied())
+                std::array::from_fn(|k| row.get(p.entry.pos[k] as usize).copied())
             };
             acc.accumulate_cpu(counts);
         }
-        Ok(Decoded::Row {
-            machine_id: header.machine_id,
-            window_seq: header.window_seq,
-            row: acc.finish(),
-        })
     }
+}
+
+/// A sample frame that decoded cleanly (checksummed, delta-unfolded in
+/// the decoder's scratch) but has not yet been reduced to a fleet row —
+/// the handle [`FrameDecoder::fold_row`] / [`FrameDecoder::fold_into`]
+/// consume. Valid only until the decoder's next sample decode.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingSample {
+    /// Which machine the frame describes.
+    pub machine_id: u64,
+    /// The window sequence number from the frame header.
+    pub window_seq: u64,
+    entry: LayoutEntry,
+    cpus: usize,
 }
 
 /// One framing step over a raw byte stream.

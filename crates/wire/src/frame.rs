@@ -174,37 +174,106 @@ impl FrameHeader {
     }
 
     /// The checksum this header + payload *should* carry.
+    ///
+    /// One-shot form of [`PayloadChecksum`] (the single definition of
+    /// the algorithm): seed from the header, absorb the whole payload,
+    /// fold the lanes.
     pub fn expected_checksum(&self, payload: &[u8]) -> u64 {
-        // Odd multiplier (golden-ratio) and nothing-up-my-sleeve seeds
-        // (π words). Each step `h = rotl(h) ⊕ w  ·  K` is a bijection
-        // of `h` for fixed `w` and of `w` for fixed `h`. Payload words
-        // feed two independent lanes (even words → lane 0, odd → lane
-        // 1) so the multiply chains overlap instead of serialising;
-        // a flipped bit perturbs exactly one lane's state, and the
-        // final cross-lane mix is bijective in each lane, so the
-        // single-bit detection argument is unchanged.
-        const K: u64 = 0x9e37_79b9_7f4a_7c15;
-        const SEED0: u64 = 0x243f_6a88_85a3_08d3;
-        const SEED1: u64 = 0x1319_8a2e_0370_7344;
-        let mix = |h: u64, w: u64| (h.rotate_left(25) ^ w).wrapping_mul(K);
+        PayloadChecksum::new(self).finish(payload)
+    }
+
+    /// Whether the stored checksum matches the payload.
+    #[must_use]
+    pub fn verify(&self, payload: &[u8]) -> bool {
+        self.checksum == self.expected_checksum(payload)
+    }
+}
+
+// Odd multiplier (golden-ratio) and nothing-up-my-sleeve seeds
+// (π words). Each step `h = rotl(h) ⊕ w  ·  K` is a bijection
+// of `h` for fixed `w` and of `w` for fixed `h`. Payload words
+// feed two independent lanes (even words → lane 0, odd → lane
+// 1) so the multiply chains overlap instead of serialising;
+// a flipped bit perturbs exactly one lane's state, and the
+// final cross-lane mix is bijective in each lane, so the
+// single-bit detection argument is unchanged.
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+const SEED0: u64 = 0x243f_6a88_85a3_08d3;
+const SEED1: u64 = 0x1319_8a2e_0370_7344;
+
+#[inline]
+fn mix(h: u64, w: u64) -> u64 {
+    (h.rotate_left(25) ^ w).wrapping_mul(K)
+}
+
+/// Incremental frame checksum: the same two-lane mix as
+/// [`FrameHeader::expected_checksum`] (which delegates here, so the two
+/// can never drift), exposed as a streaming absorb so a decoder can
+/// fold verification into the pass that is already reading the payload
+/// — varint decode — instead of walking the bytes twice.
+///
+/// Usage: [`new`](Self::new) seeds the lanes from the header fields;
+/// [`absorb_to`](Self::absorb_to) may be called any number of times
+/// with a monotonically growing watermark and consumes every *complete*
+/// 16-byte chunk below it; [`finish`](Self::finish) absorbs whatever
+/// remains (including the zero-padded tail words) and folds the lanes.
+/// The result is bit-identical to the one-shot form no matter how the
+/// absorb calls are spaced — the chunk→lane assignment is a pure
+/// function of byte position.
+#[derive(Debug, Clone, Copy)]
+pub struct PayloadChecksum {
+    h: u64,
+    lane: u64,
+    /// Payload bytes already absorbed (always a multiple of 16 until
+    /// `finish`).
+    done: usize,
+}
+
+impl PayloadChecksum {
+    /// Seeds the checksum with every checksummed header field.
+    pub fn new(header: &FrameHeader) -> Self {
         let mut h = SEED0;
         h = mix(
             h,
-            (self.frame_type.to_wire() as u64) << 32 | self.payload_len as u64,
+            (header.frame_type.to_wire() as u64) << 32 | header.payload_len as u64,
         );
-        h = mix(h, self.machine_id);
-        h = mix(h, self.window_seq);
-        h = mix(h, self.layout_hash);
-        h = mix(h, (self.cpu_count as u64) << 16 | self.n_events as u64);
-        let mut lane = SEED1;
-        let mut chunks = payload.chunks_exact(16);
-        for c in chunks.by_ref() {
+        h = mix(h, header.machine_id);
+        h = mix(h, header.window_seq);
+        h = mix(h, header.layout_hash);
+        h = mix(h, (header.cpu_count as u64) << 16 | header.n_events as u64);
+        Self {
+            h,
+            lane: SEED1,
+            done: 0,
+        }
+    }
+
+    /// Absorbs every complete 16-byte payload chunk that lies fully
+    /// below `upto` and has not been absorbed yet. Cheap when there is
+    /// nothing new to do, so callers may invoke it at whatever cadence
+    /// their own walk produces.
+    #[inline]
+    pub fn absorb_to(&mut self, payload: &[u8], upto: usize) {
+        let end = upto.min(payload.len()) & !15;
+        while self.done < end {
+            let c = &payload[self.done..self.done + 16];
             let a = u64::from_le_bytes(c[..8].try_into().expect("8 bytes"));
             let b = u64::from_le_bytes(c[8..].try_into().expect("8 bytes"));
-            h = mix(h, a);
-            lane = mix(lane, b);
+            self.h = mix(self.h, a);
+            self.lane = mix(self.lane, b);
+            self.done += 16;
         }
-        let rem = chunks.remainder();
+    }
+
+    /// Absorbs the unconsumed remainder of `payload` (the final partial
+    /// chunk is zero-padded per 8-byte word: first word → lane 0, rest
+    /// → lane 1) and folds the lanes into the frame checksum.
+    ///
+    /// `payload_len` is already mixed in by [`new`](Self::new), so the
+    /// zero padding cannot alias a longer payload.
+    pub fn finish(mut self, payload: &[u8]) -> u64 {
+        self.absorb_to(payload, payload.len());
+        let rem = &payload[self.done..];
         let mut i = 0;
         while i < rem.len() {
             let take = rem.len().min(i + 8);
@@ -212,22 +281,13 @@ impl FrameHeader {
             b[..take - i].copy_from_slice(&rem[i..take]);
             let w = u64::from_le_bytes(b);
             if i == 0 {
-                h = mix(h, w);
+                self.h = mix(self.h, w);
             } else {
-                lane = mix(lane, w);
+                self.lane = mix(self.lane, w);
             }
             i = take;
         }
-        // payload_len is already mixed in, so the zero padding of the
-        // final partial word cannot alias a longer payload, and the
-        // word → lane assignment is a pure function of position.
-        mix(h, lane)
-    }
-
-    /// Whether the stored checksum matches the payload.
-    #[must_use]
-    pub fn verify(&self, payload: &[u8]) -> bool {
-        self.checksum == self.expected_checksum(payload)
+        mix(self.h, self.lane)
     }
 }
 
@@ -276,6 +336,32 @@ mod tests {
         let mut bad = buf;
         bad[3] = 7;
         assert_eq!(FrameHeader::parse(&bad), Err(HeaderError::BadType));
+    }
+
+    #[test]
+    fn streaming_checksum_matches_one_shot_at_every_split() {
+        let h = header();
+        // Lengths that cover: empty, sub-chunk, exact chunk multiples,
+        // one- and two-word tails.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 24, 31, 32, 33, 40, 130] {
+            let payload: Vec<u8> = (0..len)
+                .map(|i| (i as u8).wrapping_mul(37) ^ 0x5a)
+                .collect();
+            let want = h.expected_checksum(&payload);
+            // Single absorb watermark at every position (including far
+            // past the end), then finish.
+            for split in 0..=len + 8 {
+                let mut ck = PayloadChecksum::new(&h);
+                ck.absorb_to(&payload, split);
+                assert_eq!(ck.finish(&payload), want, "len {len} split {split}");
+            }
+            // Many small monotone absorbs, as a varint walk produces.
+            let mut ck = PayloadChecksum::new(&h);
+            for upto in (0..=len).step_by(3) {
+                ck.absorb_to(&payload, upto);
+            }
+            assert_eq!(ck.finish(&payload), want, "len {len} stepped");
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use crate::stream::StreamReport;
 use tdp_fleet::{col, COLUMNS};
+use tdp_simd::{mask_in_range, mask_nonneg_le_scaled, Dispatch};
 
 /// Where a machine stands in the degradation ladder.
 ///
@@ -133,27 +134,282 @@ impl DegradePolicy {
                 self.max_interrupts_per_cycle,
             )
     }
+
+    /// The cap each column's sanity pass scales by the row's CPU count,
+    /// ordered as the batched mask applies them (every column except
+    /// `NUM_CPUS`, which takes the range check instead). Squared-rate
+    /// columns use `cap·cap`, associated exactly as
+    /// [`row_is_sane`](Self::row_is_sane)'s `cap * cap * n`.
+    fn column_caps(&self) -> [(usize, f64); COLUMNS - 1] {
+        let l3 = self.max_l3_per_kilocycle;
+        let bus = self.max_bus_per_megacycle;
+        let dma = self.max_dma_per_cycle;
+        let int = self.max_interrupts_per_cycle;
+        [
+            (col::ACTIVE, 1.0),
+            (col::UPC, self.max_upc),
+            (col::L3, l3),
+            (col::L3_SQ, l3 * l3),
+            (col::BUS, bus),
+            (col::BUS_SQ, bus * bus),
+            (col::DMA, dma),
+            (col::DMA_SQ, dma * dma),
+            (col::DISK_INT, int),
+            (col::DISK_INT_SQ, int * int),
+            (col::DEV_INT, int),
+            (col::DEV_INT_SQ, int * int),
+        ]
+    }
+
+    /// Batched form of [`row_is_sane`](Self::row_is_sane): evaluates
+    /// the sanity verdict for *every* row of a window's columns in
+    /// thirteen AND-accumulating column passes
+    /// ([`tdp_simd::mask_in_range`] on the CPU-count column,
+    /// [`tdp_simd::mask_nonneg_le_scaled`] on the other twelve),
+    /// leaving `mask[i] != 0` ⇔ `row_is_sane(row i)`.
+    ///
+    /// Bit-equivalence with the per-row form (which remains the
+    /// semantic reference) holds because the verdict is a pure
+    /// conjunction: the explicit finiteness screen is implied by the
+    /// cap passes once the CPU count passes its range check — every cap
+    /// is finite, so `cap·n` is finite, and a NaN/∞/negative value
+    /// fails its own `0 ≤ v ≤ cap·n` — and each comparison (including
+    /// the `cap·cap·n` association for squared columns) is written
+    /// identically in both forms. Pinned per-row-vs-mask by tests here
+    /// and across seeded fault plans by the chaos property suite.
+    pub(crate) fn sane_mask(&self, d: Dispatch, cols: &[&mut [f64]; COLUMNS], mask: &mut Vec<u8>) {
+        self.sane_mask_batch(d, std::array::from_fn(|i| &*cols[i]), mask);
+    }
+
+    /// The batched sanity scan over shared column slices — the exact
+    /// pass the fused serial ingest runs once per window. Public so
+    /// benchmarks can time the health stage in isolation; `mask[i] != 0`
+    /// ⇔ [`row_is_sane`](Self::row_is_sane) on row `i`.
+    pub fn sane_mask_batch(&self, d: Dispatch, cols: [&[f64]; COLUMNS], mask: &mut Vec<u8>) {
+        let ncpus = cols[col::NUM_CPUS];
+        mask.clear();
+        mask.resize(ncpus.len(), 1);
+        mask_in_range(d, ncpus, 1.0, self.max_cpus, mask);
+        for (c, cap) in self.column_caps() {
+            mask_nonneg_le_scaled(d, cols[c], cap, ncpus, mask);
+        }
+    }
 }
 
-/// Per-machine ingest health, tracked by the owning decoder shard.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct MachineHealth {
-    /// Current position on the degradation ladder.
-    pub state: HealthState,
-    /// Last accepted window sequence number (duplicate / regression
-    /// detection).
-    pub last_seq: Option<u64>,
-    /// Last row that decoded cleanly and passed sanity bounds — the
-    /// value held for bounded staleness when the machine goes silent.
-    pub last_good: Option<[f64; COLUMNS]>,
-    /// Ingest epoch `last_good` was captured in.
-    pub last_good_epoch: u64,
-    /// Ingest epoch this machine last contributed a row (fresh or
-    /// held).
-    pub emitted_epoch: u64,
-    /// Whether this silence has already been counted in
+/// What sequence bookkeeping concluded about one frame's window
+/// sequence (see [`HealthLedger::note_seq`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SeqNote {
+    /// Re-delivery of the machine's already-accepted window — skip the
+    /// row, the first delivery already decided this window.
+    Duplicate,
+    /// The sequence went backwards (reboot / counter reset): accept the
+    /// row but re-baseline the machine as [`HealthState::Suspect`].
+    Reset,
+    /// A new window sequence, accepted normally.
+    Fresh,
+}
+
+/// What the hold / staleness pass decided for one silent machine (see
+/// [`HealthLedger::hold`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Hold {
+    /// Carry the machine at its last good row for this window.
+    Held([f64; COLUMNS]),
+    /// The machine just crossed the staleness bound — count it in
+    /// `machines_stale` (once per outage).
+    NewlyStale,
+    /// Still stale from an already-counted outage.
+    AlreadyStale,
+}
+
+/// Column-major (SoA) per-machine health ledger for one decoder shard.
+///
+/// Replaces a vector of per-machine structs: the hold / staleness pass
+/// and the batched clean-window commit each touch one *field* across
+/// all machines, so every field lives in its own dense vector indexed
+/// by machine id, and the last good rows live column-major like
+/// [`tdp_fleet::SampleBatch`]. The ladder semantics are exactly the
+/// per-row transitions documented on [`HealthState`] — the chaos
+/// property suite pins them against seeded fault plans, serial vs
+/// sharded.
+#[derive(Debug, Default)]
+pub(crate) struct HealthLedger {
+    /// Degradation-ladder position per machine.
+    state: Vec<HealthState>,
+    /// Whether the machine ever had a frame accepted for sequence
+    /// bookkeeping (a dense slot never decoded into stays `false`).
+    seen: Vec<bool>,
+    /// Last accepted window sequence (meaningful only when `seen`).
+    last_seq: Vec<u64>,
+    /// Whether `last_good` holds a real row for the machine.
+    has_last_good: Vec<bool>,
+    /// Ingest epoch the last good row was captured in.
+    last_good_epoch: Vec<u64>,
+    /// Ingest epoch the machine last contributed a row (fresh or held).
+    emitted_epoch: Vec<u64>,
+    /// Whether the current outage was already counted in
     /// `machines_stale` (one count per outage, not per window).
-    pub counted_stale: bool,
+    counted_stale: Vec<bool>,
+    /// Last row that decoded cleanly and passed sanity bounds — the
+    /// value held for bounded staleness when a machine goes silent.
+    last_good: [Vec<f64>; COLUMNS],
+}
+
+impl HealthLedger {
+    /// Grows the ledger to cover machines `0..n` (never shrinks; new
+    /// slots start unseen and Healthy).
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.state.len() >= n {
+            return;
+        }
+        self.state.resize(n, HealthState::Healthy);
+        self.seen.resize(n, false);
+        self.last_seq.resize(n, 0);
+        self.has_last_good.resize(n, false);
+        self.last_good_epoch.resize(n, 0);
+        self.emitted_epoch.resize(n, 0);
+        self.counted_stale.resize(n, false);
+        for c in &mut self.last_good {
+            c.resize(n, 0.0);
+        }
+    }
+
+    /// Machines the ledger has slots for.
+    pub(crate) fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether machine `m` ever had a frame accepted (false for dense
+    /// slots that only exist because a higher id grew the ledger).
+    pub(crate) fn seen(&self, m: usize) -> bool {
+        self.seen.get(m).copied().unwrap_or(false)
+    }
+
+    /// Machine `m`'s current ladder position.
+    pub(crate) fn state(&self, m: usize) -> HealthState {
+        self.state[m]
+    }
+
+    /// Sequence bookkeeping for one in-range frame: duplicate skip,
+    /// reset detection, and the `last_seq` update, in the ladder's
+    /// order (duplicates are judged against the *previous* sequence,
+    /// before it re-baselines).
+    pub(crate) fn note_seq(&mut self, m: usize, seq: u64) -> SeqNote {
+        if self.seen[m] {
+            let last = self.last_seq[m];
+            if last == seq {
+                return SeqNote::Duplicate;
+            }
+            self.last_seq[m] = seq;
+            if seq < last {
+                return SeqNote::Reset;
+            }
+        } else {
+            self.seen[m] = true;
+            self.last_seq[m] = seq;
+        }
+        SeqNote::Fresh
+    }
+
+    /// Marks machine `m`'s latest row as withheld by the sanity bounds.
+    pub(crate) fn quarantine(&mut self, m: usize) {
+        self.state[m] = HealthState::Quarantined;
+    }
+
+    /// Shared tail of every good-row commit: flags, epochs and ladder
+    /// position (the row itself was already stored by the caller).
+    fn mark_good(&mut self, m: usize, epoch: u64, reset: bool) {
+        self.has_last_good[m] = true;
+        self.last_good_epoch[m] = epoch;
+        self.emitted_epoch[m] = epoch;
+        self.counted_stale[m] = false;
+        self.state[m] = if reset {
+            HealthState::Suspect
+        } else {
+            HealthState::Healthy
+        };
+    }
+
+    /// Commits a fresh sane row delivered as a row array (the sharded
+    /// path's shape).
+    pub(crate) fn commit_row(&mut self, m: usize, epoch: u64, row: &[f64; COLUMNS], reset: bool) {
+        for (c, v) in self.last_good.iter_mut().zip(row) {
+            c[m] = *v;
+        }
+        self.mark_good(m, epoch, reset);
+    }
+
+    /// Commits a fresh sane row already sitting in the batch columns at
+    /// index `m` (the serial fused path's shape).
+    pub(crate) fn commit_from_cols(
+        &mut self,
+        m: usize,
+        epoch: u64,
+        cols: &[&mut [f64]; COLUMNS],
+        reset: bool,
+    ) {
+        for (c, src) in self.last_good.iter_mut().zip(cols) {
+            c[m] = src[m];
+        }
+        self.mark_good(m, epoch, reset);
+    }
+
+    /// Copies machine `m`'s last good row back into the batch columns —
+    /// undoes a quarantined row that overwrote an already-emitted one.
+    pub(crate) fn restore_into(&self, m: usize, cols: &mut [&mut [f64]; COLUMNS]) {
+        for (src, c) in self.last_good.iter().zip(cols.iter_mut()) {
+            c[m] = src[m];
+        }
+    }
+
+    /// Whether machine `m` already contributed a row (fresh or held)
+    /// this epoch.
+    pub(crate) fn emitted_this(&self, m: usize, epoch: u64) -> bool {
+        self.emitted_epoch[m] == epoch
+    }
+
+    /// The hold / staleness decision for a machine that contributed
+    /// nothing this window: carry its last good row while within
+    /// `max_stale` windows of it, otherwise declare it stale.
+    pub(crate) fn hold(&mut self, m: usize, epoch: u64, max_stale: u64) -> Hold {
+        if self.has_last_good[m] && epoch - self.last_good_epoch[m] <= max_stale {
+            self.emitted_epoch[m] = epoch;
+            if self.state[m] == HealthState::Healthy {
+                self.state[m] = HealthState::Suspect;
+            }
+            let mut row = [0.0; COLUMNS];
+            for (v, c) in row.iter_mut().zip(&self.last_good) {
+                *v = c[m];
+            }
+            Hold::Held(row)
+        } else {
+            self.state[m] = HealthState::Stale;
+            if self.counted_stale[m] {
+                Hold::AlreadyStale
+            } else {
+                self.counted_stale[m] = true;
+                Hold::NewlyStale
+            }
+        }
+    }
+
+    /// Bulk commit for a perfectly clean window: machines `0..n` each
+    /// delivered exactly one fresh sane row (already in `cols`) with no
+    /// sequence resets, so every per-machine field takes the same value
+    /// and the last good rows are straight column memcpys. Equivalent
+    /// to `n` [`commit_from_cols`](Self::commit_from_cols) calls with
+    /// `reset = false`.
+    pub(crate) fn commit_all(&mut self, epoch: u64, cols: &[&mut [f64]; COLUMNS], n: usize) {
+        for (dst, src) in self.last_good.iter_mut().zip(cols) {
+            dst[..n].copy_from_slice(&src[..n]);
+        }
+        self.has_last_good[..n].fill(true);
+        self.last_good_epoch[..n].fill(epoch);
+        self.emitted_epoch[..n].fill(epoch);
+        self.counted_stale[..n].fill(false);
+        self.state[..n].fill(HealthState::Healthy);
+    }
 }
 
 /// The pipeline-health counter block: every way the stream degraded
@@ -276,6 +532,78 @@ mod tests {
         let mut row = sane_row();
         row[col::L3_SQ] = 1e9;
         assert!(!p.row_is_sane(&row));
+    }
+
+    /// The batched column mask is the per-row verdict, bit for bit, on
+    /// every adversarial row the per-row tests use — under both
+    /// dispatch flavours.
+    #[test]
+    fn sane_mask_is_bit_identical_to_row_is_sane() {
+        let p = DegradePolicy::default();
+        let mut rows: Vec<[f64; COLUMNS]> = vec![sane_row()];
+        for c in 0..COLUMNS {
+            for v in [
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                -1.0,
+                -0.0,
+                0.0,
+                1.0,
+                4.0,
+                1e30,
+                5e-4,
+            ] {
+                let mut row = sane_row();
+                row[c] = v;
+                rows.push(row);
+            }
+        }
+        // Boundary rows: every cap exactly met (sane) and just over.
+        let mut at_cap = [0.0; COLUMNS];
+        at_cap[col::NUM_CPUS] = p.max_cpus;
+        let n = p.max_cpus;
+        at_cap[col::ACTIVE] = n;
+        at_cap[col::UPC] = p.max_upc * n;
+        at_cap[col::L3] = p.max_l3_per_kilocycle * n;
+        at_cap[col::L3_SQ] = p.max_l3_per_kilocycle * p.max_l3_per_kilocycle * n;
+        at_cap[col::BUS] = p.max_bus_per_megacycle * n;
+        at_cap[col::BUS_SQ] = p.max_bus_per_megacycle * p.max_bus_per_megacycle * n;
+        at_cap[col::DMA] = p.max_dma_per_cycle * n;
+        at_cap[col::DMA_SQ] = p.max_dma_per_cycle * p.max_dma_per_cycle * n;
+        at_cap[col::DISK_INT] = p.max_interrupts_per_cycle * n;
+        at_cap[col::DISK_INT_SQ] = p.max_interrupts_per_cycle * p.max_interrupts_per_cycle * n;
+        at_cap[col::DEV_INT] = at_cap[col::DISK_INT];
+        at_cap[col::DEV_INT_SQ] = at_cap[col::DISK_INT_SQ];
+        rows.push(at_cap);
+        for c in 0..COLUMNS {
+            let mut row = at_cap;
+            row[c] = at_cap[c] * (1.0 + 1e-9) + f64::MIN_POSITIVE;
+            rows.push(row);
+        }
+
+        let mut colv: [Vec<f64>; COLUMNS] = std::array::from_fn(|_| vec![0.0; rows.len()]);
+        for (i, row) in rows.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                colv[c][i] = *v;
+            }
+        }
+        let mut it = colv.iter_mut();
+        let cols: [&mut [f64]; COLUMNS] =
+            std::array::from_fn(|_| it.next().expect("COLUMNS slices").as_mut_slice());
+
+        let mut mask = Vec::new();
+        for d in [Dispatch::Scalar, Dispatch::active()] {
+            p.sane_mask(d, &cols, &mut mask);
+            assert_eq!(mask.len(), rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    mask[i] != 0,
+                    p.row_is_sane(row),
+                    "row {i} ({row:?}) disagrees under {d:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -38,10 +38,11 @@
 
 use crate::decode::{CursorItem, DecodeError, Decoded, FrameCursor, FrameDecoder};
 use crate::frame::FrameType;
-use crate::health::{DegradePolicy, HealthState, MachineHealth};
+use crate::health::{DegradePolicy, HealthLedger, HealthState, Hold, SeqNote};
 use crate::ring::{ring, Consumer, Producer};
 use tdp_fleet::{FleetEstimator, SampleBatch, COLUMNS};
 use tdp_parallel::WorkerPool;
+use tdp_simd::Dispatch;
 
 /// Tuning for [`stream_window`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +75,9 @@ impl Default for StreamConfig {
 /// What happened during one streamed window.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamReport {
-    /// Decoder shards actually used (`0` = serial fused path).
+    /// Decoder shards actually used — the real decode parallelism in
+    /// both modes. The serial fused path reports `1`: one decoder ran,
+    /// fused with the consumer.
     pub decoders: usize,
     /// Sample frames whose decode was attempted (owned frames only).
     pub sample_frames: u64,
@@ -158,16 +161,25 @@ struct WireRow {
 /// One decoder shard's cross-window state: its [`FrameDecoder`]
 /// (layout memo) plus the health ledger for every machine it owns.
 ///
-/// The ledger is a dense `Vec` indexed by machine id — ids are
-/// `< machines` by the time [`ShardState::accept_row`] runs, so the
+/// The [`HealthLedger`] is dense, indexed by machine id — ids are
+/// `< machines` by the time the degradation ladder runs, so the
 /// hot-path lookup is one bounds-checked index instead of a tree walk.
-/// A machine the shard has never decoded is exactly one whose entry
-/// has `last_seq == None` (every ledger write path goes through
-/// `accept_row`, which sets it first).
+/// A machine the shard has never decoded is exactly one whose ledger
+/// `seen` flag is unset (every write path notes the sequence first).
+///
+/// The remaining vectors are the serial fused path's per-window
+/// scratch, retained across windows so the steady state allocates
+/// nothing: which machines staged a fresh row into the batch columns
+/// this epoch, each staged row's reset flag, and the batched sanity
+/// mask. The sharded path leaves them empty.
 #[derive(Debug, Default)]
 struct ShardState {
     dec: FrameDecoder,
-    health: Vec<MachineHealth>,
+    ledger: HealthLedger,
+    pending: Vec<u32>,
+    staged_epoch: Vec<u64>,
+    staged_reset: Vec<bool>,
+    sane_mask: Vec<u8>,
 }
 
 /// Ingest state that survives across windows: one [`FrameDecoder`] per
@@ -222,12 +234,11 @@ impl IngestState {
     /// The last known [`HealthState`] of `machine`, or `None` if no
     /// shard has ever decoded a row for it.
     pub fn machine_health(&self, machine: u64) -> Option<HealthState> {
-        self.shards.iter().find_map(|s| {
-            s.health
-                .get(machine as usize)
-                .filter(|h| h.last_seq.is_some())
-                .map(|h| h.state)
-        })
+        let idx = machine as usize;
+        self.shards
+            .iter()
+            .find(|s| s.ledger.seen(idx))
+            .map(|s| s.ledger.state(idx))
     }
 
     /// Opens the next ingest window: bumps the epoch and makes sure
@@ -346,18 +357,16 @@ impl ShardState {
         emit: &mut impl FnMut(WireRow),
     ) {
         let idx = machine as usize;
-        if idx >= self.health.len() {
-            self.health.resize_with(idx + 1, MachineHealth::default);
-        }
-        let h = &mut self.health[idx];
-        if h.last_seq == Some(window_seq) {
-            // Same window delivered again (duplicated frame or replayed
-            // chunk): the first delivery already decided this window.
-            stats.duplicate_windows += 1;
-            return;
-        }
-        let reset = match h.last_seq {
-            Some(last) if window_seq < last => {
+        self.ledger.ensure(idx + 1);
+        let reset = match self.ledger.note_seq(idx, window_seq) {
+            SeqNote::Duplicate => {
+                // Same window delivered again (duplicated frame or
+                // replayed chunk): the first delivery already decided
+                // this window.
+                stats.duplicate_windows += 1;
+                return;
+            }
+            SeqNote::Reset => {
                 // The producer's sequence went backwards: reboot or
                 // counter reset. Counters are read-and-clear, so the
                 // row is still a valid per-window delta — accept it,
@@ -365,26 +374,17 @@ impl ShardState {
                 stats.resets_detected += 1;
                 true
             }
-            _ => false,
+            SeqNote::Fresh => false,
         };
-        h.last_seq = Some(window_seq);
         if !ctx.policy.row_is_sane(row) {
             // The bytes arrived as sent (checksummed) but describe an
             // impossible machine: never let it touch the estimator.
             stats.rows_quarantined += 1;
-            h.state = HealthState::Quarantined;
+            self.ledger.quarantine(idx);
             return;
         }
         emit(WireRow { machine, row: *row });
-        h.last_good = Some(*row);
-        h.last_good_epoch = ctx.epoch;
-        h.emitted_epoch = ctx.epoch;
-        h.counted_stale = false;
-        h.state = if reset {
-            HealthState::Suspect
-        } else {
-            HealthState::Healthy
-        };
+        self.ledger.commit_row(idx, ctx.epoch, row, reset);
     }
 }
 
@@ -397,31 +397,25 @@ fn hold_pass(
     stats: &mut StreamReport,
     emit: &mut impl FnMut(WireRow),
 ) {
-    for (idx, h) in state.health.iter_mut().enumerate() {
+    for idx in 0..state.ledger.len() {
         let machine = idx as u64;
-        if h.last_seq.is_none() // dense ledger slot never decoded into
+        if !state.ledger.seen(idx) // dense ledger slot never decoded into
             || machine % ctx.nshards != ctx.shard
             || idx >= ctx.machines
-            || h.emitted_epoch == ctx.epoch
+            || state.ledger.emitted_this(idx, ctx.epoch)
         {
             continue;
         }
-        match h.last_good {
-            Some(row) if ctx.epoch - h.last_good_epoch <= ctx.policy.max_stale_windows => {
+        match state
+            .ledger
+            .hold(idx, ctx.epoch, ctx.policy.max_stale_windows)
+        {
+            Hold::Held(row) => {
                 emit(WireRow { machine, row });
-                h.emitted_epoch = ctx.epoch;
                 stats.rows_held += 1;
-                if h.state == HealthState::Healthy {
-                    h.state = HealthState::Suspect;
-                }
             }
-            _ => {
-                if !h.counted_stale {
-                    stats.machines_stale += 1;
-                    h.counted_stale = true;
-                }
-                h.state = HealthState::Stale;
-            }
+            Hold::NewlyStale => stats.machines_stale += 1,
+            Hold::AlreadyStale => {}
         }
     }
 }
@@ -467,6 +461,19 @@ pub fn ingest_serial(buf: &[u8], machines: usize, est: &mut FleetEstimator) -> S
 /// [`ingest_serial`] with persistent decoder state: layouts registered
 /// by earlier windows (or earlier in this one) stay known, so
 /// steady-state windows can carry sample frames only.
+///
+/// This is the fused hot path, and it is *batched*: the cursor walk
+/// delta-unfolds each accepted frame straight into the batch columns
+/// (no intermediate row copy — checksum verification already overlaps
+/// the varint walk inside the decoder), sequence bookkeeping runs per
+/// frame, and the sanity screen runs once at the end as thirteen
+/// AND-accumulating column passes — [`DegradePolicy`]'s batched mask,
+/// bit-identical to the per-row ladder that the sharded path still
+/// runs as the semantic reference. A perfectly clean window — every
+/// machine exactly one fresh sane row, no resets — commits the whole
+/// health ledger with column memcpys; any degradation falls back to
+/// per-machine resolution with identical transitions and counters
+/// (pinned serial-vs-sharded by the chaos property suite).
 pub fn ingest_serial_with(
     state: &mut IngestState,
     buf: &[u8],
@@ -474,24 +481,168 @@ pub fn ingest_serial_with(
     est: &mut FleetEstimator,
 ) -> StreamReport {
     let epoch = state.begin(1);
-    let ctx = ShardCtx {
-        policy: state.policy,
-        epoch,
-        shard: 0,
-        nshards: 1,
-        machines,
-    };
-    let shard = &mut state.shards[0];
+    let policy = state.policy;
+    let ShardState {
+        dec,
+        ledger,
+        pending,
+        staged_epoch,
+        staged_reset,
+        sane_mask,
+    } = &mut state.shards[0];
+    ledger.ensure(machines);
+    if staged_epoch.len() < machines {
+        // Stale epochs from earlier (possibly smaller) windows are
+        // harmless: the epoch strictly increases, so they never match.
+        staged_epoch.resize(machines, 0);
+        staged_reset.resize(machines, false);
+    }
+    pending.clear();
+
     est.begin_window();
     let batch = est.batch_mut();
     batch.resize_rows(machines);
-    let mut rows = 0u64;
-    let mut stats = run_shard(shard, ctx, buf, |r| {
-        batch.set_row(r.machine as usize, r.row);
-        rows += 1;
-    });
-    stats.rows_written = rows;
-    stats.decoders = 0;
+    let mut cols = batch.columns_mut();
+
+    let mut stats = StreamReport {
+        decoders: 1,
+        ..StreamReport::default()
+    };
+    let mut resolved_early = false;
+    let mut any_reset = false;
+
+    // Phase 1: one pass over the frames, unfolding accepted samples
+    // straight into the batch columns and deferring their sanity
+    // verdicts to the batched screen below.
+    let mut cursor = FrameCursor::new(buf);
+    while let Some(item) = cursor.next() {
+        let (start, header) = match item {
+            CursorItem::Resync { skipped } => {
+                stats.resyncs += 1;
+                stats.resync_bytes += skipped as u64;
+                continue;
+            }
+            CursorItem::Frame { start, header } => (start, header),
+        };
+        match header.frame_type {
+            FrameType::Layout => match dec.decode_frame(&header, cursor.payload(start, &header)) {
+                Ok(_) => stats.layout_frames += 1,
+                Err(_) => stats.corrupt_frames += 1,
+            },
+            FrameType::Sample => {
+                stats.sample_frames += 1;
+                let pend = match dec.decode_sample_pending(&header, cursor.payload(start, &header))
+                {
+                    Ok(p) => p,
+                    Err(DecodeError::UnknownLayout) => {
+                        stats.unknown_layout_frames += 1;
+                        continue;
+                    }
+                    Err(_) => {
+                        stats.corrupt_frames += 1;
+                        continue;
+                    }
+                };
+                let idx = pend.machine_id as usize;
+                if idx >= machines {
+                    stats.out_of_range_frames += 1;
+                    continue;
+                }
+                let reset = match ledger.note_seq(idx, pend.window_seq) {
+                    SeqNote::Duplicate => {
+                        stats.duplicate_windows += 1;
+                        continue;
+                    }
+                    SeqNote::Reset => {
+                        stats.resets_detected += 1;
+                        any_reset = true;
+                        true
+                    }
+                    SeqNote::Fresh => false,
+                };
+                if staged_epoch[idx] == epoch {
+                    // A second fresh frame for an already-staged
+                    // machine: resolve the staged row now, per row —
+                    // exactly what the unbatched ladder did on its
+                    // delivery — before the new frame overwrites its
+                    // column slot.
+                    resolved_early = true;
+                    let mut row = [0.0; COLUMNS];
+                    for (v, c) in row.iter_mut().zip(cols.iter()) {
+                        *v = c[idx];
+                    }
+                    if policy.row_is_sane(&row) {
+                        ledger.commit_row(idx, epoch, &row, staged_reset[idx]);
+                        stats.rows_written += 1;
+                    } else {
+                        stats.rows_quarantined += 1;
+                        ledger.quarantine(idx);
+                    }
+                } else {
+                    staged_epoch[idx] = epoch;
+                    pending.push(idx as u32);
+                }
+                staged_reset[idx] = reset;
+                dec.fold_into(&pend, &mut cols, idx);
+            }
+        }
+    }
+
+    // Phase 2: the batched sanity screen over the full columns.
+    policy.sane_mask(Dispatch::active(), &cols, sane_mask);
+
+    // Phase 3: resolve the staged rows. A clean window commits the
+    // whole ledger in bulk; anything else resolves machine by machine.
+    let clean = !resolved_early
+        && !any_reset
+        && pending.len() == machines
+        && sane_mask.iter().all(|&m| m != 0);
+    if clean {
+        ledger.commit_all(epoch, &cols, machines);
+        stats.rows_written += machines as u64;
+    } else {
+        for &idx in pending.iter() {
+            let idx = idx as usize;
+            if sane_mask[idx] != 0 {
+                ledger.commit_from_cols(idx, epoch, &cols, staged_reset[idx]);
+                stats.rows_written += 1;
+            } else {
+                stats.rows_quarantined += 1;
+                ledger.quarantine(idx);
+                if ledger.emitted_this(idx, epoch) {
+                    // The quarantined frame overwrote a row this window
+                    // already emitted (a resolve-early above) — put the
+                    // last good row back.
+                    ledger.restore_into(idx, &mut cols);
+                } else {
+                    // Never emitted this window: the slot must read as
+                    // the zeros `resize_rows` left (the unbatched path
+                    // never wrote it), pending a possible hold below.
+                    for c in cols.iter_mut() {
+                        c[idx] = 0.0;
+                    }
+                }
+            }
+        }
+        // Phase 4: hold / staleness for machines that contributed
+        // nothing this window (a clean window has none).
+        for idx in 0..machines {
+            if !ledger.seen(idx) || ledger.emitted_this(idx, epoch) {
+                continue;
+            }
+            match ledger.hold(idx, epoch, policy.max_stale_windows) {
+                Hold::Held(row) => {
+                    for (c, v) in cols.iter_mut().zip(row) {
+                        c[idx] = v;
+                    }
+                    stats.rows_held += 1;
+                    stats.rows_written += 1;
+                }
+                Hold::NewlyStale => stats.machines_stale += 1,
+                Hold::AlreadyStale => {}
+            }
+        }
+    }
     stats
 }
 

@@ -20,6 +20,7 @@
 //! * the byte loop — the reference semantics both of the above fall
 //!   back to and are tested against.
 
+use crate::frame::PayloadChecksum;
 use tdp_simd::Dispatch;
 
 /// Longest LEB128 encoding of a `u64`.
@@ -135,11 +136,13 @@ pub fn read_uvarints(d: Dispatch, buf: &[u8], pos: &mut usize, dst: &mut [u64]) 
 /// at a time and each varint's bytes are masked out of the already
 /// loaded word; no class-specialised branches (an 8×1-byte and a
 /// 4×2-byte whole-window fold were both measured slower than this
-/// uniform greedy extraction, which keeps the loop branch-predictable
-/// on the mixed-length runs real deltas produce). A varint straddling
-/// the window boundary is simply re-read in the next window; one with
-/// no terminator in sight (a > 8-byte encoding) or too few buffer bytes
-/// for a word load degrades to [`read_uvarint`] for that value alone.
+/// uniform greedy extraction, as was a 16-byte `u128` double-word
+/// window — the wider shifts and terminator scans cost more than the
+/// halved reload count saves, even on 5-byte-heavy payloads). A varint
+/// straddling the window boundary is simply re-read in the next window;
+/// one with no terminator in sight (a > 8-byte encoding) or too few
+/// buffer bytes for a word load degrades to [`read_uvarint`] for that
+/// value alone.
 fn read_uvarints_wide(buf: &[u8], pos: &mut usize, dst: &mut [u64]) -> Option<()> {
     const STOP: u64 = 0x8080_8080_8080_8080;
     let mut p = *pos;
@@ -174,6 +177,85 @@ fn read_uvarints_wide(buf: &[u8], pos: &mut usize, dst: &mut [u64]) -> Option<()
         i += 1;
     }
     *pos = p;
+    Some(())
+}
+
+/// [`read_uvarints`] fused with checksum absorption: as the varint walk
+/// passes each byte position, the [`PayloadChecksum`] absorbs the
+/// complete 16-byte chunks behind it — so a frame's payload is read
+/// once, while the bytes are hot, and the checksum's serial mix chain
+/// overlaps the varint extraction instead of running as its own pass.
+///
+/// Decoded values, final position, and success/failure are identical to
+/// [`read_uvarints`] in both dispatch flavours, and the checksum state
+/// after any outcome is a valid partial absorption (the caller's
+/// [`finish`](PayloadChecksum::finish) completes it), so interleaving
+/// cannot change either result.
+#[inline]
+pub(crate) fn read_uvarints_ck(
+    d: Dispatch,
+    buf: &[u8],
+    pos: &mut usize,
+    dst: &mut [u64],
+    ck: &mut PayloadChecksum,
+) -> Option<()> {
+    match d {
+        Dispatch::Scalar => {
+            for v in dst {
+                *v = read_uvarint(buf, pos)?;
+                ck.absorb_to(buf, *pos);
+            }
+            Some(())
+        }
+        Dispatch::Wide => read_uvarints_wide_ck(buf, pos, dst, ck),
+    }
+}
+
+/// [`read_uvarints_wide`] with the checksum absorb folded in at window
+/// cadence (one `absorb_to` per 8-byte reload, i.e. per 4–8 decoded
+/// values on real delta streams).
+fn read_uvarints_wide_ck(
+    buf: &[u8],
+    pos: &mut usize,
+    dst: &mut [u64],
+    ck: &mut PayloadChecksum,
+) -> Option<()> {
+    const STOP: u64 = 0x8080_8080_8080_8080;
+    let mut p = *pos;
+    let mut i = 0;
+    'outer: while i < dst.len() {
+        if let Some(chunk) = buf.get(p..p + 8) {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte slice"));
+            let mut stops = !word & STOP;
+            let mut off = 0usize;
+            while stops != 0 {
+                let end = ((stops.trailing_zeros() as usize) >> 3) + 1;
+                let len = end - off;
+                let data = (word >> (8 * off)) & (u64::MAX >> (64 - 8 * len as u32));
+                dst[i] = compact7(data);
+                i += 1;
+                p += len;
+                off = end;
+                if i == dst.len() {
+                    break 'outer;
+                }
+                stops &= stops - 1;
+            }
+            if off != 0 {
+                ck.absorb_to(buf, p);
+                continue; // window exhausted: reload at the new `p`
+            }
+        }
+        // No terminator in the window (> 8-byte encoding) or < 8 bytes
+        // left: decode this one value through the scalar path.
+        *pos = p;
+        dst[i] = read_uvarint(buf, pos)?;
+        p = *pos;
+        ck.absorb_to(buf, p);
+        i += 1;
+    }
+    *pos = p;
+    ck.absorb_to(buf, p);
     Some(())
 }
 
@@ -336,6 +418,69 @@ mod tests {
                 })
                 .collect();
             assert_bulk_matches(&values);
+        }
+    }
+
+    /// The checksum-fused bulk decoder must agree with the plain one on
+    /// values, final position, success/failure, *and* produce the exact
+    /// one-shot checksum — in both dispatch flavours, on clean runs and
+    /// on both failure shapes.
+    #[test]
+    fn fused_decode_matches_plain_and_one_shot_checksum() {
+        use crate::frame::{FrameHeader, FrameType};
+        let header = |len: usize| FrameHeader {
+            frame_type: FrameType::Sample,
+            payload_len: len as u32,
+            machine_id: 7,
+            window_seq: 99,
+            layout_hash: 0xabcd,
+            cpu_count: 4,
+            n_events: 9,
+            checksum: 0,
+        };
+        let shapes: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0; 40],
+            vec![0x80; 40],
+            vec![u64::MAX; 7],
+            vec![1, u64::MAX, 2, 1 << 62, 3],
+            (0..96).map(|i| (i * i * 37) as u64).collect(),
+        ];
+        for values in &shapes {
+            let mut buf = Vec::new();
+            for &v in values {
+                put_uvarint(&mut buf, v);
+            }
+            let h = header(buf.len());
+            let want_sum = h.expected_checksum(&buf);
+            for d in [Dispatch::Scalar, Dispatch::Wide] {
+                let mut plain = vec![0u64; values.len()];
+                let mut plain_pos = 0usize;
+                assert_eq!(read_uvarints(d, &buf, &mut plain_pos, &mut plain), Some(()));
+                let mut fused = vec![0u64; values.len()];
+                let mut pos = 0usize;
+                let mut ck = PayloadChecksum::new(&h);
+                assert_eq!(
+                    read_uvarints_ck(d, &buf, &mut pos, &mut fused, &mut ck),
+                    Some(())
+                );
+                assert_eq!(fused, plain, "{d:?} values");
+                assert_eq!(pos, plain_pos, "{d:?} position");
+                assert_eq!(ck.finish(&buf), want_sum, "{d:?} checksum");
+            }
+        }
+        // Failure shapes: fused fails exactly where plain does, and the
+        // partially absorbed checksum still finishes to the one-shot sum.
+        let too_big: Vec<u8> = [0xff; 9].iter().copied().chain([0x02u8]).collect();
+        for bad in [vec![0x80u8, 0x80], too_big] {
+            let h = header(bad.len());
+            for d in [Dispatch::Scalar, Dispatch::Wide] {
+                let mut dst = [0u64; 1];
+                let mut pos = 0usize;
+                let mut ck = PayloadChecksum::new(&h);
+                assert_eq!(read_uvarints_ck(d, &bad, &mut pos, &mut dst, &mut ck), None);
+                assert_eq!(ck.finish(&bad), h.expected_checksum(&bad), "{d:?}");
+            }
         }
     }
 

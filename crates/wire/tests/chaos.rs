@@ -4,6 +4,7 @@
 //! faults estimate **bit-identically** to a fault-free run, and the
 //! whole scenario replays deterministically (serial and sharded alike).
 
+use proptest::prelude::*;
 use std::collections::BTreeSet;
 use tdp_counters::{CounterSample, CpuId, InterruptSnapshot, PerfEvent, SampleSet};
 use tdp_fleet::FleetEstimator;
@@ -252,6 +253,76 @@ fn faulted_stream_degrades_gracefully_and_clean_subset_is_bit_identical() {
         total_injected >= WINDOWS - 1,
         "plan injected only {total_injected} faults over {WINDOWS} windows"
     );
+}
+
+proptest! {
+    /// The serial fused path screens health in *batches* — an SoA
+    /// [`HealthLedger`] plus one vectorised column sanity scan per
+    /// window — while the sharded path walks the per-row ladder, which
+    /// is the semantic reference. Across arbitrary seeded fault plans
+    /// the two must be indistinguishable: same health-counter block,
+    /// same rows delivered, same per-machine ladder states, and
+    /// bit-identical estimates, every window.
+    #[test]
+    fn batched_serial_health_matches_per_row_sharded_reference(seed in any::<u64>()) {
+        let plan = FaultPlan::new(seed);
+        let pool = WorkerPool::new(3);
+        let cfg = StreamConfig {
+            ring_capacity: 4,
+            chunk_rows: 3,
+            ..StreamConfig::default()
+        };
+        let mut enc = WireEncoder::new();
+        let mut serial_state = IngestState::new();
+        let mut sharded_state = IngestState::new();
+        let mut serial_est = FleetEstimator::new(SystemPowerModel::paper());
+        let mut sharded_est = FleetEstimator::new(SystemPowerModel::paper());
+        for w in 0..4u64 {
+            let clean = encode_window(&mut enc, w);
+            // Window 0 carries the layouts intact; every later window
+            // is battered by the seed's plan before both paths see it.
+            let buf = if w == 0 {
+                clean
+            } else {
+                plan.apply(w, &clean).bytes
+            };
+            let serial_rep =
+                ingest_serial_with(&mut serial_state, &buf, MACHINES, &mut serial_est);
+            let sharded_rep = stream_window_with(
+                &mut sharded_state,
+                &pool,
+                &cfg,
+                &buf,
+                MACHINES,
+                &mut sharded_est,
+            );
+            prop_assert_eq!(
+                PipelineHealth::from_report(&serial_rep),
+                PipelineHealth::from_report(&sharded_rep),
+                "seed {} window {}: health blocks diverged",
+                seed,
+                w
+            );
+            prop_assert_eq!(serial_rep.rows_written, sharded_rep.rows_written);
+            for m in 0..MACHINES as u64 {
+                prop_assert_eq!(
+                    serial_state.machine_health(m),
+                    sharded_state.machine_health(m),
+                    "seed {} window {} machine {}: ladder states diverged",
+                    seed,
+                    w,
+                    m
+                );
+            }
+            prop_assert_eq!(
+                estimate_bits(&mut serial_est),
+                estimate_bits(&mut sharded_est),
+                "seed {} window {}: estimate bits diverged",
+                seed,
+                w
+            );
+        }
+    }
 }
 
 #[test]
