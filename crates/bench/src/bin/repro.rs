@@ -62,22 +62,29 @@ fn main() -> ExitCode {
         println!("{}", tdp_bench::fleet::run_and_write(&cfg, n_machines));
     }
     if let Some(n_machines) = parsed.wire {
+        let frame = parsed.frame;
         if let Some(fault_seed) = parsed.faults {
             eprintln!(
                 "repro: chaos harness — fault-injected streaming ingest \
-                 ({n_machines} machines, fault seed {fault_seed}, seed {})…",
+                 ({n_machines} machines, {} frames, fault seed {fault_seed}, seed {})…",
+                frame.label(),
                 cfg.seed
             );
             println!(
                 "{}",
-                tdp_bench::wire::run_chaos_and_write(&cfg, n_machines, fault_seed)
+                tdp_bench::wire::run_chaos_and_write(&cfg, n_machines, fault_seed, frame)
             );
         } else {
             eprintln!(
-                "repro: benchmarking wire codec + streaming ingest ({n_machines} machines, seed {})…",
+                "repro: benchmarking wire codec + streaming ingest \
+                 ({n_machines} machines, {} frames, seed {})…",
+                frame.label(),
                 cfg.seed
             );
-            println!("{}", tdp_bench::wire::run_and_write(&cfg, n_machines));
+            println!(
+                "{}",
+                tdp_bench::wire::run_and_write(&cfg, n_machines, frame)
+            );
         }
     }
     if wanted.is_empty() {

@@ -70,6 +70,21 @@ pub struct FleetReport {
 /// special-case repeated values. Shared with the wire codec benchmark
 /// (`repro --wire N`) so both report on identical data.
 pub fn synthetic_set(machine: usize, window: u64) -> SampleSet {
+    let mut set = SampleSet::empty();
+    synthetic_set_into(&mut set, machine, window);
+    set
+}
+
+/// In-place flavour of [`synthetic_set`]: regenerates the same draws
+/// into an existing set, reusing its `per_cpu` arena (and each sample's
+/// inline count store) instead of reallocating. The timed harness loops
+/// regenerate a whole fleet's sets every window; with thousands of
+/// machines that is tens of thousands of short-lived heap allocations
+/// per window — pure generator overhead that pollutes the allocator and
+/// cache state the timed paths then run under, and that a production
+/// ingester (fed fresh network buffers, not regenerated sample structs)
+/// never pays.
+pub fn synthetic_set_into(out: &mut SampleSet, machine: usize, window: u64) {
     let mut state = (machine as u64 + 1)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(window.wrapping_mul(0xD1B5_4A32_D192_ED03))
@@ -98,32 +113,40 @@ pub fn synthetic_set(machine: usize, window: u64) -> SampleSet {
     // far outside it.
     let ints = 1_000 + next() % 60;
     let disk = next() % 30;
-    let per_cpu = (0..CPUS_PER_MACHINE)
-        .map(|cpu| {
-            let mut jitter = |base: u64| base + next() % (base / 128 + 2);
-            CounterSample::new(
-                CpuId::new(cpu as u8),
-                window,
-                vec![
-                    (PerfEvent::Cycles, cycles),
-                    (PerfEvent::HaltedCycles, jitter(halted)),
-                    (PerfEvent::FetchedUops, jitter(fetched)),
-                    (PerfEvent::L3LoadMisses, jitter(l3)),
-                    (PerfEvent::BusTransactionsAll, jitter(bus)),
-                    (PerfEvent::DmaOtherBusTransactions, jitter(dma)),
-                    (PerfEvent::InterruptsTotal, jitter(ints)),
-                    (PerfEvent::TimerInterrupts, 1_000),
-                    (PerfEvent::DiskInterrupts, jitter(disk)),
-                ],
-            )
-        })
-        .collect();
-    SampleSet {
-        time_ms: window.wrapping_add(1).wrapping_mul(1000),
-        window_ms: 1000,
-        seq: window,
-        per_cpu,
-        interrupts: InterruptSnapshot::default(),
+    out.per_cpu.truncate(CPUS_PER_MACHINE);
+    for cpu in 0..CPUS_PER_MACHINE {
+        let mut jitter = |base: u64| base + next() % (base / 128 + 2);
+        let pairs = [
+            (PerfEvent::Cycles, cycles),
+            (PerfEvent::HaltedCycles, jitter(halted)),
+            (PerfEvent::FetchedUops, jitter(fetched)),
+            (PerfEvent::L3LoadMisses, jitter(l3)),
+            (PerfEvent::BusTransactionsAll, jitter(bus)),
+            (PerfEvent::DmaOtherBusTransactions, jitter(dma)),
+            (PerfEvent::InterruptsTotal, jitter(ints)),
+            (PerfEvent::TimerInterrupts, 1_000),
+            (PerfEvent::DiskInterrupts, jitter(disk)),
+        ];
+        let id = CpuId::new(cpu as u8);
+        match out.per_cpu.get_mut(cpu) {
+            Some(sample) => sample.refill(id, window, pairs),
+            None => out
+                .per_cpu
+                .push(CounterSample::new(id, window, pairs.to_vec())),
+        }
+    }
+    out.time_ms = window.wrapping_add(1).wrapping_mul(1000);
+    out.window_ms = 1000;
+    out.seq = window;
+    out.interrupts = InterruptSnapshot::default();
+}
+
+/// Refills a fleet's worth of sets for `window`, growing the vector on
+/// the first call and reusing every allocation afterwards.
+pub(crate) fn refill_sets(sets: &mut Vec<SampleSet>, n_machines: usize, window: u64) {
+    sets.resize_with(n_machines, SampleSet::empty);
+    for (m, set) in sets.iter_mut().enumerate() {
+        synthetic_set_into(set, m, window);
     }
 }
 
@@ -153,8 +176,7 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> FleetReport {
         let measured_windows = if warmup { 1 } else { windows };
         for w in 0..measured_windows {
             let window = if warmup { u64::MAX } else { w ^ cfg.seed };
-            sets.clear();
-            sets.extend((0..n_machines).map(|m| synthetic_set(m, window)));
+            refill_sets(&mut sets, n_machines, window);
 
             // Rotate the order the three paths run in so cache-warmth
             // position bias (whoever runs right after `sets` is
@@ -260,6 +282,27 @@ mod tests {
         assert_ne!(a, synthetic_set(4, 7), "varies by machine");
         assert_ne!(a, synthetic_set(3, 8), "varies by window");
         assert_eq!(a.per_cpu.len(), CPUS_PER_MACHINE);
+    }
+
+    #[test]
+    fn refill_matches_fresh_generation() {
+        // Reusing a set's allocations must produce the exact sample a
+        // fresh build would — the harness's bit-identity asserts across
+        // codec paths all assume the generator is state-free.
+        let mut reused = synthetic_set(0, 0);
+        for (machine, window) in [(5usize, 11u64), (0, 3), (5, 11), (7, u64::MAX)] {
+            synthetic_set_into(&mut reused, machine, window);
+            assert_eq!(reused, synthetic_set(machine, window));
+        }
+
+        let mut sets = Vec::new();
+        refill_sets(&mut sets, 3, 9);
+        let caps: Vec<_> = sets.iter().map(|s| s.per_cpu.capacity()).collect();
+        refill_sets(&mut sets, 3, 10);
+        for (m, set) in sets.iter().enumerate() {
+            assert_eq!(*set, synthetic_set(m, 10));
+            assert_eq!(set.per_cpu.capacity(), caps[m], "arena was reallocated");
+        }
     }
 
     #[test]

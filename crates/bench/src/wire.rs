@@ -19,16 +19,24 @@
 //!   decoded [`SampleSet`]s, measured in the same run as the baseline
 //!   the fused path is compared against.
 //!
-//! The warm-up window asserts the wire paths are bit-identical to the
-//! in-memory path before any timing starts. Results land in
-//! `BENCH_wire.json`.
+//! The benchmark always encodes every window in **both** sample-frame
+//! formats ([`FrameKind::Planar`] and [`FrameKind::Varint`]). The
+//! `--frame` flag selects which buffer the headline paths time; the
+//! other format's fused path is timed in the same rotation (matched
+//! noise), so `BENCH_wire.json` always carries a planar-vs-varint A/B:
+//! per-format frame sizes, per-format fused ns/machine and per-format
+//! payload-decode stage costs.
+//!
+//! The warm-up window asserts the wire paths — both formats — are
+//! bit-identical to the in-memory path before any timing starts.
+//! Results land in `BENCH_wire.json`.
 //!
 //! With `--faults SEED` the benchmark becomes the **chaos harness**
 //! ([`run_chaos`]): a seeded [`FaultPlan`] batters the same stream and
 //! the graceful-degradation contract is checked instead of throughput;
 //! the verdict lands in `CHAOS.json`.
 
-use crate::fleet::synthetic_set;
+use crate::fleet::refill_sets;
 use crate::pipeline::{peak_rss_kb, StageRate};
 use crate::ExperimentConfig;
 use serde::Serialize;
@@ -38,11 +46,12 @@ use std::time::Instant;
 use tdp_counters::SampleSet;
 use tdp_fleet::{FleetEstimator, SampleBatch};
 use tdp_parallel::WorkerPool;
-use tdp_wire::frame::FrameType;
+use tdp_wire::frame::{FrameType, PayloadChecksum};
+use tdp_wire::planar::decode_planes;
 use tdp_wire::varint::read_uvarints;
 use tdp_wire::{
     ingest_serial_with, stream_window_with, CursorItem, DegradePolicy, FaultKind, FaultPlan,
-    FaultedWindow, FrameCursor, FrameDecoder, IngestState, PipelineHealth, StreamConfig,
+    FaultedWindow, FrameCursor, FrameDecoder, FrameKind, IngestState, PipelineHealth, StreamConfig,
     StreamReport, WireEncoder,
 };
 use trickledown::SystemPowerModel;
@@ -52,6 +61,10 @@ use trickledown::SystemPowerModel;
 pub struct WireReport {
     /// Machines per window.
     pub n_machines: usize,
+    /// Sample-frame format the headline paths timed (`planar` /
+    /// `varint` — the `--frame` selection); the `planar_*` / `varint_*`
+    /// fields always carry the A/B numbers for both.
+    pub frame_format: &'static str,
     /// Windows measured per path.
     pub windows: u64,
     /// Worker-pool concurrency available to the streamed path.
@@ -59,13 +72,21 @@ pub struct WireReport {
     /// Decoder shards the streamed path actually used
     /// (`0` = it fell back to the serial fused path).
     pub decoders: usize,
-    /// Encoded bytes per steady-state window (sample frames only —
-    /// layouts are announced once, in the untimed warm-up window).
+    /// Encoded bytes per steady-state window in the selected format
+    /// (sample frames only — layouts are announced once, in the
+    /// untimed warm-up window).
     pub bytes_per_window: u64,
     /// Frames per steady-state window (one sample frame per machine).
     pub frames_per_window: u64,
-    /// Mean encoded frame size, bytes.
+    /// Mean encoded frame size in the selected format, bytes.
     pub bytes_per_frame: f64,
+    /// Mean encoded frame size of the column-planar format, bytes.
+    pub planar_bytes_per_frame: f64,
+    /// Mean encoded frame size of the varint format, bytes.
+    pub varint_bytes_per_frame: f64,
+    /// Planar window bytes over varint window bytes (> 1.0 means the
+    /// fixed-width planes pay size for their decode speed).
+    pub planar_vs_varint_bytes: f64,
     /// Encode path; units are frames.
     pub encode: StageRate,
     /// Decode-only path; units are frames.
@@ -78,8 +99,15 @@ pub struct WireReport {
     pub in_memory: StageRate,
     /// Headline: frames decoded per second (decode-only path).
     pub decode_frames_per_sec: f64,
-    /// Nanoseconds per machine-estimate, fused wire path.
+    /// Nanoseconds per machine-estimate, fused wire path (selected
+    /// format).
     pub fused_ns_per_machine: f64,
+    /// Fused ns per machine-estimate over planar frames, timed in the
+    /// same rotation as the selected format (matched-noise A/B).
+    pub planar_fused_ns_per_machine: f64,
+    /// Fused ns per machine-estimate over varint frames, timed in the
+    /// same rotation as the selected format (matched-noise A/B).
+    pub varint_fused_ns_per_machine: f64,
     /// Nanoseconds per machine-estimate, streamed wire path.
     pub streamed_ns_per_machine: f64,
     /// Nanoseconds per machine-estimate, in-memory baseline.
@@ -90,10 +118,19 @@ pub struct WireReport {
     /// Isolated checksum stage: frame walk + payload checksum mix
     /// only, ns per machine-window.
     pub stage_checksum_ns_per_machine: f64,
-    /// Isolated varint stage: frame walk + bulk LEB128 decode of every
-    /// sample payload, ns per machine-window (overlaps the checksum
-    /// stage on the fused path, so the stages sum past the whole).
+    /// Isolated payload-decode stage of the **selected** format: frame
+    /// walk + bulk LEB128 decode for varint frames, or plane
+    /// widen/zigzag/delta-unfold for planar frames, ns per
+    /// machine-window (overlaps the checksum stage on the fused path,
+    /// so the stages sum past the whole). Keeps its historical name so
+    /// stage budgets stay comparable across report generations.
     pub stage_varint_ns_per_machine: f64,
+    /// Isolated payload-decode stage over the planar buffer (always
+    /// measured, whatever `--frame` selected).
+    pub stage_payload_planar_ns_per_machine: f64,
+    /// Isolated payload-decode stage over the varint buffer (always
+    /// measured, whatever `--frame` selected).
+    pub stage_payload_varint_ns_per_machine: f64,
     /// Isolated health stage: the batched [`DegradePolicy`] sanity
     /// scan over one window's columns, ns per machine-window.
     pub stage_health_ns_per_machine: f64,
@@ -143,23 +180,66 @@ fn decode_only(dec: &mut FrameDecoder, buf: &[u8]) -> u64 {
     frames
 }
 
-/// Times the isolated pipeline stages over one encoded window and its
-/// decoded sets: checksum mix, bulk varint decode, batched health scan
-/// and SampleSet→column extraction. Returns seconds per stage in that
-/// order. These passes share scratch across windows like the real
+/// Times one isolated payload-decode pass over an encoded window:
+/// frame walk + bulk LEB128 decode for varint sample frames, or the
+/// plane widen/zigzag/delta-unfold kernels for planar sample frames
+/// (each planar frame pays its checksum absorb too — on the real path
+/// the two overlap, and `decode_planes` does both in one walk).
+/// Returns seconds.
+fn payload_decode_pass(d: tdp_simd::Dispatch, buf: &[u8], scratch: &mut Vec<u64>) -> f64 {
+    let start = Instant::now();
+    let mut cursor = FrameCursor::new(buf);
+    while let Some(item) = cursor.next() {
+        if let CursorItem::Frame { start, header } = item {
+            let payload = cursor.payload(start, &header);
+            match header.frame_type {
+                FrameType::Sample => {
+                    let n = header.cpu_count as usize * header.n_events as usize;
+                    scratch.resize(n, 0);
+                    let mut pos = 0usize;
+                    read_uvarints(d, payload, &mut pos, scratch).expect("clean payload varints");
+                }
+                FrameType::PlanarSample => {
+                    let mut ck = PayloadChecksum::new(&header);
+                    decode_planes(
+                        d,
+                        payload,
+                        header.n_events as usize,
+                        header.cpu_count as usize,
+                        scratch,
+                        &mut ck,
+                    )
+                    .expect("clean planar payload");
+                }
+                FrameType::Layout => continue,
+            }
+            black_box(&scratch);
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Times the isolated pipeline stages over one window encoded in both
+/// formats, plus its decoded sets: checksum mix (selected buffer),
+/// payload decode (planar buffer, then varint buffer), batched health
+/// scan and SampleSet→column extraction. Returns seconds per stage in
+/// that order. These passes share scratch across windows like the real
 /// paths, so steady-state cost is what gets measured.
+#[allow(clippy::too_many_arguments)] // one slot per reusable scratch buffer
 fn stage_passes(
-    buf: &[u8],
+    selected: &[u8],
+    planar_buf: &[u8],
+    varint_buf: &[u8],
     sets: &[SampleSet],
     batch: &mut SampleBatch,
     policy: &DegradePolicy,
     scratch: &mut Vec<u64>,
     mask: &mut Vec<u8>,
-) -> [f64; 4] {
+) -> [f64; 5] {
     let d = tdp_simd::Dispatch::active();
 
     let start = Instant::now();
-    let mut cursor = FrameCursor::new(buf);
+    let mut cursor = FrameCursor::new(selected);
     while let Some(item) = cursor.next() {
         if let CursorItem::Frame { start, header } = item {
             black_box(header.expected_checksum(cursor.payload(start, &header)));
@@ -167,22 +247,8 @@ fn stage_passes(
     }
     let checksum = start.elapsed().as_secs_f64();
 
-    let start = Instant::now();
-    let mut cursor = FrameCursor::new(buf);
-    while let Some(item) = cursor.next() {
-        if let CursorItem::Frame { start, header } = item {
-            if header.frame_type != FrameType::Sample {
-                continue;
-            }
-            let payload = cursor.payload(start, &header);
-            let n = header.cpu_count as usize * header.n_events as usize;
-            scratch.resize(n, 0);
-            let mut pos = 0usize;
-            read_uvarints(d, payload, &mut pos, scratch).expect("clean payload varints");
-            black_box(&scratch);
-        }
-    }
-    let varint = start.elapsed().as_secs_f64();
+    let payload_planar = payload_decode_pass(d, planar_buf, scratch);
+    let payload_varint = payload_decode_pass(d, varint_buf, scratch);
 
     let start = Instant::now();
     batch.clear();
@@ -197,52 +263,101 @@ fn stage_passes(
     black_box(&mask);
     let health = start.elapsed().as_secs_f64();
 
-    [checksum, varint, health, extraction]
+    [checksum, payload_planar, payload_varint, health, extraction]
+}
+
+/// Reduces per-window wall times to a noise-robust total: the median
+/// window, scaled by the window count so the downstream rate math is
+/// unchanged. On an idle machine this converges to the mean; on a
+/// contended one it discards the windows the scheduler stole (a
+/// preempted window reads as several times its true cost, and a sum
+/// would charge that to the codec).
+fn robust_total(samples: &mut [f64]) -> f64 {
+    median(samples) * samples.len() as f64
+}
+
+/// The sample median (mean of the middle pair for even counts), `0.0`
+/// for an empty slice.
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable_by(f64::total_cmp);
+    let mid = samples.len() / 2;
+    if samples.len().is_multiple_of(2) {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    } else {
+        samples[mid]
+    }
 }
 
 /// Runs all paths over the same windows and assembles the report.
+/// `kind` selects the format the headline paths time; the other
+/// format's fused path rides the same rotation for a matched-noise
+/// A/B. Every per-path and per-stage figure is a **median over the
+/// measured windows** (see [`robust_total`]), not a mean — the bench
+/// often runs on shared single-CPU containers where preemption noise
+/// otherwise dominates.
 ///
 /// # Panics
 ///
 /// Panics if a wire path's estimates are not bit-identical to the
 /// in-memory baseline — that is the codec's core contract and a run
 /// that breaks it must not report numbers.
-pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
+pub fn run(cfg: &ExperimentConfig, n_machines: usize, kind: FrameKind) -> WireReport {
     let n_machines = n_machines.max(1);
     // Encoding dominates setup; fewer windows than the fleet bench
     // still average out scheduler noise because each window does
-    // 5 passes over the same buffer.
+    // 6 passes over the same data.
     let windows: u64 = (262_144 / n_machines as u64).clamp(8, 256);
+    let alt_kind = match kind {
+        FrameKind::Planar => FrameKind::Varint,
+        FrameKind::Varint => FrameKind::Planar,
+    };
     let model = SystemPowerModel::paper();
     let pool = WorkerPool::global();
     let stream_cfg = StreamConfig::default();
 
     let mut fused = FleetEstimator::with_capacity(model.clone(), n_machines);
+    let mut alt_fused = FleetEstimator::with_capacity(model.clone(), n_machines);
     let mut streamed = FleetEstimator::with_capacity(model.clone(), n_machines);
     let mut in_memory = FleetEstimator::with_capacity(model.clone(), n_machines);
-    let mut enc = WireEncoder::new();
+    let mut enc = WireEncoder::with_kind(kind);
+    let mut alt_enc = WireEncoder::with_kind(alt_kind);
     let mut decode_state = FrameDecoder::new();
     let mut fused_state = IngestState::new();
+    let mut alt_fused_state = IngestState::new();
     let mut stream_state = IngestState::new();
 
     let mut sets: Vec<SampleSet> = Vec::with_capacity(n_machines);
-    let (mut enc_secs, mut dec_secs, mut fused_secs, mut str_secs, mut mem_secs) =
-        (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    // Per-window wall times, reduced to a median after the run:
+    // preemption on shared single-CPU runners inflates an arbitrary
+    // subset of windows by multiples of their true cost, so a sum (or
+    // mean) measures the scheduler, not the codec. The median window is
+    // the steady-state cost.
+    let (mut enc_s, mut dec_s, mut fused_s, mut alt_fused_s, mut str_s, mut mem_s) = (
+        Vec::<f64>::new(),
+        Vec::<f64>::new(),
+        Vec::<f64>::new(),
+        Vec::<f64>::new(),
+        Vec::<f64>::new(),
+        Vec::<f64>::new(),
+    );
     let policy = DegradePolicy::default();
     let mut stage_batch = SampleBatch::with_capacity(n_machines);
     let mut stage_scratch: Vec<u64> = Vec::new();
     let mut stage_mask: Vec<u8> = Vec::new();
-    let mut stage_secs = [0.0f64; 4];
+    let mut stage_s: [Vec<f64>; 5] = Default::default();
     let mut stream_totals = StreamReport::default();
     let mut decoders_used = 0usize;
-    let (mut bytes_per_window, mut frames_per_window) = (0u64, 0u64);
+    let (mut bytes_per_window, mut alt_bytes_per_window, mut frames_per_window) =
+        (0u64, 0u64, 0u64);
 
     for warmup in [true, false] {
         let measured_windows = if warmup { 1 } else { windows };
         for w in 0..measured_windows {
             let window = if warmup { u64::MAX } else { w ^ cfg.seed };
-            sets.clear();
-            sets.extend((0..n_machines).map(|m| synthetic_set(m, window)));
+            refill_sets(&mut sets, n_machines, window);
             // `window` is a data salt and is deliberately scrambled; the
             // wire sequence numbers must stay monotone per machine (the
             // health layer reads a regression as a counter reset), so
@@ -255,13 +370,22 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
             let start = Instant::now();
             let buf = encode_window(&mut enc, &sets);
             let enc_elapsed = start.elapsed().as_secs_f64();
+            // The other format's buffer is encoded untimed: same sets,
+            // same layout epoch, so its fused pass below is a true A/B.
+            let alt_buf = encode_window(&mut alt_enc, &sets);
             bytes_per_window = buf.len() as u64;
+            alt_bytes_per_window = alt_buf.len() as u64;
 
             // Rotate path order so cache-position bias averages out.
-            let (mut dec_elapsed, mut fused_elapsed, mut str_elapsed, mut mem_elapsed) =
-                (0.0f64, 0.0, 0.0, 0.0);
-            for step in 0..4 {
-                match (step + w as usize) % 4 {
+            let (
+                mut dec_elapsed,
+                mut fused_elapsed,
+                mut alt_elapsed,
+                mut str_elapsed,
+                mut mem_elapsed,
+            ) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+            for step in 0..5 {
+                match (step + w as usize) % 5 {
                     0 => {
                         let start = Instant::now();
                         frames_per_window = decode_only(&mut decode_state, &buf);
@@ -273,6 +397,20 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
                             ingest_serial_with(&mut fused_state, &buf, n_machines, &mut fused);
                         let est = fused.estimate();
                         fused_elapsed = start.elapsed().as_secs_f64();
+                        assert_eq!(rep.corrupt_frames, 0, "clean stream");
+                        assert_eq!(rep.unknown_layout_frames, 0, "layouts persist");
+                        black_box(est.fleet_total());
+                    }
+                    4 => {
+                        let start = Instant::now();
+                        let rep = ingest_serial_with(
+                            &mut alt_fused_state,
+                            &alt_buf,
+                            n_machines,
+                            &mut alt_fused,
+                        );
+                        let est = alt_fused.estimate();
+                        alt_elapsed = start.elapsed().as_secs_f64();
                         assert_eq!(rep.corrupt_frames, 0, "clean stream");
                         assert_eq!(rep.unknown_layout_frames, 0, "layouts persist");
                         black_box(est.fleet_total());
@@ -310,6 +448,7 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
                 let mem = in_memory.estimates();
                 for (name, wire_est) in [
                     ("fused", fused.estimates()),
+                    ("alt-format fused", alt_fused.estimates()),
                     ("streamed", streamed.estimates()),
                 ] {
                     for (a, b) in wire_est.total().iter().zip(mem.total()) {
@@ -321,25 +460,51 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
                     }
                 }
             } else {
-                enc_secs += enc_elapsed;
-                dec_secs += dec_elapsed;
-                fused_secs += fused_elapsed;
-                str_secs += str_elapsed;
-                mem_secs += mem_elapsed;
-                let stages = stage_passes(
-                    &buf,
-                    &sets,
-                    &mut stage_batch,
-                    &policy,
-                    &mut stage_scratch,
-                    &mut stage_mask,
-                );
-                for (total, s) in stage_secs.iter_mut().zip(stages) {
-                    *total += s;
+                enc_s.push(enc_elapsed);
+                dec_s.push(dec_elapsed);
+                fused_s.push(fused_elapsed);
+                alt_fused_s.push(alt_elapsed);
+                str_s.push(str_elapsed);
+                mem_s.push(mem_elapsed);
+                // The stage passes are diagnostic, not headline: run
+                // them on a quarter of the windows so their five extra
+                // data walks don't evict the cache the headline paths
+                // are being measured in. The medians stay robust (64
+                // samples at the default window count).
+                if w % 4 == 0 {
+                    let (planar_buf, varint_buf) = match kind {
+                        FrameKind::Planar => (&buf, &alt_buf),
+                        FrameKind::Varint => (&alt_buf, &buf),
+                    };
+                    let stages = stage_passes(
+                        &buf,
+                        planar_buf,
+                        varint_buf,
+                        &sets,
+                        &mut stage_batch,
+                        &policy,
+                        &mut stage_scratch,
+                        &mut stage_mask,
+                    );
+                    for (samples, s) in stage_s.iter_mut().zip(stages) {
+                        samples.push(s);
+                    }
                 }
             }
         }
     }
+
+    let (enc_secs, dec_secs, fused_secs, alt_fused_secs, str_secs, mem_secs) = (
+        robust_total(&mut enc_s),
+        robust_total(&mut dec_s),
+        robust_total(&mut fused_s),
+        robust_total(&mut alt_fused_s),
+        robust_total(&mut str_s),
+        robust_total(&mut mem_s),
+    );
+    // Stage passes run on a sampled subset of windows, so their median
+    // is scaled per machine directly rather than through the totals.
+    let stage_med: [f64; 5] = std::array::from_fn(|i| median(&mut stage_s[i]));
 
     let machine_units = windows * n_machines as u64;
     let frame_units = windows * frames_per_window;
@@ -348,23 +513,52 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
     let fused_rate = StageRate::new(machine_units, fused_secs);
     let streamed_rate = StageRate::new(machine_units, str_secs);
     let in_memory_rate = StageRate::new(machine_units, mem_secs);
+    // Map selected/alt back onto planar/varint for the A/B fields.
+    let (planar_window_bytes, varint_window_bytes, planar_fused_secs, varint_fused_secs) =
+        match kind {
+            FrameKind::Planar => (
+                bytes_per_window,
+                alt_bytes_per_window,
+                fused_secs,
+                alt_fused_secs,
+            ),
+            FrameKind::Varint => (
+                alt_bytes_per_window,
+                bytes_per_window,
+                alt_fused_secs,
+                fused_secs,
+            ),
+        };
+    let selected_payload_med = match kind {
+        FrameKind::Planar => stage_med[1],
+        FrameKind::Varint => stage_med[2],
+    };
+    let per_machine = |window_secs: f64| window_secs * 1e9 / n_machines as f64;
     WireReport {
         n_machines,
+        frame_format: kind.label(),
         windows,
         workers: pool.workers(),
         decoders: decoders_used,
         bytes_per_window,
         frames_per_window,
         bytes_per_frame: bytes_per_window as f64 / frames_per_window.max(1) as f64,
+        planar_bytes_per_frame: planar_window_bytes as f64 / frames_per_window.max(1) as f64,
+        varint_bytes_per_frame: varint_window_bytes as f64 / frames_per_window.max(1) as f64,
+        planar_vs_varint_bytes: planar_window_bytes as f64 / varint_window_bytes.max(1) as f64,
         decode_frames_per_sec: decode_rate.per_sec,
         fused_ns_per_machine: fused_secs * 1e9 / machine_units as f64,
+        planar_fused_ns_per_machine: planar_fused_secs * 1e9 / machine_units as f64,
+        varint_fused_ns_per_machine: varint_fused_secs * 1e9 / machine_units as f64,
         streamed_ns_per_machine: str_secs * 1e9 / machine_units as f64,
         in_memory_ns_per_machine: mem_secs * 1e9 / machine_units as f64,
         fused_vs_in_memory: fused_secs / mem_secs,
-        stage_checksum_ns_per_machine: stage_secs[0] * 1e9 / machine_units as f64,
-        stage_varint_ns_per_machine: stage_secs[1] * 1e9 / machine_units as f64,
-        stage_health_ns_per_machine: stage_secs[2] * 1e9 / machine_units as f64,
-        stage_extraction_ns_per_machine: stage_secs[3] * 1e9 / machine_units as f64,
+        stage_checksum_ns_per_machine: per_machine(stage_med[0]),
+        stage_varint_ns_per_machine: per_machine(selected_payload_med),
+        stage_payload_planar_ns_per_machine: per_machine(stage_med[1]),
+        stage_payload_varint_ns_per_machine: per_machine(stage_med[2]),
+        stage_health_ns_per_machine: per_machine(stage_med[3]),
+        stage_extraction_ns_per_machine: per_machine(stage_med[4]),
         encode: encode_rate,
         decode: decode_rate,
         fused: fused_rate,
@@ -385,8 +579,8 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize) -> WireReport {
 ///
 /// Panics if the output directory is unwritable (consistent with the
 /// rest of the repro harness).
-pub fn run_and_write(cfg: &ExperimentConfig, n_machines: usize) -> String {
-    let report = run(cfg, n_machines);
+pub fn run_and_write(cfg: &ExperimentConfig, n_machines: usize, kind: FrameKind) -> String {
+    let report = run(cfg, n_machines, kind);
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
     let path = cfg.out_dir.join("BENCH_wire.json");
@@ -403,6 +597,9 @@ pub fn run_and_write(cfg: &ExperimentConfig, n_machines: usize) -> String {
 pub struct ChaosReport {
     /// Machines per window.
     pub n_machines: usize,
+    /// Sample-frame format the battered stream used (`planar` /
+    /// `varint`) — the degradation contract must hold for both.
+    pub frame_format: &'static str,
     /// Windows ingested (window 0 is fault-free and carries layouts).
     pub windows: u64,
     /// Seed of the [`FaultPlan`] that battered windows 1….
@@ -477,7 +674,12 @@ fn estimate_bits(est: &mut FleetEstimator, n: usize) -> Vec<[u64; 4]> {
 /// inside its contract. Never panics on a contract violation — the
 /// verdict booleans go `false` so a CI assertion on `CHAOS.json`
 /// fails with the evidence on disk.
-pub fn run_chaos(cfg: &ExperimentConfig, n_machines: usize, fault_seed: u64) -> ChaosReport {
+pub fn run_chaos(
+    cfg: &ExperimentConfig,
+    n_machines: usize,
+    fault_seed: u64,
+    kind: FrameKind,
+) -> ChaosReport {
     let n_machines = n_machines.max(1);
     // Long enough for an outage to cross the staleness horizon,
     // recover, and re-enter the clean subset.
@@ -493,7 +695,7 @@ pub fn run_chaos(cfg: &ExperimentConfig, n_machines: usize, fault_seed: u64) -> 
     let mut clean_state = IngestState::new();
     let mut serial_state = IngestState::new();
     let mut sharded_state = IngestState::new();
-    let mut enc = WireEncoder::new();
+    let mut enc = WireEncoder::with_kind(kind);
 
     let horizon = serial_state.policy().max_stale_windows as usize + 1;
     let mut recent: VecDeque<BTreeSet<u64>> = VecDeque::with_capacity(horizon);
@@ -506,8 +708,7 @@ pub fn run_chaos(cfg: &ExperimentConfig, n_machines: usize, fault_seed: u64) -> 
 
     let mut sets: Vec<SampleSet> = Vec::with_capacity(n_machines);
     for w in 0..windows {
-        sets.clear();
-        sets.extend((0..n_machines).map(|m| synthetic_set(m, w ^ cfg.seed)));
+        refill_sets(&mut sets, n_machines, w ^ cfg.seed);
         for set in &mut sets {
             set.seq = w + 1;
         }
@@ -579,6 +780,7 @@ pub fn run_chaos(cfg: &ExperimentConfig, n_machines: usize, fault_seed: u64) -> 
 
     ChaosReport {
         n_machines,
+        frame_format: kind.label(),
         windows,
         fault_seed,
         faults_injected,
@@ -608,8 +810,13 @@ pub fn run_chaos(cfg: &ExperimentConfig, n_machines: usize, fault_seed: u64) -> 
 ///
 /// Panics if the output directory is unwritable (consistent with the
 /// rest of the repro harness).
-pub fn run_chaos_and_write(cfg: &ExperimentConfig, n_machines: usize, fault_seed: u64) -> String {
-    let report = run_chaos(cfg, n_machines, fault_seed);
+pub fn run_chaos_and_write(
+    cfg: &ExperimentConfig,
+    n_machines: usize,
+    fault_seed: u64,
+    kind: FrameKind,
+) -> String {
+    let report = run_chaos(cfg, n_machines, fault_seed, kind);
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
     let path = cfg.out_dir.join("CHAOS.json");
@@ -628,8 +835,9 @@ mod tests {
             out_dir: std::env::temp_dir().join("tdp-wire-bench-test"),
             ..ExperimentConfig::quick()
         };
-        let r = run(&cfg, 8);
+        let r = run(&cfg, 8, FrameKind::Planar);
         assert_eq!(r.n_machines, 8);
+        assert_eq!(r.frame_format, "planar");
         assert_eq!(r.frames_per_window, 8, "steady state: sample frames only");
         assert_eq!(r.decode.units, r.windows * 8);
         assert_eq!(r.fused.units, r.windows * 8);
@@ -641,17 +849,56 @@ mod tests {
             r.bytes_per_frame > 44.0,
             "frames carry payload past the header"
         );
+        assert!(r.planar_bytes_per_frame > 44.0 && r.varint_bytes_per_frame > 44.0);
+        assert_eq!(
+            r.bytes_per_frame, r.planar_bytes_per_frame,
+            "selected format is planar, flat field mirrors it"
+        );
+        assert!(
+            r.planar_vs_varint_bytes > 0.0 && r.planar_vs_varint_bytes.is_finite(),
+            "A/B size ratio must be reportable, got {}",
+            r.planar_vs_varint_bytes
+        );
+        assert_eq!(
+            r.fused_ns_per_machine, r.planar_fused_ns_per_machine,
+            "selected format is planar, flat fused field mirrors it"
+        );
         for (name, ns) in [
             ("checksum", r.stage_checksum_ns_per_machine),
-            ("varint", r.stage_varint_ns_per_machine),
+            ("payload (selected)", r.stage_varint_ns_per_machine),
+            ("payload planar", r.stage_payload_planar_ns_per_machine),
+            ("payload varint", r.stage_payload_varint_ns_per_machine),
             ("health", r.stage_health_ns_per_machine),
             ("extraction", r.stage_extraction_ns_per_machine),
+            ("fused varint A/B", r.varint_fused_ns_per_machine),
         ] {
             assert!(
                 ns > 0.0 && ns.is_finite(),
                 "stage {name} must report a positive budget, got {ns}"
             );
         }
+        assert_eq!(
+            r.stage_varint_ns_per_machine, r.stage_payload_planar_ns_per_machine,
+            "flat stage field carries the selected (planar) payload stage"
+        );
+    }
+
+    #[test]
+    fn varint_selected_report_swaps_the_flat_fields() {
+        let cfg = ExperimentConfig {
+            out_dir: std::env::temp_dir().join("tdp-wire-bench-test-varint"),
+            ..ExperimentConfig::quick()
+        };
+        let r = run(&cfg, 6, FrameKind::Varint);
+        assert_eq!(r.frame_format, "varint");
+        assert_eq!(r.bytes_per_frame, r.varint_bytes_per_frame);
+        assert_eq!(r.fused_ns_per_machine, r.varint_fused_ns_per_machine);
+        assert_eq!(
+            r.stage_varint_ns_per_machine,
+            r.stage_payload_varint_ns_per_machine
+        );
+        assert!(r.planar_fused_ns_per_machine > 0.0, "A/B still measured");
+        assert_eq!(r.corrupt_frames, 0);
     }
 
     #[test]
@@ -660,7 +907,8 @@ mod tests {
             out_dir: std::env::temp_dir().join("tdp-wire-chaos-test"),
             ..ExperimentConfig::quick()
         };
-        let r = run_chaos(&cfg, 12, 1234);
+        let r = run_chaos(&cfg, 12, 1234, FrameKind::Planar);
+        assert_eq!(r.frame_format, "planar");
         assert!(
             r.faults_injected >= r.windows - 1,
             "1–3 faults per faulted window, got {}",
@@ -673,12 +921,17 @@ mod tests {
         assert!(r.rows_written > 0);
 
         // The harness replays deterministically, seed in → verdict out.
-        let again = run_chaos(&cfg, 12, 1234);
+        let again = run_chaos(&cfg, 12, 1234, FrameKind::Planar);
         assert_eq!(r.faults_injected, again.faults_injected);
         assert_eq!(r.rows_written, again.rows_written);
         assert_eq!(r.rows_quarantined, again.rows_quarantined);
         // A different seed is a different battering.
-        let other = run_chaos(&cfg, 12, 4321);
+        let other = run_chaos(&cfg, 12, 4321, FrameKind::Planar);
         assert!(other.all_faults_accounted && other.clean_subset_bit_identical);
+        // The legacy varint stream degrades under the same contract.
+        let varint = run_chaos(&cfg, 12, 1234, FrameKind::Varint);
+        assert_eq!(varint.frame_format, "varint");
+        assert!(varint.all_faults_accounted, "unaccounted fault: {varint:?}");
+        assert!(varint.clean_subset_bit_identical && varint.serial_sharded_identical);
     }
 }

@@ -267,6 +267,24 @@ impl CounterSample {
     pub(crate) fn push_count(&mut self, pair: (PerfEvent, u64)) {
         self.counts.push(pair);
     }
+
+    /// Re-tags the sample and replaces its counts in place, reusing the
+    /// existing store (the inline buffer, or a spilled allocation) —
+    /// the public face of the refill path behind
+    /// [`CounterBank::read_and_clear_into`](crate::CounterBank::read_and_clear_into),
+    /// for callers that cycle a fixed pool of sample buffers instead of
+    /// allocating one per read.
+    pub fn refill(
+        &mut self,
+        cpu: CpuId,
+        seq: u64,
+        pairs: impl IntoIterator<Item = (PerfEvent, u64)>,
+    ) {
+        self.reset_for(cpu, seq);
+        for pair in pairs {
+            self.counts.push(pair);
+        }
+    }
 }
 
 /// One synchronized read of every CPU's counters plus the OS interrupt

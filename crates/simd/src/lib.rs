@@ -22,6 +22,12 @@
 //! construction — vector lanes evaluate the same `a·x + b` per element
 //! that the scalar loop does, in the same order.
 //!
+//! The integer kernels for the column-planar wire decode
+//! ([`widen_u8_to_u64`], [`widen_u16_to_u64`], [`widen_u32_to_u64`],
+//! [`zigzag_decode_batch`], [`delta_unfold`]) are bit-identical across
+//! dispatch trivially: two's-complement shifts, xors, and wrapping adds
+//! have no rounding to diverge.
+//!
 //! The reductions ([`dot`], [`sum`]) cannot be both fast and
 //! sequentially associated: they use a fixed four-accumulator
 //! association, *written out explicitly in the shared body*, so Scalar
@@ -47,8 +53,9 @@
 pub mod kernels;
 
 pub use kernels::{
-    add_assign, axpy, clamp_predictions, dot, fill, mask_in_range, mask_nonneg_le_scaled,
-    quadratic, quadratic_acc, sum,
+    add_assign, axpy, clamp_predictions, delta_unfold, dot, fill, mask_in_range,
+    mask_nonneg_le_scaled, quadratic, quadratic_acc, sum, widen_u16_to_u64, widen_u32_to_u64,
+    widen_u8_to_u64, zigzag_decode_batch,
 };
 
 use std::sync::OnceLock;

@@ -164,11 +164,12 @@ impl FrameDecoder {
                 }
                 self.decode_layout(header, payload)
             }
-            // Sample frames fuse verification into the varint walk
-            // (the hot path — see `decode_sample_pending`); the
-            // checksum verdict still takes precedence over every
-            // structural one, exactly as the layout arm orders them.
-            FrameType::Sample => {
+            // Sample frames (either encoding) fuse verification into
+            // the payload walk (the hot path — see
+            // `decode_sample_pending`); the checksum verdict still
+            // takes precedence over every structural one, exactly as
+            // the layout arm orders them.
+            FrameType::Sample | FrameType::PlanarSample => {
                 let pending = self.decode_sample_pending(header, payload)?;
                 Ok(Decoded::Row {
                     machine_id: pending.machine_id,
@@ -251,22 +252,30 @@ impl FrameDecoder {
         header: &FrameHeader,
         payload: &[u8],
     ) -> Result<PendingSample, DecodeError> {
+        let planar = header.frame_type == FrameType::PlanarSample;
         let mut ck = PayloadChecksum::new(header);
-        let scanned = self.scan_sample(header, payload, &mut ck);
+        let scanned = if planar {
+            self.scan_planar(header, payload, &mut ck)
+        } else {
+            self.scan_sample(header, payload, &mut ck)
+        };
         if header.checksum != ck.finish(payload) {
             return Err(DecodeError::Checksum);
         }
         let entry = scanned?;
         let n = header.n_events as usize;
         let cpus = header.cpu_count as usize;
-        // The delta chain unfolds row over row in place —
-        // integer-exact, so dispatch flavour cannot change a single
-        // reconstructed count.
-        for cpu in 1..cpus {
-            let (done, rest) = self.cur.split_at_mut(cpu * n);
-            let prev = &done[(cpu - 1) * n..];
-            for (c, &p) in rest[..n].iter_mut().zip(prev) {
-                *c = p.wrapping_add(unzigzag(*c) as u64);
+        if !planar {
+            // The varint path's delta chain unfolds row over row in
+            // place — integer-exact, so dispatch flavour cannot change
+            // a single reconstructed count. (The planar path already
+            // unfolded its planes in bulk during the scan.)
+            for cpu in 1..cpus {
+                let (done, rest) = self.cur.split_at_mut(cpu * n);
+                let prev = &done[(cpu - 1) * n..];
+                for (c, &p) in rest[..n].iter_mut().zip(prev) {
+                    *c = p.wrapping_add(unzigzag(*c) as u64);
+                }
             }
         }
         Ok(PendingSample {
@@ -274,7 +283,42 @@ impl FrameDecoder {
             window_seq: header.window_seq,
             entry,
             cpus,
+            planar,
         })
+    }
+
+    /// The structural half of a planar sample decode: layout lookup,
+    /// geometry checks, and the bulk widen/zigzag/unfold into the
+    /// scratch buffer (plane-major — see [`crate::planar`]). Same
+    /// contract as [`scan_sample`](Self::scan_sample): whatever this
+    /// returns, the caller finishes the checksum and gives its verdict
+    /// precedence.
+    fn scan_planar(
+        &mut self,
+        header: &FrameHeader,
+        payload: &[u8],
+        ck: &mut PayloadChecksum,
+    ) -> Result<LayoutEntry, DecodeError> {
+        if header.n_events as usize > MAX_WIRE_EVENTS {
+            return Err(DecodeError::Malformed);
+        }
+        let entry = *self
+            .layouts
+            .lookup(header.layout_hash)
+            .ok_or(DecodeError::UnknownLayout)?;
+        if entry.n_events != header.n_events {
+            return Err(DecodeError::Malformed);
+        }
+        crate::planar::decode_planes(
+            Dispatch::active(),
+            payload,
+            header.n_events as usize,
+            header.cpu_count as usize,
+            &mut self.cur,
+            ck,
+        )
+        .ok_or(DecodeError::Malformed)?;
+        Ok(entry)
     }
 
     /// The structural half of a sample decode: layout lookup, geometry
@@ -351,6 +395,9 @@ impl FrameDecoder {
     }
 
     fn accumulate(&self, p: &PendingSample, acc: &mut RowAccumulator) {
+        if p.planar {
+            return self.accumulate_planar(p, acc);
+        }
         let n = p.entry.n_events as usize;
         for cpu in 0..p.cpus {
             let row = &self.cur[cpu * n..(cpu + 1) * n];
@@ -362,6 +409,40 @@ impl FrameDecoder {
                 std::array::from_fn(|k| Some(row[k]))
             } else {
                 std::array::from_fn(|k| row.get(p.entry.pos[k] as usize).copied())
+            };
+            acc.accumulate_cpu(counts);
+        }
+    }
+
+    /// [`accumulate`](Self::accumulate) over the planar scratch layout:
+    /// bases in `cur[0..n]`, reconstructed CPU ≥ 1 counts plane-major in
+    /// `cur[n..]` (`count(e, cpu) = cur[n + e·stride + cpu − 1]`). The
+    /// per-CPU accumulation order — and therefore every float rounding
+    /// step — is identical to the row-major walk, which is what keeps
+    /// planar rows bit-identical to varint rows.
+    fn accumulate_planar(&self, p: &PendingSample, acc: &mut RowAccumulator) {
+        let n = p.entry.n_events as usize;
+        let stride = p.cpus.saturating_sub(1);
+        let (bases, unfolded) = self.cur.split_at(n);
+        for cpu in 0..p.cpus {
+            let counts: [Option<u64>; ROW_EVENTS.len()] = if cpu == 0 {
+                if p.entry.identity {
+                    std::array::from_fn(|k| Some(bases[k]))
+                } else {
+                    std::array::from_fn(|k| bases.get(p.entry.pos[k] as usize).copied())
+                }
+            } else if p.entry.identity {
+                std::array::from_fn(|k| Some(unfolded[k * stride + cpu - 1]))
+            } else {
+                // An absent event's sentinel position (`u16::MAX`) lands
+                // at index ≥ u16::MAX · stride ≥ n · stride, past the
+                // unfolded region (n ≤ MAX_WIRE_EVENTS < u16::MAX), so
+                // the same bounds-checked `get` covers presence here.
+                std::array::from_fn(|k| {
+                    unfolded
+                        .get(p.entry.pos[k] as usize * stride + cpu - 1)
+                        .copied()
+                })
             };
             acc.accumulate_cpu(counts);
         }
@@ -380,6 +461,9 @@ pub(crate) struct PendingSample {
     pub window_seq: u64,
     entry: LayoutEntry,
     cpus: usize,
+    /// Whether the scratch holds the planar layout (bases + plane-major
+    /// unfolded counts) rather than row-major per-CPU rows.
+    planar: bool,
 }
 
 /// One framing step over a raw byte stream.

@@ -3,11 +3,16 @@
 //! [`WireEncoder`] is the stateful producer side: it tracks the last
 //! layout hash announced per machine and interleaves a layout frame
 //! whenever a machine's PMU programming changes (including the first
-//! time it is seen), so a stream is always self-describing. The
-//! stateless [`encode_layout_frame`] / [`encode_sample_frame`] building
-//! blocks are public for tests and custom producers.
+//! time it is seen), so a stream is always self-describing, and emits
+//! sample frames in its negotiated [`FrameKind`] (column-planar by
+//! default, row-major varint for legacy consumers and A/B baselines).
+//! The stateless [`encode_layout_frame`] / [`encode_sample_frame`] /
+//! [`encode_planar_sample_frame`] building blocks are public for tests
+//! and custom producers.
 
-use crate::frame::{put_uvarint, zigzag, FrameHeader, FrameType, HEADER_LEN, MAX_WIRE_EVENTS};
+use crate::frame::{
+    put_uvarint, zigzag, FrameHeader, FrameKind, FrameType, HEADER_LEN, MAX_WIRE_EVENTS,
+};
 use std::collections::HashMap;
 use tdp_counters::{layout_hash, PerfEvent, SampleSet};
 
@@ -97,26 +102,8 @@ pub fn encode_sample_frame(
     machine_id: u64,
     set: &SampleSet,
 ) -> Result<(), EncodeError> {
-    let first: &[(PerfEvent, u64)] = set.per_cpu.first().map_or(&[], |c| c.counts());
-    if first.len() > MAX_WIRE_EVENTS || set.per_cpu.len() > u16::MAX as usize {
-        return Err(EncodeError::OutOfBounds);
-    }
-    for cpu in &set.per_cpu {
-        let counts = cpu.counts();
-        if counts.len() != first.len() || counts.iter().zip(first).any(|(a, b)| a.0 != b.0) {
-            return Err(EncodeError::MixedLayouts);
-        }
-    }
-    let header = FrameHeader {
-        frame_type: FrameType::Sample,
-        payload_len: 0,
-        machine_id,
-        window_seq: set.seq,
-        layout_hash: layout_hash_of(first),
-        cpu_count: set.per_cpu.len() as u16,
-        n_events: first.len() as u16,
-        checksum: 0,
-    };
+    let first = validate_sample_geometry(set)?;
+    let header = sample_header(FrameType::Sample, machine_id, set, first);
     with_frame(out, header, |buf| {
         for (k, cpu) in set.per_cpu.iter().enumerate() {
             for (e, &(_, count)) in cpu.counts().iter().enumerate() {
@@ -130,6 +117,61 @@ pub fn encode_sample_frame(
         }
     });
     Ok(())
+}
+
+/// Appends one column-planar sample frame for `machine_id` — the same
+/// machine-window [`encode_sample_frame`] would emit, in the
+/// fixed-width plane encoding of [`crate::planar`]. A decoder
+/// reconstructs bit-identical counts from either frame.
+///
+/// # Errors
+///
+/// Identical to [`encode_sample_frame`]:
+/// [`EncodeError::MixedLayouts`] / [`EncodeError::OutOfBounds`].
+pub fn encode_planar_sample_frame(
+    out: &mut Vec<u8>,
+    machine_id: u64,
+    set: &SampleSet,
+) -> Result<(), EncodeError> {
+    let first = validate_sample_geometry(set)?;
+    let header = sample_header(FrameType::PlanarSample, machine_id, set, first);
+    with_frame(out, header, |buf| crate::planar::encode_payload(buf, set));
+    Ok(())
+}
+
+/// The geometry checks both sample encoders share: uniform per-CPU
+/// layouts within the format's bounds. Returns the first CPU's counts
+/// (the layout all CPUs follow).
+fn validate_sample_geometry(set: &SampleSet) -> Result<&[(PerfEvent, u64)], EncodeError> {
+    let first: &[(PerfEvent, u64)] = set.per_cpu.first().map_or(&[], |c| c.counts());
+    if first.len() > MAX_WIRE_EVENTS || set.per_cpu.len() > u16::MAX as usize {
+        return Err(EncodeError::OutOfBounds);
+    }
+    for cpu in &set.per_cpu {
+        let counts = cpu.counts();
+        if counts.len() != first.len() || counts.iter().zip(first).any(|(a, b)| a.0 != b.0) {
+            return Err(EncodeError::MixedLayouts);
+        }
+    }
+    Ok(first)
+}
+
+fn sample_header(
+    frame_type: FrameType,
+    machine_id: u64,
+    set: &SampleSet,
+    first: &[(PerfEvent, u64)],
+) -> FrameHeader {
+    FrameHeader {
+        frame_type,
+        payload_len: 0,
+        machine_id,
+        window_seq: set.seq,
+        layout_hash: layout_hash_of(first),
+        cpu_count: set.per_cpu.len() as u16,
+        n_events: first.len() as u16,
+        checksum: 0,
+    }
 }
 
 fn layout_hash_of(pairs: &[(PerfEvent, u64)]) -> u64 {
@@ -159,12 +201,37 @@ fn layout_hash_of(pairs: &[(PerfEvent, u64)]) -> u64 {
 pub struct WireEncoder {
     buf: Vec<u8>,
     last_layout: HashMap<u64, u64>,
+    kind: FrameKind,
 }
 
 impl WireEncoder {
-    /// An empty encoder.
+    /// An empty encoder emitting the default sample encoding
+    /// ([`FrameKind::Planar`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty encoder emitting `kind` sample frames
+    /// ([`FrameKind::Varint`] keeps the legacy row-major varint
+    /// encoding, e.g. for A/B comparison or old consumers).
+    pub fn with_kind(kind: FrameKind) -> Self {
+        Self {
+            kind,
+            ..Self::default()
+        }
+    }
+
+    /// The sample encoding this encoder emits.
+    pub fn frame_kind(&self) -> FrameKind {
+        self.kind
+    }
+
+    /// Switches the sample encoding for frames pushed from now on. The
+    /// format is negotiated in-band — a decoder reads the frame-type
+    /// byte — so mid-stream switches are safe; producers conventionally
+    /// switch at layout-epoch boundaries.
+    pub fn set_frame_kind(&mut self, kind: FrameKind) {
+        self.kind = kind;
     }
 
     /// Appends one machine-window, preceding it with a layout frame if
@@ -183,7 +250,11 @@ impl WireEncoder {
         if self.last_layout.get(&machine_id) != Some(&hash) {
             encode_layout_frame(&mut self.buf, machine_id, set.seq, &events)?;
         }
-        match encode_sample_frame(&mut self.buf, machine_id, set) {
+        let encoded = match self.kind {
+            FrameKind::Planar => encode_planar_sample_frame(&mut self.buf, machine_id, set),
+            FrameKind::Varint => encode_sample_frame(&mut self.buf, machine_id, set),
+        };
+        match encoded {
             Ok(()) => {
                 self.last_layout.insert(machine_id, hash);
                 Ok(())

@@ -8,7 +8,7 @@
 //! offset  size  field
 //!      0     2  magic        0x5754 ("TW" little-endian)
 //!      2     1  version      1
-//!      3     1  frame type   0 = layout, 1 = sample
+//!      3     1  frame type   0 = layout, 1 = sample, 2 = planar sample
 //!      4     4  payload_len  bytes following the header
 //!      8     8  machine_id
 //!     16     8  window_seq   sampling-window sequence number
@@ -26,6 +26,14 @@
 //! varints in layout order, CPU 0 raw and every later CPU zigzag
 //! delta-encoded against the previous CPU's count of the same event
 //! (fleet siblings count nearly alike, so deltas are short).
+//!
+//! A **planar sample frame** carries the same machine-window in the
+//! column-planar fixed-width layout of [`crate::planar`]: a per-event
+//! width directory, then raw CPU-0 base counts, then per-event
+//! contiguous planes of fixed-width little-endian zigzag deltas. The
+//! two sample encodings are interchangeable — a decoder produces
+//! bit-identical fleet rows from either — and an encoder picks one per
+//! layout epoch via [`FrameKind`].
 //!
 //! The checksum mixes every header field (except the checksum itself)
 //! and every payload word through a chain of bijective steps
@@ -62,6 +70,10 @@ pub enum FrameType {
     /// One machine-window of counts (payload: `cpu_count × n_events`
     /// delta/varint counts).
     Sample,
+    /// One machine-window of counts in the column-planar fixed-width
+    /// encoding (payload: width directory + bases + delta planes, see
+    /// [`crate::planar`]).
+    PlanarSample,
 }
 
 impl FrameType {
@@ -69,6 +81,7 @@ impl FrameType {
         match b {
             0 => Some(FrameType::Layout),
             1 => Some(FrameType::Sample),
+            2 => Some(FrameType::PlanarSample),
             _ => None,
         }
     }
@@ -77,6 +90,61 @@ impl FrameType {
         match self {
             FrameType::Layout => 0,
             FrameType::Sample => 1,
+            FrameType::PlanarSample => 2,
+        }
+    }
+
+    /// Whether this frame carries a machine-window of counts (either
+    /// sample encoding), as opposed to a layout announcement.
+    #[must_use]
+    pub fn is_sample(self) -> bool {
+        matches!(self, FrameType::Sample | FrameType::PlanarSample)
+    }
+}
+
+/// Which sample-frame encoding an encoder emits; negotiated per layout
+/// epoch (the layout frame precedes the first sample of either kind, so
+/// a decoder needs no out-of-band signal — the frame-type byte is the
+/// negotiation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameKind {
+    /// Column-planar fixed-width planes ([`FrameType::PlanarSample`]).
+    /// The default: decode is a branch-free widen + zigzag +
+    /// delta-unfold instead of a serial varint walk.
+    #[default]
+    Planar,
+    /// Row-major LEB128 varints ([`FrameType::Sample`]); retained for
+    /// compatibility and as the A/B baseline.
+    Varint,
+}
+
+impl FrameKind {
+    /// Stable lower-case label (`"planar"` / `"varint"`), as accepted
+    /// by [`parse`](Self::parse) and reported in `BENCH_wire.json`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FrameKind::Planar => "planar",
+            FrameKind::Varint => "varint",
+        }
+    }
+
+    /// Parses a label back into a kind (`"planar"` / `"varint"`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "planar" => Some(FrameKind::Planar),
+            "varint" => Some(FrameKind::Varint),
+            _ => None,
+        }
+    }
+
+    /// The frame type sample frames of this kind carry on the wire.
+    #[must_use]
+    pub fn sample_frame_type(self) -> FrameType {
+        match self {
+            FrameKind::Planar => FrameType::PlanarSample,
+            FrameKind::Varint => FrameType::Sample,
         }
     }
 }
@@ -231,21 +299,27 @@ pub struct PayloadChecksum {
 
 impl PayloadChecksum {
     /// Seeds the checksum with every checksummed header field.
+    ///
+    /// The fields are split across the two lanes — two mixes each —
+    /// so seeding latency is two multiply chains deep instead of five:
+    /// the decoder pays this per frame, fused into the payload walk.
+    /// Every field keeps its own disjoint bit range within exactly one
+    /// mix word (the frame type xors into the lane-1 seed, a bijection
+    /// of the seed), so a single flipped header bit still perturbs
+    /// exactly one lane's state and the single-bit detection argument
+    /// is unchanged.
     pub fn new(header: &FrameHeader) -> Self {
-        let mut h = SEED0;
-        h = mix(
-            h,
-            (header.frame_type.to_wire() as u64) << 32 | header.payload_len as u64,
+        let geom = header.payload_len as u64
+            | (header.cpu_count as u64) << 32
+            | (header.n_events as u64) << 48;
+        let mut h = mix(SEED0, geom);
+        let mut lane = mix(
+            SEED1 ^ (header.frame_type.to_wire() as u64) << 56,
+            header.machine_id,
         );
-        h = mix(h, header.machine_id);
         h = mix(h, header.window_seq);
-        h = mix(h, header.layout_hash);
-        h = mix(h, (header.cpu_count as u64) << 16 | header.n_events as u64);
-        Self {
-            h,
-            lane: SEED1,
-            done: 0,
-        }
+        lane = mix(lane, header.layout_hash);
+        Self { h, lane, done: 0 }
     }
 
     /// Absorbs every complete 16-byte payload chunk that lies fully
@@ -336,6 +410,22 @@ mod tests {
         let mut bad = buf;
         bad[3] = 7;
         assert_eq!(FrameHeader::parse(&bad), Err(HeaderError::BadType));
+        // Wire byte 2 is the planar sample type, not an error.
+        let mut planar = buf;
+        planar[3] = 2;
+        let parsed = FrameHeader::parse(&planar).expect("planar type parses");
+        assert_eq!(parsed.frame_type, FrameType::PlanarSample);
+    }
+
+    #[test]
+    fn frame_kind_labels_roundtrip() {
+        for kind in [FrameKind::Planar, FrameKind::Varint] {
+            assert_eq!(FrameKind::parse(kind.label()), Some(kind));
+            assert!(kind.sample_frame_type().is_sample());
+        }
+        assert_eq!(FrameKind::parse("csv"), None);
+        assert_eq!(FrameKind::default(), FrameKind::Planar);
+        assert!(!FrameType::Layout.is_sample());
     }
 
     #[test]

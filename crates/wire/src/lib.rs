@@ -6,13 +6,17 @@
 //! a byte stream. This crate defines that stream and makes decoding it
 //! cost about as much as reading local memory:
 //!
-//! * [`frame`] — the format: 44-byte little-endian headers, LEB128
-//!   varints with cross-CPU zigzag deltas (fleet siblings count nearly
-//!   alike, so payloads stay small), and a mix-based 64-bit checksum
-//!   that provably catches every single-bit corruption.
+//! * [`frame`] — the format: 44-byte little-endian headers, two
+//!   negotiated sample encodings — LEB128 varints with cross-CPU zigzag
+//!   deltas (fleet siblings count nearly alike, so payloads stay
+//!   small), and the default column-[`planar`] fixed-width planes whose
+//!   decode is branch-free bulk kernels instead of a serial varint
+//!   walk — and a mix-based 64-bit checksum that provably catches
+//!   every single-bit corruption.
 //! * [`WireEncoder`] — the producer side: self-describing streams that
 //!   interleave a layout frame whenever a machine's PMU programming
-//!   changes.
+//!   changes, emitting either sample encoding ([`FrameKind`], planar by
+//!   default).
 //! * [`FrameDecoder`] — the zero-copy consumer: validates frames in
 //!   place and reduces them straight to [`SampleBatch`] rows through
 //!   the same [`RowAccumulator`] arithmetic in-memory ingestion uses,
@@ -72,13 +76,17 @@ mod decode;
 mod encode;
 pub mod faults;
 mod health;
+pub mod planar;
 #[allow(unsafe_code)]
 pub mod ring;
 mod stream;
 
 pub use decode::{CursorItem, DecodeError, Decoded, FrameCursor, FrameDecoder, LayoutTable};
-pub use encode::{encode_layout_frame, encode_sample_frame, EncodeError, WireEncoder};
+pub use encode::{
+    encode_layout_frame, encode_planar_sample_frame, encode_sample_frame, EncodeError, WireEncoder,
+};
 pub use faults::{FaultKind, FaultPlan, FaultedWindow, InjectedFault};
+pub use frame::FrameKind;
 pub use health::{DegradePolicy, HealthState, PipelineHealth};
 pub use stream::{
     ingest_serial, ingest_serial_with, stream_window, stream_window_with, IngestState,

@@ -1,0 +1,404 @@
+//! The column-planar fixed-width sample payload
+//! ([`FrameType::PlanarSample`](crate::frame::FrameType::PlanarSample)).
+//!
+//! The varint sample payload is compact but serial: every varint's
+//! length is data-dependent, so decode is a loop-carried
+//! load→scan→advance chain with a hard per-varint latency floor
+//! (DESIGN.md §4h measured it at ~136 ns of the ~268 ns fused budget).
+//! The planar payload removes the dependency by moving the length
+//! information out of the data and into a tiny per-frame directory:
+//!
+//! ```text
+//! offset            size                    field
+//! 0                 n_events                width directory
+//! n_events          Σ base_w[e]             bases: CPU 0 raw counts
+//! (after bases)     (cpu_count−1)·delta_w[0]  event 0 delta plane
+//! …                 …                       … one plane per event
+//! ```
+//!
+//! Directory byte `e` packs two width codes, low nibble for the base
+//! and high nibble for the event's delta plane: code `c ∈ 0..=3` means
+//! `1 << c` bytes per lane (1/2/4/8). The base is CPU 0's raw count,
+//! little-endian at its width. A **delta plane** holds the event's
+//! `cpu_count − 1` zigzag CPU-over-CPU deltas — the same values the
+//! varint payload stores row-major — contiguous and fixed-width, so
+//! decode is three branch-free bulk passes over the whole frame:
+//! widen to u64 ([`widen_u8_to_u64`] and friends, one call per run of
+//! equal-width planes), [`zigzag_decode_batch`], and one
+//! [`delta_unfold`] prefix-sum. Each plane's width is the smallest that
+//! fits the plane's largest zigzag delta (bases likewise), so the
+//! encoding is canonical: one window has exactly one planar payload.
+//!
+//! Because the deltas and the delta chain are identical to the varint
+//! encoding's, a decoder reconstructs bit-identical counts from either
+//! payload — property-tested in `tests/planar.rs` across random
+//! layouts and width-boundary values.
+
+use crate::frame::PayloadChecksum;
+use crate::varint::zigzag;
+use tdp_counters::SampleSet;
+use tdp_simd::{
+    delta_unfold, widen_u16_to_u64, widen_u32_to_u64, widen_u8_to_u64, zigzag_decode_batch,
+    Dispatch,
+};
+
+/// The smallest width code (`0..=3`, meaning `1 << code` bytes) whose
+/// lane holds `v`.
+#[inline]
+fn width_code(v: u64) -> u8 {
+    if v < 1 << 8 {
+        0
+    } else if v < 1 << 16 {
+        1
+    } else if v < 1 << 32 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Appends the planar payload for `set` to `buf`: directory, bases,
+/// then one delta plane per event.
+///
+/// The caller (`encode_planar_sample_frame`) has already validated the
+/// set's geometry — uniform layouts, bounded event/CPU counts — so this
+/// only lays out bytes. An empty set (no CPUs) produces an empty
+/// payload.
+pub(crate) fn encode_payload(buf: &mut Vec<u8>, set: &SampleSet) {
+    let Some(first) = set.per_cpu.first() else {
+        return;
+    };
+    let n = first.counts().len();
+    let cpus = set.per_cpu.len();
+    let count = |cpu: usize, e: usize| set.per_cpu[cpu].counts()[e].1;
+    let zz = |cpu: usize, e: usize| zigzag(count(cpu, e).wrapping_sub(count(cpu - 1, e)) as i64);
+
+    // Directory: per-event width codes from this window's value range.
+    let dir_start = buf.len();
+    for e in 0..n {
+        let base_code = width_code(count(0, e));
+        let delta_code = (1..cpus)
+            .map(|cpu| width_code(zz(cpu, e)))
+            .max()
+            .unwrap_or(0);
+        buf.push(delta_code << 4 | base_code);
+    }
+    // Bases: CPU 0 raw, little-endian at the declared width.
+    for e in 0..n {
+        let w = 1usize << (buf[dir_start + e] & 0x0f);
+        buf.extend_from_slice(&count(0, e).to_le_bytes()[..w]);
+    }
+    // Delta planes: contiguous per event, fixed-width zigzag deltas.
+    for e in 0..n {
+        let w = 1usize << (buf[dir_start + e] >> 4);
+        for cpu in 1..cpus {
+            buf.extend_from_slice(&zz(cpu, e).to_le_bytes()[..w]);
+        }
+    }
+}
+
+/// Decodes a planar payload into `out` and reconstructs every count:
+/// `out[0..n_events]` holds the raw CPU 0 bases and
+/// `out[n_events + e·(cpus−1) + (cpu−1)]` the reconstructed count of
+/// event `e` on CPU `cpu ≥ 1` (plane-major, delta chain already
+/// unfolded). Returns `None` on any structural defect — bad directory
+/// nibble or a payload length that disagrees with the directory's
+/// declared widths.
+///
+/// `ck` absorbs the payload as the walk passes it (monotone
+/// watermarks), matching the varint path's checksum overlap; the caller
+/// finishes the checksum over whatever remains and gives its verdict
+/// precedence, exactly as for varint sample frames.
+///
+/// Scratch growth is bounded by the input: every base and delta lane is
+/// at least one byte, so `out` never exceeds `payload.len()` entries —
+/// a corrupt header cannot request an absurd allocation.
+pub fn decode_planes(
+    d: Dispatch,
+    payload: &[u8],
+    n_events: usize,
+    cpus: usize,
+    out: &mut Vec<u64>,
+    ck: &mut PayloadChecksum,
+) -> Option<()> {
+    let n = n_events;
+    if payload.len() < n {
+        return None;
+    }
+    let stride = cpus.saturating_sub(1);
+    // Nibble validation in one OR-reduce: a width code is legal iff it
+    // fits two bits, so a directory is legal iff no byte sets bits
+    // 2–3 or 6–7.
+    if payload[..n].iter().fold(0u8, |a, &b| a | b) & 0xcc != 0 {
+        return None;
+    }
+    let total = n + n * stride;
+    // The decode passes overwrite every entry, so resize only on a
+    // geometry change (no steady-state memset) — same policy as the
+    // varint scratch.
+    if out.len() != total {
+        out.clear();
+        out.resize(total, 0);
+    }
+    // Exact pricing falls out of the walk itself: every lane read
+    // checks its bounds, and the final `pos == payload.len()` check
+    // rejects a payload with trailing bytes — together equivalent to
+    // pre-pricing the directory, without the extra pass.
+    let pos = if stride * n >= WIDE_LANES {
+        decode_bulk(d, payload, n, stride, out)?
+    } else {
+        decode_fused(payload, n, stride, out)?
+    };
+    if pos != payload.len() {
+        return None;
+    }
+    // One absorb watermark at the end of the walk: the bytes are still
+    // warm in cache, and the chunk→lane mapping is position-pure, so
+    // the cadence cannot change the checksum.
+    ck.absorb_to(payload, pos);
+    Some(())
+}
+
+/// Delta-lane count above which the bulk SIMD passes (one widen call
+/// per width run + batch zigzag + batch unfold) beat the fused scalar
+/// walk. Below it, per-call dispatch overhead dominates the handful of
+/// lanes; measured crossover on AVX2 is well above typical 4–16 CPU
+/// frames.
+const WIDE_LANES: usize = 128;
+
+/// One little-endian lane of constant width `W` at `pos`. The constant
+/// width turns the read into a single fixed-size load — no variable
+/// shift, no mask — with one bounds check. Returns `None` on overrun.
+#[inline(always)]
+fn read_lane<const W: usize>(payload: &[u8], pos: &mut usize) -> Option<u64> {
+    let src = payload.get(*pos..*pos + W)?;
+    let mut le = [0u8; 8];
+    le[..W].copy_from_slice(src);
+    *pos += W;
+    Some(u64::from_le_bytes(le))
+}
+
+/// Reads the lane whose two-bit width `code` the directory declared.
+/// Each arm monomorphises to a fixed-size load, so the only per-lane
+/// branch is the (predictable) directory dispatch.
+#[inline(always)]
+fn read_coded_lane(payload: &[u8], pos: &mut usize, code: u8) -> Option<u64> {
+    match code {
+        0 => read_lane::<1>(payload, pos),
+        1 => read_lane::<2>(payload, pos),
+        2 => read_lane::<4>(payload, pos),
+        _ => read_lane::<8>(payload, pos),
+    }
+}
+
+/// Unfolds one event's delta plane at constant lane width: read,
+/// unzigzag (`(z >> 1) ⊕ −(z & 1)` leaves the signed delta's bit
+/// pattern), and the wrapping prefix add — the varint path's
+/// `prev.wrapping_add(unzigzag(c) as u64)` exactly.
+#[inline(always)]
+fn unfold_plane<const W: usize>(
+    payload: &[u8],
+    pos: &mut usize,
+    mut acc: u64,
+    out: &mut [u64],
+) -> Option<()> {
+    for slot in out.iter_mut() {
+        let z = read_lane::<W>(payload, pos)?;
+        acc = acc.wrapping_add((z >> 1) ^ 0u64.wrapping_sub(z & 1));
+        *slot = acc;
+    }
+    Some(())
+}
+
+/// The small-frame decode: bases and planes in one scalar walk,
+/// unzigzag and prefix-sum fused into the lane loop. Integer-exact, so
+/// bit-identical to the bulk-kernel path by construction.
+#[inline(always)]
+fn decode_fused(payload: &[u8], n: usize, stride: usize, out: &mut [u64]) -> Option<usize> {
+    let mut pos = n;
+    for e in 0..n {
+        out[e] = read_coded_lane(payload, &mut pos, payload[e] & 0x0f)?;
+    }
+    let (bases, deltas) = out.split_at_mut(n);
+    for e in 0..n {
+        let dst = &mut deltas[e * stride..(e + 1) * stride];
+        match payload[e] >> 4 {
+            0 => unfold_plane::<1>(payload, &mut pos, bases[e], dst),
+            1 => unfold_plane::<2>(payload, &mut pos, bases[e], dst),
+            2 => unfold_plane::<4>(payload, &mut pos, bases[e], dst),
+            _ => unfold_plane::<8>(payload, &mut pos, bases[e], dst),
+        }?;
+    }
+    Some(pos)
+}
+
+/// The wide-frame decode: one widen kernel call per run of equal-width
+/// planes, then batch zigzag and batch delta unfold — three branch-free
+/// bulk passes whose SIMD width pays once planes carry enough lanes.
+fn decode_bulk(
+    d: Dispatch,
+    payload: &[u8],
+    n: usize,
+    stride: usize,
+    out: &mut [u64],
+) -> Option<usize> {
+    let mut pos = n;
+    for e in 0..n {
+        out[e] = read_coded_lane(payload, &mut pos, payload[e] & 0x0f)?;
+    }
+    let (bases, deltas) = out.split_at_mut(n);
+    let mut e = 0usize;
+    while e < n {
+        let code = payload[e] >> 4;
+        let mut run_end = e + 1;
+        while run_end < n && payload[run_end] >> 4 == code {
+            run_end += 1;
+        }
+        let lanes = (run_end - e) * stride;
+        let w = 1usize << code;
+        let src = payload.get(pos..pos + lanes * w)?;
+        let dst = &mut deltas[e * stride..run_end * stride];
+        match code {
+            0 => widen_u8_to_u64(d, src, dst),
+            1 => widen_u16_to_u64(d, src, dst),
+            2 => widen_u32_to_u64(d, src, dst),
+            _ => {
+                for (v, c) in dst.iter_mut().zip(src.chunks_exact(8)) {
+                    *v = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+                }
+            }
+        }
+        pos += lanes * w;
+        e = run_end;
+    }
+    // Two bulk passes finish every count: undo the zigzag (leaving
+    // signed-delta bit patterns), then run each plane's wrapping
+    // prefix sum from its base — the exact arithmetic of the varint
+    // path's per-count `prev.wrapping_add(unzigzag(c) as u64)`.
+    zigzag_decode_batch(d, deltas);
+    delta_unfold(d, bases, deltas);
+    Some(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{FrameHeader, FrameType};
+    use tdp_counters::{CounterSample, CpuId, InterruptSnapshot, PerfEvent};
+
+    fn set_of(counts: &[Vec<u64>]) -> SampleSet {
+        let events = [
+            PerfEvent::Cycles,
+            PerfEvent::HaltedCycles,
+            PerfEvent::L2Misses,
+        ];
+        SampleSet {
+            time_ms: 1000,
+            window_ms: 1000,
+            seq: 1,
+            per_cpu: counts
+                .iter()
+                .enumerate()
+                .map(|(cpu, vals)| {
+                    CounterSample::new(
+                        CpuId::new(cpu as u8),
+                        1,
+                        events.iter().copied().zip(vals.iter().copied()).collect(),
+                    )
+                })
+                .collect(),
+            interrupts: InterruptSnapshot::default(),
+        }
+    }
+
+    fn header_for(payload_len: usize, cpus: u16, n_events: u16) -> FrameHeader {
+        FrameHeader {
+            frame_type: FrameType::PlanarSample,
+            payload_len: payload_len as u32,
+            machine_id: 1,
+            window_seq: 1,
+            layout_hash: 0,
+            cpu_count: cpus,
+            n_events,
+            checksum: 0,
+        }
+    }
+
+    fn decode(payload: &[u8], n: usize, cpus: usize) -> Option<Vec<u64>> {
+        let h = header_for(payload.len(), cpus as u16, n as u16);
+        let mut out = Vec::new();
+        let mut ck = PayloadChecksum::new(&h);
+        decode_planes(Dispatch::active(), payload, n, cpus, &mut out, &mut ck)?;
+        // The absorb cadence must agree with the one-shot checksum.
+        assert_eq!(ck.finish(payload), h.expected_checksum(payload));
+        Some(out)
+    }
+
+    #[test]
+    fn payload_roundtrips_and_widths_are_minimal() {
+        // Event 0: tiny values (1-byte base, 1-byte deltas); event 1:
+        // large base, negative delta; event 2: width-boundary values.
+        let set = set_of(&[
+            vec![200, 5_000_000_000, 1 << 31],
+            vec![201, 4_999_999_000, (1 << 31) + 127],
+            vec![190, 5_000_001_000, 1 << 31],
+        ]);
+        let mut payload = Vec::new();
+        encode_payload(&mut payload, &set);
+        // Directory: e0 base 1B delta 1B; e1 base 8B (≥ 2^32) deltas
+        // 2B (zigzag(±1000) ≈ 2000); e2 base 4B... 2^31 < 2^32 so 4B,
+        // deltas 1B (zigzag(127)=254, zigzag(-127)=253).
+        assert_eq!(payload[0], 0x00);
+        assert_eq!(payload[1], 0x13);
+        assert_eq!(payload[2], 0x02);
+        let out = decode(&payload, 3, 3).expect("clean payload");
+        let n = 3;
+        for e in 0..n {
+            assert_eq!(out[e], set.per_cpu[0].counts()[e].1, "base {e}");
+            for cpu in 1..3 {
+                assert_eq!(
+                    out[n + e * 2 + (cpu - 1)],
+                    set.per_cpu[cpu].counts()[e].1,
+                    "event {e} cpu {cpu}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structural_defects_are_rejected() {
+        let set = set_of(&[vec![10, 20, 30], vec![11, 19, 31]]);
+        let mut payload = Vec::new();
+        encode_payload(&mut payload, &set);
+        assert!(decode(&payload, 3, 2).is_some(), "clean baseline");
+        // Bad directory nibble (width code > 3).
+        let mut bad = payload.clone();
+        bad[0] = 0x40;
+        assert!(decode(&bad, 3, 2).is_none());
+        let mut bad = payload.clone();
+        bad[0] = 0x04;
+        assert!(decode(&bad, 3, 2).is_none());
+        // Truncated and padded payloads disagree with the directory.
+        assert!(decode(&payload[..payload.len() - 1], 3, 2).is_none());
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(decode(&long, 3, 2).is_none());
+        // Payload shorter than the directory itself.
+        assert!(decode(&payload[..2], 3, 2).is_none());
+    }
+
+    #[test]
+    fn single_cpu_and_empty_frames_decode() {
+        let set = set_of(&[vec![7, 300, u64::MAX]]);
+        let mut payload = Vec::new();
+        encode_payload(&mut payload, &set);
+        let out = decode(&payload, 3, 1).expect("single CPU");
+        assert_eq!(out, [7, 300, u64::MAX]);
+        // No CPUs: empty payload, nothing decoded.
+        let empty = set_of(&[]);
+        let mut payload = Vec::new();
+        encode_payload(&mut payload, &empty);
+        assert!(payload.is_empty());
+        assert_eq!(decode(&payload, 0, 0), Some(Vec::new()));
+    }
+}

@@ -310,7 +310,7 @@ fn run_shard(
                     }
                 }
             }
-            FrameType::Sample => {
+            FrameType::Sample | FrameType::PlanarSample => {
                 if !mine {
                     continue;
                 }
@@ -529,7 +529,7 @@ pub fn ingest_serial_with(
                 Ok(_) => stats.layout_frames += 1,
                 Err(_) => stats.corrupt_frames += 1,
             },
-            FrameType::Sample => {
+            FrameType::Sample | FrameType::PlanarSample => {
                 stats.sample_frames += 1;
                 let pend = match dec.decode_sample_pending(&header, cursor.payload(start, &header))
                 {
