@@ -11,7 +11,7 @@ use tdp_wire::FrameKind;
 
 /// One-line usage string, printed with every argument error.
 pub const USAGE: &str = "usage: repro [--quick] [--markdown] [--bench-json] [--fleet N] [--wire N] \
-    [--frame planar|varint] [--faults SEED] [--seed N] [--out DIR] \
+    [--frame planar|varint] [--faults SEED] [--anomaly] [--seed N] [--out DIR] \
     <table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|coefficients|shape|ablate|selection|all>...";
 
 /// Every experiment name the binary knows, excluding `all`.
@@ -72,6 +72,12 @@ pub struct Cli {
     /// (`CHAOS.json`) — a seeded `FaultPlan` batters the stream while
     /// the ingest pipeline must degrade gracefully.
     pub faults: Option<u64>,
+    /// Run the adaptive-sampling phase of the wire benchmark: the
+    /// closed anomaly→decimation loop plus the decimated-ingest A/B
+    /// (`anomaly_*` / `decimation_*` fields in `BENCH_wire.json`), or
+    /// the detector-under-fire sub-run when combined with `--faults`
+    /// (`CHAOS.json`).
+    pub anomaly: bool,
     /// `--help` was requested: print usage, exit success.
     pub help: bool,
 }
@@ -135,6 +141,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, CliError> {
         wire: None,
         frame: FrameKind::default(),
         faults: None,
+        anomaly: false,
         help: false,
     };
     let mut args = args.into_iter();
@@ -168,6 +175,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, CliError> {
                 }
                 None => return Err(CliError("--faults needs an integer fault-plan seed".into())),
             },
+            "--anomaly" => cli.anomaly = true,
             "--quick" => {
                 let out = cli.cfg.out_dir.clone();
                 let seed = cli.cfg.seed;
@@ -200,6 +208,12 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, CliError> {
     if cli.faults.is_some() && cli.wire.is_none() {
         return Err(CliError(
             "--faults injects faults into the wire chaos harness; also pass --wire N".into(),
+        ));
+    }
+    if cli.anomaly && cli.wire.is_none() {
+        return Err(CliError(
+            "--anomaly runs the adaptive-sampling phase of the wire benchmark; also pass --wire N"
+                .into(),
         ));
     }
     Ok(cli)
@@ -271,6 +285,23 @@ mod tests {
             "echoes the operand: {err}"
         );
         assert!(parse_strs(&["--wire", "8", "--faults"]).is_err());
+    }
+
+    #[test]
+    fn anomaly_flag_parses_and_requires_wire() {
+        let cli = parse_strs(&["--wire", "64", "--anomaly"]).unwrap();
+        assert!(cli.anomaly);
+        let cli = parse_strs(&["--wire", "64"]).unwrap();
+        assert!(!cli.anomaly, "adaptive sampling is opt-in");
+        // Composes with the chaos harness: detector-under-fire run.
+        let cli = parse_strs(&["--wire", "64", "--faults", "7", "--anomaly"]).unwrap();
+        assert!(cli.anomaly && cli.faults == Some(7));
+
+        let err = parse_strs(&["--anomaly"]).unwrap_err();
+        assert!(
+            err.to_string().contains("--wire"),
+            "points at the fix: {err}"
+        );
     }
 
     #[test]

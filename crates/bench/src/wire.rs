@@ -43,8 +43,8 @@ use serde::Serialize;
 use std::collections::{BTreeSet, VecDeque};
 use std::hint::black_box;
 use std::time::Instant;
-use tdp_counters::SampleSet;
-use tdp_fleet::{FleetEstimator, SampleBatch};
+use tdp_counters::{PerfEvent, SampleSet};
+use tdp_fleet::{AnomalyDetector, FleetEstimator, SampleBatch, Verdict};
 use tdp_parallel::WorkerPool;
 use tdp_wire::frame::{FrameType, PayloadChecksum};
 use tdp_wire::planar::decode_planes;
@@ -69,8 +69,9 @@ pub struct WireReport {
     pub windows: u64,
     /// Worker-pool concurrency available to the streamed path.
     pub workers: usize,
-    /// Decoder shards the streamed path actually used
-    /// (`0` = it fell back to the serial fused path).
+    /// Decoder shards the streamed path actually used. The serial
+    /// fused fallback reports `1`: one decoder ran, fused with the
+    /// consumer (mirrors [`StreamReport::decoders`]).
     pub decoders: usize,
     /// Encoded bytes per steady-state window in the selected format
     /// (sample frames only — layouts are announced once, in the
@@ -148,6 +149,80 @@ pub struct WireReport {
     /// Kernel dispatch flavour the run used (`scalar` / `wide` — see
     /// [`tdp_simd::Dispatch::active`]).
     pub simd: &'static str,
+    /// Adaptive-sampling results (`--anomaly`): detection quality of
+    /// the closed anomaly→decimation loop plus the decimated-ingest
+    /// A/B, nested under an `"anomaly"` key in `BENCH_wire.json`;
+    /// omitted without the flag.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub anomaly: Option<AnomalyBench>,
+}
+
+/// Adaptive-sampling benchmark block (`--wire N --anomaly`).
+///
+/// Two sub-runs over the same synthetic fleet:
+///
+/// * **detection quality** — the full closed loop (gated encode →
+///   fused ingest → fleet estimate → [`AnomalyDetector`] → decimation
+///   grants fed back to the encoder), clean through warm-up and
+///   steady state, then a sane-but-extreme rate spike on one machine;
+/// * **decimated ingest A/B** — the same stream encoded at full rate
+///   and under a fleet-wide decimation grant, fused serial ingest
+///   timed for both (matched windows, alternating order). The model
+///   evaluation is excluded: decimation cuts decode + row work, not
+///   the estimator, and mixing the two would understate the cut.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnomalyBench {
+    /// Closed-loop windows driven (warm-up + clean steady state +
+    /// spike; the loop stops once the spike is flagged).
+    pub anomaly_windows: u64,
+    /// Detector warm-up (`baseline_windows`): no verdicts, no grants,
+    /// full-rate transmission before this many windows.
+    pub anomaly_warmup_windows: u64,
+    /// Machine-windows flagged (anomalous or suspect) before the
+    /// spike began — false positives; must be 0 on this fault-free
+    /// prefix.
+    pub anomaly_false_positives: u64,
+    /// Largest robust z-score any machine reached while the fleet was
+    /// clean and the detector warmed (headroom under the detection
+    /// threshold; warm-up z is unsmoothed and never judged).
+    pub anomaly_clean_max_z: f64,
+    /// The spiked machine was flagged `Anomalous`.
+    pub anomaly_spike_detected: bool,
+    /// Windows from spike onset to the flag (1 = the first window the
+    /// spike could possibly be judged).
+    pub anomaly_detection_windows: u64,
+    /// The protocol's worst-case detection latency: the spiked
+    /// machine's decimation when the spike began (its sample may wait
+    /// out its transmission phase).
+    pub anomaly_detection_bound_windows: u64,
+    /// Serial and pool-sharded detector digests matched every window.
+    pub anomaly_serial_pooled_identical: bool,
+    /// Decimation the A/B grants every machine (the detector's
+    /// `healthy_decimation`).
+    pub decimation: u16,
+    /// Steady-state windows the A/B timed per stream.
+    pub decimation_ab_windows: u64,
+    /// Mean encoded bytes per steady-state window, full-rate stream.
+    pub decimation_full_bytes_per_window: f64,
+    /// Mean encoded bytes per steady-state window, decimated stream.
+    pub decimation_decimated_bytes_per_window: f64,
+    /// Full-rate bytes over decimated bytes (≈ the decimation).
+    pub decimation_wire_ratio: f64,
+    /// Mean sample frames per steady-state window, full-rate stream
+    /// (one per machine).
+    pub decimation_full_frames_per_window: f64,
+    /// Mean sample frames per steady-state window, decimated stream
+    /// (≈ machines ÷ decimation; reconstruction fills the rest).
+    pub decimation_decimated_frames_per_window: f64,
+    /// Median fused serial ingest (decode → health → batch rows, no
+    /// model evaluation), ns per machine, full-rate stream.
+    pub decimation_full_ingest_ns_per_machine: f64,
+    /// Same, decimated stream (held machines reconstructed from their
+    /// last transmitted window).
+    pub decimation_decimated_ingest_ns_per_machine: f64,
+    /// Full-rate over decimated ingest cost — the headline; the ISSUE
+    /// target is ≥ 2 at decimation 4.
+    pub decimation_ingest_speedup: f64,
 }
 
 /// Appends one window of `sets` to the persistent encoder and drains
@@ -291,6 +366,203 @@ fn median(samples: &mut [f64]) -> f64 {
     }
 }
 
+/// Boosts one machine's activity far above the fleet while staying
+/// inside every [`DegradePolicy`] cap (UPC ≤ 8 of 16, L3 ≤ 32 of 50
+/// per kilocycle, DMA ≤ 0.17 of 0.2 per cycle, …): a runaway workload
+/// the sanity layer must *not* quarantine — only the cross-sectional
+/// detector can catch it.
+fn spike_set(set: &mut SampleSet) {
+    for sample in &mut set.per_cpu {
+        let (cpu, seq) = (sample.cpu(), sample.seq());
+        let boosted: Vec<(PerfEvent, u64)> = sample
+            .counts()
+            .iter()
+            .map(|&(e, c)| {
+                let boost = match e {
+                    PerfEvent::FetchedUops => 4,
+                    PerfEvent::L3LoadMisses => 12,
+                    PerfEvent::BusTransactionsAll => 8,
+                    PerfEvent::DmaOtherBusTransactions => 5,
+                    PerfEvent::InterruptsTotal => 4,
+                    PerfEvent::DiskInterrupts => 4,
+                    _ => 1,
+                };
+                (e, c * boost)
+            })
+            .collect();
+        sample.refill(cpu, seq, boosted);
+    }
+}
+
+/// The `--anomaly` phase: drives the closed detection loop for
+/// quality numbers, then times the decimated-ingest A/B. Panics on a
+/// contract violation the test suite already pins (quarantined spike
+/// rows, unhealthy steady state) — a run that breaks those must not
+/// report numbers.
+fn anomaly_bench(cfg: &ExperimentConfig, n_machines: usize, kind: FrameKind) -> AnomalyBench {
+    let n = n_machines.max(1);
+    let model = SystemPowerModel::paper();
+    let pool = WorkerPool::global();
+    let mut sets: Vec<SampleSet> = Vec::with_capacity(n);
+
+    // ---- Detection quality: the full closed loop. ----
+    let mut enc = WireEncoder::with_kind(kind);
+    let mut state = IngestState::new();
+    let mut est = FleetEstimator::with_capacity(model.clone(), n);
+    let mut serial = AnomalyDetector::default();
+    let mut pooled = AnomalyDetector::default();
+    let warmup = serial.config().baseline_windows as u64;
+    let dec = serial.config().healthy_decimation;
+    let spiked = n / 2;
+    // Spike onset only after every machine has cycled through its
+    // decimated phase at least twice: steady state, worst-case gating.
+    let onset = warmup + 2 * dec as u64;
+    let mut false_positives = 0u64;
+    let mut clean_max_z = 0.0f64;
+    let mut identical = true;
+    let mut detected_after = None;
+    let mut windows_driven = 0u64;
+    for w in 0..onset + dec as u64 {
+        windows_driven = w + 1;
+        refill_sets(&mut sets, n, w ^ cfg.seed);
+        let spiking = w >= onset;
+        if spiking {
+            spike_set(&mut sets[spiked]);
+        }
+        for (m, set) in sets.iter_mut().enumerate() {
+            set.seq = w;
+            if enc.should_send(m as u64, w) {
+                enc.push_sample_set(m as u64, set)
+                    .expect("synthetic sets encode");
+            }
+        }
+        let buf = enc.take_bytes();
+        let rep = ingest_serial_with(&mut state, &buf, n, &mut est);
+        assert_eq!(rep.rows_written, n as u64, "window {w}: every row lands");
+        assert_eq!(
+            rep.rows_quarantined, 0,
+            "window {w}: the spike is sane-but-extreme; only the detector may flag it"
+        );
+        let estimates = est.estimate().clone();
+        serial.update(&estimates);
+        pooled.update_pooled(&estimates, pool);
+        identical &= serial.digest() == pooled.digest();
+        for m in 0..n as u64 {
+            enc.set_decimation(m, serial.decimation(m as usize));
+        }
+        if !spiking {
+            let s = serial.summary();
+            false_positives += s.anomalous + s.suspect;
+            if serial.warmed() {
+                clean_max_z = clean_max_z.max(s.max_z);
+            }
+        } else if serial.verdict(spiked) == Verdict::Anomalous {
+            detected_after = Some(w - onset + 1);
+            break;
+        }
+    }
+
+    // ---- Decimated-ingest A/B: same sets, full rate vs fleet-wide
+    // grant, fused serial ingest timed (no model evaluation). ----
+    let ab_windows: u64 = (262_144 / n as u64).clamp(16, 128);
+    let mut full_enc = WireEncoder::with_kind(kind);
+    let mut dec_enc = WireEncoder::with_kind(kind);
+    let mut full_state = IngestState::new();
+    let mut dec_state = IngestState::new();
+    let mut full_est = FleetEstimator::with_capacity(model.clone(), n);
+    let mut dec_est = FleetEstimator::with_capacity(model, n);
+    // Grants are announced in-band on each machine's next transmitted
+    // layout frame, so the decimated stream reaches its all-machines-
+    // reconstructed steady state only once every phase has sent under
+    // the grant: warm (untimed) until then.
+    let warm = dec as u64 + 1;
+    let (mut full_s, mut dec_s) = (Vec::<f64>::new(), Vec::<f64>::new());
+    let (mut full_bytes, mut dec_bytes) = (0u64, 0u64);
+    let (mut full_frames, mut dec_frames) = (0u64, 0u64);
+    for w in 0..warm + ab_windows {
+        refill_sets(&mut sets, n, w ^ cfg.seed);
+        let mut senders = 0u64;
+        for (m, set) in sets.iter_mut().enumerate() {
+            set.seq = w;
+            full_enc
+                .push_sample_set(m as u64, set)
+                .expect("synthetic sets encode");
+            if dec_enc.should_send(m as u64, w) {
+                dec_enc
+                    .push_sample_set(m as u64, set)
+                    .expect("synthetic sets encode");
+                senders += 1;
+            }
+        }
+        let full_buf = full_enc.take_bytes();
+        let dec_buf = dec_enc.take_bytes();
+        if w == 0 {
+            // Window 0 seeds every machine's baseline row at full
+            // rate; the fleet-wide grant starts with window 1.
+            for m in 0..n as u64 {
+                dec_enc.set_decimation(m, dec);
+            }
+        }
+
+        // Alternate ingest order so cache-position bias averages out.
+        let (mut full_elapsed, mut dec_elapsed) = (0.0f64, 0.0f64);
+        for step in 0..2 {
+            if (step + w as usize).is_multiple_of(2) {
+                let start = Instant::now();
+                let rep = ingest_serial_with(&mut full_state, &full_buf, n, &mut full_est);
+                full_elapsed = start.elapsed().as_secs_f64();
+                assert_eq!(rep.rows_written, n as u64);
+                assert_eq!(rep.corrupt_frames, 0, "clean stream");
+            } else {
+                let start = Instant::now();
+                let rep = ingest_serial_with(&mut dec_state, &dec_buf, n, &mut dec_est);
+                dec_elapsed = start.elapsed().as_secs_f64();
+                assert_eq!(rep.rows_written, n as u64);
+                assert_eq!(rep.corrupt_frames, 0, "clean stream");
+                if w >= warm {
+                    // Steady state: absentees are reconstructions of
+                    // their last transmitted window, never held or
+                    // stale — the health contract of decimation.
+                    assert_eq!(rep.rows_reconstructed, n as u64 - senders, "window {w}");
+                    assert_eq!((rep.rows_held, rep.machines_stale), (0, 0), "window {w}");
+                }
+            }
+        }
+        if w >= warm {
+            full_s.push(full_elapsed);
+            dec_s.push(dec_elapsed);
+            full_bytes += full_buf.len() as u64;
+            dec_bytes += dec_buf.len() as u64;
+            full_frames += n as u64;
+            dec_frames += senders;
+        }
+    }
+    let full_ns = median(&mut full_s) * 1e9 / n as f64;
+    let dec_ns = median(&mut dec_s) * 1e9 / n as f64;
+    let per_window = |total: u64| total as f64 / ab_windows as f64;
+
+    AnomalyBench {
+        anomaly_windows: windows_driven,
+        anomaly_warmup_windows: warmup,
+        anomaly_false_positives: false_positives,
+        anomaly_clean_max_z: clean_max_z,
+        anomaly_spike_detected: detected_after.is_some(),
+        anomaly_detection_windows: detected_after.unwrap_or(0),
+        anomaly_detection_bound_windows: dec as u64,
+        anomaly_serial_pooled_identical: identical,
+        decimation: dec,
+        decimation_ab_windows: ab_windows,
+        decimation_full_bytes_per_window: per_window(full_bytes),
+        decimation_decimated_bytes_per_window: per_window(dec_bytes),
+        decimation_wire_ratio: full_bytes as f64 / (dec_bytes as f64).max(1.0),
+        decimation_full_frames_per_window: per_window(full_frames),
+        decimation_decimated_frames_per_window: per_window(dec_frames),
+        decimation_full_ingest_ns_per_machine: full_ns,
+        decimation_decimated_ingest_ns_per_machine: dec_ns,
+        decimation_ingest_speedup: full_ns / dec_ns.max(f64::MIN_POSITIVE),
+    }
+}
+
 /// Runs all paths over the same windows and assembles the report.
 /// `kind` selects the format the headline paths time; the other
 /// format's fused path rides the same rotation for a matched-noise
@@ -304,7 +576,17 @@ fn median(samples: &mut [f64]) -> f64 {
 /// Panics if a wire path's estimates are not bit-identical to the
 /// in-memory baseline — that is the codec's core contract and a run
 /// that breaks it must not report numbers.
-pub fn run(cfg: &ExperimentConfig, n_machines: usize, kind: FrameKind) -> WireReport {
+///
+/// With `anomaly` set, the adaptive-sampling phase ([`anomaly_bench`])
+/// runs after the headline timing and its `anomaly_*` /
+/// `decimation_*` fields join the report; the headline paths are
+/// untouched (every machine still transmits every window).
+pub fn run(
+    cfg: &ExperimentConfig,
+    n_machines: usize,
+    kind: FrameKind,
+    anomaly: bool,
+) -> WireReport {
     let n_machines = n_machines.max(1);
     // Encoding dominates setup; fewer windows than the fleet bench
     // still average out scheduler noise because each window does
@@ -569,6 +851,7 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize, kind: FrameKind) -> WireRe
         backpressure_events: stream_totals.backpressure_events,
         peak_rss_kb: peak_rss_kb(),
         simd: tdp_simd::Dispatch::active().label(),
+        anomaly: anomaly.then(|| anomaly_bench(cfg, n_machines, kind)),
     }
 }
 
@@ -579,8 +862,13 @@ pub fn run(cfg: &ExperimentConfig, n_machines: usize, kind: FrameKind) -> WireRe
 ///
 /// Panics if the output directory is unwritable (consistent with the
 /// rest of the repro harness).
-pub fn run_and_write(cfg: &ExperimentConfig, n_machines: usize, kind: FrameKind) -> String {
-    let report = run(cfg, n_machines, kind);
+pub fn run_and_write(
+    cfg: &ExperimentConfig,
+    n_machines: usize,
+    kind: FrameKind,
+    anomaly: bool,
+) -> String {
+    let report = run(cfg, n_machines, kind, anomaly);
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
     let path = cfg.out_dir.join("BENCH_wire.json");
@@ -641,6 +929,32 @@ pub struct ChaosReport {
     pub serial_sharded_identical: bool,
     /// Peak resident set (VmHWM), kilobytes; 0 when unavailable.
     pub peak_rss_kb: u64,
+    /// Detector-under-fire results (`--anomaly`): the anomaly
+    /// detector rides the faulted ingest's estimates. Nested under an
+    /// `"anomaly"` key in `CHAOS.json`; omitted without the flag.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub anomaly: Option<ChaosAnomaly>,
+}
+
+/// Anomaly-detector sub-run of the chaos harness: every window's
+/// faulted (serial-path) estimates are judged serially and pooled.
+/// Faults *may* legitimately flag machines — a spiked row that passes
+/// the sanity caps, a long-held machine diverging from live peers —
+/// so the counters are evidence, not a contract; the contract is
+/// serial/pooled bit-identity on battered data.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosAnomaly {
+    /// Windows the detector judged (all of them; warm-up included).
+    pub anomaly_windows: u64,
+    /// Anomalous or suspect machine-windows over the faulted run.
+    pub anomaly_flagged_machine_windows: u64,
+    /// Largest robust z-score any machine reached.
+    pub anomaly_max_z: f64,
+    /// The detector warmed up (judged windows past its baseline).
+    pub anomaly_warmed: bool,
+    /// Serial and pool-sharded detector digests matched every window
+    /// — the bit-identity contract under fire.
+    pub anomaly_serial_pooled_identical: bool,
 }
 
 /// Counter floors implied by a window's injected faults — `false`
@@ -679,6 +993,7 @@ pub fn run_chaos(
     n_machines: usize,
     fault_seed: u64,
     kind: FrameKind,
+    anomaly: bool,
 ) -> ChaosReport {
     let n_machines = n_machines.max(1);
     // Long enough for an outage to cross the staleness horizon,
@@ -705,6 +1020,19 @@ pub fn run_chaos(
     let mut clamped = 0u64;
     let mut clean_machines_final = 0u64;
     let (mut accounted, mut clean_identical, mut paths_identical) = (true, true, true);
+    let mut detectors = anomaly.then(|| {
+        (
+            AnomalyDetector::default(),
+            AnomalyDetector::default(),
+            ChaosAnomaly {
+                anomaly_windows: 0,
+                anomaly_flagged_machine_windows: 0,
+                anomaly_max_z: 0.0,
+                anomaly_warmed: false,
+                anomaly_serial_pooled_identical: true,
+            },
+        )
+    });
 
     let mut sets: Vec<SampleSet> = Vec::with_capacity(n_machines);
     for w in 0..windows {
@@ -727,6 +1055,18 @@ pub fn run_chaos(
         clamped += serial_est.estimate().clamped_predictions();
         let serial_bits = estimate_bits(&mut serial_est, n_machines);
         totals.absorb(&serial_rep);
+
+        if let Some((serial_det, pooled_det, rep)) = detectors.as_mut() {
+            let estimates = serial_est.estimate().clone();
+            serial_det.update(&estimates);
+            pooled_det.update_pooled(&estimates, pool);
+            rep.anomaly_windows += 1;
+            rep.anomaly_serial_pooled_identical &= serial_det.digest() == pooled_det.digest();
+            let s = serial_det.summary();
+            rep.anomaly_flagged_machine_windows += s.anomalous + s.suspect;
+            rep.anomaly_max_z = rep.anomaly_max_z.max(s.max_z);
+            rep.anomaly_warmed |= serial_det.warmed();
+        }
 
         let sharded_rep = stream_window_with(
             &mut sharded_state,
@@ -800,6 +1140,7 @@ pub fn run_chaos(
         clean_subset_bit_identical: clean_identical,
         serial_sharded_identical: paths_identical,
         peak_rss_kb: peak_rss_kb(),
+        anomaly: detectors.map(|(_, _, rep)| rep),
     }
 }
 
@@ -815,8 +1156,9 @@ pub fn run_chaos_and_write(
     n_machines: usize,
     fault_seed: u64,
     kind: FrameKind,
+    anomaly: bool,
 ) -> String {
-    let report = run_chaos(cfg, n_machines, fault_seed, kind);
+    let report = run_chaos(cfg, n_machines, fault_seed, kind, anomaly);
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
     let path = cfg.out_dir.join("CHAOS.json");
@@ -835,8 +1177,12 @@ mod tests {
             out_dir: std::env::temp_dir().join("tdp-wire-bench-test"),
             ..ExperimentConfig::quick()
         };
-        let r = run(&cfg, 8, FrameKind::Planar);
+        let r = run(&cfg, 8, FrameKind::Planar, false);
         assert_eq!(r.n_machines, 8);
+        assert!(
+            r.anomaly.is_none(),
+            "adaptive sampling is opt-in; the default report must not carry it"
+        );
         assert_eq!(r.frame_format, "planar");
         assert_eq!(r.frames_per_window, 8, "steady state: sample frames only");
         assert_eq!(r.decode.units, r.windows * 8);
@@ -889,7 +1235,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("tdp-wire-bench-test-varint"),
             ..ExperimentConfig::quick()
         };
-        let r = run(&cfg, 6, FrameKind::Varint);
+        let r = run(&cfg, 6, FrameKind::Varint, false);
         assert_eq!(r.frame_format, "varint");
         assert_eq!(r.bytes_per_frame, r.varint_bytes_per_frame);
         assert_eq!(r.fused_ns_per_machine, r.varint_fused_ns_per_machine);
@@ -907,8 +1253,9 @@ mod tests {
             out_dir: std::env::temp_dir().join("tdp-wire-chaos-test"),
             ..ExperimentConfig::quick()
         };
-        let r = run_chaos(&cfg, 12, 1234, FrameKind::Planar);
+        let r = run_chaos(&cfg, 12, 1234, FrameKind::Planar, false);
         assert_eq!(r.frame_format, "planar");
+        assert!(r.anomaly.is_none(), "detector sub-run is opt-in");
         assert!(
             r.faults_injected >= r.windows - 1,
             "1–3 faults per faulted window, got {}",
@@ -921,17 +1268,80 @@ mod tests {
         assert!(r.rows_written > 0);
 
         // The harness replays deterministically, seed in → verdict out.
-        let again = run_chaos(&cfg, 12, 1234, FrameKind::Planar);
+        let again = run_chaos(&cfg, 12, 1234, FrameKind::Planar, false);
         assert_eq!(r.faults_injected, again.faults_injected);
         assert_eq!(r.rows_written, again.rows_written);
         assert_eq!(r.rows_quarantined, again.rows_quarantined);
         // A different seed is a different battering.
-        let other = run_chaos(&cfg, 12, 4321, FrameKind::Planar);
+        let other = run_chaos(&cfg, 12, 4321, FrameKind::Planar, false);
         assert!(other.all_faults_accounted && other.clean_subset_bit_identical);
         // The legacy varint stream degrades under the same contract.
-        let varint = run_chaos(&cfg, 12, 1234, FrameKind::Varint);
+        let varint = run_chaos(&cfg, 12, 1234, FrameKind::Varint, false);
         assert_eq!(varint.frame_format, "varint");
         assert!(varint.all_faults_accounted, "unaccounted fault: {varint:?}");
         assert!(varint.clean_subset_bit_identical && varint.serial_sharded_identical);
+    }
+
+    #[test]
+    fn anomaly_phase_reports_detection_and_decimation_wins() {
+        let cfg = ExperimentConfig {
+            out_dir: std::env::temp_dir().join("tdp-wire-bench-test-anomaly"),
+            ..ExperimentConfig::quick()
+        };
+        let r = run(&cfg, 8, FrameKind::Planar, true);
+        let a = r.anomaly.as_ref().expect("--anomaly fills the block");
+        assert_eq!(a.anomaly_false_positives, 0, "clean fleet stays unflagged");
+        assert!(
+            a.anomaly_clean_max_z < AnomalyDetector::default().config().threshold,
+            "clean z headroom, got {}",
+            a.anomaly_clean_max_z
+        );
+        assert!(a.anomaly_spike_detected, "rate spike must be caught");
+        assert!(
+            (1..=a.anomaly_detection_bound_windows).contains(&a.anomaly_detection_windows),
+            "detection within the decimation bound, got {} of {}",
+            a.anomaly_detection_windows,
+            a.anomaly_detection_bound_windows
+        );
+        assert!(a.anomaly_serial_pooled_identical, "detector bit-identity");
+        assert_eq!(a.decimation, 4, "detector default grant");
+        // 8 machines at decimation 4: exactly 2 transmit per
+        // steady-state window; the rest are reconstructed.
+        assert_eq!(a.decimation_full_frames_per_window, 8.0);
+        assert_eq!(a.decimation_decimated_frames_per_window, 2.0);
+        assert!(
+            a.decimation_wire_ratio > 2.0,
+            "wire bytes must shrink well past half, got {}",
+            a.decimation_wire_ratio
+        );
+        assert!(
+            a.decimation_ingest_speedup > 1.0 && a.decimation_ingest_speedup.is_finite(),
+            "decimated ingest must be cheaper, got {}",
+            a.decimation_ingest_speedup
+        );
+        // Flattening lands the fields at the report's top level, where
+        // the CI assertions read them.
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(json.contains("\"anomaly_spike_detected\":true"));
+        assert!(json.contains("\"decimation_ingest_speedup\":"));
+    }
+
+    #[test]
+    fn chaos_anomaly_subrun_keeps_detector_bit_identity_under_fire() {
+        let cfg = ExperimentConfig {
+            out_dir: std::env::temp_dir().join("tdp-wire-chaos-test-anomaly"),
+            ..ExperimentConfig::quick()
+        };
+        let r = run_chaos(&cfg, 12, 1234, FrameKind::Planar, true);
+        let a = r.anomaly.as_ref().expect("--anomaly fills the block");
+        assert_eq!(a.anomaly_windows, r.windows);
+        assert!(a.anomaly_warmed, "24 windows outlast the baseline");
+        assert!(
+            a.anomaly_serial_pooled_identical,
+            "serial and pooled judgement must agree on battered estimates"
+        );
+        assert!(a.anomaly_max_z.is_finite());
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(json.contains("\"anomaly_serial_pooled_identical\":true"));
     }
 }

@@ -59,11 +59,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anomaly;
 mod batch;
 mod calibrate;
 mod estimator;
 pub mod kernels;
 
+pub use anomaly::{AnomalyConfig, AnomalyDetector, AnomalySummary, Verdict};
 pub use batch::{col, RowAccumulator, SampleBatch, COLUMNS, ROW_EVENTS};
 pub use calibrate::StreamingCalibrator;
 pub use estimator::{FleetEstimates, FleetEstimator};

@@ -22,7 +22,8 @@
 //! can never misattribute columns.
 
 use crate::frame::{
-    FrameHeader, FrameType, HeaderError, PayloadChecksum, HEADER_LEN, MAGIC, MAX_WIRE_EVENTS,
+    FrameHeader, FrameType, HeaderError, PayloadChecksum, HEADER_LEN, MAGIC, MAX_DECIMATION,
+    MAX_WIRE_EVENTS,
 };
 use crate::varint::{read_uvarint, read_uvarints_ck, unzigzag};
 use tdp_counters::layout_hash_indices;
@@ -47,7 +48,12 @@ pub enum DecodeError {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Decoded {
     /// A layout frame; its mapping is now registered in the decoder.
-    Layout,
+    Layout {
+        /// The machine's negotiated sampling decimation, carried in the
+        /// layout header's `cpu_count` field (normalised: a legacy `0`
+        /// on the wire decodes as 1 — sample every window).
+        decimation: u16,
+    },
     /// One machine-window reduced to a fleet sample row.
     Row {
         /// Which machine the row describes.
@@ -185,15 +191,24 @@ impl FrameDecoder {
         header: &FrameHeader,
         payload: &[u8],
     ) -> Result<Decoded, DecodeError> {
+        // Layout frames have no CPUs; their header's `cpu_count` field
+        // carries the machine's negotiated sampling decimation instead
+        // (0 = legacy every-window). An absurd value is an encoder bug
+        // or corruption that slipped the checksum — reject it.
+        if header.cpu_count > MAX_DECIMATION {
+            return Err(DecodeError::Malformed);
+        }
+        let decimation = header.cpu_count.max(1);
         // Re-declaration of an already-registered hash: the checksum
         // proved this frame intact, and the hash → positions binding
         // was payload-verified when first registered, so re-parsing
         // would recompute the identical entry. Skipping it makes
         // producers that re-announce layouts (e.g. at stream joins)
-        // nearly free.
+        // nearly free — which matters, because a decimation change is
+        // announced by re-sending the (already known) layout frame.
         if let Some(e) = self.layouts.lookup(header.layout_hash) {
             if e.n_events == header.n_events {
-                return Ok(Decoded::Layout);
+                return Ok(Decoded::Layout { decimation });
             }
         }
         let n = header.n_events as usize;
@@ -229,7 +244,7 @@ impl FrameDecoder {
         entry.identity = entry.n_events as usize == ROW_EVENTS.len()
             && entry.pos.iter().enumerate().all(|(k, &p)| p as usize == k);
         self.layouts.register(entry);
-        Ok(Decoded::Layout)
+        Ok(Decoded::Layout { decimation })
     }
 
     /// Decodes a sample frame up to (but not including) the row

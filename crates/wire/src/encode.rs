@@ -11,7 +11,8 @@
 //! and custom producers.
 
 use crate::frame::{
-    put_uvarint, zigzag, FrameHeader, FrameKind, FrameType, HEADER_LEN, MAX_WIRE_EVENTS,
+    put_uvarint, zigzag, FrameHeader, FrameKind, FrameType, HEADER_LEN, MAX_DECIMATION,
+    MAX_WIRE_EVENTS,
 };
 use std::collections::HashMap;
 use tdp_counters::{layout_hash, PerfEvent, SampleSet};
@@ -65,7 +66,29 @@ pub fn encode_layout_frame(
     window_seq: u64,
     events: &[PerfEvent],
 ) -> Result<(), EncodeError> {
-    if events.len() > MAX_WIRE_EVENTS {
+    encode_layout_frame_with_decimation(out, machine_id, window_seq, events, 1)
+}
+
+/// [`encode_layout_frame`] announcing a sampling decimation alongside
+/// the layout: the header's (otherwise unused) `cpu_count` field tells
+/// the consumer this machine will send one sample frame every
+/// `decimation` windows, phase-staggered, and expects held
+/// reconstruction in between. `decimation ≤ 1` writes the legacy `0`,
+/// so an every-window stream is byte-identical to one produced before
+/// the field existed.
+///
+/// # Errors
+///
+/// [`EncodeError::OutOfBounds`] if `events` exceeds
+/// [`MAX_WIRE_EVENTS`] or `decimation` exceeds [`MAX_DECIMATION`].
+pub fn encode_layout_frame_with_decimation(
+    out: &mut Vec<u8>,
+    machine_id: u64,
+    window_seq: u64,
+    events: &[PerfEvent],
+    decimation: u16,
+) -> Result<(), EncodeError> {
+    if events.len() > MAX_WIRE_EVENTS || decimation > MAX_DECIMATION {
         return Err(EncodeError::OutOfBounds);
     }
     let header = FrameHeader {
@@ -74,7 +97,7 @@ pub fn encode_layout_frame(
         machine_id,
         window_seq,
         layout_hash: layout_hash(events),
-        cpu_count: 0,
+        cpu_count: if decimation <= 1 { 0 } else { decimation },
         n_events: events.len() as u16,
         checksum: 0,
     };
@@ -200,7 +223,12 @@ fn layout_hash_of(pairs: &[(PerfEvent, u64)]) -> u64 {
 #[derive(Debug, Clone, Default)]
 pub struct WireEncoder {
     buf: Vec<u8>,
-    last_layout: HashMap<u64, u64>,
+    /// Per machine: the layout hash and decimation last *announced* on
+    /// the wire. A change in either re-emits the layout frame.
+    last_layout: HashMap<u64, (u64, u16)>,
+    /// Per machine: the decimation the control loop *wants* (1 when
+    /// unset). Announced lazily by the next `push_sample_set`.
+    decimation: HashMap<u64, u16>,
     kind: FrameKind,
 }
 
@@ -234,8 +262,36 @@ impl WireEncoder {
         self.kind = kind;
     }
 
+    /// Sets the sampling decimation the control loop wants for
+    /// `machine_id` (clamped to `1..=`[`MAX_DECIMATION`]). The change
+    /// takes effect on the machine's next `push_sample_set`, which
+    /// re-announces the (unchanged) layout with the new decimation —
+    /// the consumer learns about it in-band, on the frame before the
+    /// first frame it applies to.
+    pub fn set_decimation(&mut self, machine_id: u64, decimation: u16) {
+        self.decimation
+            .insert(machine_id, decimation.clamp(1, MAX_DECIMATION));
+    }
+
+    /// The decimation currently wanted for `machine_id` (1 if never
+    /// set: sample every window).
+    pub fn decimation(&self, machine_id: u64) -> u16 {
+        self.decimation.get(&machine_id).copied().unwrap_or(1)
+    }
+
+    /// Whether `machine_id` should transmit its sample for
+    /// `window_seq` under its current decimation: every window at
+    /// decimation 1, else one window in `dec`, phase-staggered by
+    /// machine id so a homogeneous fleet spreads its transmissions
+    /// across windows instead of bursting every `dec`-th one.
+    pub fn should_send(&self, machine_id: u64, window_seq: u64) -> bool {
+        let dec = self.decimation(machine_id) as u64;
+        dec <= 1 || window_seq % dec == machine_id % dec
+    }
+
     /// Appends one machine-window, preceding it with a layout frame if
-    /// this machine's event layout is new or changed.
+    /// this machine's event layout is new or changed — or if its
+    /// negotiated decimation changed since last announced.
     ///
     /// # Errors
     ///
@@ -246,9 +302,10 @@ impl WireEncoder {
             .first()
             .map_or(Vec::new(), |c| c.counts().iter().map(|p| p.0).collect());
         let hash = layout_hash(&events);
+        let dec = self.decimation(machine_id);
         let rollback = self.buf.len();
-        if self.last_layout.get(&machine_id) != Some(&hash) {
-            encode_layout_frame(&mut self.buf, machine_id, set.seq, &events)?;
+        if self.last_layout.get(&machine_id) != Some(&(hash, dec)) {
+            encode_layout_frame_with_decimation(&mut self.buf, machine_id, set.seq, &events, dec)?;
         }
         let encoded = match self.kind {
             FrameKind::Planar => encode_planar_sample_frame(&mut self.buf, machine_id, set),
@@ -256,7 +313,7 @@ impl WireEncoder {
         };
         match encoded {
             Ok(()) => {
-                self.last_layout.insert(machine_id, hash);
+                self.last_layout.insert(machine_id, (hash, dec));
                 Ok(())
             }
             Err(e) => {

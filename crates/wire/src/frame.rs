@@ -21,7 +21,13 @@
 //! A **layout frame** declares a PMU event layout: its payload is
 //! `n_events` varints of stable event indices ([`PerfEvent::index`]),
 //! and `layout_hash` is their [`layout_hash_indices`] — a decoder
-//! verifies the two agree before trusting either. A **sample frame**
+//! verifies the two agree before trusting either. Layout frames have
+//! no CPUs to describe, so their `cpu_count` field carries the
+//! machine's negotiated **sampling decimation** instead: `0` or `1`
+//! means every window is transmitted, `N > 1` means the machine sends
+//! one window in `N` and expects the consumer to hold-reconstruct the
+//! rest (capped at [`MAX_DECIMATION`]; the field is checksummed like
+//! any other, and legacy producers always wrote `0`). A **sample frame**
 //! carries one machine's window of raw counts: `cpu_count × n_events`
 //! varints in layout order, CPU 0 raw and every later CPU zigzag
 //! delta-encoded against the previous CPU's count of the same event
@@ -61,6 +67,12 @@ pub const HEADER_LEN: usize = 44;
 /// leave room for newer producers, tight enough that a corrupt header
 /// cannot request an absurd allocation.
 pub const MAX_WIRE_EVENTS: usize = 64;
+
+/// Largest per-machine sampling decimation a layout frame may declare
+/// (its `cpu_count` field; see the [module docs](self)). Sending one
+/// window in 1024 is already far past useful reconstruction; anything
+/// larger in the field is treated as a malformed frame.
+pub const MAX_DECIMATION: u16 = 1024;
 
 /// What a frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,7 +174,9 @@ pub struct FrameHeader {
     pub window_seq: u64,
     /// Identity of the event layout the payload is encoded against.
     pub layout_hash: u64,
-    /// CPUs in a sample frame (0 for layout frames).
+    /// CPUs in a sample frame. Layout frames have no CPUs; the field
+    /// carries the machine's negotiated sampling decimation there
+    /// (0 ⇒ 1, see the [module docs](self)).
     pub cpu_count: u16,
     /// Events per CPU in the layout.
     pub n_events: u16,
@@ -274,6 +288,17 @@ fn mix(h: u64, w: u64) -> u64 {
     (h.rotate_left(25) ^ w).wrapping_mul(K)
 }
 
+/// Loads up to 8 bytes little-endian, zero-padding a short slice.
+/// Total (no panic path): this checksum runs on attacker-controlled
+/// frames, so the walk must reject, never abort.
+#[inline]
+fn le_word(bytes: &[u8]) -> u64 {
+    let take = bytes.len().min(8);
+    let mut b = [0u8; 8];
+    b[..take].copy_from_slice(&bytes[..take]);
+    u64::from_le_bytes(b)
+}
+
 /// Incremental frame checksum: the same two-lane mix as
 /// [`FrameHeader::expected_checksum`] (which delegates here, so the two
 /// can never drift), exposed as a streaming absorb so a decoder can
@@ -330,11 +355,13 @@ impl PayloadChecksum {
     pub fn absorb_to(&mut self, payload: &[u8], upto: usize) {
         let end = upto.min(payload.len()) & !15;
         while self.done < end {
-            let c = &payload[self.done..self.done + 16];
-            let a = u64::from_le_bytes(c[..8].try_into().expect("8 bytes"));
-            let b = u64::from_le_bytes(c[8..].try_into().expect("8 bytes"));
-            self.h = mix(self.h, a);
-            self.lane = mix(self.lane, b);
+            // `end` is 16-aligned and ≤ payload.len(), so the chunk is
+            // always there; `get` keeps the walk total regardless.
+            let Some(c) = payload.get(self.done..self.done + 16) else {
+                break;
+            };
+            self.h = mix(self.h, le_word(&c[..8]));
+            self.lane = mix(self.lane, le_word(&c[8..]));
             self.done += 16;
         }
     }
@@ -347,19 +374,15 @@ impl PayloadChecksum {
     /// zero padding cannot alias a longer payload.
     pub fn finish(mut self, payload: &[u8]) -> u64 {
         self.absorb_to(payload, payload.len());
-        let rem = &payload[self.done..];
-        let mut i = 0;
-        while i < rem.len() {
-            let take = rem.len().min(i + 8);
-            let mut b = [0u8; 8];
-            b[..take - i].copy_from_slice(&rem[i..take]);
-            let w = u64::from_le_bytes(b);
-            if i == 0 {
-                self.h = mix(self.h, w);
-            } else {
-                self.lane = mix(self.lane, w);
-            }
-            i = take;
+        // After the chunked absorb the remainder is < 16 bytes: at most
+        // one word per lane, zero-padded by `le_word`.
+        let rem = payload.get(self.done..).unwrap_or_default();
+        let (first, second) = rem.split_at(rem.len().min(8));
+        if !first.is_empty() {
+            self.h = mix(self.h, le_word(first));
+        }
+        if !second.is_empty() {
+            self.lane = mix(self.lane, le_word(second));
         }
         mix(self.h, self.lane)
     }

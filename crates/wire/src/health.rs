@@ -214,6 +214,10 @@ pub(crate) enum SeqNote {
 /// [`HealthLedger::hold`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum Hold {
+    /// The machine is silent *by protocol* — still within its
+    /// negotiated sampling decimation of its last transmitted window —
+    /// so its last good row is reconstructed with no health downgrade.
+    Reconstructed([f64; COLUMNS]),
     /// Carry the machine at its last good row for this window.
     Held([f64; COLUMNS]),
     /// The machine just crossed the staleness bound — count it in
@@ -251,6 +255,10 @@ pub(crate) struct HealthLedger {
     /// Whether the current outage was already counted in
     /// `machines_stale` (one count per outage, not per window).
     counted_stale: Vec<bool>,
+    /// Negotiated sampling decimation per machine (1 = every window),
+    /// learned from the machine's layout frames. Windows of silence
+    /// shorter than this are reconstruction, not degradation.
+    decimation: Vec<u16>,
     /// Last row that decoded cleanly and passed sanity bounds — the
     /// value held for bounded staleness when a machine goes silent.
     last_good: [Vec<f64>; COLUMNS],
@@ -270,9 +278,16 @@ impl HealthLedger {
         self.last_good_epoch.resize(n, 0);
         self.emitted_epoch.resize(n, 0);
         self.counted_stale.resize(n, false);
+        self.decimation.resize(n, 1);
         for c in &mut self.last_good {
             c.resize(n, 0.0);
         }
+    }
+
+    /// Records machine `m`'s negotiated sampling decimation (from its
+    /// layout frame; values are already normalised ≥ 1 by the decoder).
+    pub(crate) fn set_decimation(&mut self, m: usize, decimation: u16) {
+        self.decimation[m] = decimation.max(1);
     }
 
     /// Machines the ledger has slots for.
@@ -299,6 +314,17 @@ impl HealthLedger {
         if self.seen[m] {
             let last = self.last_seq[m];
             if last == seq {
+                // A machine already past the staleness bound cannot be
+                // re-delivering a window this outage accepted — it
+                // delivered nothing. Equal sequences from a Stale
+                // machine mean a rebooted producer resuming where its
+                // counter left off (the wire bench's warmup seq is one
+                // such replay), so re-baseline it as a reset instead of
+                // locking it out as a duplicate forever — and without
+                // re-counting the same outage in `machines_stale`.
+                if self.state[m] == HealthState::Stale {
+                    return SeqNote::Reset;
+                }
                 return SeqNote::Duplicate;
             }
             self.last_seq[m] = seq;
@@ -370,27 +396,48 @@ impl HealthLedger {
     }
 
     /// The hold / staleness decision for a machine that contributed
-    /// nothing this window: carry its last good row while within
-    /// `max_stale` windows of it, otherwise declare it stale.
+    /// nothing this window, in three tiers anchored at the machine's
+    /// negotiated decimation `dec` (windows since its last good row):
+    ///
+    /// * `since < dec` — silence is the sampling protocol itself;
+    ///   reconstruct the last good row with no health downgrade;
+    /// * `since ≤ dec − 1 + max_stale` — the machine has missed a
+    ///   window it owed; carry it as Suspect (the legacy hold);
+    /// * beyond that — declare it stale.
+    ///
+    /// At `dec = 1` the first tier is unreachable (a machine with a
+    /// good row *this* epoch never reaches `hold`), so the ladder
+    /// reduces exactly to the historical every-window behaviour.
     pub(crate) fn hold(&mut self, m: usize, epoch: u64, max_stale: u64) -> Hold {
-        if self.has_last_good[m] && epoch - self.last_good_epoch[m] <= max_stale {
-            self.emitted_epoch[m] = epoch;
-            if self.state[m] == HealthState::Healthy {
-                self.state[m] = HealthState::Suspect;
+        if self.has_last_good[m] {
+            let since = epoch - self.last_good_epoch[m];
+            let dec = self.decimation[m] as u64;
+            if since < dec {
+                self.emitted_epoch[m] = epoch;
+                let mut row = [0.0; COLUMNS];
+                for (v, c) in row.iter_mut().zip(&self.last_good) {
+                    *v = c[m];
+                }
+                return Hold::Reconstructed(row);
             }
-            let mut row = [0.0; COLUMNS];
-            for (v, c) in row.iter_mut().zip(&self.last_good) {
-                *v = c[m];
+            if since <= dec - 1 + max_stale {
+                self.emitted_epoch[m] = epoch;
+                if self.state[m] == HealthState::Healthy {
+                    self.state[m] = HealthState::Suspect;
+                }
+                let mut row = [0.0; COLUMNS];
+                for (v, c) in row.iter_mut().zip(&self.last_good) {
+                    *v = c[m];
+                }
+                return Hold::Held(row);
             }
-            Hold::Held(row)
+        }
+        self.state[m] = HealthState::Stale;
+        if self.counted_stale[m] {
+            Hold::AlreadyStale
         } else {
-            self.state[m] = HealthState::Stale;
-            if self.counted_stale[m] {
-                Hold::AlreadyStale
-            } else {
-                self.counted_stale[m] = true;
-                Hold::NewlyStale
-            }
+            self.counted_stale[m] = true;
+            Hold::NewlyStale
         }
     }
 

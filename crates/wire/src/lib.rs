@@ -83,7 +83,8 @@ mod stream;
 
 pub use decode::{CursorItem, DecodeError, Decoded, FrameCursor, FrameDecoder, LayoutTable};
 pub use encode::{
-    encode_layout_frame, encode_planar_sample_frame, encode_sample_frame, EncodeError, WireEncoder,
+    encode_layout_frame, encode_layout_frame_with_decimation, encode_planar_sample_frame,
+    encode_sample_frame, EncodeError, WireEncoder,
 };
 pub use faults::{FaultKind, FaultPlan, FaultedWindow, InjectedFault};
 pub use frame::FrameKind;

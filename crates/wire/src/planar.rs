@@ -133,6 +133,16 @@ pub fn decode_planes(
         return None;
     }
     let total = n + n * stride;
+    // Price floor *before* sizing scratch: every base and delta lane is
+    // at least one byte, so a structurally valid payload carries no
+    // fewer than `n` directory bytes plus one byte per lane. A header
+    // whose cpu_count prices past the payload (a corrupt cpu_count can
+    // claim 65535 CPUs against a 100-byte payload) is rejected here,
+    // so `out` never exceeds `payload.len()` entries and a corrupt
+    // header cannot request an absurd allocation.
+    if payload.len() < n + total {
+        return None;
+    }
     // The decode passes overwrite every entry, so resize only on a
     // geometry change (no steady-state memset) — same policy as the
     // varint scratch.
@@ -263,8 +273,9 @@ fn decode_bulk(
             1 => widen_u16_to_u64(d, src, dst),
             2 => widen_u32_to_u64(d, src, dst),
             _ => {
-                for (v, c) in dst.iter_mut().zip(src.chunks_exact(8)) {
-                    *v = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+                let (words, _) = src.as_chunks::<8>();
+                for (v, c) in dst.iter_mut().zip(words) {
+                    *v = u64::from_le_bytes(*c);
                 }
             }
         }
@@ -385,6 +396,62 @@ mod tests {
         assert!(decode(&long, 3, 2).is_none());
         // Payload shorter than the directory itself.
         assert!(decode(&payload[..2], 3, 2).is_none());
+    }
+
+    #[test]
+    fn i64_min_delta_selects_the_eight_byte_lane_and_roundtrips() {
+        // A CPU-over-CPU step of exactly i64::MIN zigzags to u64::MAX —
+        // the one value where a sign-magnitude width heuristic would
+        // underprice the lane. It must take width code 3 and come back
+        // bit-exact through the fused scalar path...
+        let base = 3u64;
+        let stepped = base.wrapping_add(i64::MIN as u64);
+        let set = set_of(&[vec![base, 1, 2], vec![stepped, 1, 2]]);
+        let mut payload = Vec::new();
+        encode_payload(&mut payload, &set);
+        assert_eq!(payload[0] >> 4, 3, "i64::MIN delta must price 8 bytes");
+        let out = decode(&payload, 3, 2).expect("fused path");
+        assert_eq!(out[3], stepped, "fused roundtrip");
+        // ...and through the bulk kernel path (≥ WIDE_LANES delta
+        // lanes: 3 events × 64 deltas = 192), alternating the extreme
+        // step so every lane in event 0's plane is ±i64::MIN.
+        let cpus = 65usize;
+        let rows: Vec<Vec<u64>> = (0..cpus)
+            .map(|cpu| {
+                let v = if cpu % 2 == 0 { base } else { stepped };
+                vec![v, cpu as u64, 7]
+            })
+            .collect();
+        let wide = set_of(&rows);
+        let mut payload = Vec::new();
+        encode_payload(&mut payload, &wide);
+        assert_eq!(payload[0] >> 4, 3);
+        let stride = cpus - 1;
+        assert!(3 * stride >= WIDE_LANES, "must exercise decode_bulk");
+        let out = decode(&payload, 3, cpus).expect("bulk path");
+        for cpu in 1..cpus {
+            for e in 0..3 {
+                assert_eq!(
+                    out[3 + e * stride + (cpu - 1)],
+                    rows[cpu][e],
+                    "event {e} cpu {cpu}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_cpu_count_is_rejected_before_allocating() {
+        // A flipped header can claim 65535 CPUs against a tiny payload;
+        // the price floor must reject it before sizing scratch.
+        let set = set_of(&[vec![10, 20, 30], vec![11, 19, 31]]);
+        let mut payload = Vec::new();
+        encode_payload(&mut payload, &set);
+        let h = header_for(payload.len(), u16::MAX, 3);
+        let mut out = Vec::new();
+        let mut ck = PayloadChecksum::new(&h);
+        assert!(decode_planes(Dispatch::active(), &payload, 3, 65535, &mut out, &mut ck).is_none());
+        assert_eq!(out.capacity(), 0, "no scratch growth on rejection");
     }
 
     #[test]

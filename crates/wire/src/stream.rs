@@ -110,6 +110,12 @@ pub struct StreamReport {
     /// Rows emitted from a machine's last good window because this
     /// window brought no acceptable fresh row.
     pub rows_held: u64,
+    /// Rows reconstructed for machines silent *by protocol* — within
+    /// their negotiated sampling decimation (see
+    /// [`WireEncoder::set_decimation`](crate::WireEncoder::set_decimation)).
+    /// Expected in the steady state of a decimated stream, so not part
+    /// of [`PipelineHealth`](crate::PipelineHealth).
+    pub rows_reconstructed: u64,
     /// Machines declared [`HealthState::Stale`] this window after
     /// exceeding [`DegradePolicy::max_stale_windows`] (counted once
     /// per outage, not once per silent window).
@@ -138,6 +144,7 @@ impl StreamReport {
         self.duplicate_windows += o.duplicate_windows;
         self.rows_quarantined += o.rows_quarantined;
         self.rows_held += o.rows_held;
+        self.rows_reconstructed += o.rows_reconstructed;
         self.machines_stale += o.machines_stale;
         self.dropped_rows += o.dropped_rows;
         self.backpressure_events += o.backpressure_events;
@@ -293,14 +300,24 @@ fn run_shard(
         match header.frame_type {
             FrameType::Layout => {
                 // Every shard registers every layout (any shard may own
-                // samples encoded against it); only the owner counts.
+                // samples encoded against it); only the owner counts —
+                // and only the owner's ledger learns the machine's
+                // negotiated decimation, since only it runs the hold
+                // pass for that machine.
                 match state
                     .dec
                     .decode_frame(&header, cursor.payload(start, &header))
                 {
-                    Ok(_) => {
+                    Ok(d) => {
                         if mine {
                             stats.layout_frames += 1;
+                            let idx = header.machine_id as usize;
+                            if let Decoded::Layout { decimation } = d {
+                                if idx < ctx.machines {
+                                    state.ledger.ensure(idx + 1);
+                                    state.ledger.set_decimation(idx, decimation);
+                                }
+                            }
                         }
                     }
                     Err(_) => {
@@ -332,7 +349,7 @@ fn run_shard(
                             stats.out_of_range_frames += 1;
                         }
                     }
-                    Ok(Decoded::Layout) => {}
+                    Ok(Decoded::Layout { .. }) => {}
                     Err(DecodeError::UnknownLayout) => stats.unknown_layout_frames += 1,
                     Err(_) => stats.corrupt_frames += 1,
                 }
@@ -410,6 +427,10 @@ fn hold_pass(
             .ledger
             .hold(idx, ctx.epoch, ctx.policy.max_stale_windows)
         {
+            Hold::Reconstructed(row) => {
+                emit(WireRow { machine, row });
+                stats.rows_reconstructed += 1;
+            }
             Hold::Held(row) => {
                 emit(WireRow { machine, row });
                 stats.rows_held += 1;
@@ -526,7 +547,15 @@ pub fn ingest_serial_with(
         };
         match header.frame_type {
             FrameType::Layout => match dec.decode_frame(&header, cursor.payload(start, &header)) {
-                Ok(_) => stats.layout_frames += 1,
+                Ok(d) => {
+                    stats.layout_frames += 1;
+                    if let Decoded::Layout { decimation } = d {
+                        let idx = header.machine_id as usize;
+                        if idx < machines {
+                            ledger.set_decimation(idx, decimation);
+                        }
+                    }
+                }
                 Err(_) => stats.corrupt_frames += 1,
             },
             FrameType::Sample | FrameType::PlanarSample => {
@@ -631,6 +660,13 @@ pub fn ingest_serial_with(
                 continue;
             }
             match ledger.hold(idx, epoch, policy.max_stale_windows) {
+                Hold::Reconstructed(row) => {
+                    for (c, v) in cols.iter_mut().zip(row) {
+                        c[idx] = v;
+                    }
+                    stats.rows_reconstructed += 1;
+                    stats.rows_written += 1;
+                }
                 Hold::Held(row) => {
                     for (c, v) in cols.iter_mut().zip(row) {
                         c[idx] = v;

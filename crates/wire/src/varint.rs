@@ -35,6 +35,17 @@ pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
     out.push(v as u8);
 }
 
+/// Loads the 8-byte little-endian word at `p`, or `None` within 8
+/// bytes of the buffer end. Total: decode paths run on
+/// attacker-controlled bytes, so even "provably in range" loads go
+/// through this instead of a panicking conversion.
+#[inline]
+fn load_word(buf: &[u8], p: usize) -> Option<u64> {
+    buf.get(p..)?
+        .first_chunk::<8>()
+        .map(|c| u64::from_le_bytes(*c))
+}
+
 /// Reads one LEB128 varint at `*pos`, advancing it past the encoding.
 ///
 /// Returns `None` on buffer overrun or an encoding longer than
@@ -49,8 +60,7 @@ pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
 #[inline]
 pub fn read_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
     let p = *pos;
-    if let Some(chunk) = buf.get(p..p + 8) {
-        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte slice"));
+    if let Some(word) = load_word(buf, p) {
         let stops = !word & 0x8080_8080_8080_8080;
         if stops != 0 {
             let len = (stops.trailing_zeros() as usize >> 3) + 1;
@@ -148,8 +158,7 @@ fn read_uvarints_wide(buf: &[u8], pos: &mut usize, dst: &mut [u64]) -> Option<()
     let mut p = *pos;
     let mut i = 0;
     'outer: while i < dst.len() {
-        if let Some(chunk) = buf.get(p..p + 8) {
-            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte slice"));
+        if let Some(word) = load_word(buf, p) {
             let mut stops = !word & STOP;
             let mut off = 0usize;
             while stops != 0 {
@@ -239,8 +248,7 @@ fn read_uvarints_wide_ck(
     let mut p = *pos;
     let mut i = 0;
     'outer: while i < dst.len() {
-        if let Some(chunk) = buf.get(p..p + 8) {
-            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte slice"));
+        if let Some(word) = load_word(buf, p) {
             let mut stops = !word & STOP;
             if stops != 0 && (stops.count_ones() as usize) <= dst.len() - i {
                 // Whole window fits: advance `p` speculatively from the

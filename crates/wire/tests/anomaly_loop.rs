@@ -1,0 +1,250 @@
+//! The closed adaptive-sampling loop: wire ingest feeds fleet
+//! estimates, the anomaly detector judges them, and its verdicts feed
+//! decimation grants back into the encoder — so healthy machines
+//! transmit one window in N while anomalous ones snap back to full
+//! rate. These tests drive the whole loop end to end over a simulated
+//! fleet: no false positives on a fault-free run, spikes flagged
+//! within the machine's own decimation, and the pooled detector
+//! bit-identical to serial on wire-derived estimates.
+
+use tdp_counters::{CounterSample, CpuId, InterruptSnapshot, PerfEvent, SampleSet};
+use tdp_fleet::{AnomalyDetector, FleetEstimator, Verdict};
+use tdp_parallel::WorkerPool;
+use tdp_wire::{ingest_serial_with, IngestState, WireEncoder};
+use trickledown::SystemPowerModel;
+
+const MACHINES: usize = 16;
+
+const LAYOUT: [PerfEvent; 9] = [
+    PerfEvent::Cycles,
+    PerfEvent::HaltedCycles,
+    PerfEvent::FetchedUops,
+    PerfEvent::L3LoadMisses,
+    PerfEvent::BusTransactionsAll,
+    PerfEvent::DmaOtherBusTransactions,
+    PerfEvent::InterruptsTotal,
+    PerfEvent::TimerInterrupts,
+    PerfEvent::DiskInterrupts,
+];
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A realistic 4-CPU machine-window. A spiked machine runs its uop and
+/// bus rates far above the fleet — a runaway workload — while staying
+/// inside every `DegradePolicy` sanity cap, so the row is *not*
+/// quarantined: only the detector can catch it.
+fn synthetic_set(machine: u64, seq: u64, spiked: bool) -> SampleSet {
+    let mut rng = machine
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(seq)
+        | 1;
+    let per_cpu = (0..4)
+        .map(|cpu| {
+            let counts = LAYOUT
+                .iter()
+                .map(|&e| {
+                    let r = xorshift(&mut rng);
+                    let (scale, boost): (u64, u64) = match e {
+                        PerfEvent::Cycles => (2_000_000_000, 1),
+                        PerfEvent::HaltedCycles => (900_000_000, 1),
+                        PerfEvent::FetchedUops => (2_500_000_000, 4),
+                        PerfEvent::L3LoadMisses => (4_000_000, 5),
+                        PerfEvent::BusTransactionsAll => (25_000_000, 4),
+                        PerfEvent::DmaOtherBusTransactions => (1_500_000, 4),
+                        PerfEvent::InterruptsTotal => (6_000, 4),
+                        PerfEvent::TimerInterrupts => (2_000, 1),
+                        PerfEvent::DiskInterrupts => (900, 4),
+                        _ => (10_000, 1),
+                    };
+                    let base = scale / 2 + r % scale.max(1);
+                    (e, if spiked { base * boost } else { base })
+                })
+                .collect();
+            CounterSample::new(CpuId::new(cpu), seq, counts)
+        })
+        .collect();
+    SampleSet {
+        time_ms: (seq + 1) * 1000,
+        window_ms: 1000,
+        seq,
+        per_cpu,
+        interrupts: InterruptSnapshot::default(),
+    }
+}
+
+/// One turn of the loop: encode every machine due this window (under
+/// the encoder's current grants), ingest, estimate, judge, and feed
+/// the verdict-derived grants back. Returns (sample frames sent,
+/// rows quarantined).
+fn turn(
+    w: u64,
+    enc: &mut WireEncoder,
+    state: &mut IngestState,
+    est: &mut FleetEstimator,
+    det: &mut AnomalyDetector,
+    spike: Option<usize>,
+) -> (u64, u64) {
+    let mut senders = 0u64;
+    for m in 0..MACHINES as u64 {
+        if enc.should_send(m, w) {
+            let set = synthetic_set(m, w, spike == Some(m as usize));
+            enc.push_sample_set(m, &set).unwrap();
+            senders += 1;
+        }
+    }
+    let buf = enc.take_bytes();
+    let rep = ingest_serial_with(state, &buf, MACHINES, est);
+    assert_eq!(rep.rows_written, MACHINES as u64, "window {w}");
+    det.update(&est.estimate().clone());
+    for m in 0..MACHINES as u64 {
+        enc.set_decimation(m, det.decimation(m as usize));
+    }
+    (senders, rep.rows_quarantined)
+}
+
+#[test]
+fn fault_free_loop_decimates_the_whole_fleet_with_zero_false_positives() {
+    let mut enc = WireEncoder::new();
+    let mut state = IngestState::new();
+    let mut est = FleetEstimator::new(SystemPowerModel::paper());
+    let mut det = AnomalyDetector::default();
+    let warmup = det.config().baseline_windows as u64;
+    let dec = det.config().healthy_decimation as u64;
+    for w in 0..warmup + 12 {
+        let (senders, _) = turn(w, &mut enc, &mut state, &mut est, &mut det, None);
+        let s = det.summary();
+        assert_eq!(
+            (s.anomalous, s.suspect),
+            (0, 0),
+            "window {w}: false positive (max_z = {})",
+            s.max_z
+        );
+        if w < warmup {
+            assert_eq!(senders, MACHINES as u64, "window {w}: full rate in warmup");
+        }
+        if w > warmup + dec {
+            // Grants announced and every machine past its first
+            // decimated cycle: steady-state wire cost is cut dec×.
+            assert_eq!(
+                senders,
+                MACHINES as u64 / dec,
+                "window {w}: steady-state transmissions"
+            );
+        }
+    }
+    for m in 0..MACHINES {
+        assert_eq!(det.verdict(m), Verdict::Normal);
+        assert_eq!(det.decimation(m), det.config().healthy_decimation);
+    }
+}
+
+#[test]
+fn spike_on_a_decimated_machine_is_flagged_within_its_decimation() {
+    const SPIKED: usize = 3;
+    let mut enc = WireEncoder::new();
+    let mut state = IngestState::new();
+    let mut est = FleetEstimator::new(SystemPowerModel::paper());
+    let mut det = AnomalyDetector::default();
+    let warmup = det.config().baseline_windows as u64;
+    let dec = det.config().healthy_decimation as u64;
+
+    // Warm up and settle into decimated steady state.
+    let onset = warmup + 2 * dec;
+    for w in 0..onset {
+        turn(w, &mut enc, &mut state, &mut est, &mut det, None);
+    }
+    assert_eq!(det.decimation(SPIKED), det.config().healthy_decimation);
+
+    // The machine starts misbehaving while decimated: its spiked
+    // sample may wait out its phase, so detection is bounded by the
+    // decimation, not instant — that is exactly the resolution the
+    // protocol trades for wire cost.
+    let mut flagged_at = None;
+    let mut quarantined = 0u64;
+    for w in onset..onset + dec {
+        let (_, q) = turn(w, &mut enc, &mut state, &mut est, &mut det, Some(SPIKED));
+        quarantined += q;
+        if det.verdict(SPIKED) == Verdict::Anomalous {
+            flagged_at = Some(w);
+            break;
+        }
+    }
+    let flagged_at = flagged_at.expect("spike must be flagged within one decimation cycle");
+    assert!(flagged_at < onset + dec, "flagged at {flagged_at}");
+    assert_eq!(
+        quarantined, 0,
+        "the spike is sane-but-extreme: detector, not sanity bounds"
+    );
+    assert_eq!(
+        det.decimation(SPIKED),
+        1,
+        "anomalous machines lose their grant"
+    );
+    assert_eq!(
+        det.summary().anomalous,
+        1,
+        "only the spiked machine is flagged"
+    );
+
+    // While the spike persists the machine transmits every window and
+    // stays flagged; nobody else is dragged along.
+    for w in flagged_at + 1..flagged_at + 4 {
+        turn(w, &mut enc, &mut state, &mut est, &mut det, Some(SPIKED));
+        assert_eq!(det.verdict(SPIKED), Verdict::Anomalous, "window {w}");
+        assert_eq!(det.summary().anomalous, 1, "window {w}");
+    }
+
+    // Recovery: back to fleet behaviour, through the hysteresis hold,
+    // then re-granted decimation.
+    let recover = flagged_at + 4;
+    let mut w = recover;
+    turn(w, &mut enc, &mut state, &mut est, &mut det, None);
+    for _ in 0..det.config().hold_windows {
+        assert_eq!(det.verdict(SPIKED), Verdict::Suspect, "window {w}");
+        assert_eq!(det.decimation(SPIKED), 1);
+        w += 1;
+        turn(w, &mut enc, &mut state, &mut est, &mut det, None);
+    }
+    assert_eq!(det.verdict(SPIKED), Verdict::Normal);
+    assert_eq!(det.decimation(SPIKED), det.config().healthy_decimation);
+}
+
+#[test]
+fn pooled_detector_matches_serial_through_the_wire_loop() {
+    // The bit-identity contract on real wire-derived estimates (held
+    // rows, decimation, a mid-run spike): serial and pooled judgement
+    // leave identical detector state every window.
+    let pool = WorkerPool::new(4);
+    let mut enc = WireEncoder::new();
+    let mut state = IngestState::new();
+    let mut est = FleetEstimator::new(SystemPowerModel::paper());
+    let mut serial = AnomalyDetector::default();
+    let mut pooled = AnomalyDetector::default();
+    for w in 0..16u64 {
+        let spike = (10..12).contains(&w).then_some(5usize);
+        let mut senders = 0;
+        for m in 0..MACHINES as u64 {
+            if enc.should_send(m, w) {
+                enc.push_sample_set(m, &synthetic_set(m, w, spike == Some(m as usize)))
+                    .unwrap();
+                senders += 1;
+            }
+        }
+        assert!(senders > 0);
+        let buf = enc.take_bytes();
+        ingest_serial_with(&mut state, &buf, MACHINES, &mut est);
+        let e = est.estimate().clone();
+        serial.update(&e);
+        pooled.update_pooled(&e, &pool);
+        assert_eq!(serial.digest(), pooled.digest(), "window {w}");
+        for m in 0..MACHINES as u64 {
+            enc.set_decimation(m, serial.decimation(m as usize));
+        }
+    }
+    assert!(serial.windows() == 16 && serial.summary().max_z > 0.0);
+}

@@ -123,7 +123,7 @@ fn sharded_bits(wire: &[u8], machines: usize) -> (Vec<Vec<u64>>, Vec<u64>) {
 }
 
 /// Width-boundary constants every plane-width decision pivots on.
-const BOUNDARIES: [u64; 14] = [
+const BOUNDARIES: [u64; 17] = [
     0,
     (1 << 7) - 1,
     1 << 7,
@@ -137,17 +137,23 @@ const BOUNDARIES: [u64; 14] = [
     1 << 31,
     (1 << 32) - 1,
     1u64 << 32,
+    // Sign-bit neighbourhood: consecutive counts drawn from here and
+    // from the small classes produce CPU-over-CPU deltas at the
+    // i64::MIN/i64::MAX zigzag extremes.
+    (1u64 << 63) - 1,
+    1u64 << 63,
+    (1u64 << 63) + 1,
     u64::MAX,
 ];
 
 /// A count that lands on every interesting plane-width boundary with
 /// decent probability, alongside uniform draws from each width class.
 fn boundary_value() -> impl Strategy<Value = u64> {
-    (any::<u64>(), 0u64..18).prop_map(|(raw, pick)| match pick {
+    (any::<u64>(), 0u64..21).prop_map(|(raw, pick)| match pick {
         p if (p as usize) < BOUNDARIES.len() => BOUNDARIES[p as usize],
-        14 => raw & 0xff,
-        15 => raw & 0xffff,
-        16 => raw & 0xffff_ffff,
+        17 => raw & 0xff,
+        18 => raw & 0xffff,
+        19 => raw & 0xffff_ffff,
         _ => raw,
     })
 }
@@ -202,7 +208,7 @@ fn width_boundary_deltas_roundtrip_bit_identically() {
     // the planar encoder steps its per-plane byte width. Chains start
     // high or at zero so both underflow wrapping and plain arithmetic
     // appear.
-    let deltas: [i64; 18] = [
+    let deltas: [i64; 21] = [
         0,
         1,
         -1,
@@ -221,12 +227,25 @@ fn width_boundary_deltas_roundtrip_bit_identically() {
         (1i64 << 32) - 1,
         -(1i64 << 32),
         i64::MAX,
+        // The zigzag extremes: i64::MIN encodes to u64::MAX, the one
+        // delta a sign-magnitude width pick would underprice.
+        i64::MIN,
+        i64::MIN + 1,
+        -i64::MAX,
     ];
-    let bases: [u64; 6] = [0, (1 << 8) - 1, 1 << 16, (1 << 32) - 1, 1 << 40, u64::MAX];
+    let bases: [u64; 7] = [
+        0,
+        (1 << 8) - 1,
+        1 << 16,
+        (1 << 32) - 1,
+        1 << 40,
+        u64::MAX,
+        1 << 63,
+    ];
     let cpus = 4usize;
-    // 3 deltas per 4-CPU chain; 18 deltas need 6 events, matching the
+    // 3 deltas per 4-CPU chain; 21 deltas need 7 events, matching the
     // base list so every base width appears too.
-    let layout = random_layout(6, 7);
+    let layout = random_layout(7, 7);
     let counts: Vec<Vec<u64>> = (0..cpus)
         .map(|cpu| {
             (0..layout.len())

@@ -469,3 +469,206 @@ fn persistent_state_decodes_steady_state_streams() {
         }
     }
 }
+
+#[test]
+fn decimation_one_stream_is_byte_identical_to_legacy() {
+    // The decimation field rides the layout header's previously-unused
+    // `cpu_count`; at decimation 1 the encoder writes the legacy zero,
+    // so an every-window stream is indistinguishable from one produced
+    // before the field existed.
+    let sets = fleet_window(5);
+    let mut plain = WireEncoder::new();
+    let mut dec1 = WireEncoder::new();
+    for (id, set) in sets.iter().enumerate() {
+        dec1.set_decimation(id as u64, 1);
+        plain.push_sample_set(id as u64, set).unwrap();
+        dec1.push_sample_set(id as u64, set).unwrap();
+    }
+    assert_eq!(plain.finish(), dec1.finish());
+}
+
+#[test]
+fn decimated_stream_reconstructs_bit_exactly_and_stays_healthy() {
+    // Eight machines granted decimation 4 after their first window:
+    // phase-staggered, two transmit per window, the other six are
+    // reconstructed at their last transmitted row — bit-exactly, with
+    // no health downgrade, identically under serial and sharded ingest.
+    const MACHINES: usize = 8;
+    const DEC: u16 = 4;
+    let pool = WorkerPool::new(4);
+    let cfg = StreamConfig {
+        ring_capacity: 4,
+        chunk_rows: 3,
+        ..StreamConfig::default()
+    };
+    let mut enc = WireEncoder::new();
+    let mut serial_state = IngestState::new();
+    let mut sharded_state = IngestState::new();
+    let mut serial_est = FleetEstimator::new(SystemPowerModel::paper());
+    let mut sharded_est = FleetEstimator::new(SystemPowerModel::paper());
+    let mut last_sent = [0u64; MACHINES];
+    for w in 0..12u64 {
+        if w == 1 {
+            // The control loop grants healthy machines decimation after
+            // their first window; each machine announces it in-band on
+            // its next transmitted layout frame.
+            for m in 0..MACHINES as u64 {
+                enc.set_decimation(m, DEC);
+            }
+        }
+        let mut senders = 0u64;
+        for m in 0..MACHINES as u64 {
+            if enc.should_send(m, w) {
+                enc.push_sample_set(m, &synthetic_set(m, w, &LAYOUT))
+                    .unwrap();
+                last_sent[m as usize] = w;
+                senders += 1;
+            }
+        }
+        assert_eq!(
+            senders,
+            if w == 0 { MACHINES as u64 } else { 2 },
+            "window {w}: the phase stagger spreads transmissions evenly"
+        );
+        let buf = enc.take_bytes();
+        let serial = ingest_serial_with(&mut serial_state, &buf, MACHINES, &mut serial_est);
+        let sharded = stream_window_with(
+            &mut sharded_state,
+            &pool,
+            &cfg,
+            &buf,
+            MACHINES,
+            &mut sharded_est,
+        );
+        assert_eq!(serial.rows_written, MACHINES as u64, "window {w}");
+        assert_eq!(serial.sample_frames, senders, "window {w}");
+        assert_eq!(serial.rows_written, sharded.rows_written, "window {w}");
+        assert_eq!(serial.rows_reconstructed, sharded.rows_reconstructed);
+        assert_eq!(serial.rows_held, sharded.rows_held);
+        assert_eq!(
+            batch_bits(&serial_est),
+            batch_bits(&sharded_est),
+            "window {w}"
+        );
+
+        // Bit-exact reference: every machine's row is the in-memory
+        // extraction of its last *transmitted* window.
+        let mut reference = FleetEstimator::new(SystemPowerModel::paper());
+        reference.begin_window();
+        for (m, &sent) in last_sent.iter().enumerate() {
+            reference.push_sample_set(&synthetic_set(m as u64, sent, &LAYOUT));
+        }
+        assert_eq!(
+            batch_bits(&serial_est),
+            batch_bits(&reference),
+            "window {w}"
+        );
+
+        if w >= DEC as u64 {
+            // Steady state: every machine has announced its decimation,
+            // so silence is protocol (reconstruction), not degradation.
+            assert_eq!(
+                serial.rows_reconstructed,
+                MACHINES as u64 - senders,
+                "window {w}"
+            );
+            assert_eq!(serial.rows_held, 0, "window {w}");
+            assert!(
+                serial.health().is_clean(),
+                "window {w}: {}",
+                serial.health()
+            );
+            for m in 0..MACHINES as u64 {
+                assert_eq!(
+                    serial_state.machine_health(m),
+                    Some(HealthState::Healthy),
+                    "window {w} machine {m}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn decimated_silence_past_grace_goes_stale_once_then_recovers() {
+    // A decimated machine that actually dies: the first dec−1 silent
+    // windows are reconstruction (protocol), the next max_stale_windows
+    // are held as Suspect (the legacy grace), then staleness — counted
+    // exactly once for the outage — and a fresh row revives it.
+    const DEC: u16 = 4;
+    let mut state = IngestState::new();
+    let max_stale = state.policy().max_stale_windows;
+    let mut est = FleetEstimator::new(SystemPowerModel::paper());
+    let mut enc = WireEncoder::new();
+    enc.set_decimation(0, DEC);
+    enc.push_sample_set(0, &synthetic_set(0, 0, &LAYOUT))
+        .unwrap();
+    let rep = ingest_serial_with(&mut state, &enc.take_bytes(), 1, &mut est);
+    assert_eq!(rep.rows_written, 1);
+
+    let mut stale_events = 0u64;
+    for since in 1..=(DEC as u64 - 1 + max_stale + 3) {
+        let rep = ingest_serial_with(&mut state, &[], 1, &mut est);
+        if since < DEC as u64 {
+            assert_eq!(rep.rows_reconstructed, 1, "window {since}");
+            assert_eq!(state.machine_health(0), Some(HealthState::Healthy));
+        } else if since <= DEC as u64 - 1 + max_stale {
+            assert_eq!(rep.rows_held, 1, "window {since}");
+            assert_eq!(state.machine_health(0), Some(HealthState::Suspect));
+        } else {
+            assert_eq!(rep.rows_written, 0, "window {since}");
+            assert_eq!(state.machine_health(0), Some(HealthState::Stale));
+        }
+        stale_events += rep.machines_stale;
+    }
+    assert_eq!(stale_events, 1, "one outage, one stale count");
+
+    enc.push_sample_set(0, &synthetic_set(0, 99, &LAYOUT))
+        .unwrap();
+    let rep = ingest_serial_with(&mut state, &enc.take_bytes(), 1, &mut est);
+    assert_eq!(rep.rows_written, 1);
+    assert_eq!(state.machine_health(0), Some(HealthState::Healthy));
+}
+
+#[test]
+fn stale_machine_replaying_its_last_window_rebaselines_not_locked_out() {
+    // Regression for the staleness-boundary sequence bug: a machine
+    // that crossed the staleness bound and reappeared replaying its
+    // last accepted window sequence used to be judged a duplicate —
+    // skipped, and locked out until its producer's sequence moved — and
+    // its next outage could re-count in `machines_stale`. Equal
+    // sequences from a Stale machine must re-baseline as a reset.
+    let mut state = IngestState::new();
+    let max_stale = state.policy().max_stale_windows;
+    let mut est = FleetEstimator::new(SystemPowerModel::paper());
+    let set = synthetic_set(0, 5, &LAYOUT);
+    let mut enc = WireEncoder::new();
+    enc.push_sample_set(0, &set).unwrap();
+    ingest_serial_with(&mut state, &enc.take_bytes(), 1, &mut est);
+
+    // stale → …
+    let mut stales = 0;
+    for _ in 0..max_stale + 2 {
+        stales += ingest_serial_with(&mut state, &[], 1, &mut est).machines_stale;
+    }
+    assert_eq!(stales, 1);
+    assert_eq!(state.machine_health(0), Some(HealthState::Stale));
+
+    // … recover by replaying the same window sequence → …
+    enc.push_sample_set(0, &set).unwrap();
+    let rep = ingest_serial_with(&mut state, &enc.take_bytes(), 1, &mut est);
+    assert_eq!(
+        rep.duplicate_windows, 0,
+        "replay after staleness is not a duplicate"
+    );
+    assert_eq!(rep.resets_detected, 1, "it re-baselines as a reset");
+    assert_eq!(rep.rows_written, 1, "and the row is accepted");
+    assert_eq!(state.machine_health(0), Some(HealthState::Suspect));
+
+    // … → stale again: the fresh outage counts exactly once more.
+    let mut stales = 0;
+    for _ in 0..max_stale + 2 {
+        stales += ingest_serial_with(&mut state, &[], 1, &mut est).machines_stale;
+    }
+    assert_eq!(stales, 1, "a fresh outage counts once more");
+}
