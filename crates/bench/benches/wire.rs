@@ -20,7 +20,7 @@ use std::hint::black_box;
 use tdp_bench::fleet::synthetic_set;
 use tdp_bench::ExperimentConfig;
 use tdp_counters::SampleSet;
-use tdp_fleet::{FleetEstimator, SampleBatch};
+use tdp_fleet::{fold_event_lanes, FleetEstimator, SampleBatch, ROW_EVENTS};
 use tdp_parallel::WorkerPool;
 use tdp_wire::frame::{FrameType, PayloadChecksum};
 use tdp_wire::planar::decode_planes;
@@ -145,8 +145,10 @@ fn bench_wire_stages(c: &mut Criterion) {
         })
     });
 
-    // Planar counterpart of the varint stage: widen + zigzag + delta
-    // unfold, with the checksum absorb the real fused walk overlaps.
+    // Planar counterpart of the varint stage: the fused single-pass
+    // decode — unzigzag + unfold + widen straight to f64 lanes, with
+    // the checksum absorbed while the payload bytes are cache-hot.
+    let mut lanes: Vec<f64> = Vec::new();
     c.bench_function("wire/planar_stage_payload_256", |b| {
         b.iter(|| {
             let mut cursor = FrameCursor::new(&planar_buf);
@@ -162,11 +164,13 @@ fn bench_wire_stages(c: &mut Criterion) {
                         payload,
                         header.n_events as usize,
                         header.cpu_count as usize,
+                        false,
+                        &mut lanes,
                         &mut scratch,
                         &mut ck,
                     )
                     .expect("clean planar payload");
-                    black_box(&scratch);
+                    black_box(&lanes);
                 }
             }
         })
@@ -180,6 +184,57 @@ fn bench_wire_stages(c: &mut Criterion) {
                 batch.push_sample_set(set);
             }
             black_box(batch.len())
+        })
+    });
+
+    // The fused fold stages: decoded f64 event lanes → one fleet row
+    // (`fold_event_lanes` — what the decode-to-column fusion runs per
+    // machine after the payload walk), and the whole-fleet fold into
+    // batch columns. Lanes staged once outside the timed loop, exactly
+    // as the decoder's lane buffer would hold them.
+    let cpus = sets[0].per_cpu.len();
+    let n_ev = ROW_EVENTS.len();
+    let lane_stride = n_ev * cpus;
+    let mut fold_lanes = vec![0.0f64; MACHINES * lane_stride];
+    for (m, set) in sets.iter().enumerate() {
+        for (c, cpu) in set.per_cpu.iter().enumerate() {
+            for (e, &(_, count)) in cpu.counts().iter().enumerate() {
+                fold_lanes[m * lane_stride + e * cpus + c] = count as f64;
+            }
+        }
+    }
+    let identity_pos: [u16; 9] = std::array::from_fn(|k| k as u16);
+    c.bench_function("wire/planar_fold_row_256", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for m in 0..MACHINES {
+                let row = fold_event_lanes(
+                    d,
+                    &fold_lanes[m * lane_stride..(m + 1) * lane_stride],
+                    cpus,
+                    &identity_pos,
+                    true,
+                );
+                acc += row[1];
+            }
+            black_box(acc)
+        })
+    });
+
+    let mut fold_batch = SampleBatch::with_capacity(MACHINES);
+    c.bench_function("wire/planar_fold_columns_256", |b| {
+        b.iter(|| {
+            fold_batch.clear();
+            for m in 0..MACHINES {
+                fold_batch.push_row(fold_event_lanes(
+                    d,
+                    &fold_lanes[m * lane_stride..(m + 1) * lane_stride],
+                    cpus,
+                    &identity_pos,
+                    true,
+                ));
+            }
+            black_box(fold_batch.len())
         })
     });
 

@@ -44,7 +44,9 @@ use std::collections::{BTreeSet, VecDeque};
 use std::hint::black_box;
 use std::time::Instant;
 use tdp_counters::{PerfEvent, SampleSet};
-use tdp_fleet::{AnomalyDetector, FleetEstimator, SampleBatch, Verdict};
+use tdp_fleet::{
+    fold_event_lanes, AnomalyDetector, FleetEstimator, SampleBatch, Verdict, ROW_EVENTS,
+};
 use tdp_parallel::WorkerPool;
 use tdp_wire::frame::{FrameType, PayloadChecksum};
 use tdp_wire::planar::decode_planes;
@@ -119,12 +121,15 @@ pub struct WireReport {
     /// Isolated checksum stage: frame walk + payload checksum mix
     /// only, ns per machine-window.
     pub stage_checksum_ns_per_machine: f64,
-    /// Isolated payload-decode stage of the **selected** format: frame
-    /// walk + bulk LEB128 decode for varint frames, or plane
-    /// widen/zigzag/delta-unfold for planar frames, ns per
-    /// machine-window (overlaps the checksum stage on the fused path,
-    /// so the stages sum past the whole). Keeps its historical name so
-    /// stage budgets stay comparable across report generations.
+    /// Isolated payload-decode stage of the **varint** leg (frame walk
+    /// plus bulk LEB128 decode), ns per machine-window; overlaps the
+    /// checksum stage on the fused path, so the stages sum past the
+    /// whole. Always equals
+    /// [`stage_payload_varint_ns_per_machine`](Self::stage_payload_varint_ns_per_machine);
+    /// the duplicate keeps the historical field name alive so stage
+    /// budgets stay comparable across report generations. (It used to
+    /// echo whichever leg `--frame` selected, silently reporting the
+    /// planar stage under the varint name for planar runs.)
     pub stage_varint_ns_per_machine: f64,
     /// Isolated payload-decode stage over the planar buffer (always
     /// measured, whatever `--frame` selected).
@@ -135,8 +140,12 @@ pub struct WireReport {
     /// Isolated health stage: the batched [`DegradePolicy`] sanity
     /// scan over one window's columns, ns per machine-window.
     pub stage_health_ns_per_machine: f64,
-    /// Isolated extraction stage: `SampleSet` → SoA batch columns with
-    /// no model evaluation behind it, ns per machine-window.
+    /// Isolated extraction stage: decoded f64 event lanes → SoA batch
+    /// columns via the fused planar fold ([`fold_event_lanes`]), with
+    /// no decode or model evaluation behind it, ns per machine-window.
+    /// (Before the decode-to-column fusion this stage timed the
+    /// in-memory `SampleSet` → column path, ~120 ns at N=1024; the
+    /// fused fold is what a planar wire window actually pays.)
     pub stage_extraction_ns_per_machine: f64,
     /// Corrupt frames the streamed path saw (must be 0 on clean input).
     pub corrupt_frames: u64,
@@ -257,11 +266,16 @@ fn decode_only(dec: &mut FrameDecoder, buf: &[u8]) -> u64 {
 
 /// Times one isolated payload-decode pass over an encoded window:
 /// frame walk + bulk LEB128 decode for varint sample frames, or the
-/// plane widen/zigzag/delta-unfold kernels for planar sample frames
-/// (each planar frame pays its checksum absorb too — on the real path
-/// the two overlap, and `decode_planes` does both in one walk).
+/// fused unzigzag/unfold/widen walk into f64 lanes for planar sample
+/// frames (each planar frame pays its in-walk checksum absorbs too —
+/// the single-pass read `decode_planes` performs on the real path).
 /// Returns seconds.
-fn payload_decode_pass(d: tdp_simd::Dispatch, buf: &[u8], scratch: &mut Vec<u64>) -> f64 {
+fn payload_decode_pass(
+    d: tdp_simd::Dispatch,
+    buf: &[u8],
+    scratch: &mut Vec<u64>,
+    lanes: &mut Vec<f64>,
+) -> f64 {
     let start = Instant::now();
     let mut cursor = FrameCursor::new(buf);
     while let Some(item) = cursor.next() {
@@ -273,6 +287,7 @@ fn payload_decode_pass(d: tdp_simd::Dispatch, buf: &[u8], scratch: &mut Vec<u64>
                     scratch.resize(n, 0);
                     let mut pos = 0usize;
                     read_uvarints(d, payload, &mut pos, scratch).expect("clean payload varints");
+                    black_box(&scratch);
                 }
                 FrameType::PlanarSample => {
                     let mut ck = PayloadChecksum::new(&header);
@@ -281,14 +296,16 @@ fn payload_decode_pass(d: tdp_simd::Dispatch, buf: &[u8], scratch: &mut Vec<u64>
                         payload,
                         header.n_events as usize,
                         header.cpu_count as usize,
+                        false,
+                        lanes,
                         scratch,
                         &mut ck,
                     )
                     .expect("clean planar payload");
+                    black_box(&lanes);
                 }
                 FrameType::Layout => continue,
             }
-            black_box(&scratch);
         }
     }
     start.elapsed().as_secs_f64()
@@ -297,7 +314,11 @@ fn payload_decode_pass(d: tdp_simd::Dispatch, buf: &[u8], scratch: &mut Vec<u64>
 /// Times the isolated pipeline stages over one window encoded in both
 /// formats, plus its decoded sets: checksum mix (selected buffer),
 /// payload decode (planar buffer, then varint buffer), batched health
-/// scan and SampleSet→column extraction. Returns seconds per stage in
+/// scan and lane→column extraction (the fused planar fold:
+/// [`fold_event_lanes`] over pre-decoded f64 event lanes — the stage
+/// the decode-to-column fusion actually runs per machine; the lanes
+/// are staged untimed so the stage isolates the fold, not the decode
+/// the payload stages already measure). Returns seconds per stage in
 /// that order. These passes share scratch across windows like the real
 /// paths, so steady-state cost is what gets measured.
 #[allow(clippy::too_many_arguments)] // one slot per reusable scratch buffer
@@ -309,6 +330,8 @@ fn stage_passes(
     batch: &mut SampleBatch,
     policy: &DegradePolicy,
     scratch: &mut Vec<u64>,
+    lanes: &mut Vec<f64>,
+    fold_lanes: &mut Vec<f64>,
     mask: &mut Vec<u8>,
 ) -> [f64; 5] {
     let d = tdp_simd::Dispatch::active();
@@ -322,13 +345,37 @@ fn stage_passes(
     }
     let checksum = start.elapsed().as_secs_f64();
 
-    let payload_planar = payload_decode_pass(d, planar_buf, scratch);
-    let payload_varint = payload_decode_pass(d, varint_buf, scratch);
+    let payload_planar = payload_decode_pass(d, planar_buf, scratch, lanes);
+    let payload_varint = payload_decode_pass(d, varint_buf, scratch, lanes);
 
+    // Stage the fleet's event lanes untimed (exactly what the planar
+    // decode leaves in the lane buffer: event-major f64, CPU 0 first).
+    // The synthetic fleet is the canonical identity layout, so the
+    // event order is ROW_EVENTS.
+    let cpus = sets.first().map_or(0, |s| s.per_cpu.len());
+    let lane_stride = ROW_EVENTS.len() * cpus;
+    fold_lanes.resize(sets.len() * lane_stride, 0.0);
+    for (m, set) in sets.iter().enumerate() {
+        let dst = &mut fold_lanes[m * lane_stride..(m + 1) * lane_stride];
+        for (c, cpu) in set.per_cpu.iter().enumerate() {
+            debug_assert_eq!(cpu.counts().len(), ROW_EVENTS.len());
+            for (e, &(_, count)) in cpu.counts().iter().enumerate() {
+                dst[e * cpus + c] = count as f64;
+            }
+        }
+    }
+    let identity_pos: [u16; ROW_EVENTS.len()] = std::array::from_fn(|k| k as u16);
     let start = Instant::now();
     batch.clear();
-    for set in sets {
-        batch.push_sample_set(set);
+    for m in 0..sets.len() {
+        let row = fold_event_lanes(
+            d,
+            &fold_lanes[m * lane_stride..(m + 1) * lane_stride],
+            cpus,
+            &identity_pos,
+            true,
+        );
+        batch.push_row(row);
     }
     black_box(&batch);
     let extraction = start.elapsed().as_secs_f64();
@@ -628,6 +675,8 @@ pub fn run(
     let policy = DegradePolicy::default();
     let mut stage_batch = SampleBatch::with_capacity(n_machines);
     let mut stage_scratch: Vec<u64> = Vec::new();
+    let mut stage_lanes: Vec<f64> = Vec::new();
+    let mut stage_fold_lanes: Vec<f64> = Vec::new();
     let mut stage_mask: Vec<u8> = Vec::new();
     let mut stage_s: [Vec<f64>; 5] = Default::default();
     let mut stream_totals = StreamReport::default();
@@ -766,6 +815,8 @@ pub fn run(
                         &mut stage_batch,
                         &policy,
                         &mut stage_scratch,
+                        &mut stage_lanes,
+                        &mut stage_fold_lanes,
                         &mut stage_mask,
                     );
                     for (samples, s) in stage_s.iter_mut().zip(stages) {
@@ -811,10 +862,6 @@ pub fn run(
                 fused_secs,
             ),
         };
-    let selected_payload_med = match kind {
-        FrameKind::Planar => stage_med[1],
-        FrameKind::Varint => stage_med[2],
-    };
     let per_machine = |window_secs: f64| window_secs * 1e9 / n_machines as f64;
     WireReport {
         n_machines,
@@ -836,7 +883,7 @@ pub fn run(
         in_memory_ns_per_machine: mem_secs * 1e9 / machine_units as f64,
         fused_vs_in_memory: fused_secs / mem_secs,
         stage_checksum_ns_per_machine: per_machine(stage_med[0]),
-        stage_varint_ns_per_machine: per_machine(selected_payload_med),
+        stage_varint_ns_per_machine: per_machine(stage_med[2]),
         stage_payload_planar_ns_per_machine: per_machine(stage_med[1]),
         stage_payload_varint_ns_per_machine: per_machine(stage_med[2]),
         stage_health_ns_per_machine: per_machine(stage_med[3]),
@@ -1211,7 +1258,7 @@ mod tests {
         );
         for (name, ns) in [
             ("checksum", r.stage_checksum_ns_per_machine),
-            ("payload (selected)", r.stage_varint_ns_per_machine),
+            ("varint (legacy name)", r.stage_varint_ns_per_machine),
             ("payload planar", r.stage_payload_planar_ns_per_machine),
             ("payload varint", r.stage_payload_varint_ns_per_machine),
             ("health", r.stage_health_ns_per_machine),
@@ -1224,8 +1271,9 @@ mod tests {
             );
         }
         assert_eq!(
-            r.stage_varint_ns_per_machine, r.stage_payload_planar_ns_per_machine,
-            "flat stage field carries the selected (planar) payload stage"
+            r.stage_varint_ns_per_machine, r.stage_payload_varint_ns_per_machine,
+            "legacy flat field reports the varint leg's own stage even \
+             when planar is selected (it used to echo the planar stage)"
         );
     }
 

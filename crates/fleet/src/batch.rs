@@ -551,16 +551,41 @@ fn accumulate_cpu(cpu: &CounterSample, row: &mut [f64; COLUMNS], cache: &mut Lay
 /// the machine row. Inlined into both the verified-load fast path
 /// (where every `Option` is statically `Some` and folds away) and the
 /// rescan path.
+///
+/// A missing count maps to `0.0` before the shared f64 core runs; see
+/// [`accumulate_rates_f64`] for why that mapping is bit-exact.
 #[inline(always)]
 fn accumulate_rates(row: &mut [f64; COLUMNS], vals: [Option<u64>; ROW_EVENTS.len()]) {
+    accumulate_rates_f64(row, vals.map(|n| n.map_or(0.0, |n| n as f64)));
+}
+
+/// The f64 core of [`accumulate_rates`]: one CPU's counts already
+/// widened to f64, a missing event carried as `0.0`. This is the entry
+/// point for decode paths that widen counts at decode time (the planar
+/// wire fold — see [`fold_event_lanes`]), and it is **bit-identical**
+/// to routing `Option<u64>` counts through the historical arithmetic:
+///
+/// * `n as f64` is the same IEEE rounding wherever it is performed, so
+///   widening early changes nothing;
+/// * `cycles.unwrap_or(0).max(1) as f64 ≡ (cycles_f).max(1.0)`: a
+///   missing or zero count makes both sides exactly `1.0`, any count
+///   `≥ 1` widens to `≥ 1.0` and the max is a no-op on both sides
+///   (counts past 2⁵³ round first, identically, and stay `≥ 1.0`);
+/// * a missing event and a zero count produce identical rates:
+///   `inv_cycles` is finite and positive, so `0.0 · inv_cycles` is
+///   `+0.0` — the exact bits `unwrap_or(0.0)` produced — and every
+///   downstream use (the active-fraction clamp, the device-interrupt
+///   difference, the squares) receives identical inputs.
+#[inline(always)]
+fn accumulate_rates_f64(row: &mut [f64; COLUMNS], vals: [f64; ROW_EVENTS.len()]) {
     let [cycles, halted, uops, l3, bus, dma, int_total, timer, disk] = vals;
 
     // One reciprocal instead of nine divides per CPU: `n · (1/c)`
     // differs from `n / c` by at most one ulp, far inside the 1e-9
     // batch-vs-scalar agreement bound, and f64 multiplies pipeline
     // where divides serialise.
-    let inv_cycles = 1.0 / cycles.unwrap_or(0).max(1) as f64;
-    let rate = |n: Option<u64>| n.map(|n| n as f64 * inv_cycles).unwrap_or(0.0);
+    let inv_cycles = 1.0 / cycles.max(1.0);
+    let rate = |n: f64| n * inv_cycles;
 
     let active = (1.0 - rate(halted)).clamp(0.0, 1.0);
     let upc = rate(uops);
@@ -634,6 +659,64 @@ impl RowAccumulator {
             c[idx] = v;
         }
     }
+}
+
+/// Reduces one machine's decoded event lanes to a fleet row — the
+/// fused-column counterpart of [`RowAccumulator`], consuming counts
+/// already widened to f64 at decode time instead of `Option<u64>`
+/// gathers.
+///
+/// `lanes` is event-major: `lanes[e · cpus + c]` is wire event `e`'s
+/// count on CPU `c` as f64 (`lanes.len() == n_events · cpus`). `pos`
+/// maps each [`ROW_EVENTS`] entry to its wire event index (`u16::MAX`
+/// = absent — the sentinel prices past any legal lane buffer, since
+/// wire layouts carry at most a few dozen events, so one
+/// bounds-checked `get` folds the presence test and the lookup exactly
+/// as the row-major reference path does). `identity` short-circuits
+/// the indirection for the canonical nine-event layout.
+///
+/// Bit-identity with the `Option<u64>` reference path
+/// ([`SampleBatch::push_sample_set`] / [`RowAccumulator`]) holds by
+/// the [`accumulate_rates_f64`] argument: widening is the same
+/// rounding wherever performed, an absent event ≡ a `0.0` lane, and
+/// the CPU fold order (CPU 0 first) is unchanged. The identity path
+/// routes through the dispatched
+/// [`fold_identity_rates`](tdp_simd::fold_identity_rates) kernel,
+/// whose elementwise-then-ordered-reduce structure is itself
+/// bit-identical to the scalar per-CPU accumulation (see its docs), so
+/// dispatch flavour never changes a row.
+#[inline]
+pub fn fold_event_lanes(
+    d: tdp_simd::Dispatch,
+    lanes: &[f64],
+    cpus: usize,
+    pos: &[u16; ROW_EVENTS.len()],
+    identity: bool,
+) -> [f64; COLUMNS] {
+    let mut row = [0.0f64; COLUMNS];
+    row[col::NUM_CPUS] = cpus as f64;
+    if identity && lanes.len() == ROW_EVENTS.len() * cpus {
+        // Nine contiguous per-event lanes, rates derived a vector of
+        // CPUs at a time (one packed divide instead of `cpus` serial
+        // ones), reduced in CPU order.
+        let rates: &mut [f64; COLUMNS - 1] = (&mut row[col::ACTIVE..])
+            .try_into()
+            .expect("12 rate columns");
+        tdp_simd::fold_identity_rates(d, lanes, cpus, rates);
+    } else {
+        for c in 0..cpus {
+            accumulate_rates_f64(
+                &mut row,
+                std::array::from_fn(|k| {
+                    lanes
+                        .get(pos[k] as usize * cpus + c)
+                        .copied()
+                        .unwrap_or(0.0)
+                }),
+            );
+        }
+    }
+    row
 }
 
 /// Machine-aggregated columns from a pre-extracted sample, in the same

@@ -69,6 +69,11 @@ macro_rules! wide_kernel {
         }
 
         $(#[$doc])*
+        // Inline the dispatcher itself (a two-way match) so callers in
+        // other crates pay no call overhead reaching it; the scalar
+        // flavour then inlines fully, while the AVX2 flavour stays an
+        // out-of-line `target_feature` call as it must.
+        #[inline]
         pub fn $name(d: Dispatch, $($arg: $ty),*) {
             match d {
                 Dispatch::Scalar => $impl($($arg),*),
@@ -97,6 +102,7 @@ macro_rules! wide_kernel {
         }
 
         $(#[$doc])*
+        #[inline]
         pub fn $name(d: Dispatch, $($arg: $ty),*) -> $ret {
             match d {
                 Dispatch::Scalar => $impl($($arg),*),
@@ -473,11 +479,213 @@ wide_kernel! {
     pub fn delta_unfold[delta_unfold_impl / delta_unfold_avx2](bases: &[u64], deltas: &mut [u64]);
 }
 
+#[inline(always)]
+fn unfold_planes_f64_impl(bases: &[u64], zz: &[u64], out: &mut [f64]) {
+    assert!(
+        zz.is_empty() || (!bases.is_empty() && zz.len().is_multiple_of(bases.len())),
+        "unfold_planes_to_f64 plane length mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        bases.len() + zz.len(),
+        "unfold_planes_to_f64 output length mismatch"
+    );
+    let stride = if bases.is_empty() {
+        0
+    } else {
+        zz.len() / bases.len()
+    };
+    for (e, &base) in bases.iter().enumerate() {
+        let dst = &mut out[e * (stride + 1)..(e + 1) * (stride + 1)];
+        dst[0] = base as f64;
+        let mut acc = base;
+        for (slot, &z) in dst[1..].iter_mut().zip(&zz[e * stride..]) {
+            acc = acc.wrapping_add((z >> 1) ^ 0u64.wrapping_sub(z & 1));
+            *slot = acc as f64;
+        }
+    }
+}
+
+wide_kernel! {
+    /// Fused unzigzag + per-plane wrapping prefix sum + u64→f64 widen,
+    /// writing event-major lanes with the base first: for each base
+    /// `b = bases[e]` and its `stride = zz.len() / bases.len()` raw
+    /// zigzag deltas, `out[e·(stride+1)] = b as f64` and
+    /// `out[e·(stride+1) + 1 + i] = (b + Σ_{j≤i} unzigzag(zz[e·stride + j]))
+    /// as f64` (all adds wrapping) — the varint path's
+    /// `prev.wrapping_add(unzigzag(d) as u64)` chain followed by the
+    /// same `count as f64` conversion the column fold performs, in one
+    /// pass. Integer arithmetic plus one deterministic IEEE conversion
+    /// per lane: bit-identical across dispatch modes.
+    ///
+    /// `zz` empty folds bases only (single-CPU frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zz` is non-empty and not a multiple of `bases.len()`,
+    /// or if `out.len() != bases.len() + zz.len()`.
+    pub fn unfold_planes_to_f64[unfold_planes_f64_impl / unfold_planes_f64_avx2](
+        bases: &[u64],
+        zz: &[u64],
+        out: &mut [f64],
+    );
+}
+
+/// Events per machine row in the canonical trickle-down layout
+/// [`fold_identity_rates`] consumes: cycles, halted, uops, L3 misses,
+/// bus transactions, DMA, total interrupts, timer interrupts, disk
+/// interrupts — in that wire order.
+pub const ROW_FOLD_EVENTS: usize = 9;
+
+/// One chunk of the identity fold: derive all twelve per-CPU rate
+/// columns for `B` consecutive CPUs elementwise (the phase the wide
+/// flavour vectorises — `B` is a compile-time trip count, so LLVM
+/// packs the independent lanes), then reduce them into `out` in CPU
+/// order (the phase that must stay scalar: float accumulation order is
+/// the bit-identity contract).
+#[inline(always)]
+fn fold_rate_chunk<const B: usize>(
+    ev: &[&[f64]; ROW_FOLD_EVENTS],
+    base: usize,
+    out: &mut [f64; 12],
+) {
+    let mut v = [[0.0f64; B]; 12];
+    // `i` indexes the inner (lane) dimension of every column — an
+    // iterator over `v` would walk the outer (column) dimension.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..B {
+        let c = base + i;
+        let inv = 1.0 / ev[0][c].max(1.0);
+        let active = (1.0 - ev[1][c] * inv).clamp(0.0, 1.0);
+        let upc = ev[2][c] * inv;
+        let l3_kc = (ev[3][c] * inv) * 1_000.0;
+        let bus_mc = (ev[4][c] * inv) * 1e6;
+        let dma = ev[5][c] * inv;
+        let dev = (ev[6][c] * inv - ev[7][c] * inv).max(0.0);
+        let disk = ev[8][c] * inv;
+        v[0][i] = active;
+        v[1][i] = upc;
+        v[2][i] = l3_kc;
+        v[3][i] = l3_kc * l3_kc;
+        v[4][i] = bus_mc;
+        v[5][i] = bus_mc * bus_mc;
+        v[6][i] = dma;
+        v[7][i] = dma * dma;
+        v[8][i] = disk;
+        v[9][i] = disk * disk;
+        v[10][i] = dev;
+        v[11][i] = dev * dev;
+    }
+    for i in 0..B {
+        for (o, col) in out.iter_mut().zip(&v) {
+            *o += col[i];
+        }
+    }
+}
+
+#[inline(always)]
+fn fold_identity_impl(lanes: &[f64], cpus: usize, out: &mut [f64; 12]) {
+    assert_eq!(
+        lanes.len(),
+        ROW_FOLD_EVENTS * cpus,
+        "fold_identity_rates geometry mismatch"
+    );
+    let ev: [&[f64]; ROW_FOLD_EVENTS] = core::array::from_fn(|k| &lanes[k * cpus..(k + 1) * cpus]);
+    let mut c = 0;
+    while c + 4 <= cpus {
+        fold_rate_chunk::<4>(&ev, c, out);
+        c += 4;
+    }
+    while c < cpus {
+        fold_rate_chunk::<1>(&ev, c, out);
+        c += 1;
+    }
+}
+
+wide_kernel! {
+    /// The canonical-layout lane→row fold: `lanes` is event-major
+    /// (`lanes[e · cpus + c]`, nine [`ROW_FOLD_EVENTS`] planes), and
+    /// each CPU contributes `active = clamp(1 − halted/cycles)`,
+    /// `upc`, `l3·10³`, `bus·10⁶`, `dma`, `disk`, `dev = max(int −
+    /// timer, 0)` rates plus the four squares, accumulated into the
+    /// twelve `out` columns in CPU order (CPU 0 first). Every rate is
+    /// `n · (1/max(cycles, 1))` — the exact expression sequence of the
+    /// scalar reference fold — and rates are derived elementwise before
+    /// a scalar in-order reduction, so the result is bit-identical
+    /// across dispatch modes *and* to the per-CPU scalar accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes.len() != 9 · cpus`.
+    pub fn fold_identity_rates[fold_identity_impl / fold_identity_avx2](
+        lanes: &[f64],
+        cpus: usize,
+        out: &mut [f64; 12],
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const BOTH: [Dispatch; 2] = [Dispatch::Scalar, Dispatch::Wide];
+
+    #[test]
+    fn fold_identity_rates_matches_per_cpu_reference_bit_for_bit() {
+        for d in BOTH {
+            for cpus in [1usize, 2, 3, 4, 5, 7, 8, 12, 17] {
+                // Lane values spanning zero counts, zero cycles, and
+                // large magnitudes — the cases the rate expressions
+                // branch on.
+                let lanes: Vec<f64> = (0..ROW_FOLD_EVENTS * cpus)
+                    .map(|i| match i % 7 {
+                        0 => 0.0,
+                        1 => 1.0,
+                        _ => ((i as f64) * 1.37e5).floor(),
+                    })
+                    .collect();
+                let mut got = [0.0f64; 12];
+                fold_identity_rates(d, &lanes, cpus, &mut got);
+                // Plain per-CPU reference: the scalar accumulation
+                // order the fleet fold has always used.
+                let mut want = [0.0f64; 12];
+                for c in 0..cpus {
+                    let ev = |k: usize| lanes[k * cpus + c];
+                    let inv = 1.0 / ev(0).max(1.0);
+                    let active = (1.0 - ev(1) * inv).clamp(0.0, 1.0);
+                    let l3_kc = (ev(3) * inv) * 1_000.0;
+                    let bus_mc = (ev(4) * inv) * 1e6;
+                    let dma = ev(5) * inv;
+                    let dev = (ev(6) * inv - ev(7) * inv).max(0.0);
+                    let disk = ev(8) * inv;
+                    let vals = [
+                        active,
+                        ev(2) * inv,
+                        l3_kc,
+                        l3_kc * l3_kc,
+                        bus_mc,
+                        bus_mc * bus_mc,
+                        dma,
+                        dma * dma,
+                        disk,
+                        disk * disk,
+                        dev,
+                        dev * dev,
+                    ];
+                    for (w, v) in want.iter_mut().zip(vals) {
+                        *w += v;
+                    }
+                }
+                for (k, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "{d:?} cpus={cpus} col={k}: {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn elementwise_kernels_match_plain_loops() {
@@ -674,5 +882,53 @@ mod tests {
     #[should_panic(expected = "delta_unfold length mismatch")]
     fn delta_unfold_rejects_ragged_planes() {
         delta_unfold(Dispatch::Scalar, &[1, 2], &mut [0u64; 3]);
+    }
+
+    #[test]
+    fn unfold_planes_to_f64_matches_the_three_pass_reference() {
+        let zig = |x: i64| ((x << 1) ^ (x >> 63)) as u64;
+        let bases = [100u64, u64::MAX, 7, 1u64 << 55];
+        // Stride 3, including wrap-around and a delta of i64::MIN (the
+        // zigzag value u64::MAX, the width-pricing corner case).
+        let steps: [i64; 12] = [5, -3, 2, 2, -10, 1, i64::MIN, 1, -1, 0, 1 << 53, -(1 << 53)];
+        let zz: Vec<u64> = steps.iter().map(|&v| zig(v)).collect();
+        // Reference: the separate zigzag + unfold kernels, then a plain
+        // `as f64` conversion, re-laid out event-major.
+        let mut ref_deltas = zz.clone();
+        zigzag_decode_batch(Dispatch::Scalar, &mut ref_deltas);
+        delta_unfold(Dispatch::Scalar, &bases, &mut ref_deltas);
+        for d in BOTH {
+            let mut out = vec![0.0f64; bases.len() + zz.len()];
+            unfold_planes_to_f64(d, &bases, &zz, &mut out);
+            for (e, &b) in bases.iter().enumerate() {
+                assert_eq!(out[e * 4].to_bits(), (b as f64).to_bits(), "{d:?} base {e}");
+                for i in 0..3 {
+                    let want = ref_deltas[e * 3 + i] as f64;
+                    assert_eq!(
+                        out[e * 4 + 1 + i].to_bits(),
+                        want.to_bits(),
+                        "{d:?} e={e} i={i}"
+                    );
+                }
+            }
+            // Empty planes (single-CPU frames): bases only.
+            let mut out = vec![0.0f64; bases.len()];
+            unfold_planes_to_f64(d, &bases, &[], &mut out);
+            for (e, &b) in bases.iter().enumerate() {
+                assert_eq!(out[e].to_bits(), (b as f64).to_bits(), "{d:?} solo {e}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unfold_planes_to_f64 plane length mismatch")]
+    fn unfold_planes_to_f64_rejects_ragged_planes() {
+        unfold_planes_to_f64(Dispatch::Scalar, &[1, 2], &[0u64; 3], &mut [0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfold_planes_to_f64 output length mismatch")]
+    fn unfold_planes_to_f64_rejects_short_output() {
+        unfold_planes_to_f64(Dispatch::Scalar, &[1, 2], &[0u64; 4], &mut [0.0; 5]);
     }
 }

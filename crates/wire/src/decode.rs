@@ -27,7 +27,7 @@ use crate::frame::{
 };
 use crate::varint::{read_uvarint, read_uvarints_ck, unzigzag};
 use tdp_counters::layout_hash_indices;
-use tdp_fleet::{RowAccumulator, COLUMNS, ROW_EVENTS};
+use tdp_fleet::{fold_event_lanes, RowAccumulator, COLUMNS, ROW_EVENTS};
 use tdp_simd::Dispatch;
 
 /// Why a frame failed to decode.
@@ -124,13 +124,57 @@ impl LayoutTable {
     }
 }
 
+/// Highest machine id the identity-directory memo will track. Ids at or
+/// past the cap simply skip memoisation (every frame takes the full
+/// validation path), so the cap bounds decoder memory without bounding
+/// the fleet.
+const MAX_DIR_MEMO: usize = 4096;
+
+/// One machine's memoised planar frame shape: the header geometry and
+/// width-directory bytes of its last **checksum-verified** planar
+/// frame, plus the layout entry that frame resolved to.
+///
+/// Steady-state planar streams repeat the same `(layout, cpu_count,
+/// width directory)` window after window — counter magnitudes drift
+/// slowly, so minimal widths rarely change — and when the next frame's
+/// header fields and directory bytes are byte-identical to a frame
+/// already validated, re-running the layout lookup, the geometry
+/// check, and the directory validation could only repeat their earlier
+/// verdict. The memo skips them; every per-plane bounds check and the
+/// full payload checksum still run per frame.
+#[derive(Debug, Clone, Copy)]
+struct DirEntry {
+    /// Value of [`FrameDecoder::layout_epoch`] when memoised; any
+    /// layout (re-)registration bumps the epoch and strands every memo,
+    /// so a remapped `layout_hash` can never be consumed through a
+    /// stale entry.
+    epoch: u64,
+    layout_hash: u64,
+    payload_len: u32,
+    n_events: u16,
+    cpus: u16,
+    /// The frame's width-directory bytes (first `n_events` meaningful).
+    dir: [u8; MAX_WIRE_EVENTS],
+    /// The resolved layout of the memoised frame.
+    entry: LayoutEntry,
+}
+
 /// Streaming frame decoder; see the [module docs](self).
 #[derive(Debug, Clone, Default)]
 pub struct FrameDecoder {
     layouts: LayoutTable,
-    /// Scratch for a whole frame's reconstructed counts, row-major
-    /// (`cpu_count × n_events`); the delta chain unfolds in place.
+    /// Bumped on every layout registration; see [`DirEntry::epoch`].
+    layout_epoch: u64,
+    /// Per-machine identity-directory memo, indexed by machine id
+    /// (grown lazily, capped at [`MAX_DIR_MEMO`]).
+    dir_memo: Vec<Option<DirEntry>>,
+    /// Scratch for a varint frame's reconstructed counts, row-major
+    /// (`cpu_count × n_events`); the delta chain unfolds in place. The
+    /// planar bulk path stages raw zigzag lanes here.
     cur: Vec<u64>,
+    /// A planar frame's decoded f64 event lanes, event-major
+    /// (`lanes[e · cpus + c]`), ready for the column fold.
+    lanes: Vec<f64>,
 }
 
 impl FrameDecoder {
@@ -244,7 +288,22 @@ impl FrameDecoder {
         entry.identity = entry.n_events as usize == ROW_EVENTS.len()
             && entry.pos.iter().enumerate().all(|(k, &p)| p as usize == k);
         self.layouts.register(entry);
+        // A registration can remap an existing hash, so every
+        // identity-directory memo taken under the old table is stale:
+        // bumping the epoch strands them all (each machine revalidates
+        // once and re-memoises). The short-circuit return above keeps
+        // no-op re-announcements from paying this.
+        self.layout_epoch += 1;
         Ok(Decoded::Layout { decimation })
+    }
+
+    /// Drops the identity-directory memo for one machine — the hook for
+    /// stream-level eviction (a machine leaving the fleet, or an
+    /// operator reset); its next planar frame revalidates from scratch.
+    pub fn evict_dir_memo(&mut self, machine_id: u64) {
+        if let Some(slot) = self.dir_memo.get_mut(machine_id as usize) {
+            *slot = None;
+        }
     }
 
     /// Decodes a sample frame up to (but not including) the row
@@ -273,11 +332,18 @@ impl FrameDecoder {
             self.scan_planar(header, payload, &mut ck)
         } else {
             self.scan_sample(header, payload, &mut ck)
+                .map(|e| (e, true))
         };
         if header.checksum != ck.finish(payload) {
             return Err(DecodeError::Checksum);
         }
-        let entry = scanned?;
+        let (entry, memo_hit) = scanned?;
+        if planar && !memo_hit {
+            // Memoise only now — after the structural walk accepted the
+            // frame *and* the checksum proved it intact — so a corrupt
+            // or malformed frame can never seed the fast path.
+            self.store_dir_memo(header, payload, entry);
+        }
         let n = header.n_events as usize;
         let cpus = header.cpu_count as usize;
         if !planar {
@@ -302,38 +368,117 @@ impl FrameDecoder {
         })
     }
 
+    /// Dev-only profiling hook: sample decode without the row fold.
+    #[doc(hidden)]
+    pub fn profile_pending_only(
+        &mut self,
+        header: &FrameHeader,
+        payload: &[u8],
+    ) -> Result<u64, DecodeError> {
+        self.decode_sample_pending(header, payload)
+            .map(|p| p.window_seq)
+    }
+
+    /// Dev-only profiling hook: sample decode + fold, no `Decoded` enum.
+    #[doc(hidden)]
+    pub fn profile_row(
+        &mut self,
+        header: &FrameHeader,
+        payload: &[u8],
+    ) -> Result<[f64; COLUMNS], DecodeError> {
+        let p = self.decode_sample_pending(header, payload)?;
+        Ok(self.fold_row(&p))
+    }
+
     /// The structural half of a planar sample decode: layout lookup,
-    /// geometry checks, and the bulk widen/zigzag/unfold into the
-    /// scratch buffer (plane-major — see [`crate::planar`]). Same
-    /// contract as [`scan_sample`](Self::scan_sample): whatever this
-    /// returns, the caller finishes the checksum and gives its verdict
-    /// precedence.
+    /// geometry checks, and the fused single-pass decode into the f64
+    /// lane buffer (event-major — see [`crate::planar`]). Same contract
+    /// as [`scan_sample`](Self::scan_sample): whatever this returns,
+    /// the caller finishes the checksum and gives its verdict
+    /// precedence. The returned flag reports whether the
+    /// identity-directory memo supplied the layout (`true` = hit,
+    /// nothing to memoise).
     fn scan_planar(
         &mut self,
         header: &FrameHeader,
         payload: &[u8],
         ck: &mut PayloadChecksum,
-    ) -> Result<LayoutEntry, DecodeError> {
-        if header.n_events as usize > MAX_WIRE_EVENTS {
-            return Err(DecodeError::Malformed);
-        }
-        let entry = *self
-            .layouts
-            .lookup(header.layout_hash)
-            .ok_or(DecodeError::UnknownLayout)?;
-        if entry.n_events != header.n_events {
-            return Err(DecodeError::Malformed);
-        }
+    ) -> Result<(LayoutEntry, bool), DecodeError> {
+        let (entry, memo_hit) = match self.lookup_dir_memo(header, payload) {
+            Some(entry) => (entry, true),
+            None => {
+                if header.n_events as usize > MAX_WIRE_EVENTS {
+                    return Err(DecodeError::Malformed);
+                }
+                let entry = *self
+                    .layouts
+                    .lookup(header.layout_hash)
+                    .ok_or(DecodeError::UnknownLayout)?;
+                if entry.n_events != header.n_events {
+                    return Err(DecodeError::Malformed);
+                }
+                (entry, false)
+            }
+        };
         crate::planar::decode_planes(
             Dispatch::active(),
             payload,
             header.n_events as usize,
             header.cpu_count as usize,
+            memo_hit,
+            &mut self.lanes,
             &mut self.cur,
             ck,
         )
         .ok_or(DecodeError::Malformed)?;
-        Ok(entry)
+        Ok((entry, memo_hit))
+    }
+
+    /// The identity-directory fast path: returns the memoised layout
+    /// entry iff this frame's geometry fields and width-directory bytes
+    /// are byte-identical to the machine's last checksum-verified
+    /// planar frame *and* no layout registration intervened. Directory
+    /// validation and the price floor are pure functions of exactly
+    /// those inputs, so a hit licenses `decode_planes` to skip them
+    /// (`dir_valid`); the per-plane bounds checks and the full payload
+    /// checksum still run.
+    #[inline]
+    fn lookup_dir_memo(&self, header: &FrameHeader, payload: &[u8]) -> Option<LayoutEntry> {
+        let m = self.dir_memo.get(header.machine_id as usize)?.as_ref()?;
+        let n = m.n_events as usize;
+        (m.epoch == self.layout_epoch
+            && m.layout_hash == header.layout_hash
+            && m.payload_len == header.payload_len
+            && m.n_events == header.n_events
+            && m.cpus == header.cpu_count
+            && payload.get(..n) == Some(&m.dir[..n]))
+        .then_some(m.entry)
+    }
+
+    /// Memoises a just-verified planar frame's shape for
+    /// [`lookup_dir_memo`](Self::lookup_dir_memo). Machine ids past
+    /// [`MAX_DIR_MEMO`] are not tracked; the slab grows lazily to the
+    /// highest tracked id.
+    fn store_dir_memo(&mut self, header: &FrameHeader, payload: &[u8], entry: LayoutEntry) {
+        let id = header.machine_id as usize;
+        let n = header.n_events as usize;
+        if id >= MAX_DIR_MEMO || payload.len() < n {
+            return;
+        }
+        if self.dir_memo.len() <= id {
+            self.dir_memo.resize(id + 1, None);
+        }
+        let mut dir = [0u8; MAX_WIRE_EVENTS];
+        dir[..n].copy_from_slice(&payload[..n]);
+        self.dir_memo[id] = Some(DirEntry {
+            epoch: self.layout_epoch,
+            layout_hash: header.layout_hash,
+            payload_len: header.payload_len,
+            n_events: header.n_events,
+            cpus: header.cpu_count,
+            dir,
+            entry,
+        });
     }
 
     /// The structural half of a sample decode: layout lookup, geometry
@@ -388,8 +533,21 @@ impl FrameDecoder {
 
     /// Reduces a pending sample's reconstructed counts to one fleet
     /// row — the arithmetic `SampleBatch::push_sample_set` applies to
-    /// in-memory samples, via the same [`RowAccumulator`].
+    /// in-memory samples. Planar frames fold their decoded f64 event
+    /// lanes through [`fold_event_lanes`] (whose widening and
+    /// missing-event mapping are bit-identical to the `Option<u64>`
+    /// reference path — see its docs); varint frames gather through the
+    /// same [`RowAccumulator`] as always.
     pub(crate) fn fold_row(&self, p: &PendingSample) -> [f64; COLUMNS] {
+        if p.planar {
+            return fold_event_lanes(
+                Dispatch::active(),
+                &self.lanes,
+                p.cpus,
+                &p.entry.pos,
+                p.entry.identity,
+            );
+        }
         let mut acc = RowAccumulator::new(p.cpus);
         self.accumulate(p, &mut acc);
         acc.finish()
@@ -404,15 +562,26 @@ impl FrameDecoder {
         cols: &mut [&mut [f64]; COLUMNS],
         idx: usize,
     ) {
+        if p.planar {
+            let row = fold_event_lanes(
+                Dispatch::active(),
+                &self.lanes,
+                p.cpus,
+                &p.entry.pos,
+                p.entry.identity,
+            );
+            for (c, v) in cols.iter_mut().zip(row) {
+                c[idx] = v;
+            }
+            return;
+        }
         let mut acc = RowAccumulator::new(p.cpus);
         self.accumulate(p, &mut acc);
         acc.finish_into(cols, idx);
     }
 
+    /// The varint-frame reduction over the row-major scratch.
     fn accumulate(&self, p: &PendingSample, acc: &mut RowAccumulator) {
-        if p.planar {
-            return self.accumulate_planar(p, acc);
-        }
         let n = p.entry.n_events as usize;
         for cpu in 0..p.cpus {
             let row = &self.cur[cpu * n..(cpu + 1) * n];
@@ -424,40 +593,6 @@ impl FrameDecoder {
                 std::array::from_fn(|k| Some(row[k]))
             } else {
                 std::array::from_fn(|k| row.get(p.entry.pos[k] as usize).copied())
-            };
-            acc.accumulate_cpu(counts);
-        }
-    }
-
-    /// [`accumulate`](Self::accumulate) over the planar scratch layout:
-    /// bases in `cur[0..n]`, reconstructed CPU ≥ 1 counts plane-major in
-    /// `cur[n..]` (`count(e, cpu) = cur[n + e·stride + cpu − 1]`). The
-    /// per-CPU accumulation order — and therefore every float rounding
-    /// step — is identical to the row-major walk, which is what keeps
-    /// planar rows bit-identical to varint rows.
-    fn accumulate_planar(&self, p: &PendingSample, acc: &mut RowAccumulator) {
-        let n = p.entry.n_events as usize;
-        let stride = p.cpus.saturating_sub(1);
-        let (bases, unfolded) = self.cur.split_at(n);
-        for cpu in 0..p.cpus {
-            let counts: [Option<u64>; ROW_EVENTS.len()] = if cpu == 0 {
-                if p.entry.identity {
-                    std::array::from_fn(|k| Some(bases[k]))
-                } else {
-                    std::array::from_fn(|k| bases.get(p.entry.pos[k] as usize).copied())
-                }
-            } else if p.entry.identity {
-                std::array::from_fn(|k| Some(unfolded[k * stride + cpu - 1]))
-            } else {
-                // An absent event's sentinel position (`u16::MAX`) lands
-                // at index ≥ u16::MAX · stride ≥ n · stride, past the
-                // unfolded region (n ≤ MAX_WIRE_EVENTS < u16::MAX), so
-                // the same bounds-checked `get` covers presence here.
-                std::array::from_fn(|k| {
-                    unfolded
-                        .get(p.entry.pos[k] as usize * stride + cpu - 1)
-                        .copied()
-                })
             };
             acc.accumulate_cpu(counts);
         }
@@ -476,8 +611,8 @@ pub(crate) struct PendingSample {
     pub window_seq: u64,
     entry: LayoutEntry,
     cpus: usize,
-    /// Whether the scratch holds the planar layout (bases + plane-major
-    /// unfolded counts) rather than row-major per-CPU rows.
+    /// Whether the decode landed in the f64 lane buffer (planar frames,
+    /// event-major) rather than the row-major u64 scratch (varint).
     planar: bool,
 }
 

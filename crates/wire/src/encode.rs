@@ -229,6 +229,9 @@ pub struct WireEncoder {
     /// Per machine: the decimation the control loop *wants* (1 when
     /// unset). Announced lazily by the next `push_sample_set`.
     decimation: HashMap<u64, u16>,
+    /// Reusable scratch for the pushed set's event layout — one
+    /// steady-state `push_sample_set` must not heap-allocate.
+    events: Vec<PerfEvent>,
     kind: FrameKind,
 }
 
@@ -297,15 +300,21 @@ impl WireEncoder {
     ///
     /// Propagates [`EncodeError`] (nothing is appended on error).
     pub fn push_sample_set(&mut self, machine_id: u64, set: &SampleSet) -> Result<(), EncodeError> {
-        let events: Vec<PerfEvent> = set
-            .per_cpu
-            .first()
-            .map_or(Vec::new(), |c| c.counts().iter().map(|p| p.0).collect());
-        let hash = layout_hash(&events);
+        self.events.clear();
+        if let Some(c) = set.per_cpu.first() {
+            self.events.extend(c.counts().iter().map(|p| p.0));
+        }
+        let hash = layout_hash(&self.events);
         let dec = self.decimation(machine_id);
         let rollback = self.buf.len();
         if self.last_layout.get(&machine_id) != Some(&(hash, dec)) {
-            encode_layout_frame_with_decimation(&mut self.buf, machine_id, set.seq, &events, dec)?;
+            encode_layout_frame_with_decimation(
+                &mut self.buf,
+                machine_id,
+                set.seq,
+                &self.events,
+                dec,
+            )?;
         }
         let encoded = match self.kind {
             FrameKind::Planar => encode_planar_sample_frame(&mut self.buf, machine_id, set),

@@ -375,14 +375,18 @@ impl PayloadChecksum {
     pub fn finish(mut self, payload: &[u8]) -> u64 {
         self.absorb_to(payload, payload.len());
         // After the chunked absorb the remainder is < 16 bytes: at most
-        // one word per lane, zero-padded by `le_word`.
+        // one word per lane, zero-padded. Staging it through one fixed
+        // 16-byte buffer keeps the padding semantics of the historical
+        // per-word `le_word` calls (same words, same zeros) while
+        // paying a single variable-length copy instead of two.
         let rem = payload.get(self.done..).unwrap_or_default();
-        let (first, second) = rem.split_at(rem.len().min(8));
-        if !first.is_empty() {
-            self.h = mix(self.h, le_word(first));
+        let mut tail = [0u8; 16];
+        tail[..rem.len()].copy_from_slice(rem);
+        if !rem.is_empty() {
+            self.h = mix(self.h, u64::from_le_bytes(tail[..8].try_into().unwrap()));
         }
-        if !second.is_empty() {
-            self.lane = mix(self.lane, le_word(second));
+        if rem.len() > 8 {
+            self.lane = mix(self.lane, u64::from_le_bytes(tail[8..].try_into().unwrap()));
         }
         mix(self.h, self.lane)
     }

@@ -22,24 +22,33 @@
 //! little-endian at its width. A **delta plane** holds the event's
 //! `cpu_count − 1` zigzag CPU-over-CPU deltas — the same values the
 //! varint payload stores row-major — contiguous and fixed-width, so
-//! decode is three branch-free bulk passes over the whole frame:
-//! widen to u64 ([`widen_u8_to_u64`] and friends, one call per run of
-//! equal-width planes), [`zigzag_decode_batch`], and one
-//! [`delta_unfold`] prefix-sum. Each plane's width is the smallest that
-//! fits the plane's largest zigzag delta (bases likewise), so the
-//! encoding is canonical: one window has exactly one planar payload.
+//! decode is one fused pass over the payload: small frames take a
+//! scalar walk that reads each plane as a single bounds-checked slice
+//! and unzigzags + prefix-sums + widens in the lane loop; large frames
+//! widen each run of equal-width planes in bulk ([`widen_u8_to_u64`]
+//! and friends) and finish with one [`unfold_planes_to_f64`] kernel
+//! pass. Either way the decode **emits f64 lanes directly** —
+//! event-major, CPU 0's base first — so the downstream column fold
+//! consumes them without per-count conversion, and the payload
+//! checksum is absorbed while the bytes are cache-hot — per width run
+//! on bulk frames, one trailing absorb over the still-resident lines
+//! on small ones — so the payload is effectively read once for decode
+//! and verification together. Each plane's width
+//! is the smallest that fits the plane's largest zigzag delta (bases
+//! likewise), so the encoding is canonical: one window has exactly one
+//! planar payload.
 //!
 //! Because the deltas and the delta chain are identical to the varint
-//! encoding's, a decoder reconstructs bit-identical counts from either
-//! payload — property-tested in `tests/planar.rs` across random
-//! layouts and width-boundary values.
+//! encoding's — and `count as f64` is the same IEEE rounding wherever
+//! it is performed — a decoder reconstructs bit-identical fleet rows
+//! from either payload, property-tested in `tests/planar.rs` across
+//! random layouts and width-boundary values.
 
 use crate::frame::PayloadChecksum;
 use crate::varint::zigzag;
 use tdp_counters::SampleSet;
 use tdp_simd::{
-    delta_unfold, widen_u16_to_u64, widen_u32_to_u64, widen_u8_to_u64, zigzag_decode_batch,
-    Dispatch,
+    unfold_planes_to_f64, widen_u16_to_u64, widen_u32_to_u64, widen_u8_to_u64, Dispatch,
 };
 
 /// The smallest width code (`0..=3`, meaning `1 << code` bytes) whose
@@ -97,28 +106,46 @@ pub(crate) fn encode_payload(buf: &mut Vec<u8>, set: &SampleSet) {
     }
 }
 
-/// Decodes a planar payload into `out` and reconstructs every count:
-/// `out[0..n_events]` holds the raw CPU 0 bases and
-/// `out[n_events + e·(cpus−1) + (cpu−1)]` the reconstructed count of
-/// event `e` on CPU `cpu ≥ 1` (plane-major, delta chain already
-/// unfolded). Returns `None` on any structural defect — bad directory
-/// nibble or a payload length that disagrees with the directory's
-/// declared widths.
+/// Decodes a planar payload into `out` as **f64 event lanes**,
+/// event-major with CPU 0's base first: `out[e·cpus + c]` is event
+/// `e`'s reconstructed count on CPU `c`, widened to f64 (the delta
+/// chain already unfolded — the same `count as f64` the column fold
+/// would otherwise perform per count per window). Returns `None` on
+/// any structural defect — bad directory nibble or a payload length
+/// that disagrees with the directory's declared widths.
 ///
-/// `ck` absorbs the payload as the walk passes it (monotone
-/// watermarks), matching the varint path's checksum overlap; the caller
-/// finishes the checksum over whatever remains and gives its verdict
-/// precedence, exactly as for varint sample frames.
+/// `ck` absorbs the payload while its bytes are cache-hot: bulk frames
+/// absorb *inside* the walk, one watermark per width run — the
+/// single-pass read the varint leg's `read_uvarints_wide_ck` performs
+/// at window granularity — while small frames (a cache line or two)
+/// absorb once after the walk, over lines the walk just touched.
+/// [`PayloadChecksum::absorb_to`] is position-pure and monotone, so
+/// the cadence cannot change the checksum; the caller finishes it over
+/// whatever remains and gives its verdict precedence, exactly as for
+/// varint sample frames.
 ///
-/// Scratch growth is bounded by the input: every base and delta lane is
-/// at least one byte, so `out` never exceeds `payload.len()` entries —
-/// a corrupt header cannot request an absurd allocation.
+/// `dir_valid` skips the directory nibble validation and the price
+/// floor when the caller has already proven this exact `(geometry,
+/// directory)` pair valid — the layout-epoch identity-directory memo
+/// (`FrameDecoder`) sets it only when the frame's directory bytes are
+/// byte-identical to a previously accepted frame's with identical
+/// geometry, so the skipped checks could only repeat their earlier
+/// verdict. Every per-lane/per-plane bounds check still runs.
+///
+/// `scratch` stages bases and raw zigzag lanes for the bulk path only;
+/// small frames never touch it. Scratch growth is bounded by the
+/// input: every base and delta lane is at least one byte, so neither
+/// buffer ever exceeds `payload.len()` entries — a corrupt header
+/// cannot request an absurd allocation.
+#[allow(clippy::too_many_arguments)]
 pub fn decode_planes(
     d: Dispatch,
     payload: &[u8],
     n_events: usize,
     cpus: usize,
-    out: &mut Vec<u64>,
+    dir_valid: bool,
+    out: &mut Vec<f64>,
+    scratch: &mut Vec<u64>,
     ck: &mut PayloadChecksum,
 ) -> Option<()> {
     let n = n_events;
@@ -126,45 +153,49 @@ pub fn decode_planes(
         return None;
     }
     let stride = cpus.saturating_sub(1);
-    // Nibble validation in one OR-reduce: a width code is legal iff it
-    // fits two bits, so a directory is legal iff no byte sets bits
-    // 2–3 or 6–7.
-    if payload[..n].iter().fold(0u8, |a, &b| a | b) & 0xcc != 0 {
-        return None;
-    }
-    let total = n + n * stride;
-    // Price floor *before* sizing scratch: every base and delta lane is
-    // at least one byte, so a structurally valid payload carries no
-    // fewer than `n` directory bytes plus one byte per lane. A header
-    // whose cpu_count prices past the payload (a corrupt cpu_count can
-    // claim 65535 CPUs against a 100-byte payload) is rejected here,
-    // so `out` never exceeds `payload.len()` entries and a corrupt
-    // header cannot request an absurd allocation.
-    if payload.len() < n + total {
-        return None;
+    let lanes = n + n * stride;
+    if !dir_valid {
+        // Nibble validation in one OR-reduce: a width code is legal iff
+        // it fits two bits, so a directory is legal iff no byte sets
+        // bits 2–3 or 6–7.
+        if payload[..n].iter().fold(0u8, |a, &b| a | b) & 0xcc != 0 {
+            return None;
+        }
+        // Price floor *before* sizing scratch: every base and delta
+        // lane is at least one byte, so a structurally valid payload
+        // carries no fewer than `n` directory bytes plus one byte per
+        // lane. A header whose cpu_count prices past the payload (a
+        // corrupt cpu_count can claim 65535 CPUs against a 100-byte
+        // payload) is rejected here, so neither `out` nor `scratch`
+        // ever exceeds `payload.len()` entries and a corrupt header
+        // cannot request an absurd allocation.
+        if payload.len() < n + lanes {
+            return None;
+        }
     }
     // The decode passes overwrite every entry, so resize only on a
     // geometry change (no steady-state memset) — same policy as the
     // varint scratch.
-    if out.len() != total {
+    let out_len = n * cpus;
+    if out.len() != out_len {
         out.clear();
-        out.resize(total, 0);
+        out.resize(out_len, 0.0);
     }
-    // Exact pricing falls out of the walk itself: every lane read
+    // Exact pricing falls out of the walk itself: every plane read
     // checks its bounds, and the final `pos == payload.len()` check
     // rejects a payload with trailing bytes — together equivalent to
     // pre-pricing the directory, without the extra pass.
     let pos = if stride * n >= WIDE_LANES {
-        decode_bulk(d, payload, n, stride, out)?
+        decode_bulk(d, payload, n, stride, out, scratch, ck)?
     } else {
-        decode_fused(payload, n, stride, out)?
+        decode_fused(payload, n, cpus, out)?
     };
     if pos != payload.len() {
         return None;
     }
-    // One absorb watermark at the end of the walk: the bytes are still
-    // warm in cache, and the chunk→lane mapping is position-pure, so
-    // the cadence cannot change the checksum.
+    // Final watermark: for small frames this is the whole absorb (the
+    // payload is still in L1 from the walk); for bulk frames it only
+    // covers whatever the per-run absorbs left short of the end.
     ck.absorb_to(payload, pos);
     Some(())
 }
@@ -201,62 +232,112 @@ fn read_coded_lane(payload: &[u8], pos: &mut usize, code: u8) -> Option<u64> {
     }
 }
 
-/// Unfolds one event's delta plane at constant lane width: read,
-/// unzigzag (`(z >> 1) ⊕ −(z & 1)` leaves the signed delta's bit
-/// pattern), and the wrapping prefix add — the varint path's
-/// `prev.wrapping_add(unzigzag(c) as u64)` exactly.
+/// Unfolds one event's delta plane at constant lane width: one bounds
+/// check for the whole plane, then per lane unzigzag
+/// (`(z >> 1) ⊕ −(z & 1)` leaves the signed delta's bit pattern), the
+/// wrapping prefix add — the varint path's
+/// `prev.wrapping_add(unzigzag(c) as u64)` exactly — and the `as f64`
+/// Unfolds one event's delta plane at constant lane width: one bounds
+/// check for the whole plane, then per lane unzigzag
+/// (`(z >> 1) ⊕ −(z & 1)` leaves the signed delta's bit pattern), the
+/// wrapping prefix add — the varint path's
+/// `prev.wrapping_add(unzigzag(c) as u64)` exactly — and the `as f64`
+/// widen the column fold would otherwise perform per count.
 #[inline(always)]
 fn unfold_plane<const W: usize>(
     payload: &[u8],
     pos: &mut usize,
     mut acc: u64,
-    out: &mut [u64],
+    out: &mut [f64],
 ) -> Option<()> {
-    for slot in out.iter_mut() {
-        let z = read_lane::<W>(payload, pos)?;
+    let bytes = out.len() * W;
+    let src = payload.get(*pos..*pos + bytes)?;
+    for (slot, lane) in out.iter_mut().zip(src.chunks_exact(W)) {
+        let mut le = [0u8; 8];
+        le[..W].copy_from_slice(lane);
+        let z = u64::from_le_bytes(le);
         acc = acc.wrapping_add((z >> 1) ^ 0u64.wrapping_sub(z & 1));
-        *slot = acc;
+        *slot = acc as f64;
     }
+    *pos += bytes;
     Some(())
 }
 
-/// The small-frame decode: bases and planes in one scalar walk,
-/// unzigzag and prefix-sum fused into the lane loop. Integer-exact, so
-/// bit-identical to the bulk-kernel path by construction.
+/// The small-frame decode: a two-cursor walk — `bpos` over the bases
+/// region, `ppos` over the planes region — that emits each event's
+/// full f64 lane (base first, then the unfolded deltas) in one visit.
+/// Integer-exact before the final widen, so bit-identical to the
+/// bulk-kernel path by construction.
+///
+/// No in-walk checksum absorbs here: a small frame's whole payload is
+/// a cache line or two, so the caller's trailing [`absorb_to`] pass
+/// runs over lines the walk just touched — the same single read of
+/// the payload — while per-plane absorb calls would pay watermark
+/// bookkeeping nine times for at most a handful of 16-byte chunks
+/// (measured ≈ +18 ns/frame on 4-CPU fleets). The bulk path absorbs
+/// per width run instead, where a second pass would genuinely re-read
+/// memory.
+///
+/// With no CPUs there are no lanes to emit; the walk still parses (and
+/// prices) the bases region so trailing garbage is rejected exactly as
+/// before.
+///
+/// [`absorb_to`]: PayloadChecksum::absorb_to
 #[inline(always)]
-fn decode_fused(payload: &[u8], n: usize, stride: usize, out: &mut [u64]) -> Option<usize> {
-    let mut pos = n;
-    for e in 0..n {
-        out[e] = read_coded_lane(payload, &mut pos, payload[e] & 0x0f)?;
+fn decode_fused(payload: &[u8], n: usize, cpus: usize, out: &mut [f64]) -> Option<usize> {
+    // Where the planes start: the directory declares every base width,
+    // so the bases region's extent is known before walking it. Each
+    // lane read below still bounds-checks, so a payload shorter than
+    // this sum fails at the read, never at a slice index.
+    let mut bases_end = n;
+    for &b in &payload[..n] {
+        bases_end += 1usize << (b & 0x0f);
     }
-    let (bases, deltas) = out.split_at_mut(n);
+    let mut bpos = n;
+    let mut ppos = bases_end;
     for e in 0..n {
-        let dst = &mut deltas[e * stride..(e + 1) * stride];
+        let base = read_coded_lane(payload, &mut bpos, payload[e] & 0x0f)?;
+        if cpus == 0 {
+            continue;
+        }
+        let dst = &mut out[e * cpus..(e + 1) * cpus];
+        dst[0] = base as f64;
         match payload[e] >> 4 {
-            0 => unfold_plane::<1>(payload, &mut pos, bases[e], dst),
-            1 => unfold_plane::<2>(payload, &mut pos, bases[e], dst),
-            2 => unfold_plane::<4>(payload, &mut pos, bases[e], dst),
-            _ => unfold_plane::<8>(payload, &mut pos, bases[e], dst),
+            0 => unfold_plane::<1>(payload, &mut ppos, base, &mut dst[1..]),
+            1 => unfold_plane::<2>(payload, &mut ppos, base, &mut dst[1..]),
+            2 => unfold_plane::<4>(payload, &mut ppos, base, &mut dst[1..]),
+            _ => unfold_plane::<8>(payload, &mut ppos, base, &mut dst[1..]),
         }?;
     }
-    Some(pos)
+    Some(if cpus == 0 { bpos } else { ppos })
 }
 
 /// The wide-frame decode: one widen kernel call per run of equal-width
-/// planes, then batch zigzag and batch delta unfold — three branch-free
-/// bulk passes whose SIMD width pays once planes carry enough lanes.
+/// planes staging raw zigzag lanes in `scratch`, then a single
+/// [`unfold_planes_to_f64`] pass — unzigzag, wrapping prefix sum, and
+/// the f64 widen in one branch-free kernel whose SIMD width pays once
+/// planes carry enough lanes. The checksum absorbs after the bases and
+/// after each width run, while those bytes are still warm.
 fn decode_bulk(
     d: Dispatch,
     payload: &[u8],
     n: usize,
     stride: usize,
-    out: &mut [u64],
+    out: &mut [f64],
+    scratch: &mut Vec<u64>,
+    ck: &mut PayloadChecksum,
 ) -> Option<usize> {
+    let total = n + n * stride;
+    if scratch.len() != total {
+        scratch.clear();
+        scratch.resize(total, 0);
+    }
     let mut pos = n;
     for e in 0..n {
-        out[e] = read_coded_lane(payload, &mut pos, payload[e] & 0x0f)?;
+        scratch[e] = read_coded_lane(payload, &mut pos, payload[e] & 0x0f)?;
     }
-    let (bases, deltas) = out.split_at_mut(n);
+    ck.absorb_to(payload, pos);
+    let (bases, deltas) = scratch.split_at_mut(n);
     let mut e = 0usize;
     while e < n {
         let code = payload[e] >> 4;
@@ -280,14 +361,16 @@ fn decode_bulk(
             }
         }
         pos += lanes * w;
+        ck.absorb_to(payload, pos);
         e = run_end;
     }
-    // Two bulk passes finish every count: undo the zigzag (leaving
-    // signed-delta bit patterns), then run each plane's wrapping
-    // prefix sum from its base — the exact arithmetic of the varint
-    // path's per-count `prev.wrapping_add(unzigzag(c) as u64)`.
-    zigzag_decode_batch(d, deltas);
-    delta_unfold(d, bases, deltas);
+    // One fused kernel pass finishes every lane: undo the zigzag
+    // (leaving signed-delta bit patterns), run each plane's wrapping
+    // prefix sum from its base, and widen to f64 — the exact
+    // arithmetic of the varint path's per-count
+    // `prev.wrapping_add(unzigzag(c) as u64)` followed by the column
+    // fold's `count as f64`.
+    unfold_planes_to_f64(d, bases, deltas, out);
     Some(pos)
 }
 
@@ -335,13 +418,45 @@ mod tests {
         }
     }
 
-    fn decode(payload: &[u8], n: usize, cpus: usize) -> Option<Vec<u64>> {
+    fn decode(payload: &[u8], n: usize, cpus: usize) -> Option<Vec<f64>> {
         let h = header_for(payload.len(), cpus as u16, n as u16);
         let mut out = Vec::new();
+        let mut scratch = Vec::new();
         let mut ck = PayloadChecksum::new(&h);
-        decode_planes(Dispatch::active(), payload, n, cpus, &mut out, &mut ck)?;
-        // The absorb cadence must agree with the one-shot checksum.
+        decode_planes(
+            Dispatch::active(),
+            payload,
+            n,
+            cpus,
+            false,
+            &mut out,
+            &mut scratch,
+            &mut ck,
+        )?;
+        // The in-walk absorb cadence must agree with the one-shot
+        // checksum.
         assert_eq!(ck.finish(payload), h.expected_checksum(payload));
+        // A pre-validated directory (the identity-directory fast path)
+        // must land on the same lanes and the same checksum.
+        let mut out2 = Vec::new();
+        let mut scratch2 = Vec::new();
+        let mut ck2 = PayloadChecksum::new(&h);
+        decode_planes(
+            Dispatch::active(),
+            payload,
+            n,
+            cpus,
+            true,
+            &mut out2,
+            &mut scratch2,
+            &mut ck2,
+        )
+        .expect("dir_valid re-decode");
+        assert_eq!(ck2.finish(payload), ck.finish(payload));
+        assert_eq!(
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            out2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
         Some(out)
     }
 
@@ -363,13 +478,11 @@ mod tests {
         assert_eq!(payload[1], 0x13);
         assert_eq!(payload[2], 0x02);
         let out = decode(&payload, 3, 3).expect("clean payload");
-        let n = 3;
-        for e in 0..n {
-            assert_eq!(out[e], set.per_cpu[0].counts()[e].1, "base {e}");
-            for cpu in 1..3 {
+        for e in 0..3 {
+            for cpu in 0..3 {
                 assert_eq!(
-                    out[n + e * 2 + (cpu - 1)],
-                    set.per_cpu[cpu].counts()[e].1,
+                    out[e * 3 + cpu].to_bits(),
+                    (set.per_cpu[cpu].counts()[e].1 as f64).to_bits(),
                     "event {e} cpu {cpu}"
                 );
             }
@@ -411,7 +524,11 @@ mod tests {
         encode_payload(&mut payload, &set);
         assert_eq!(payload[0] >> 4, 3, "i64::MIN delta must price 8 bytes");
         let out = decode(&payload, 3, 2).expect("fused path");
-        assert_eq!(out[3], stepped, "fused roundtrip");
+        assert_eq!(
+            out[1].to_bits(),
+            (stepped as f64).to_bits(),
+            "fused roundtrip"
+        );
         // ...and through the bulk kernel path (≥ WIDE_LANES delta
         // lanes: 3 events × 64 deltas = 192), alternating the extreme
         // step so every lane in event 0's plane is ±i64::MIN.
@@ -429,11 +546,11 @@ mod tests {
         let stride = cpus - 1;
         assert!(3 * stride >= WIDE_LANES, "must exercise decode_bulk");
         let out = decode(&payload, 3, cpus).expect("bulk path");
-        for cpu in 1..cpus {
+        for cpu in 0..cpus {
             for e in 0..3 {
                 assert_eq!(
-                    out[3 + e * stride + (cpu - 1)],
-                    rows[cpu][e],
+                    out[e * cpus + cpu].to_bits(),
+                    (rows[cpu][e] as f64).to_bits(),
                     "event {e} cpu {cpu}"
                 );
             }
@@ -449,9 +566,21 @@ mod tests {
         encode_payload(&mut payload, &set);
         let h = header_for(payload.len(), u16::MAX, 3);
         let mut out = Vec::new();
+        let mut scratch = Vec::new();
         let mut ck = PayloadChecksum::new(&h);
-        assert!(decode_planes(Dispatch::active(), &payload, 3, 65535, &mut out, &mut ck).is_none());
-        assert_eq!(out.capacity(), 0, "no scratch growth on rejection");
+        assert!(decode_planes(
+            Dispatch::active(),
+            &payload,
+            3,
+            65535,
+            false,
+            &mut out,
+            &mut scratch,
+            &mut ck
+        )
+        .is_none());
+        assert_eq!(out.capacity(), 0, "no lane-buffer growth on rejection");
+        assert_eq!(scratch.capacity(), 0, "no scratch growth on rejection");
     }
 
     #[test]
@@ -460,7 +589,10 @@ mod tests {
         let mut payload = Vec::new();
         encode_payload(&mut payload, &set);
         let out = decode(&payload, 3, 1).expect("single CPU");
-        assert_eq!(out, [7, 300, u64::MAX]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].to_bits(), 7.0f64.to_bits());
+        assert_eq!(out[1].to_bits(), 300.0f64.to_bits());
+        assert_eq!(out[2].to_bits(), (u64::MAX as f64).to_bits());
         // No CPUs: empty payload, nothing decoded.
         let empty = set_of(&[]);
         let mut payload = Vec::new();

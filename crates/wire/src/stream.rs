@@ -248,6 +248,17 @@ impl IngestState {
             .map(|s| s.ledger.state(idx))
     }
 
+    /// Drops every shard decoder's identity-directory memo for
+    /// `machine` — the eviction hook for a machine leaving the fleet.
+    /// Purely an optimisation-state reset: the machine's next planar
+    /// frame takes the full validation path once and re-memoises, with
+    /// byte-identical decode results either way.
+    pub fn evict_machine_dir(&mut self, machine: u64) {
+        for s in &mut self.shards {
+            s.dec.evict_dir_memo(machine);
+        }
+    }
+
     /// Opens the next ingest window: bumps the epoch and makes sure
     /// `d` shards exist. Returns the new epoch.
     fn begin(&mut self, d: usize) -> u64 {

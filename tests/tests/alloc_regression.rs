@@ -144,6 +144,65 @@ fn steady_state_fleet_window_does_not_allocate() {
 }
 
 #[test]
+fn steady_state_fused_planar_ingest_does_not_allocate() {
+    // The fused planar wire path carries the same contract as the
+    // in-memory fleet window: once the decoder's lane buffer, the
+    // identity-directory memo slab, the ingest ledger, and the batch
+    // columns have reached steady capacity, encoding + ingesting +
+    // estimating a window must not touch the heap. (The encoder writes
+    // into a caller-drained byte buffer we recycle below.)
+    const MACHINES: usize = 64;
+    let (mut machine, mut activity) = warmed_machine();
+    let mut set = tdp_counters::SampleSet::empty();
+    for _ in 0..100 {
+        machine.tick_into(&mut activity);
+    }
+    machine.read_counters_into(&mut set);
+
+    // Every window is pre-encoded (fresh window sequences — replayed
+    // sequences read as duplicates and skip the fold), so the measured
+    // stretch is exactly the consumer: decode, identity-directory
+    // memo, ledger, column fold, estimate.
+    const PRIME: usize = 5;
+    const WINDOWS: usize = 50;
+    let mut enc = tdp_wire::WireEncoder::with_kind(tdp_wire::FrameKind::Planar);
+    let bufs: Vec<Vec<u8>> = (0..PRIME + WINDOWS)
+        .map(|w| {
+            set.seq = w as u64 + 1;
+            for m in 0..MACHINES as u64 {
+                enc.push_sample_set(m, &set).unwrap();
+            }
+            enc.take_bytes()
+        })
+        .collect();
+
+    let mut est =
+        tdp_fleet::FleetEstimator::with_capacity(trickledown::SystemPowerModel::paper(), MACHINES);
+    let mut state = tdp_wire::IngestState::new();
+    // Prime: the first window announces layouts and sizes every slab
+    // (ledger, identity-directory memo, lane buffer, batch columns);
+    // later windows only change counter magnitudes, so plane widths —
+    // and buffer capacities — hold steady.
+    for buf in &bufs[..PRIME] {
+        tdp_wire::ingest_serial_with(&mut state, buf, MACHINES, &mut est);
+        est.estimate();
+    }
+
+    let before = allocations();
+    for buf in &bufs[PRIME..] {
+        let rep = tdp_wire::ingest_serial_with(&mut state, buf, MACHINES, &mut est);
+        assert_eq!(rep.rows_written, MACHINES as u64, "clean windows commit");
+        std::hint::black_box(est.estimate().fleet_total());
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "{WINDOWS} fused planar windows allocated {delta} times — the \
+         steady-state wire ingest path must be allocation-free"
+    );
+}
+
+#[test]
 fn allocating_tick_wrapper_still_works() {
     // The compatibility wrapper allocates per call by design; assert it
     // produces the same activity as the in-place path on a twin machine.
